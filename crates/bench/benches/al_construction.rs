@@ -1,0 +1,59 @@
+//! Criterion bench for E3/E8: abstraction layer construction across
+//! algorithms and scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alvc_bench::Scale;
+use alvc_core::construction::{
+    AlConstruct, CostAwareGreedy, ExactCover, PaperGreedy, RandomSelection, RedundantGreedy,
+    StaticDegreeGreedy,
+};
+use alvc_core::{service_clusters, OpsAvailability};
+
+fn bench_constructors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("al_construction");
+    group.sample_size(20);
+    for scale in &Scale::LADDER[..3] {
+        let dc = scale.build(11);
+        let clusters = service_clusters(&dc);
+        let cluster = &clusters[0];
+        let ctors: Vec<(&str, Box<dyn AlConstruct>)> = vec![
+            ("paper-greedy", Box::new(PaperGreedy::new())),
+            ("static-degree", Box::new(StaticDegreeGreedy::new())),
+            ("random", Box::new(RandomSelection::new(3))),
+            ("cost-aware", Box::new(CostAwareGreedy::default())),
+            ("redundant-r2", Box::new(RedundantGreedy::new(2))),
+        ];
+        for (name, ctor) in ctors {
+            group.bench_with_input(BenchmarkId::new(name, scale.name), &dc, |b, dc| {
+                b.iter(|| {
+                    ctor.construct(
+                        black_box(dc),
+                        black_box(&cluster.vms),
+                        &OpsAvailability::all(),
+                    )
+                    .expect("construction feasible")
+                })
+            });
+        }
+        // Exact only at the smallest scale (exponential worst case).
+        if scale.name == "toy" {
+            group.bench_with_input(BenchmarkId::new("exact", scale.name), &dc, |b, dc| {
+                b.iter(|| {
+                    ExactCover::new()
+                        .construct(
+                            black_box(dc),
+                            black_box(&cluster.vms),
+                            &OpsAvailability::all(),
+                        )
+                        .expect("exact feasible")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructors);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion bench for the graph substrate: matching, covers, routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alvc_graph::cover::{greedy_vertex_cover, konig_vertex_cover};
+use alvc_graph::matching::hopcroft_karp;
+use alvc_graph::shortest_path::dijkstra;
+use alvc_graph::{Bipartite, Graph, LeftId, NodeId, RightId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_bipartite(
+    n_left: usize,
+    n_right: usize,
+    degree: usize,
+    seed: u64,
+) -> Bipartite<(), (), ()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Bipartite::new();
+    for _ in 0..n_left {
+        b.add_left(());
+    }
+    for _ in 0..n_right {
+        b.add_right(());
+    }
+    for l in 0..n_left {
+        for _ in 0..degree {
+            b.add_edge(LeftId(l), RightId(rng.random_range(0..n_right)), ());
+        }
+    }
+    b
+}
+
+fn bench_matching_and_covers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bipartite");
+    for &n in &[100usize, 1000, 5000] {
+        let b = random_bipartite(n, n / 2, 3, 42);
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &b, |bch, b| {
+            bch.iter(|| hopcroft_karp(black_box(b)))
+        });
+        group.bench_with_input(BenchmarkId::new("konig_cover", n), &b, |bch, b| {
+            bch.iter(|| konig_vertex_cover(black_box(b)))
+        });
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("greedy_cover", n), &b, |bch, b| {
+                bch.iter(|| greedy_vertex_cover(black_box(b)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    // A 100x100 grid with random weights.
+    let mut rng = StdRng::seed_from_u64(7);
+    let side = 100;
+    let mut g: Graph<(), u64> = Graph::new();
+    let ids: Vec<_> = (0..side * side).map(|_| g.add_node(())).collect();
+    for r in 0..side {
+        for col in 0..side {
+            if col + 1 < side {
+                g.add_edge(
+                    ids[r * side + col],
+                    ids[r * side + col + 1],
+                    rng.random_range(1..100),
+                );
+            }
+            if r + 1 < side {
+                g.add_edge(
+                    ids[r * side + col],
+                    ids[(r + 1) * side + col],
+                    rng.random_range(1..100),
+                );
+            }
+        }
+    }
+    c.bench_function("dijkstra_100x100_grid", |b| {
+        b.iter(|| {
+            dijkstra(black_box(&g), NodeId(0), NodeId(side * side - 1), |_, &w| w)
+                .expect("grid is connected")
+        })
+    });
+}
+
+criterion_group!(benches, bench_matching_and_covers, bench_dijkstra);
+criterion_main!(benches);

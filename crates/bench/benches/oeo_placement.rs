@@ -1,0 +1,80 @@
+//! Criterion bench for E6: VNF placement strategies and O/E/O accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use alvc_core::construction::{AlConstruct, PaperGreedy};
+use alvc_core::OpsAvailability;
+use alvc_nfv::chain::fig5;
+use alvc_nfv::{ElectronicOnlyPlacer, PlacementContext, VnfPlacer};
+use alvc_placement::{CostDrivenPlacer, OpticalFirstPlacer};
+use alvc_topology::AlvcTopologyBuilder;
+
+fn bench_placers(c: &mut Criterion) {
+    let dc = AlvcTopologyBuilder::new()
+        .racks(16)
+        .servers_per_rack(4)
+        .vms_per_server(4)
+        .ops_count(48)
+        .tor_ops_degree(3)
+        .opto_fraction(0.5)
+        .seed(7)
+        .build();
+    let vms: Vec<_> = dc.vm_ids().collect();
+    let al = PaperGreedy::new()
+        .construct(&dc, &vms, &OpsAvailability::all())
+        .expect("construction feasible");
+    let servers: Vec<_> = dc.server_ids().collect();
+    let opto_used = HashMap::new();
+    let server_used = HashMap::new();
+    let chain = fig5::green(vms[0], *vms.last().unwrap());
+
+    let mut group = c.benchmark_group("vnf_placement");
+    let placers: Vec<(&str, Box<dyn VnfPlacer>)> = vec![
+        ("electronic-only", Box::new(ElectronicOnlyPlacer::new())),
+        ("optical-first", Box::new(OpticalFirstPlacer::new())),
+        ("cost-driven", Box::new(CostDrivenPlacer::new())),
+    ];
+    for (name, placer) in placers {
+        group.bench_with_input(BenchmarkId::new(name, "fig5-green"), &chain, |b, chain| {
+            b.iter(|| {
+                let ctx = PlacementContext {
+                    dc: &dc,
+                    al: &al,
+                    opto_used: &opto_used,
+                    server_used: &server_used,
+                    servers: &servers,
+                };
+                placer
+                    .place(&ctx, black_box(chain))
+                    .expect("placement feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_oeo_counting(c: &mut Criterion) {
+    use alvc_graph::NodeId;
+    use alvc_optical::HybridPath;
+    use alvc_topology::Domain;
+    // A long alternating path stresses the conversion counter.
+    let n = 10_000;
+    let domains: Vec<Domain> = (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                Domain::Electronic
+            } else {
+                Domain::Optical
+            }
+        })
+        .collect();
+    let path = HybridPath::new((0..=n).map(NodeId).collect(), domains, n as f64);
+    c.bench_function("oeo_conversions_10k_hops", |b| {
+        b.iter(|| black_box(&path).oeo_conversions())
+    });
+}
+
+criterion_group!(benches, bench_placers, bench_oeo_counting);
+criterion_main!(benches);

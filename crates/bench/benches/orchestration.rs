@@ -1,0 +1,105 @@
+//! Criterion bench for E4/E5: end-to-end chain deployment and the flow
+//! simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use alvc_bench::Scale;
+use alvc_core::clustering::tenant_clusters;
+use alvc_core::construction::PaperGreedy;
+use alvc_nfv::chain::fig5;
+use alvc_nfv::Orchestrator;
+use alvc_optical::EnergyModel;
+use alvc_placement::OpticalFirstPlacer;
+use alvc_sim::{ChainLoad, FlowSim, FlowSizeDistribution};
+
+fn bench_deploy_teardown(c: &mut Criterion) {
+    let scale = Scale::LADDER[1];
+    let dc = scale.build(23);
+    let all_vms: Vec<_> = dc.vm_ids().collect();
+    let tenants = tenant_clusters(&all_vms, 4);
+    c.bench_function("deploy_and_teardown_chain", |b| {
+        let mut orch = Orchestrator::new();
+        b.iter(|| {
+            let spec = fig5::black(tenants[0].vms[0], *tenants[0].vms.last().unwrap());
+            let id = orch
+                .deploy_chain(
+                    black_box(&dc),
+                    "bench",
+                    tenants[0].vms.clone(),
+                    spec,
+                    &PaperGreedy::new(),
+                    &OpticalFirstPlacer::new(),
+                )
+                .expect("deployment feasible");
+            orch.teardown_chain(id).expect("chain exists");
+        })
+    });
+}
+
+fn bench_flow_sim(c: &mut Criterion) {
+    let scale = Scale::LADDER[1];
+    let dc = scale.build(23);
+    let all_vms: Vec<_> = dc.vm_ids().collect();
+    let tenants = tenant_clusters(&all_vms, 2);
+    let mut orch = Orchestrator::new();
+    let mut loads = Vec::new();
+    for t in &tenants {
+        let spec = fig5::green(t.vms[0], *t.vms.last().unwrap());
+        let id = orch
+            .deploy_chain(
+                &dc,
+                &t.label,
+                t.vms.clone(),
+                spec,
+                &PaperGreedy::new(),
+                &OpticalFirstPlacer::new(),
+            )
+            .expect("deployment feasible");
+        loads.push(ChainLoad {
+            chain: id,
+            path: orch.chain(id).unwrap().path().clone(),
+            bandwidth_gbps: 10.0,
+            arrival_rate_per_s: 10_000.0,
+            sizes: FlowSizeDistribution::dcn_default(),
+        });
+    }
+    let sim = FlowSim::new(EnergyModel::default(), loads);
+    c.bench_function("flow_sim_10ms_two_chains", |b| {
+        b.iter(|| black_box(&sim).run(0.01, 5))
+    });
+}
+
+fn bench_fair_share(c: &mut Criterion) {
+    use alvc_optical::routing::route_flow_ecmp;
+    use alvc_sim::fairshare::{simulate_fair_share, FairFlow};
+    use alvc_topology::ServerId;
+    let dc = Scale::LADDER[1].build(23);
+    let servers = dc.server_count();
+    let flows: Vec<FairFlow> = (0..200)
+        .map(|i| FairFlow {
+            arrival_s: i as f64 * 1e-4,
+            bytes: 5_000_000,
+            path: route_flow_ecmp(
+                &dc,
+                &[
+                    dc.node_of_server(ServerId(i % servers)),
+                    dc.node_of_server(ServerId((i * 7 + 3) % servers)),
+                ],
+                i as u64,
+            )
+            .expect("connected fabric"),
+        })
+        .collect();
+    c.bench_function("fair_share_200_flows", |b| {
+        b.iter(|| simulate_fair_share(black_box(&dc), black_box(&flows)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_deploy_teardown,
+    bench_flow_sim,
+    bench_fair_share
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for E7: update cost evaluation under churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alvc_bench::Scale;
+use alvc_core::construction::PaperGreedy;
+use alvc_core::{service_clusters, ChurnEvent, ClusterManager, UpdateCostModel};
+
+fn bench_update_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_cost");
+    for scale in &Scale::LADDER[1..3] {
+        let dc = scale.build_four_services(3);
+        let mut mgr = ClusterManager::new();
+        let mut first_cluster = None;
+        for spec in service_clusters(&dc) {
+            let id = mgr
+                .create_cluster(&dc, &spec.label, spec.vms, &PaperGreedy::new())
+                .expect("construction feasible");
+            first_cluster.get_or_insert(id);
+        }
+        let cluster = first_cluster.expect("at least one cluster");
+        let vm = mgr.cluster(cluster).unwrap().vms()[0];
+        let target = dc.server_ids().last().expect("servers");
+        let model = UpdateCostModel::new();
+        group.bench_with_input(
+            BenchmarkId::new("alvc_predicted", scale.name),
+            &dc,
+            |b, dc| {
+                b.iter(|| {
+                    model.alvc_cost(
+                        black_box(dc),
+                        &mgr,
+                        cluster,
+                        ChurnEvent::Migrate { vm, target },
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("flat", scale.name), &dc, |b, dc| {
+            b.iter(|| model.flat_cost(black_box(dc), ChurnEvent::Migrate { vm, target }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_cost);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E8 (claim §I + \[15\]): scalability of AL construction.
+//!
+//! Measures wall-clock construction time and AL size of the paper's greedy
+//! as the data center grows to ~10k VMs, demonstrating the claimed
+//! "flexibility and scalability".
+
+use std::time::Instant;
+
+use alvc_bench::{f2, print_table, Scale};
+use alvc_core::construction::{AlConstruct, PaperGreedy, RandomSelection};
+use alvc_core::{service_clusters, OpsAvailability};
+
+fn main() {
+    println!("E8: scalability of AL construction (claim of §I / [15])\n");
+    let mut rows = Vec::new();
+    for scale in Scale::LADDER {
+        let dc = scale.build(19);
+        let clusters = service_clusters(&dc);
+        for (name, ctor) in [
+            ("paper-greedy", &PaperGreedy::new() as &dyn AlConstruct),
+            ("random [15]", &RandomSelection::new(1)),
+        ] {
+            let start = Instant::now();
+            let mut total_ops = 0usize;
+            for c in &clusters {
+                let al = ctor
+                    .construct(&dc, &c.vms, &OpsAvailability::all())
+                    .expect("construction feasible");
+                total_ops += al.ops_count();
+            }
+            let elapsed = start.elapsed();
+            rows.push(vec![
+                scale.name.to_string(),
+                scale.vm_count().to_string(),
+                scale.ops.to_string(),
+                name.to_string(),
+                f2(total_ops as f64 / clusters.len() as f64),
+                f2(elapsed.as_secs_f64() * 1e3 / clusters.len() as f64),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "scale",
+            "VMs",
+            "OPSs",
+            "constructor",
+            "mean |AL|",
+            "ms/cluster",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper's expectation: construction stays sub-second per cluster at 10k VMs\n\
+         (the greedy is near-linear in the bipartite graph size), and the greedy's AL\n\
+         size advantage over random selection persists at every scale."
+    );
+}

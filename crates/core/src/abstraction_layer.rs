@@ -1,0 +1,367 @@
+//! The abstraction layer type and its validation.
+
+use std::collections::HashSet;
+
+use alvc_graph::traversal;
+use alvc_graph::NodeId;
+use alvc_topology::{DataCenter, OpsId, TorId, VmId};
+use serde::{Deserialize, Serialize};
+
+use crate::error::AlValidationError;
+
+/// An abstraction layer: the ToRs selected to reach a cluster's VMs and the
+/// OPSs selected to connect those ToRs (§III.C, Fig. 4).
+///
+/// The OPS set is "the AL" in the paper's terminology; the ToR set records
+/// which ToRs the construction pass chose to cover the machines, which the
+/// NFV layer needs to route flows into the slice.
+///
+/// Invariants are *not* enforced on construction — a constructor builds the
+/// layer and [`AbstractionLayer::validate`] checks it, so experiments can
+/// also measure how often a (random) baseline produces invalid layers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbstractionLayer {
+    tors: Vec<TorId>,
+    ops: Vec<OpsId>,
+}
+
+impl AbstractionLayer {
+    /// Creates a layer from selected ToRs and OPSs (deduplicated, sorted).
+    pub fn new(mut tors: Vec<TorId>, mut ops: Vec<OpsId>) -> Self {
+        tors.sort();
+        tors.dedup();
+        ops.sort();
+        ops.dedup();
+        AbstractionLayer { tors, ops }
+    }
+
+    /// The selected ToR switches, sorted.
+    pub fn tors(&self) -> &[TorId] {
+        &self.tors
+    }
+
+    /// The selected OPSs (the abstraction layer proper), sorted.
+    pub fn ops(&self) -> &[OpsId] {
+        &self.ops
+    }
+
+    /// Number of OPSs in the layer — the quantity the paper minimizes.
+    pub fn ops_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of selected ToRs.
+    pub fn tor_count(&self) -> usize {
+        self.tors.len()
+    }
+
+    /// Total switches (ToRs + OPSs) the layer occupies.
+    pub fn switch_count(&self) -> usize {
+        self.tors.len() + self.ops.len()
+    }
+
+    /// Returns `true` if `ops` belongs to this layer.
+    pub fn contains_ops(&self, ops: OpsId) -> bool {
+        self.ops.binary_search(&ops).is_ok()
+    }
+
+    /// Returns `true` if `tor` belongs to this layer.
+    pub fn contains_tor(&self, tor: TorId) -> bool {
+        self.tors.binary_search(&tor).is_ok()
+    }
+
+    /// Adds an OPS (keeps the set sorted/deduplicated). Used by the
+    /// connectivity augmentation pass.
+    pub fn insert_ops(&mut self, ops: OpsId) {
+        if let Err(pos) = self.ops.binary_search(&ops) {
+            self.ops.insert(pos, ops);
+        }
+    }
+
+    /// Checks that every VM in `vms` is served by at least one selected
+    /// ToR.
+    pub fn covers_vms(&self, dc: &DataCenter, vms: &[VmId]) -> Result<(), AlValidationError> {
+        for &vm in vms {
+            let covered = dc.tors_of_vm(vm).iter().any(|&t| self.contains_tor(t));
+            if !covered {
+                return Err(AlValidationError::VmNotCovered(vm));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that every selected ToR is adjacent to at least one selected
+    /// OPS.
+    pub fn covers_tors(&self, dc: &DataCenter) -> Result<(), AlValidationError> {
+        for &tor in &self.tors {
+            let covered = dc.ops_of_tor(tor).iter().any(|&o| self.contains_ops(o));
+            if !covered {
+                return Err(AlValidationError::TorNotCovered(tor));
+            }
+        }
+        Ok(())
+    }
+
+    /// The physical graph nodes of the layer (selected ToRs and OPSs).
+    pub fn switch_nodes(&self, dc: &DataCenter) -> Vec<NodeId> {
+        self.tors
+            .iter()
+            .map(|&t| dc.node_of_tor(t))
+            .chain(self.ops.iter().map(|&o| dc.node_of_ops(o)))
+            .collect()
+    }
+
+    /// Checks that the layer's switches form one connected component of the
+    /// physical graph (traffic between any two cluster VMs can stay inside
+    /// the layer).
+    pub fn is_connected(&self, dc: &DataCenter) -> bool {
+        let nodes = self.switch_nodes(dc);
+        let allowed: HashSet<NodeId> = nodes.iter().copied().collect();
+        traversal::connected_within(dc.graph(), &nodes, |n| allowed.contains(&n))
+    }
+
+    /// Returns `true` if the layer remains fully valid after removing
+    /// *any single* OPS — the survivability property that
+    /// [`crate::construction::RedundantGreedy`] with `r = 2` aims for
+    /// (coverage is guaranteed by construction; connectivity of the
+    /// shrunken layer is what this additionally checks).
+    ///
+    /// An empty layer trivially survives. Quadratic in layer size.
+    pub fn survives_single_failure(&self, dc: &DataCenter, vms: &[VmId]) -> bool {
+        self.ops.iter().all(|&victim| {
+            let shrunk = AbstractionLayer::new(
+                self.tors.clone(),
+                self.ops.iter().copied().filter(|&o| o != victim).collect(),
+            );
+            shrunk.validate(dc, vms).is_ok()
+        })
+    }
+
+    /// The OPSs whose individual loss would break the layer (coverage or
+    /// connectivity) — its single points of failure. Empty for layers
+    /// built by [`crate::construction::RedundantGreedy`] with `r ≥ 2` on
+    /// well-connected cores. Quadratic in layer size.
+    pub fn critical_ops(&self, dc: &DataCenter, vms: &[VmId]) -> Vec<OpsId> {
+        self.ops
+            .iter()
+            .copied()
+            .filter(|&victim| {
+                let shrunk = AbstractionLayer::new(
+                    self.tors.clone(),
+                    self.ops.iter().copied().filter(|&o| o != victim).collect(),
+                );
+                shrunk.validate(dc, vms).is_err()
+            })
+            .collect()
+    }
+
+    /// Full validation: OPS existence, VM coverage, ToR coverage, and
+    /// connectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated property.
+    pub fn validate(&self, dc: &DataCenter, vms: &[VmId]) -> Result<(), AlValidationError> {
+        for &o in &self.ops {
+            if o.index() >= dc.ops_count() {
+                return Err(AlValidationError::UnknownOps(o));
+            }
+        }
+        self.covers_vms(dc, vms)?;
+        self.covers_tors(dc)?;
+        if !self.is_connected(dc) {
+            return Err(AlValidationError::NotConnected);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alvc_topology::ServiceType;
+
+    /// tor0 -> {ops0, ops1}, tor1 -> {ops1, ops2}; one server+VM per rack.
+    fn dc_two_racks() -> DataCenter {
+        let mut dc = DataCenter::new();
+        let (r0, t0) = dc.add_rack();
+        let (r1, t1) = dc.add_rack();
+        let s0 = dc.add_server(r0);
+        let s1 = dc.add_server(r1);
+        dc.add_vm(s0, ServiceType::WebService);
+        dc.add_vm(s1, ServiceType::WebService);
+        let o0 = dc.add_ops(None);
+        let o1 = dc.add_ops(None);
+        let o2 = dc.add_ops(None);
+        dc.connect_tor_ops(t0, o0);
+        dc.connect_tor_ops(t0, o1);
+        dc.connect_tor_ops(t1, o1);
+        dc.connect_tor_ops(t1, o2);
+        dc
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let al = AbstractionLayer::new(
+            vec![TorId(1), TorId(0), TorId(1)],
+            vec![OpsId(2), OpsId(2), OpsId(0)],
+        );
+        assert_eq!(al.tors(), &[TorId(0), TorId(1)]);
+        assert_eq!(al.ops(), &[OpsId(0), OpsId(2)]);
+        assert_eq!(al.switch_count(), 4);
+    }
+
+    #[test]
+    fn valid_layer_passes() {
+        let dc = dc_two_racks();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        // ops1 alone connects both ToRs.
+        let al = AbstractionLayer::new(vec![TorId(0), TorId(1)], vec![OpsId(1)]);
+        assert!(al.validate(&dc, &vms).is_ok());
+        assert_eq!(al.ops_count(), 1);
+    }
+
+    #[test]
+    fn uncovered_vm_detected() {
+        let dc = dc_two_racks();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let al = AbstractionLayer::new(vec![TorId(0)], vec![OpsId(0)]);
+        assert_eq!(
+            al.validate(&dc, &vms),
+            Err(AlValidationError::VmNotCovered(VmId(1)))
+        );
+    }
+
+    #[test]
+    fn uncovered_tor_detected() {
+        let dc = dc_two_racks();
+        let vms = vec![VmId(0)];
+        // tor0 selected but only ops2 (not adjacent to tor0).
+        let al = AbstractionLayer::new(vec![TorId(0)], vec![OpsId(2)]);
+        assert_eq!(
+            al.validate(&dc, &vms),
+            Err(AlValidationError::TorNotCovered(TorId(0)))
+        );
+    }
+
+    #[test]
+    fn disconnected_layer_detected() {
+        let dc = dc_two_racks();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        // Covers: tor0 via ops0, tor1 via ops2 — but {tor0,ops0} and
+        // {tor1,ops2} are separate components.
+        let al = AbstractionLayer::new(vec![TorId(0), TorId(1)], vec![OpsId(0), OpsId(2)]);
+        assert!(al.covers_vms(&dc, &vms).is_ok());
+        assert!(al.covers_tors(&dc).is_ok());
+        assert!(!al.is_connected(&dc));
+        assert_eq!(al.validate(&dc, &vms), Err(AlValidationError::NotConnected));
+    }
+
+    #[test]
+    fn unknown_ops_detected() {
+        let dc = dc_two_racks();
+        let al = AbstractionLayer::new(vec![TorId(0)], vec![OpsId(42)]);
+        assert_eq!(
+            al.validate(&dc, &[]),
+            Err(AlValidationError::UnknownOps(OpsId(42)))
+        );
+    }
+
+    #[test]
+    fn insert_ops_keeps_sorted() {
+        let mut al = AbstractionLayer::new(vec![], vec![OpsId(0), OpsId(2)]);
+        al.insert_ops(OpsId(1));
+        al.insert_ops(OpsId(1));
+        assert_eq!(al.ops(), &[OpsId(0), OpsId(1), OpsId(2)]);
+    }
+
+    #[test]
+    fn empty_layer_is_connected_and_covers_nothing() {
+        let dc = dc_two_racks();
+        let al = AbstractionLayer::default();
+        assert!(al.is_connected(&dc));
+        assert!(al.validate(&dc, &[]).is_ok());
+        assert!(al.validate(&dc, &[VmId(0)]).is_err());
+    }
+
+    #[test]
+    fn ops_sharing_tor_are_connected() {
+        let dc = dc_two_racks();
+        // ops0 and ops1 share tor0 → connected through it.
+        let al = AbstractionLayer::new(vec![TorId(0)], vec![OpsId(0), OpsId(1)]);
+        assert!(al.is_connected(&dc));
+    }
+}
+
+#[cfg(test)]
+mod survivability_tests {
+    use super::*;
+    use crate::construction::{AlConstruct, PaperGreedy, RedundantGreedy};
+    use crate::OpsAvailability;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect};
+
+    fn dc() -> DataCenter {
+        AlvcTopologyBuilder::new()
+            .racks(8)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(20)
+            .tor_ops_degree(4)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(91)
+            .build()
+    }
+
+    #[test]
+    fn r2_layers_survive_single_failures() {
+        let dc = dc();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let al = RedundantGreedy::new(2)
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        assert!(al.survives_single_failure(&dc, &vms));
+    }
+
+    #[test]
+    fn minimum_layers_do_not_survive() {
+        let dc = dc();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let al = PaperGreedy::new()
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        // A greedy-minimum layer has at least one OPS that uniquely covers
+        // some ToR, so it cannot survive every single failure (unless the
+        // layer is larger than strictly needed due to augmentation).
+        if al.ops_count() > 1 {
+            assert!(!al.survives_single_failure(&dc, &vms));
+        }
+    }
+
+    #[test]
+    fn empty_layer_trivially_survives() {
+        let dc = dc();
+        assert!(AbstractionLayer::default().survives_single_failure(&dc, &[]));
+    }
+
+    #[test]
+    fn critical_ops_consistent_with_survivability() {
+        let dc = dc();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        for ctor in [
+            &PaperGreedy::new() as &dyn AlConstruct,
+            &RedundantGreedy::new(2),
+        ] {
+            let al = ctor.construct(&dc, &vms, &OpsAvailability::all()).unwrap();
+            let critical = al.critical_ops(&dc, &vms);
+            assert_eq!(
+                critical.is_empty(),
+                al.survives_single_failure(&dc, &vms),
+                "{}",
+                ctor.name()
+            );
+            for o in &critical {
+                assert!(al.contains_ops(*o));
+            }
+        }
+    }
+}

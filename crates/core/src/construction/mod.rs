@@ -1,0 +1,510 @@
+//! Abstraction layer construction algorithms (§III.C, Fig. 4).
+//!
+//! The paper's procedure has two covering stages:
+//!
+//! 1. **ToR selection** — "draw a bipartite graph that connects all the VMs
+//!    to ToRs and select the minimum set of vertices", done greedily by
+//!    "maximum incoming and outgoing connections" (incoming = machine links,
+//!    outgoing = OPS uplinks);
+//! 2. **OPS selection** — "using the maximum-weighted algorithm, we select
+//!    the OPSs against the selected ToRs … this set of OPSs will be declared
+//!    as the final AL".
+//!
+//! This module implements that pipeline ([`PaperGreedy`]), the random
+//! baseline of the authors' prior work \[15\] ([`RandomSelection`]), an
+//! exact branch-and-bound variant ([`ExactCover`]) quantifying how close the
+//! greedy comes to the true minimum, and a non-adaptive static-degree
+//! ablation ([`StaticDegreeGreedy`]).
+//!
+//! All constructors finish with a **connectivity augmentation** pass: cover
+//! feasibility alone does not make the selected switches one connected
+//! component (the paper assumes it implicitly), so if the layer is
+//! disconnected we grow it along shortest OPS paths until it is, or fail
+//! with [`ConstructionError::Disconnected`].
+
+mod cost_aware;
+mod exact;
+mod paper;
+mod random;
+mod redundant;
+mod static_degree;
+
+pub use cost_aware::CostAwareGreedy;
+pub use exact::ExactCover;
+pub use paper::PaperGreedy;
+pub use random::RandomSelection;
+pub use redundant::RedundantGreedy;
+pub use static_degree::StaticDegreeGreedy;
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use alvc_graph::NodeId;
+use alvc_topology::{DataCenter, OpsId, TorId, VmId};
+
+use crate::abstraction_layer::AbstractionLayer;
+use crate::error::ConstructionError;
+
+/// Which OPSs a constructor may use. Enforces the paper's rule that "one
+/// OPS cannot be part of two ALs at the same time": OPSs already owned by
+/// another cluster are blocked.
+///
+/// # Example
+///
+/// ```
+/// use alvc_core::OpsAvailability;
+/// use alvc_topology::OpsId;
+///
+/// let mut avail = OpsAvailability::all();
+/// assert!(avail.is_available(OpsId(0)));
+/// avail.block(OpsId(0));
+/// assert!(!avail.is_available(OpsId(0)));
+/// avail.release(OpsId(0));
+/// assert!(avail.is_available(OpsId(0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpsAvailability {
+    blocked: HashSet<OpsId>,
+}
+
+impl OpsAvailability {
+    /// Everything available.
+    pub fn all() -> Self {
+        OpsAvailability::default()
+    }
+
+    /// Everything available except the given OPSs.
+    pub fn with_blocked(blocked: impl IntoIterator<Item = OpsId>) -> Self {
+        OpsAvailability {
+            blocked: blocked.into_iter().collect(),
+        }
+    }
+
+    /// Marks `ops` as owned by some AL.
+    pub fn block(&mut self, ops: OpsId) {
+        self.blocked.insert(ops);
+    }
+
+    /// Releases `ops` back to the pool.
+    pub fn release(&mut self, ops: OpsId) {
+        self.blocked.remove(&ops);
+    }
+
+    /// Returns `true` if `ops` may be used.
+    pub fn is_available(&self, ops: OpsId) -> bool {
+        !self.blocked.contains(&ops)
+    }
+
+    /// Number of blocked OPSs.
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.len()
+    }
+}
+
+/// An abstraction layer construction algorithm.
+///
+/// Implementations must be deterministic for a given input (randomized
+/// algorithms derive their RNG from a configured seed), so experiments are
+/// reproducible.
+pub trait AlConstruct {
+    /// Short identifier used in reports ("paper-greedy", "random", …).
+    fn name(&self) -> &'static str;
+
+    /// Builds an abstraction layer for the cluster `vms` of `dc`, using
+    /// only OPSs allowed by `available`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConstructionError`]; in particular constructors fail rather
+    /// than return a layer that does not cover or connect the cluster.
+    fn construct(
+        &self,
+        dc: &DataCenter,
+        vms: &[VmId],
+        available: &OpsAvailability,
+    ) -> Result<AbstractionLayer, ConstructionError>;
+}
+
+// ----- shared pipeline pieces used by the concrete constructors -----------
+
+/// Greedy ToR selection: repeatedly pick the ToR covering the most
+/// still-uncovered VMs; ties break toward the ToR with more OPS uplinks
+/// (the paper's "incoming and outgoing connections" weight), then the lower
+/// id.
+pub(crate) fn select_tors_greedy(
+    dc: &DataCenter,
+    vms: &[VmId],
+) -> Result<Vec<TorId>, ConstructionError> {
+    if vms.is_empty() {
+        return Err(ConstructionError::EmptyCluster);
+    }
+    // vm -> candidate ToRs; tor -> member VMs it can cover.
+    let mut tor_vms: HashMap<TorId, Vec<usize>> = HashMap::new();
+    for (i, &vm) in vms.iter().enumerate() {
+        let tors = dc.tors_of_vm(vm);
+        if tors.is_empty() {
+            return Err(ConstructionError::UncoverableVm(vm));
+        }
+        for &t in tors {
+            tor_vms.entry(t).or_default().push(i);
+        }
+    }
+    let mut covered = vec![false; vms.len()];
+    let mut n_covered = 0;
+    let mut selected = Vec::new();
+    let mut used: HashSet<TorId> = HashSet::new();
+    while n_covered < vms.len() {
+        let mut best: Option<(usize, usize, TorId)> = None; // (gain, out_degree, tor)
+        for (&tor, members) in &tor_vms {
+            if used.contains(&tor) {
+                continue;
+            }
+            let gain = members.iter().filter(|&&i| !covered[i]).count();
+            if gain == 0 {
+                continue;
+            }
+            let out_degree = dc.ops_of_tor(tor).len();
+            let candidate = (gain, out_degree, tor);
+            best = Some(match best {
+                None => candidate,
+                Some(cur) => {
+                    // Higher gain, then higher out-degree, then lower id.
+                    if (candidate.0, candidate.1, std::cmp::Reverse(candidate.2))
+                        > (cur.0, cur.1, std::cmp::Reverse(cur.2))
+                    {
+                        candidate
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        let Some((_, _, tor)) = best else {
+            // Some VM remains uncovered by any unused ToR — only possible
+            // if coverage is impossible (we never skip useful ToRs).
+            let vm = vms[covered
+                .iter()
+                .position(|&c| !c)
+                .expect("uncovered vm exists")];
+            return Err(ConstructionError::UncoverableVm(vm));
+        };
+        used.insert(tor);
+        selected.push(tor);
+        for &i in &tor_vms[&tor] {
+            if !covered[i] {
+                covered[i] = true;
+                n_covered += 1;
+            }
+        }
+    }
+    selected.sort();
+    Ok(selected)
+}
+
+/// Greedy OPS selection over the selected ToRs, restricted to available
+/// OPSs: repeatedly pick the available OPS covering the most uncovered
+/// ToRs; ties break toward the OPS with more ToR links, then the lower id.
+pub(crate) fn select_ops_greedy(
+    dc: &DataCenter,
+    tors: &[TorId],
+    available: &OpsAvailability,
+) -> Result<Vec<OpsId>, ConstructionError> {
+    let mut ops_tors: HashMap<OpsId, Vec<usize>> = HashMap::new();
+    for (i, &tor) in tors.iter().enumerate() {
+        let mut any = false;
+        for ops in dc.ops_of_tor(tor) {
+            if available.is_available(ops) {
+                ops_tors.entry(ops).or_default().push(i);
+                any = true;
+            }
+        }
+        if !any {
+            return Err(ConstructionError::UncoverableTor(tor));
+        }
+    }
+    let mut covered = vec![false; tors.len()];
+    let mut n_covered = 0;
+    let mut selected = Vec::new();
+    let mut used: HashSet<OpsId> = HashSet::new();
+    while n_covered < tors.len() {
+        let mut best: Option<(usize, usize, OpsId)> = None;
+        for (&ops, members) in &ops_tors {
+            if used.contains(&ops) {
+                continue;
+            }
+            let gain = members.iter().filter(|&&i| !covered[i]).count();
+            if gain == 0 {
+                continue;
+            }
+            let degree = dc.tors_of_ops(ops).len();
+            let candidate = (gain, degree, ops);
+            best = Some(match best {
+                None => candidate,
+                Some(cur) => {
+                    if (candidate.0, candidate.1, std::cmp::Reverse(candidate.2))
+                        > (cur.0, cur.1, std::cmp::Reverse(cur.2))
+                    {
+                        candidate
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        let Some((_, _, ops)) = best else {
+            let tor = tors[covered
+                .iter()
+                .position(|&c| !c)
+                .expect("uncovered tor exists")];
+            return Err(ConstructionError::UncoverableTor(tor));
+        };
+        used.insert(ops);
+        selected.push(ops);
+        for &i in &ops_tors[&ops] {
+            if !covered[i] {
+                covered[i] = true;
+                n_covered += 1;
+            }
+        }
+    }
+    selected.sort();
+    Ok(selected)
+}
+
+/// Connectivity augmentation: while the layer's switches form more than one
+/// component, BFS from the first component through available (non-member)
+/// OPSs to reach another component, and absorb the OPSs on that path.
+///
+/// # Errors
+///
+/// [`ConstructionError::Disconnected`] if no such path exists.
+pub(crate) fn ensure_connected(
+    dc: &DataCenter,
+    mut al: AbstractionLayer,
+    available: &OpsAvailability,
+) -> Result<AbstractionLayer, ConstructionError> {
+    loop {
+        if al.is_connected(dc) {
+            return Ok(al);
+        }
+        // Label the current components of the AL-induced subgraph.
+        let members: Vec<NodeId> = al.switch_nodes(dc);
+        let member_set: HashSet<NodeId> = members.iter().copied().collect();
+        let mut component: HashMap<NodeId, usize> = HashMap::new();
+        let mut n_components = 0;
+        for &start in &members {
+            if component.contains_key(&start) {
+                continue;
+            }
+            let label = n_components;
+            n_components += 1;
+            let mut queue = VecDeque::from([start]);
+            component.insert(start, label);
+            while let Some(u) = queue.pop_front() {
+                for v in dc.graph().neighbors(u) {
+                    if member_set.contains(&v) && !component.contains_key(&v) {
+                        component.insert(v, label);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        debug_assert!(n_components > 1);
+
+        // BFS from component 0 through walkable nodes: members or available
+        // OPSs not yet in the layer. Stop at the first node of a different
+        // component.
+        let walkable = |n: NodeId| -> bool {
+            if member_set.contains(&n) {
+                return true;
+            }
+            match dc.graph().node_weight(n) {
+                Some(alvc_topology::PhysNode::Ops { id, .. }) => available.is_available(*id),
+                _ => false,
+            }
+        };
+        let sources: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|n| component[n] == 0)
+            .collect();
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut visited: HashSet<NodeId> = sources.iter().copied().collect();
+        let mut queue: VecDeque<NodeId> = sources.into_iter().collect();
+        let mut reached: Option<NodeId> = None;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for v in dc.graph().neighbors(u) {
+                if visited.contains(&v) || !walkable(v) {
+                    continue;
+                }
+                visited.insert(v);
+                prev.insert(v, u);
+                if component.get(&v).copied().unwrap_or(0) != 0 && member_set.contains(&v) {
+                    reached = Some(v);
+                    break 'bfs;
+                }
+                queue.push_back(v);
+            }
+        }
+        let Some(mut cur) = reached else {
+            return Err(ConstructionError::Disconnected);
+        };
+        // Absorb the OPSs on the connecting path.
+        let mut absorbed = false;
+        while let Some(&p) = prev.get(&cur) {
+            if !member_set.contains(&cur) {
+                if let Some(alvc_topology::PhysNode::Ops { id, .. }) = dc.graph().node_weight(cur) {
+                    al.insert_ops(*id);
+                    absorbed = true;
+                }
+            }
+            cur = p;
+        }
+        if !absorbed {
+            // The path used only existing members yet components differ —
+            // cannot happen, but guard against infinite loops.
+            return Err(ConstructionError::Disconnected);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceType};
+
+    fn line_core_dc() -> DataCenter {
+        // tor0-ops0, tor1-ops2; ops0-ops1-ops2 chain. Covers need ops0+ops2,
+        // connectivity needs ops1.
+        let mut dc = DataCenter::new();
+        let (r0, t0) = dc.add_rack();
+        let (r1, t1) = dc.add_rack();
+        for r in [r0, r1] {
+            let s = dc.add_server(r);
+            dc.add_vm(s, ServiceType::WebService);
+        }
+        let o0 = dc.add_ops(None);
+        let o1 = dc.add_ops(None);
+        let o2 = dc.add_ops(None);
+        dc.connect_tor_ops(t0, o0);
+        dc.connect_tor_ops(t1, o2);
+        dc.connect_ops_ops(o0, o1);
+        dc.connect_ops_ops(o1, o2);
+        dc
+    }
+
+    #[test]
+    fn availability_blocks_and_releases() {
+        let mut a = OpsAvailability::with_blocked([OpsId(1)]);
+        assert!(!a.is_available(OpsId(1)));
+        assert!(a.is_available(OpsId(0)));
+        assert_eq!(a.blocked_count(), 1);
+        a.release(OpsId(1));
+        assert!(a.is_available(OpsId(1)));
+    }
+
+    #[test]
+    fn select_tors_greedy_covers_all_vms() {
+        let dc = AlvcTopologyBuilder::new().racks(6).seed(3).build();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let tors = select_tors_greedy(&dc, &vms).unwrap();
+        // Single-homed servers: every rack hosting VMs must appear.
+        assert_eq!(tors.len(), 6);
+    }
+
+    #[test]
+    fn select_tors_greedy_exploits_dual_homing() {
+        // Two racks; server in rack1 dual-homed to tor0 → tor0 covers all.
+        let mut dc = DataCenter::new();
+        let (r0, _t0) = dc.add_rack();
+        let (r1, _t1) = dc.add_rack();
+        let s0 = dc.add_server(r0);
+        let s1 = dc.add_server(r1);
+        dc.add_vm(s0, ServiceType::WebService);
+        dc.add_vm(s1, ServiceType::WebService);
+        dc.add_access_link(s1, TorId(0));
+        let tors = select_tors_greedy(&dc, &dc.vm_ids().collect::<Vec<_>>()).unwrap();
+        assert_eq!(tors, vec![TorId(0)]);
+    }
+
+    #[test]
+    fn select_tors_empty_cluster_rejected() {
+        let dc = AlvcTopologyBuilder::new().seed(0).build();
+        assert_eq!(
+            select_tors_greedy(&dc, &[]),
+            Err(ConstructionError::EmptyCluster)
+        );
+    }
+
+    #[test]
+    fn select_ops_greedy_minimizes_on_shared_switch() {
+        // tor0,tor1 both see ops1 → one OPS suffices.
+        let mut dc = DataCenter::new();
+        let (_, t0) = dc.add_rack();
+        let (_, t1) = dc.add_rack();
+        let o0 = dc.add_ops(None);
+        let o1 = dc.add_ops(None);
+        let o2 = dc.add_ops(None);
+        dc.connect_tor_ops(t0, o0);
+        dc.connect_tor_ops(t0, o1);
+        dc.connect_tor_ops(t1, o1);
+        dc.connect_tor_ops(t1, o2);
+        let ops = select_ops_greedy(&dc, &[t0, t1], &OpsAvailability::all()).unwrap();
+        assert_eq!(ops, vec![o1]);
+    }
+
+    #[test]
+    fn select_ops_respects_availability() {
+        let mut dc = DataCenter::new();
+        let (_, t0) = dc.add_rack();
+        let o0 = dc.add_ops(None);
+        let o1 = dc.add_ops(None);
+        dc.connect_tor_ops(t0, o0);
+        dc.connect_tor_ops(t0, o1);
+        let avail = OpsAvailability::with_blocked([o0]);
+        let ops = select_ops_greedy(&dc, &[t0], &avail).unwrap();
+        assert_eq!(ops, vec![o1]);
+        let none = OpsAvailability::with_blocked([o0, o1]);
+        assert_eq!(
+            select_ops_greedy(&dc, &[t0], &none),
+            Err(ConstructionError::UncoverableTor(t0))
+        );
+    }
+
+    #[test]
+    fn ensure_connected_absorbs_bridge_ops() {
+        let dc = line_core_dc();
+        let al = AbstractionLayer::new(vec![TorId(0), TorId(1)], vec![OpsId(0), OpsId(2)]);
+        assert!(!al.is_connected(&dc));
+        let fixed = ensure_connected(&dc, al, &OpsAvailability::all()).unwrap();
+        assert!(fixed.is_connected(&dc));
+        assert!(fixed.contains_ops(OpsId(1)));
+        assert_eq!(fixed.ops_count(), 3);
+    }
+
+    #[test]
+    fn ensure_connected_fails_when_bridge_blocked() {
+        let dc = line_core_dc();
+        let al = AbstractionLayer::new(vec![TorId(0), TorId(1)], vec![OpsId(0), OpsId(2)]);
+        let avail = OpsAvailability::with_blocked([OpsId(1)]);
+        assert_eq!(
+            ensure_connected(&dc, al, &avail),
+            Err(ConstructionError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn ensure_connected_noop_when_connected() {
+        let dc = AlvcTopologyBuilder::new()
+            .interconnect(OpsInterconnect::Ring)
+            .seed(1)
+            .build();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let tors = select_tors_greedy(&dc, &vms).unwrap();
+        let ops = select_ops_greedy(&dc, &tors, &OpsAvailability::all()).unwrap();
+        let al = AbstractionLayer::new(tors, ops.clone());
+        if al.is_connected(&dc) {
+            let same = ensure_connected(&dc, al.clone(), &OpsAvailability::all()).unwrap();
+            assert_eq!(same, al);
+        }
+    }
+}

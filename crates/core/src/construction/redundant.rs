@@ -1,0 +1,249 @@
+//! Redundant abstraction layers: r-fold ToR coverage.
+//!
+//! The paper's minimum AL is fragile: every selected OPS is a single point
+//! of failure for the ToRs only it covers. This extension requires each
+//! selected ToR to be covered by at least `r` distinct OPSs of the layer,
+//! so any `r - 1` OPS failures leave the cover intact and repair reduces
+//! to *shrinking* the layer instead of rebuilding it (see
+//! [`crate::ClusterManager::fail_ops`]'s shrink-first path and experiment
+//! E9).
+
+use std::collections::{HashMap, HashSet};
+
+use alvc_topology::{DataCenter, OpsId, VmId};
+
+use crate::abstraction_layer::AbstractionLayer;
+use crate::construction::{ensure_connected, select_tors_greedy, AlConstruct, OpsAvailability};
+use crate::error::ConstructionError;
+
+/// Greedy construction of an `r`-redundant AL: ToR selection as in
+/// [`crate::construction::PaperGreedy`], then greedy multicover — each
+/// round picks the available OPS covering the most ToRs that still need
+/// more copies, until every ToR has `r` distinct covering OPSs.
+///
+/// With `r = 1` this is the paper's algorithm. The price of `r = 2` is
+/// roughly a doubled AL; the payoff is measured in E9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundantGreedy {
+    r: usize,
+}
+
+impl RedundantGreedy {
+    /// Creates the constructor with redundancy factor `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn new(r: usize) -> Self {
+        assert!(r > 0, "redundancy factor must be at least 1");
+        RedundantGreedy { r }
+    }
+
+    /// The redundancy factor.
+    pub fn redundancy(&self) -> usize {
+        self.r
+    }
+}
+
+impl Default for RedundantGreedy {
+    /// Double coverage.
+    fn default() -> Self {
+        RedundantGreedy::new(2)
+    }
+}
+
+impl AlConstruct for RedundantGreedy {
+    fn name(&self) -> &'static str {
+        "redundant-greedy"
+    }
+
+    fn construct(
+        &self,
+        dc: &DataCenter,
+        vms: &[VmId],
+        available: &OpsAvailability,
+    ) -> Result<AbstractionLayer, ConstructionError> {
+        let tors = select_tors_greedy(dc, vms)?;
+
+        // need[i] = copies still required for tors[i].
+        let mut need: Vec<usize> = vec![self.r; tors.len()];
+        let mut ops_cover: HashMap<OpsId, Vec<usize>> = HashMap::new();
+        for (i, &tor) in tors.iter().enumerate() {
+            let candidates: Vec<OpsId> = dc
+                .ops_of_tor(tor)
+                .into_iter()
+                .filter(|&o| available.is_available(o))
+                .collect();
+            if candidates.is_empty() {
+                return Err(ConstructionError::UncoverableTor(tor));
+            }
+            // A ToR cannot get more copies than it has available uplinks.
+            need[i] = need[i].min(candidates.len());
+            for o in candidates {
+                ops_cover.entry(o).or_default().push(i);
+            }
+        }
+
+        let mut selected: HashSet<OpsId> = HashSet::new();
+        while need.iter().any(|&n| n > 0) {
+            let mut best: Option<(usize, usize, OpsId)> = None;
+            for (&ops, members) in &ops_cover {
+                if selected.contains(&ops) {
+                    continue;
+                }
+                let gain = members.iter().filter(|&&i| need[i] > 0).count();
+                if gain == 0 {
+                    continue;
+                }
+                let degree = dc.tors_of_ops(ops).len();
+                let candidate = (gain, degree, ops);
+                best = Some(match best {
+                    None => candidate,
+                    Some(cur) => {
+                        if (candidate.0, candidate.1, std::cmp::Reverse(candidate.2))
+                            > (cur.0, cur.1, std::cmp::Reverse(cur.2))
+                        {
+                            candidate
+                        } else {
+                            cur
+                        }
+                    }
+                });
+            }
+            let Some((_, _, ops)) = best else {
+                let i = need.iter().position(|&n| n > 0).expect("unmet need");
+                return Err(ConstructionError::UncoverableTor(tors[i]));
+            };
+            selected.insert(ops);
+            for &i in &ops_cover[&ops] {
+                need[i] = need[i].saturating_sub(1);
+            }
+        }
+
+        let ops: Vec<OpsId> = selected.into_iter().collect();
+        ensure_connected(dc, AbstractionLayer::new(tors, ops), available)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::PaperGreedy;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect};
+
+    fn dc() -> DataCenter {
+        AlvcTopologyBuilder::new()
+            .racks(8)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(20)
+            .tor_ops_degree(4)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(71)
+            .build()
+    }
+
+    /// Copies of coverage each selected ToR enjoys.
+    fn min_coverage(dc: &DataCenter, al: &AbstractionLayer) -> usize {
+        al.tors()
+            .iter()
+            .map(|&t| {
+                dc.ops_of_tor(t)
+                    .into_iter()
+                    .filter(|&o| al.contains_ops(o))
+                    .count()
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn r1_matches_the_covering_objective() {
+        let dc = dc();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let r1 = RedundantGreedy::new(1)
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        assert!(r1.validate(&dc, &vms).is_ok());
+        assert!(min_coverage(&dc, &r1) >= 1);
+        let paper = PaperGreedy::new()
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        assert_eq!(r1.ops_count(), paper.ops_count());
+    }
+
+    #[test]
+    fn r2_doubles_coverage() {
+        let dc = dc();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let r2 = RedundantGreedy::new(2)
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        assert!(r2.validate(&dc, &vms).is_ok());
+        assert!(
+            min_coverage(&dc, &r2) >= 2,
+            "coverage {}",
+            min_coverage(&dc, &r2)
+        );
+        let r1 = RedundantGreedy::new(1)
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        assert!(r2.ops_count() > r1.ops_count());
+    }
+
+    #[test]
+    fn r2_survives_any_single_ops_loss() {
+        let dc = dc();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let r2 = RedundantGreedy::new(2)
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        for &victim in r2.ops() {
+            let survivors: Vec<OpsId> = r2.ops().iter().copied().filter(|&o| o != victim).collect();
+            let shrunk = AbstractionLayer::new(r2.tors().to_vec(), survivors);
+            assert!(
+                shrunk.covers_vms(&dc, &vms).is_ok() && shrunk.covers_tors(&dc).is_ok(),
+                "coverage must survive losing {victim}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_r_clamps_to_uplink_count() {
+        // r larger than any ToR's degree still succeeds (clamped per ToR).
+        let dc = dc();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let r9 = RedundantGreedy::new(9)
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        assert!(r9.validate(&dc, &vms).is_ok());
+        assert_eq!(min_coverage(&dc, &r9), 4, "clamped at ToR degree");
+    }
+
+    #[test]
+    fn respects_availability() {
+        let dc = dc();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let free = RedundantGreedy::new(2)
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        let avail = OpsAvailability::with_blocked(free.ops().iter().copied());
+        if let Ok(second) = RedundantGreedy::new(2).construct(&dc, &vms, &avail) {
+            for o in second.ops() {
+                assert!(avail.is_available(*o));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_redundancy_rejected() {
+        RedundantGreedy::new(0);
+    }
+
+    #[test]
+    fn name_and_accessor() {
+        assert_eq!(RedundantGreedy::default().name(), "redundant-greedy");
+        assert_eq!(RedundantGreedy::default().redundancy(), 2);
+    }
+}

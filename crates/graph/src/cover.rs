@@ -1,0 +1,621 @@
+//! Covering problems: minimum vertex cover and set cover.
+//!
+//! The AL-VC paper frames abstraction layer construction as a minimum vertex
+//! cover (MIN-VCP) on the bipartite machine↔switch graph, solved with a
+//! maximum-weight greedy. This module supplies:
+//!
+//! * [`konig_vertex_cover`] — *exact* minimum vertex cover for bipartite
+//!   graphs via König's theorem (|min cover| = |max matching|);
+//! * [`greedy_vertex_cover`] — max-degree greedy on arbitrary bipartite
+//!   instances (the paper's "maximum-weighted" selection rule);
+//! * [`SetCoverInstance`] with [`SetCoverInstance::greedy`] and
+//!   [`SetCoverInstance::branch_and_bound`] — the set-cover view used when
+//!   selecting the minimum set of OPSs that covers all selected ToRs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bipartite::{Bipartite, LeftId, RightId};
+use crate::error::GraphError;
+use crate::matching::hopcroft_karp;
+
+/// A vertex cover of a bipartite graph: every edge has an endpoint in the
+/// cover.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexCover {
+    /// Covered left vertices.
+    pub left: Vec<LeftId>,
+    /// Covered right vertices.
+    pub right: Vec<RightId>,
+}
+
+impl VertexCover {
+    /// Total number of vertices in the cover.
+    pub fn size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Returns `true` if every edge of `graph` is covered.
+    pub fn covers<L, R, E>(&self, graph: &Bipartite<L, R, E>) -> bool {
+        let mut in_left = vec![false; graph.left_count()];
+        let mut in_right = vec![false; graph.right_count()];
+        for &l in &self.left {
+            in_left[l.0] = true;
+        }
+        for &r in &self.right {
+            in_right[r.0] = true;
+        }
+        graph.edges().all(|(l, r, _)| in_left[l.0] || in_right[r.0])
+    }
+}
+
+/// Computes an **exact** minimum vertex cover of a bipartite graph using
+/// König's theorem.
+///
+/// Runs Hopcroft–Karp, then takes `Z` = vertices reachable by alternating
+/// paths from unmatched left vertices; the cover is `(L \ Z) ∪ (R ∩ Z)`.
+///
+/// # Example
+///
+/// ```
+/// use alvc_graph::{Bipartite, cover};
+///
+/// let mut b: Bipartite<(), (), ()> = Bipartite::new();
+/// let l: Vec<_> = (0..3).map(|_| b.add_left(())).collect();
+/// let r = b.add_right(());
+/// for &li in &l {
+///     b.add_edge(li, r, ());
+/// }
+/// // A star is covered by its center alone.
+/// let c = cover::konig_vertex_cover(&b);
+/// assert_eq!(c.size(), 1);
+/// assert!(c.covers(&b));
+/// ```
+pub fn konig_vertex_cover<L, R, E>(graph: &Bipartite<L, R, E>) -> VertexCover {
+    let matching = hopcroft_karp(graph);
+    let adj = graph.left_adjacency();
+    let n_left = graph.left_count();
+    let n_right = graph.right_count();
+
+    let mut left_visited = vec![false; n_left];
+    let mut right_visited = vec![false; n_right];
+    let mut stack: Vec<usize> = (0..n_left)
+        .filter(|&l| !matching.is_left_matched(LeftId(l)))
+        .collect();
+    for &l in &stack {
+        left_visited[l] = true;
+    }
+    // Alternate: unmatched edge left->right, matched edge right->left.
+    while let Some(l) = stack.pop() {
+        for &r in &adj[l] {
+            if matching.pair_left[l] == Some(RightId(r)) {
+                continue; // only unmatched edges leave the left side
+            }
+            if !right_visited[r] {
+                right_visited[r] = true;
+                if let Some(l2) = matching.pair_right[r] {
+                    if !left_visited[l2.0] {
+                        left_visited[l2.0] = true;
+                        stack.push(l2.0);
+                    }
+                }
+            }
+        }
+    }
+
+    VertexCover {
+        left: (0..n_left)
+            .filter(|&l| !left_visited[l])
+            .map(LeftId)
+            .collect(),
+        right: (0..n_right)
+            .filter(|&r| right_visited[r])
+            .map(RightId)
+            .collect(),
+    }
+}
+
+/// Greedy maximum-degree vertex cover ("maximum-weighted algorithm" in the
+/// paper): repeatedly add the vertex covering the most uncovered edges.
+///
+/// Not optimal in general; [`konig_vertex_cover`] gives the optimum for
+/// comparison.
+pub fn greedy_vertex_cover<L, R, E>(graph: &Bipartite<L, R, E>) -> VertexCover {
+    let n_left = graph.left_count();
+    let n_right = graph.right_count();
+    let edges: Vec<(usize, usize)> = graph.edges().map(|(l, r, _)| (l.0, r.0)).collect();
+    let mut edge_covered = vec![false; edges.len()];
+    let mut remaining = edges.len();
+    let mut left_deg = vec![0usize; n_left];
+    let mut right_deg = vec![0usize; n_right];
+    for &(l, r) in &edges {
+        left_deg[l] += 1;
+        right_deg[r] += 1;
+    }
+    let mut cover = VertexCover::default();
+    while remaining > 0 {
+        // Pick max-degree vertex over both sides; ties prefer the right side
+        // (switches), matching the paper's orientation of covering machines
+        // with switches.
+        let best_left = (0..n_left).max_by_key(|&l| left_deg[l]).unwrap_or(0);
+        let best_right = (0..n_right).max_by_key(|&r| right_deg[r]).unwrap_or(0);
+        let take_right =
+            n_right > 0 && (n_left == 0 || right_deg[best_right] >= left_deg[best_left]);
+        if take_right {
+            cover.right.push(RightId(best_right));
+            for (i, &(l, r)) in edges.iter().enumerate() {
+                if !edge_covered[i] && r == best_right {
+                    edge_covered[i] = true;
+                    remaining -= 1;
+                    left_deg[l] -= 1;
+                    right_deg[r] -= 1;
+                }
+            }
+        } else {
+            cover.left.push(LeftId(best_left));
+            for (i, &(l, r)) in edges.iter().enumerate() {
+                if !edge_covered[i] && l == best_left {
+                    edge_covered[i] = true;
+                    remaining -= 1;
+                    left_deg[l] -= 1;
+                    right_deg[r] -= 1;
+                }
+            }
+        }
+    }
+    cover
+}
+
+/// A set cover instance: a universe `0..universe_size` and a family of
+/// subsets. The AL-VC OPS-selection step is the instance whose universe is
+/// the cluster's ToRs and whose sets are the ToR-neighborhoods of each OPS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetCoverInstance {
+    universe_size: usize,
+    sets: Vec<Vec<usize>>,
+}
+
+impl SetCoverInstance {
+    /// Creates an instance over universe `0..universe_size` with the given
+    /// subsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set contains an element `>= universe_size`.
+    pub fn new(universe_size: usize, sets: Vec<Vec<usize>>) -> Self {
+        for (i, s) in sets.iter().enumerate() {
+            for &e in s {
+                assert!(
+                    e < universe_size,
+                    "set {i} contains element {e} outside universe 0..{universe_size}"
+                );
+            }
+        }
+        SetCoverInstance {
+            universe_size,
+            sets,
+        }
+    }
+
+    /// Universe size.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Number of candidate sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The elements of set `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&self, i: usize) -> &[usize] {
+        &self.sets[i]
+    }
+
+    /// Returns `true` if the union of all sets covers the universe.
+    pub fn is_coverable(&self) -> bool {
+        let mut seen = vec![false; self.universe_size];
+        for s in &self.sets {
+            for &e in s {
+                seen[e] = true;
+            }
+        }
+        seen.iter().all(|&b| b)
+    }
+
+    /// Returns `true` if the chosen set indices cover the universe.
+    pub fn is_cover(&self, chosen: &[usize]) -> bool {
+        let mut seen = vec![false; self.universe_size];
+        for &i in chosen {
+            for &e in &self.sets[i] {
+                seen[e] = true;
+            }
+        }
+        seen.iter().all(|&b| b)
+    }
+
+    /// Greedy set cover: repeatedly choose the set covering the most
+    /// still-uncovered elements (ln(n)-approximate). Ties break toward the
+    /// lower index, making the algorithm deterministic.
+    ///
+    /// Returns `None` if the universe is not coverable.
+    pub fn greedy(&self) -> Option<Vec<usize>> {
+        let mut covered = vec![false; self.universe_size];
+        let mut n_covered = 0;
+        let mut chosen = Vec::new();
+        let mut used = vec![false; self.sets.len()];
+        while n_covered < self.universe_size {
+            let mut best = None;
+            let mut best_gain = 0usize;
+            for (i, s) in self.sets.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let gain = s.iter().filter(|&&e| !covered[e]).count();
+                if gain > best_gain {
+                    best_gain = gain;
+                    best = Some(i);
+                }
+            }
+            let i = best?;
+            used[i] = true;
+            chosen.push(i);
+            for &e in &self.sets[i] {
+                if !covered[e] {
+                    covered[e] = true;
+                    n_covered += 1;
+                }
+            }
+        }
+        Some(chosen)
+    }
+
+    /// Greedy *weighted* set cover: repeatedly choose the set minimizing
+    /// `weight / newly-covered`, the classical H_n-approximation for
+    /// minimum-cost covers. Ties break toward the lower index.
+    ///
+    /// Returns `None` if the universe is not coverable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != set_count()` or any weight is not
+    /// strictly positive and finite.
+    pub fn greedy_weighted(&self, weights: &[f64]) -> Option<Vec<usize>> {
+        assert_eq!(
+            weights.len(),
+            self.sets.len(),
+            "one weight per candidate set"
+        );
+        for (i, w) in weights.iter().enumerate() {
+            assert!(
+                w.is_finite() && *w > 0.0,
+                "weight of set {i} must be positive and finite"
+            );
+        }
+        let mut covered = vec![false; self.universe_size];
+        let mut n_covered = 0;
+        let mut chosen = Vec::new();
+        let mut used = vec![false; self.sets.len()];
+        while n_covered < self.universe_size {
+            let mut best: Option<(f64, usize)> = None;
+            for (i, s) in self.sets.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let gain = s.iter().filter(|&&e| !covered[e]).count();
+                if gain == 0 {
+                    continue;
+                }
+                let density = weights[i] / gain as f64;
+                let better = match best {
+                    None => true,
+                    Some((d, j)) => density < d || (density == d && i < j),
+                };
+                if better {
+                    best = Some((density, i));
+                }
+            }
+            let (_, i) = best?;
+            used[i] = true;
+            chosen.push(i);
+            for &e in &self.sets[i] {
+                if !covered[e] {
+                    covered[e] = true;
+                    n_covered += 1;
+                }
+            }
+        }
+        Some(chosen)
+    }
+
+    /// Exact minimum set cover by branch and bound over `u128` bitmasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InstanceTooLarge`] if the universe exceeds 128
+    /// elements. Returns `Ok(None)` if the universe is not coverable.
+    pub fn branch_and_bound(&self) -> Result<Option<Vec<usize>>, GraphError> {
+        if self.universe_size > 128 {
+            return Err(GraphError::InstanceTooLarge {
+                algorithm: "set cover branch and bound",
+                size: self.universe_size,
+                max: 128,
+            });
+        }
+        let full: u128 = if self.universe_size == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.universe_size) - 1
+        };
+        let masks: Vec<u128> = self
+            .sets
+            .iter()
+            .map(|s| s.iter().fold(0u128, |m, &e| m | (1u128 << e)))
+            .collect();
+        if masks.iter().fold(0u128, |m, &s| m | s) != full {
+            return Ok(None);
+        }
+        // Seed the upper bound with the greedy solution.
+        let greedy = self.greedy().expect("coverable instance has greedy cover");
+        let mut best_len = greedy.len();
+        let mut best = greedy;
+
+        // For pruning: the largest set size bounds how many elements one
+        // additional set can cover.
+        let max_set_size = masks
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .max()
+            .unwrap_or(0);
+
+        fn recurse(
+            masks: &[u128],
+            full: u128,
+            covered: u128,
+            chosen: &mut Vec<usize>,
+            best: &mut Vec<usize>,
+            best_len: &mut usize,
+            max_set_size: usize,
+        ) {
+            if covered == full {
+                if chosen.len() < *best_len {
+                    *best_len = chosen.len();
+                    *best = chosen.clone();
+                }
+                return;
+            }
+            let uncovered = (full & !covered).count_ones() as usize;
+            // Lower bound: ceil(uncovered / max_set_size) more sets needed.
+            let lb = uncovered.div_ceil(max_set_size.max(1));
+            if chosen.len() + lb >= *best_len {
+                return;
+            }
+            // Branch on the lowest uncovered element: some chosen set must
+            // contain it.
+            let elem = (full & !covered).trailing_zeros();
+            let bit = 1u128 << elem;
+            for (i, &m) in masks.iter().enumerate() {
+                if m & bit != 0 {
+                    chosen.push(i);
+                    recurse(
+                        masks,
+                        full,
+                        covered | m,
+                        chosen,
+                        best,
+                        best_len,
+                        max_set_size,
+                    );
+                    chosen.pop();
+                }
+            }
+        }
+
+        let mut chosen = Vec::new();
+        recurse(
+            &masks,
+            full,
+            0,
+            &mut chosen,
+            &mut best,
+            &mut best_len,
+            max_set_size,
+        );
+        Ok(Some(best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bip(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> Bipartite<(), (), ()> {
+        let mut b = Bipartite::new();
+        for _ in 0..n_left {
+            b.add_left(());
+        }
+        for _ in 0..n_right {
+            b.add_right(());
+        }
+        for &(l, r) in edges {
+            b.add_edge(LeftId(l), RightId(r), ());
+        }
+        b
+    }
+
+    #[test]
+    fn konig_on_star_picks_center() {
+        let b = bip(4, 1, &[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let c = konig_vertex_cover(&b);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.right, vec![RightId(0)]);
+        assert!(c.covers(&b));
+    }
+
+    #[test]
+    fn konig_matches_matching_size() {
+        // C6 as bipartite: perfect matching size 3 → cover size 3.
+        let b = bip(3, 3, &[(0, 0), (0, 2), (1, 0), (1, 1), (2, 1), (2, 2)]);
+        let c = konig_vertex_cover(&b);
+        assert_eq!(c.size(), 3);
+        assert!(c.covers(&b));
+    }
+
+    #[test]
+    fn konig_empty_graph() {
+        let b = bip(3, 3, &[]);
+        let c = konig_vertex_cover(&b);
+        assert_eq!(c.size(), 0);
+        assert!(c.covers(&b));
+    }
+
+    #[test]
+    fn greedy_cover_is_valid() {
+        let b = bip(3, 3, &[(0, 0), (0, 2), (1, 0), (1, 1), (2, 1), (2, 2)]);
+        let c = greedy_vertex_cover(&b);
+        assert!(c.covers(&b));
+        assert!(c.size() >= konig_vertex_cover(&b).size());
+    }
+
+    #[test]
+    fn greedy_prefers_switch_side_on_tie() {
+        let b = bip(1, 1, &[(0, 0)]);
+        let c = greedy_vertex_cover(&b);
+        assert_eq!(c.right, vec![RightId(0)]);
+        assert!(c.left.is_empty());
+    }
+
+    #[test]
+    fn set_cover_greedy_simple() {
+        let inst = SetCoverInstance::new(4, vec![vec![0, 1], vec![2], vec![3], vec![2, 3]]);
+        let chosen = inst.greedy().unwrap();
+        assert!(inst.is_cover(&chosen));
+        assert_eq!(chosen.len(), 2); // {0,1} + {2,3}
+    }
+
+    #[test]
+    fn set_cover_uncoverable_returns_none() {
+        let inst = SetCoverInstance::new(3, vec![vec![0], vec![1]]);
+        assert!(!inst.is_coverable());
+        assert_eq!(inst.greedy(), None);
+        assert_eq!(inst.branch_and_bound().unwrap(), None);
+    }
+
+    #[test]
+    fn bnb_beats_greedy_on_adversarial_instance() {
+        // Classic greedy-trap: optimal = 2 ({0..3},{4..7}), greedy starts
+        // with the size-5 set and needs 3.
+        let inst = SetCoverInstance::new(
+            8,
+            vec![
+                vec![0, 1, 2, 3],
+                vec![4, 5, 6, 7],
+                vec![0, 1, 4, 5, 6],
+                vec![2, 3, 7],
+            ],
+        );
+        let greedy = inst.greedy().unwrap();
+        let exact = inst.branch_and_bound().unwrap().unwrap();
+        assert!(inst.is_cover(&greedy));
+        assert!(inst.is_cover(&exact));
+        assert_eq!(exact.len(), 2);
+        assert!(greedy.len() >= exact.len());
+    }
+
+    #[test]
+    fn bnb_rejects_oversized_universe() {
+        let inst = SetCoverInstance::new(200, vec![(0..200).collect()]);
+        assert!(matches!(
+            inst.branch_and_bound(),
+            Err(GraphError::InstanceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn bnb_handles_128_element_universe() {
+        let inst = SetCoverInstance::new(128, vec![(0..64).collect(), (64..128).collect()]);
+        let exact = inst.branch_and_bound().unwrap().unwrap();
+        assert_eq!(exact.len(), 2);
+    }
+
+    #[test]
+    fn set_cover_empty_universe_is_trivially_covered() {
+        let inst = SetCoverInstance::new(0, vec![vec![], vec![]]);
+        assert_eq!(inst.greedy().unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            inst.branch_and_bound().unwrap().unwrap(),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn set_cover_rejects_out_of_universe_element() {
+        SetCoverInstance::new(2, vec![vec![5]]);
+    }
+
+    #[test]
+    fn weighted_greedy_prefers_cheap_sets() {
+        // Universe {0,1}: an expensive set covering both vs two cheap sets.
+        let inst = SetCoverInstance::new(2, vec![vec![0, 1], vec![0], vec![1]]);
+        // Expensive combined set: cheap singles win.
+        let chosen = inst.greedy_weighted(&[10.0, 1.0, 1.0]).unwrap();
+        assert!(inst.is_cover(&chosen));
+        assert_eq!(chosen.len(), 2);
+        assert!(!chosen.contains(&0));
+        // Cheap combined set: it wins alone.
+        let chosen = inst.greedy_weighted(&[1.0, 10.0, 10.0]).unwrap();
+        assert_eq!(chosen, vec![0]);
+    }
+
+    #[test]
+    fn weighted_greedy_with_unit_weights_matches_unweighted() {
+        let inst = SetCoverInstance::new(4, vec![vec![0, 1], vec![2], vec![3], vec![2, 3]]);
+        let unweighted = inst.greedy().unwrap();
+        let weighted = inst.greedy_weighted(&[1.0; 4]).unwrap();
+        assert_eq!(unweighted.len(), weighted.len());
+        assert!(inst.is_cover(&weighted));
+    }
+
+    #[test]
+    fn weighted_greedy_uncoverable_returns_none() {
+        let inst = SetCoverInstance::new(2, vec![vec![0]]);
+        assert_eq!(inst.greedy_weighted(&[1.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn weighted_greedy_rejects_nonpositive_weight() {
+        let inst = SetCoverInstance::new(1, vec![vec![0]]);
+        inst.greedy_weighted(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per candidate set")]
+    fn weighted_greedy_rejects_wrong_arity() {
+        let inst = SetCoverInstance::new(1, vec![vec![0]]);
+        inst.greedy_weighted(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn konig_cover_size_equals_matching_size_random_shapes() {
+        // König's theorem: |min VC| == |max matching| in bipartite graphs.
+        use crate::matching::hopcroft_karp;
+        type Shape = (usize, usize, &'static [(usize, usize)]);
+        let shapes: &[Shape] = &[
+            (2, 2, &[(0, 0), (1, 1)]),
+            (3, 2, &[(0, 0), (1, 0), (2, 1), (0, 1)]),
+            (4, 4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 0)]),
+        ];
+        for &(nl, nr, edges) in shapes {
+            let b = bip(nl, nr, edges);
+            let m = hopcroft_karp(&b);
+            let c = konig_vertex_cover(&b);
+            assert_eq!(c.size(), m.size());
+            assert!(c.covers(&b));
+        }
+    }
+}

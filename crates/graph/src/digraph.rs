@@ -1,0 +1,322 @@
+//! Directed graph used for NFC forwarding graphs and orchestration DAGs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::graph::{EdgeId, NodeId};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ArcRecord<E> {
+    from: NodeId,
+    to: NodeId,
+    weight: E,
+}
+
+/// A directed multigraph stored as out/in adjacency lists.
+///
+/// Shares [`NodeId`]/[`EdgeId`] with [`crate::Graph`]; ids from one graph are
+/// not valid in another.
+///
+/// # Example
+///
+/// ```
+/// use alvc_graph::DiGraph;
+///
+/// let mut g: DiGraph<&str, ()> = DiGraph::new();
+/// let fw = g.add_node("firewall");
+/// let dpi = g.add_node("dpi");
+/// g.add_edge(fw, dpi, ());
+/// assert_eq!(g.out_degree(fw), 1);
+/// assert_eq!(g.in_degree(dpi), 1);
+/// assert!(g.topological_order().is_some());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiGraph<N, E> {
+    nodes: Vec<N>,
+    arcs: Vec<ArcRecord<E>>,
+    out_adj: Vec<Vec<(EdgeId, NodeId)>>,
+    in_adj: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl<N, E> Default for DiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Creates an empty directed graph.
+    pub fn new() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            arcs: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of arcs.
+    pub fn edge_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node carrying `weight` and returns its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(weight);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an arc `from -> to` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: E) -> EdgeId {
+        assert!(
+            from.0 < self.nodes.len(),
+            "arc source {from:?} out of range"
+        );
+        assert!(to.0 < self.nodes.len(), "arc target {to:?} out of range");
+        let id = EdgeId(self.arcs.len());
+        self.arcs.push(ArcRecord { from, to, weight });
+        self.out_adj[from.0].push((id, to));
+        self.in_adj[to.0].push((id, from));
+        id
+    }
+
+    /// Fallible variant of [`DiGraph::add_edge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidNode`] if either endpoint is invalid.
+    pub fn try_add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: E,
+    ) -> Result<EdgeId, GraphError> {
+        for id in [from, to] {
+            if id.0 >= self.nodes.len() {
+                return Err(GraphError::InvalidNode {
+                    index: id.0,
+                    node_count: self.nodes.len(),
+                });
+            }
+        }
+        Ok(self.add_edge(from, to, weight))
+    }
+
+    /// Returns the weight of `node`.
+    pub fn node_weight(&self, node: NodeId) -> Option<&N> {
+        self.nodes.get(node.0)
+    }
+
+    /// Returns the weight of `edge`.
+    pub fn edge_weight(&self, edge: EdgeId) -> Option<&E> {
+        self.arcs.get(edge.0).map(|a| &a.weight)
+    }
+
+    /// Returns the endpoints `(from, to)` of `edge`.
+    pub fn edge_endpoints(&self, edge: EdgeId) -> Option<(NodeId, NodeId)> {
+        self.arcs.get(edge.0).map(|a| (a.from, a.to))
+    }
+
+    /// Out-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_adj[node.0].len()
+    }
+
+    /// In-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_adj[node.0].len()
+    }
+
+    /// Iterates over successors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_adj[node.0].iter().map(|&(_, n)| n)
+    }
+
+    /// Iterates over predecessors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_adj[node.0].iter().map(|&(_, n)| n)
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterates over `(id, from, to, weight)` for all arcs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, &E)> {
+        self.arcs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (EdgeId(i), a.from, a.to, &a.weight))
+    }
+
+    /// Returns a topological order of the nodes, or `None` if the graph has
+    /// a cycle (Kahn's algorithm).
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.in_adj[i].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            order.push(NodeId(u));
+            for &(_, v) in &self.out_adj[u] {
+                indeg[v.0] -= 1;
+                if indeg[v.0] == 0 {
+                    queue.push(v.0);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Returns `true` if the graph contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        self.topological_order().is_none()
+    }
+
+    /// Returns the nodes with in-degree zero (chain entry points).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
+    }
+
+    /// Returns the nodes with out-degree zero (chain exit points).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> DiGraph<usize, ()> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g
+    }
+
+    #[test]
+    fn chain_degrees() {
+        let g = chain(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(NodeId(0)), 1);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+        assert_eq!(g.in_degree(NodeId(3)), 1);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn topological_order_of_chain_is_the_chain() {
+        let g = chain(5);
+        let order = g.topological_order().unwrap();
+        assert_eq!(order, (0..5).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = chain(3);
+        assert!(!g.has_cycle());
+        g.add_edge(NodeId(2), NodeId(0), ());
+        assert!(g.has_cycle());
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        assert_eq!(g.sources(), vec![a]);
+        let mut sinks = g.sinks();
+        sinks.sort();
+        assert_eq!(sinks, vec![b, c]);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let g = chain(3);
+        assert_eq!(g.successors(NodeId(0)).collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(
+            g.predecessors(NodeId(2)).collect::<Vec<_>>(),
+            vec![NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn try_add_edge_rejects_bad_endpoint() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        assert!(g.try_add_edge(a, NodeId(9), ()).is_err());
+        assert!(g.try_add_edge(NodeId(9), a, ()).is_err());
+    }
+
+    #[test]
+    fn branching_graph_topological_order_is_valid() {
+        // Diamond: a -> b, a -> c, b -> d, c -> d.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        let order = g.topological_order().unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn empty_digraph_topological_order_is_empty() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(g.topological_order().unwrap(), Vec::<NodeId>::new());
+    }
+}

@@ -1,0 +1,243 @@
+//! Maximum bipartite matching (Hopcroft–Karp).
+
+use std::collections::VecDeque;
+
+use crate::bipartite::{Bipartite, LeftId, RightId};
+
+/// A matching in a bipartite graph: a set of edges sharing no endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// `pair_left[l]` is the right partner of left node `l`, if matched.
+    pub pair_left: Vec<Option<RightId>>,
+    /// `pair_right[r]` is the left partner of right node `r`, if matched.
+    pub pair_right: Vec<Option<LeftId>>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.pair_left.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Iterates over matched `(left, right)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (LeftId, RightId)> + '_ {
+        self.pair_left
+            .iter()
+            .enumerate()
+            .filter_map(|(l, r)| r.map(|r| (LeftId(l), r)))
+    }
+
+    /// Returns `true` if `l` is matched.
+    pub fn is_left_matched(&self, l: LeftId) -> bool {
+        self.pair_left.get(l.0).is_some_and(|p| p.is_some())
+    }
+
+    /// Returns `true` if `r` is matched.
+    pub fn is_right_matched(&self, r: RightId) -> bool {
+        self.pair_right.get(r.0).is_some_and(|p| p.is_some())
+    }
+}
+
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum matching with the Hopcroft–Karp algorithm in
+/// `O(E sqrt(V))`.
+///
+/// # Example
+///
+/// ```
+/// use alvc_graph::{Bipartite, matching};
+///
+/// let mut b: Bipartite<(), (), ()> = Bipartite::new();
+/// let l: Vec<_> = (0..2).map(|_| b.add_left(())).collect();
+/// let r: Vec<_> = (0..2).map(|_| b.add_right(())).collect();
+/// b.add_edge(l[0], r[0], ());
+/// b.add_edge(l[0], r[1], ());
+/// b.add_edge(l[1], r[0], ());
+/// let m = matching::hopcroft_karp(&b);
+/// assert_eq!(m.size(), 2);
+/// ```
+pub fn hopcroft_karp<L, R, E>(graph: &Bipartite<L, R, E>) -> Matching {
+    let n_left = graph.left_count();
+    let n_right = graph.right_count();
+    let adj = graph.left_adjacency();
+
+    let mut pair_left: Vec<Option<usize>> = vec![None; n_left];
+    let mut pair_right: Vec<Option<usize>> = vec![None; n_right];
+    let mut dist = vec![INF; n_left];
+
+    // BFS layering from free left vertices.
+    fn bfs(
+        adj: &[Vec<usize>],
+        pair_left: &[Option<usize>],
+        pair_right: &[Option<usize>],
+        dist: &mut [u32],
+    ) -> bool {
+        let mut queue = VecDeque::new();
+        for (l, pl) in pair_left.iter().enumerate() {
+            if pl.is_none() {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_free_right = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &adj[l] {
+                match pair_right[r] {
+                    None => found_free_right = true,
+                    Some(l2) => {
+                        if dist[l2] == INF {
+                            dist[l2] = dist[l] + 1;
+                            queue.push_back(l2);
+                        }
+                    }
+                }
+            }
+        }
+        found_free_right
+    }
+
+    fn dfs(
+        l: usize,
+        adj: &[Vec<usize>],
+        pair_left: &mut [Option<usize>],
+        pair_right: &mut [Option<usize>],
+        dist: &mut [u32],
+    ) -> bool {
+        for i in 0..adj[l].len() {
+            let r = adj[l][i];
+            let ok = match pair_right[r] {
+                None => true,
+                Some(l2) => dist[l2] == dist[l] + 1 && dfs(l2, adj, pair_left, pair_right, dist),
+            };
+            if ok {
+                pair_left[l] = Some(r);
+                pair_right[r] = Some(l);
+                return true;
+            }
+        }
+        dist[l] = INF;
+        false
+    }
+
+    while bfs(&adj, &pair_left, &pair_right, &mut dist) {
+        for l in 0..n_left {
+            if pair_left[l].is_none() {
+                dfs(l, &adj, &mut pair_left, &mut pair_right, &mut dist);
+            }
+        }
+    }
+
+    Matching {
+        pair_left: pair_left.into_iter().map(|p| p.map(RightId)).collect(),
+        pair_right: pair_right.into_iter().map(|p| p.map(LeftId)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bip(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> Bipartite<(), (), ()> {
+        let mut b = Bipartite::new();
+        for _ in 0..n_left {
+            b.add_left(());
+        }
+        for _ in 0..n_right {
+            b.add_right(());
+        }
+        for &(l, r) in edges {
+            b.add_edge(LeftId(l), RightId(r), ());
+        }
+        b
+    }
+
+    /// Checks that the matching is consistent and uses only graph edges.
+    fn assert_valid(b: &Bipartite<(), (), ()>, m: &Matching) {
+        for (l, r) in m.pairs() {
+            assert!(b.contains_edge(l, r), "matched pair must be an edge");
+            assert_eq!(m.pair_right[r.0], Some(l), "pairing must be mutual");
+        }
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        let b = bip(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 2), (2, 1)]);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size(), 3);
+        assert_valid(&b, &m);
+    }
+
+    #[test]
+    fn empty_graph_empty_matching() {
+        let b = bip(0, 0, &[]);
+        assert_eq!(hopcroft_karp(&b).size(), 0);
+    }
+
+    #[test]
+    fn no_edges_no_matching() {
+        let b = bip(3, 3, &[]);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size(), 0);
+        assert!(!m.is_left_matched(LeftId(0)));
+    }
+
+    #[test]
+    fn star_matches_one() {
+        // All left nodes connect only to right 0.
+        let b = bip(4, 1, &[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size(), 1);
+        assert!(m.is_right_matched(RightId(0)));
+        assert_valid(&b, &m);
+    }
+
+    #[test]
+    fn augmenting_path_required() {
+        // l0-r0, l1-r0, l1-r1: greedy that matches l1-r0 first must augment.
+        let b = bip(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size(), 2);
+        assert_valid(&b, &m);
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // Path structure forcing repeated augmentation:
+        // l_i -- r_i and l_i -- r_{i-1}.
+        let n = 50;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, i));
+            if i > 0 {
+                edges.push((i, i - 1));
+            }
+        }
+        let b = bip(n, n, &edges);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size(), n);
+        assert_valid(&b, &m);
+    }
+
+    #[test]
+    fn unbalanced_sides() {
+        let b = bip(2, 5, &[(0, 4), (1, 4)]);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size(), 1);
+        assert_valid(&b, &m);
+    }
+
+    #[test]
+    fn matching_size_equals_min_side_in_complete_bipartite() {
+        let mut edges = Vec::new();
+        for l in 0..4 {
+            for r in 0..7 {
+                edges.push((l, r));
+            }
+        }
+        let b = bip(4, 7, &edges);
+        assert_eq!(hopcroft_karp(&b).size(), 4);
+    }
+}

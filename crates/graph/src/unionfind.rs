@@ -1,0 +1,150 @@
+//! Disjoint-set union (union–find) with path compression and union by rank.
+
+/// A union–find structure over `0..n`.
+///
+/// Used by the topology generators to guarantee core connectivity and by the
+/// traversal tests as an independent connectivity oracle.
+///
+/// # Example
+///
+/// ```
+/// use alvc_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `x`'s set (with path compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were separate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_disjoint() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn chain_union_compresses_paths() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, n - 1));
+        // After compression the parent chain should be flat.
+        let root = uf.find(0);
+        for i in 0..n {
+            uf.find(i);
+            assert_eq!(uf.parent[i], root);
+        }
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the graph substrate.
+
+use alvc_graph::cover::{greedy_vertex_cover, konig_vertex_cover, SetCoverInstance};
+use alvc_graph::matching::hopcroft_karp;
+use alvc_graph::shortest_path::{bfs_distances, dijkstra};
+use alvc_graph::traversal::{bfs_order, connected_components, is_connected};
+use alvc_graph::{Bipartite, Graph, LeftId, NodeId, RightId, UnionFind};
+use proptest::prelude::*;
+
+/// Strategy: a random bipartite graph as (n_left, n_right, edges).
+fn bipartite_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize)>)> {
+    (1usize..12, 1usize..12).prop_flat_map(|(nl, nr)| {
+        let edges = proptest::collection::vec((0..nl, 0..nr), 0..40);
+        (Just(nl), Just(nr), edges)
+    })
+}
+
+fn build_bipartite(nl: usize, nr: usize, edges: &[(usize, usize)]) -> Bipartite<(), (), ()> {
+    let mut b = Bipartite::new();
+    for _ in 0..nl {
+        b.add_left(());
+    }
+    for _ in 0..nr {
+        b.add_right(());
+    }
+    for &(l, r) in edges {
+        b.add_edge(LeftId(l), RightId(r), ());
+    }
+    b
+}
+
+/// Strategy: a random undirected graph as (n, edges).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
+    (1usize..20).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 1u64..100), 0..60);
+        (Just(n), edges)
+    })
+}
+
+fn build_graph(n: usize, edges: &[(usize, usize, u64)]) -> Graph<(), u64> {
+    let mut g = Graph::new();
+    for _ in 0..n {
+        g.add_node(());
+    }
+    for &(a, b, w) in edges {
+        g.add_edge(NodeId(a), NodeId(b), w);
+    }
+    g
+}
+
+proptest! {
+    /// König's theorem: the cover is valid and |cover| == |max matching|.
+    #[test]
+    fn konig_cover_is_valid_and_optimal((nl, nr, edges) in bipartite_strategy()) {
+        let b = build_bipartite(nl, nr, &edges);
+        let m = hopcroft_karp(&b);
+        let c = konig_vertex_cover(&b);
+        prop_assert!(c.covers(&b));
+        prop_assert_eq!(c.size(), m.size());
+    }
+
+    /// Greedy cover is valid and never smaller than the optimum.
+    #[test]
+    fn greedy_cover_valid_and_at_least_optimal((nl, nr, edges) in bipartite_strategy()) {
+        let b = build_bipartite(nl, nr, &edges);
+        let greedy = greedy_vertex_cover(&b);
+        let exact = konig_vertex_cover(&b);
+        prop_assert!(greedy.covers(&b));
+        prop_assert!(greedy.size() >= exact.size());
+        // Max-degree greedy vertex cover is a ln-factor approximation; on
+        // these small instances it stays within 2x of optimal.
+        prop_assert!(greedy.size() <= exact.size() * 2 + 1);
+    }
+
+    /// The matching returned is a matching: each node used at most once,
+    /// each pair is an edge.
+    #[test]
+    fn matching_is_consistent((nl, nr, edges) in bipartite_strategy()) {
+        let b = build_bipartite(nl, nr, &edges);
+        let m = hopcroft_karp(&b);
+        let mut left_used = vec![false; nl];
+        let mut right_used = vec![false; nr];
+        for (l, r) in m.pairs() {
+            prop_assert!(b.contains_edge(l, r));
+            prop_assert!(!left_used[l.index()]);
+            prop_assert!(!right_used[r.index()]);
+            left_used[l.index()] = true;
+            right_used[r.index()] = true;
+        }
+    }
+
+    /// Dijkstra with unit weights agrees with BFS hop distances.
+    #[test]
+    fn dijkstra_unit_weight_equals_bfs((n, edges) in graph_strategy()) {
+        let g = build_graph(n, &edges);
+        let unit = g.map(|_, _| (), |_, _| 1u64);
+        let dist = bfs_distances(&unit, NodeId(0));
+        for (t, &d) in dist.iter().enumerate() {
+            match dijkstra(&unit, NodeId(0), NodeId(t), |_, &w| w) {
+                Ok(p) => prop_assert_eq!(p.cost, d),
+                Err(_) => prop_assert_eq!(d, u64::MAX),
+            }
+        }
+    }
+
+    /// Dijkstra path cost equals the sum of its edge costs and the path is
+    /// genuinely a path in the graph.
+    #[test]
+    fn dijkstra_path_is_consistent((n, edges) in graph_strategy()) {
+        let g = build_graph(n, &edges);
+        for t in 0..n {
+            if let Ok(p) = dijkstra(&g, NodeId(0), NodeId(t), |_, &w| w) {
+                prop_assert_eq!(*p.nodes.first().unwrap(), NodeId(0));
+                prop_assert_eq!(*p.nodes.last().unwrap(), NodeId(t));
+                let mut total = 0u64;
+                for w in p.nodes.windows(2) {
+                    let e = g.find_edge(w[0], w[1]);
+                    prop_assert!(e.is_some(), "consecutive path nodes must be adjacent");
+                    // Lower-bound by the cheapest parallel edge.
+                    let min_parallel = g
+                        .incident_edges(w[0])
+                        .filter(|&(_, nb)| nb == w[1])
+                        .map(|(e, _)| *g.edge_weight(e).unwrap())
+                        .min()
+                        .unwrap();
+                    total += min_parallel;
+                }
+                prop_assert_eq!(total, p.cost);
+            }
+        }
+    }
+
+    /// BFS reachability agrees with union-find connectivity.
+    #[test]
+    fn bfs_agrees_with_union_find((n, edges) in graph_strategy()) {
+        let g = build_graph(n, &edges);
+        let mut uf = UnionFind::new(n);
+        for &(a, b, _) in &edges {
+            uf.union(a, b);
+        }
+        let reach = bfs_order(&g, NodeId(0));
+        for t in 0..n {
+            prop_assert_eq!(reach.contains(&NodeId(t)), uf.connected(0, t));
+        }
+        let (_, comps) = connected_components(&g);
+        prop_assert_eq!(comps, uf.component_count());
+        prop_assert_eq!(is_connected(&g), comps <= 1);
+    }
+
+    /// Exact set cover (branch and bound) is a cover and no larger than
+    /// greedy.
+    #[test]
+    fn set_cover_bnb_no_worse_than_greedy(
+        universe in 1usize..16,
+        raw_sets in proptest::collection::vec(
+            proptest::collection::vec(0usize..16, 1..6), 1..8)
+    ) {
+        let sets: Vec<Vec<usize>> = raw_sets
+            .into_iter()
+            .map(|s| s.into_iter().map(|e| e % universe).collect())
+            .collect();
+        let inst = SetCoverInstance::new(universe, sets);
+        match (inst.greedy(), inst.branch_and_bound().unwrap()) {
+            (Some(g), Some(e)) => {
+                prop_assert!(inst.is_cover(&g));
+                prop_assert!(inst.is_cover(&e));
+                prop_assert!(e.len() <= g.len());
+            }
+            (None, None) => prop_assert!(!inst.is_coverable()),
+            (g, e) => prop_assert!(false, "greedy/exact disagree: {g:?} vs {e:?}"),
+        }
+    }
+}

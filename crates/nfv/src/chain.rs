@@ -1,0 +1,331 @@
+//! Network function chains (§IV.A, Fig. 5).
+//!
+//! "An NFC is defined as a set of Network Functions (NFs), packet
+//! processing order (simple or complex), network resource requirements
+//! (node and links), and network forwarding graph." The paper considers
+//! per-user/per-application chains, which are linear paths; the
+//! [`ForwardingGraph`] type additionally supports the "complex" (branching)
+//! processing order and linearizes it for deployment.
+
+use alvc_graph::{DiGraph, NodeId};
+use alvc_topology::VmId;
+use serde::{Deserialize, Serialize};
+
+use crate::vnf::VnfSpec;
+
+/// Identifier of a deployed chain, issued by the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NfcId(pub usize);
+
+impl NfcId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NfcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "nfc-{}", self.0)
+    }
+}
+
+/// A chain to deploy: what the tenant hands the orchestrator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainSpec {
+    /// Human-readable chain name.
+    pub name: String,
+    /// The VNFs in processing order.
+    pub vnfs: Vec<VnfSpec>,
+    /// VM originating the chain's traffic.
+    pub ingress: VmId,
+    /// VM terminating the chain's traffic.
+    pub egress: VmId,
+    /// Requested bandwidth.
+    pub bandwidth_gbps: f64,
+    /// Optional one-way latency budget for the chain's path (propagation +
+    /// switching + O/E/O conversion latency), in microseconds. Admission
+    /// rejects deployments whose routed path exceeds it.
+    pub max_latency_us: Option<f64>,
+}
+
+impl ChainSpec {
+    /// Creates a chain spec without a latency budget.
+    pub fn new(
+        name: impl Into<String>,
+        vnfs: Vec<VnfSpec>,
+        ingress: VmId,
+        egress: VmId,
+        bandwidth_gbps: f64,
+    ) -> Self {
+        ChainSpec {
+            name: name.into(),
+            vnfs,
+            ingress,
+            egress,
+            bandwidth_gbps,
+            max_latency_us: None,
+        }
+    }
+
+    /// Sets a one-way latency budget (builder style).
+    pub fn with_max_latency_us(mut self, budget: f64) -> Self {
+        self.max_latency_us = Some(budget);
+        self
+    }
+
+    /// Number of VNFs in the chain.
+    pub fn len(&self) -> usize {
+        self.vnfs.len()
+    }
+
+    /// A chain with no VNFs is pure forwarding.
+    pub fn is_empty(&self) -> bool {
+        self.vnfs.is_empty()
+    }
+}
+
+/// A deployed chain (spec plus its orchestrator-assigned id).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nfc {
+    id: NfcId,
+    spec: ChainSpec,
+}
+
+impl Nfc {
+    /// Wraps a spec under its assigned id (called by the orchestrator).
+    pub fn new(id: NfcId, spec: ChainSpec) -> Self {
+        Nfc { id, spec }
+    }
+
+    /// The chain id.
+    pub fn id(&self) -> NfcId {
+        self.id
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &ChainSpec {
+        &self.spec
+    }
+
+    /// The VNFs in processing order.
+    pub fn vnfs(&self) -> &[VnfSpec] {
+        &self.spec.vnfs
+    }
+}
+
+/// A branching forwarding graph over VNFs ("complex" processing order).
+///
+/// Deployment requires an order, obtained by topological sort; cyclic
+/// graphs are rejected.
+///
+/// # Example
+///
+/// ```
+/// use alvc_nfv::{ForwardingGraph, VnfSpec, VnfType};
+///
+/// let mut g = ForwardingGraph::new();
+/// let fw = g.add_vnf(VnfSpec::of(VnfType::Firewall));
+/// let dpi = g.add_vnf(VnfSpec::of(VnfType::Dpi));
+/// let lb = g.add_vnf(VnfSpec::of(VnfType::LoadBalancer));
+/// g.add_dependency(fw, dpi);
+/// g.add_dependency(fw, lb);
+/// let order = g.linearize().unwrap();
+/// assert_eq!(order.len(), 3);
+/// assert_eq!(order[0].vnf_type, VnfType::Firewall);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ForwardingGraph {
+    graph: DiGraph<VnfSpec, ()>,
+}
+
+impl ForwardingGraph {
+    /// Creates an empty forwarding graph.
+    pub fn new() -> Self {
+        ForwardingGraph::default()
+    }
+
+    /// Adds a VNF node.
+    pub fn add_vnf(&mut self, spec: VnfSpec) -> NodeId {
+        self.graph.add_node(spec)
+    }
+
+    /// Declares that `before` must process packets before `after`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not in the graph.
+    pub fn add_dependency(&mut self, before: NodeId, after: NodeId) {
+        self.graph.add_edge(before, after, ());
+    }
+
+    /// Number of VNFs.
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Produces a linear processing order respecting every dependency, or
+    /// `None` if the graph is cyclic.
+    pub fn linearize(&self) -> Option<Vec<VnfSpec>> {
+        let order = self.graph.topological_order()?;
+        Some(
+            order
+                .into_iter()
+                .map(|n| *self.graph.node_weight(n).expect("node exists"))
+                .collect(),
+        )
+    }
+
+    /// Builds a linear spec from this graph.
+    ///
+    /// Returns `None` if the graph is cyclic.
+    pub fn into_chain_spec(
+        &self,
+        name: impl Into<String>,
+        ingress: VmId,
+        egress: VmId,
+        bandwidth_gbps: f64,
+    ) -> Option<ChainSpec> {
+        Some(ChainSpec::new(
+            name,
+            self.linearize()?,
+            ingress,
+            egress,
+            bandwidth_gbps,
+        ))
+    }
+}
+
+/// Convenience constructors for the three chains drawn in Fig. 5 (blue,
+/// black, green service chains through security gateways, firewalls and
+/// DPIs). Each requests 2 Gb/s — a per-user/per-application share of the
+/// 10 Gb/s access links, so several chains can coexist on one server under
+/// the orchestrator's bandwidth admission.
+pub mod fig5 {
+    use super::*;
+    use crate::vnf::VnfType;
+
+    /// The "blue" chain: security gateway → firewall → DPI.
+    pub fn blue(ingress: VmId, egress: VmId) -> ChainSpec {
+        ChainSpec::new(
+            "fig5-blue",
+            vec![
+                VnfSpec::of(VnfType::SecurityGateway),
+                VnfSpec::of(VnfType::Firewall),
+                VnfSpec::of(VnfType::Dpi),
+            ],
+            ingress,
+            egress,
+            2.0,
+        )
+    }
+
+    /// The "black" chain: firewall → load balancer.
+    pub fn black(ingress: VmId, egress: VmId) -> ChainSpec {
+        ChainSpec::new(
+            "fig5-black",
+            vec![
+                VnfSpec::of(VnfType::Firewall),
+                VnfSpec::of(VnfType::LoadBalancer),
+            ],
+            ingress,
+            egress,
+            2.0,
+        )
+    }
+
+    /// The "green" chain: NAT → security gateway → IDS → load balancer.
+    pub fn green(ingress: VmId, egress: VmId) -> ChainSpec {
+        ChainSpec::new(
+            "fig5-green",
+            vec![
+                VnfSpec::of(VnfType::Nat),
+                VnfSpec::of(VnfType::SecurityGateway),
+                VnfSpec::of(VnfType::Ids),
+                VnfSpec::of(VnfType::LoadBalancer),
+            ],
+            ingress,
+            egress,
+            2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnf::VnfType;
+
+    #[test]
+    fn chain_spec_basics() {
+        let spec = fig5::blue(VmId(0), VmId(1));
+        assert_eq!(spec.len(), 3);
+        assert!(!spec.is_empty());
+        assert_eq!(spec.vnfs[0].vnf_type, VnfType::SecurityGateway);
+        let empty = ChainSpec::new("fwd", vec![], VmId(0), VmId(1), 1.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn nfc_wraps_spec() {
+        let nfc = Nfc::new(NfcId(4), fig5::black(VmId(2), VmId(3)));
+        assert_eq!(nfc.id(), NfcId(4));
+        assert_eq!(nfc.vnfs().len(), 2);
+        assert_eq!(nfc.id().to_string(), "nfc-4");
+        assert_eq!(nfc.spec().name, "fig5-black");
+    }
+
+    #[test]
+    fn forwarding_graph_linearizes_diamond() {
+        let mut g = ForwardingGraph::new();
+        let a = g.add_vnf(VnfSpec::of(VnfType::Firewall));
+        let b = g.add_vnf(VnfSpec::of(VnfType::Dpi));
+        let c = g.add_vnf(VnfSpec::of(VnfType::Nat));
+        let d = g.add_vnf(VnfSpec::of(VnfType::LoadBalancer));
+        g.add_dependency(a, b);
+        g.add_dependency(a, c);
+        g.add_dependency(b, d);
+        g.add_dependency(c, d);
+        let order = g.linearize().unwrap();
+        let pos = |t: VnfType| order.iter().position(|s| s.vnf_type == t).unwrap();
+        assert!(pos(VnfType::Firewall) < pos(VnfType::Dpi));
+        assert!(pos(VnfType::Firewall) < pos(VnfType::Nat));
+        assert!(pos(VnfType::Dpi) < pos(VnfType::LoadBalancer));
+        assert!(pos(VnfType::Nat) < pos(VnfType::LoadBalancer));
+    }
+
+    #[test]
+    fn cyclic_forwarding_graph_rejected() {
+        let mut g = ForwardingGraph::new();
+        let a = g.add_vnf(VnfSpec::of(VnfType::Firewall));
+        let b = g.add_vnf(VnfSpec::of(VnfType::Nat));
+        g.add_dependency(a, b);
+        g.add_dependency(b, a);
+        assert!(g.linearize().is_none());
+        assert!(g.into_chain_spec("x", VmId(0), VmId(1), 1.0).is_none());
+    }
+
+    #[test]
+    fn forwarding_graph_to_chain_spec() {
+        let mut g = ForwardingGraph::new();
+        g.add_vnf(VnfSpec::of(VnfType::Firewall));
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+        let spec = g.into_chain_spec("solo", VmId(5), VmId(6), 4.0).unwrap();
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec.bandwidth_gbps, 4.0);
+        assert_eq!(spec.ingress, VmId(5));
+    }
+
+    #[test]
+    fn fig5_chains_have_documented_shapes() {
+        assert_eq!(fig5::blue(VmId(0), VmId(1)).len(), 3);
+        assert_eq!(fig5::black(VmId(0), VmId(1)).len(), 2);
+        assert_eq!(fig5::green(VmId(0), VmId(1)).len(), 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! Error types for the NFV layer.
+
+use std::error::Error;
+use std::fmt;
+
+use alvc_core::ConstructionError;
+use alvc_optical::RoutingError;
+
+use crate::chain::NfcId;
+use crate::lifecycle::VnfState;
+
+/// Why a VNF could not be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// No host (optoelectronic router or server) had remaining capacity for
+    /// the VNF at `chain_position`.
+    NoCapacity {
+        /// Index of the VNF within its chain.
+        chain_position: usize,
+    },
+    /// The slice contains no electronic hosts although one was required.
+    NoElectronicHost,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::NoCapacity { chain_position } => {
+                write!(
+                    f,
+                    "no host has capacity for the VNF at chain position {chain_position}"
+                )
+            }
+            PlacementError::NoElectronicHost => {
+                write!(f, "the slice offers no electronic host for a heavy VNF")
+            }
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+/// Why a lifecycle transition was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleError {
+    /// State the instance was in.
+    pub from: VnfState,
+    /// State that was requested.
+    pub to: VnfState,
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal VNF lifecycle transition {} -> {}",
+            self.from, self.to
+        )
+    }
+}
+
+impl Error for LifecycleError {}
+
+/// Why a chain deployment failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeployError {
+    /// The virtual cluster / abstraction layer could not be built.
+    Cluster(ConstructionError),
+    /// VNF placement failed.
+    Placement(PlacementError),
+    /// The chain path could not be routed inside the slice.
+    Routing(RoutingError),
+    /// The referenced chain does not exist.
+    UnknownChain(NfcId),
+    /// The chain's ingress/egress VM is not a member of the tenant's VM
+    /// group.
+    EndpointOutsideCluster,
+    /// A link on the chain's path cannot carry the requested bandwidth on
+    /// top of what is already committed to other chains.
+    InsufficientBandwidth {
+        /// Bandwidth the chain requested.
+        requested_gbps: f64,
+        /// Bandwidth still available on the bottleneck link.
+        available_gbps: f64,
+    },
+    /// A switch on the chain's path has no free flow-table (TCAM) slots.
+    RuleTableFull(crate::sdn::TableFull),
+    /// The routed path's one-way latency exceeds the chain's budget.
+    LatencyBudgetExceeded {
+        /// Budget from the chain spec, in microseconds.
+        budget_us: f64,
+        /// Latency of the routed path (including O/E/O conversion
+        /// latency), in microseconds.
+        path_us: f64,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Cluster(e) => write!(f, "cluster construction failed: {e}"),
+            DeployError::Placement(e) => write!(f, "vnf placement failed: {e}"),
+            DeployError::Routing(e) => write!(f, "chain routing failed: {e}"),
+            DeployError::UnknownChain(id) => write!(f, "unknown chain {id}"),
+            DeployError::EndpointOutsideCluster => {
+                write!(f, "chain endpoints must belong to the tenant's vm group")
+            }
+            DeployError::InsufficientBandwidth {
+                requested_gbps,
+                available_gbps,
+            } => write!(
+                f,
+                "requested {requested_gbps} Gb/s but only {available_gbps} Gb/s remain on the bottleneck link"
+            ),
+            DeployError::RuleTableFull(e) => write!(f, "flow rule installation failed: {e}"),
+            DeployError::LatencyBudgetExceeded { budget_us, path_us } => write!(
+                f,
+                "routed path takes {path_us} µs, exceeding the {budget_us} µs budget"
+            ),
+        }
+    }
+}
+
+impl Error for DeployError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeployError::Cluster(e) => Some(e),
+            DeployError::Placement(e) => Some(e),
+            DeployError::Routing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConstructionError> for DeployError {
+    fn from(e: ConstructionError) -> Self {
+        DeployError::Cluster(e)
+    }
+}
+
+impl From<PlacementError> for DeployError {
+    fn from(e: PlacementError) -> Self {
+        DeployError::Placement(e)
+    }
+}
+
+impl From<RoutingError> for DeployError {
+    fn from(e: RoutingError) -> Self {
+        DeployError::Routing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_informative() {
+        let errs: Vec<Box<dyn Error>> = vec![
+            Box::new(PlacementError::NoCapacity { chain_position: 2 }),
+            Box::new(PlacementError::NoElectronicHost),
+            Box::new(LifecycleError {
+                from: VnfState::Active,
+                to: VnfState::Requested,
+            }),
+            Box::new(DeployError::EndpointOutsideCluster),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn deploy_error_sources_chain() {
+        let e = DeployError::from(PlacementError::NoElectronicHost);
+        assert!(e.source().is_some());
+        let e = DeployError::UnknownChain(NfcId(3));
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("nfc-3"));
+    }
+
+    #[test]
+    fn conversions_from_layer_errors() {
+        let c: DeployError = ConstructionError::EmptyCluster.into();
+        assert!(matches!(c, DeployError::Cluster(_)));
+        let r: DeployError = RoutingError::TooFewWaypoints.into();
+        assert!(matches!(r, DeployError::Routing(_)));
+    }
+}

@@ -1,0 +1,45 @@
+//! NFV environment for AL-VC (§IV of the paper).
+//!
+//! Implements the functional blocks of Fig. 6 and the chain model of
+//! Fig. 5:
+//!
+//! * [`vnf`] — the VNF catalog (firewall, DPI, load balancer, security
+//!   gateway, …) with resource demands; small demands fit optoelectronic
+//!   routers, large ones must stay electronic (§IV.D);
+//! * [`chain`] — network function chains: "a set of Network Functions,
+//!   packet processing order (simple or complex), network resource
+//!   requirements, and network forwarding graph";
+//! * [`lifecycle`] — the cloud/NFV manager's VNF lifecycle: "creation,
+//!   scaling, termination, and update events during the life cycle of VNF";
+//! * [`sdn`] — the SDN controller: provisions connectivity by installing
+//!   per-chain flow rules along computed paths;
+//! * [`slicing`] — optical slice accounting: "divide the optical network
+//!   into virtual slices and allocate each slice to a single NFC. In AL-VC,
+//!   that division is in the shape of ALs";
+//! * [`placement`] — the [`placement::VnfPlacer`] trait implemented by the
+//!   strategies in the `alvc-placement` crate;
+//! * [`orchestrator`] — the network orchestrator for multi-tenant
+//!   SDN-enabled networks, "responsible for managing (provisioning,
+//!   creation, modification, upgradation, and deletion) of multiple NFCs",
+//!   mapping **one NFC to one virtual cluster**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod error;
+pub mod lifecycle;
+pub mod orchestrator;
+pub mod placement;
+pub mod sdn;
+pub mod slicing;
+pub mod vnf;
+
+pub use chain::{ChainSpec, ForwardingGraph, Nfc, NfcId};
+pub use error::{DeployError, LifecycleError, PlacementError};
+pub use lifecycle::{HostLocation, VnfInstance, VnfInstanceId, VnfState};
+pub use orchestrator::{DeployedChain, Orchestrator};
+pub use placement::{ElectronicOnlyPlacer, PlacementContext, VnfPlacer};
+pub use sdn::{FlowRule, SdnController, TableFull};
+pub use slicing::{OpticalSlice, SliceRegistry};
+pub use vnf::{ResourceDemand, VnfSpec, VnfType};

@@ -1,0 +1,331 @@
+//! The SDN controller block of Fig. 6.
+//!
+//! "SDN controller provision, control, and manage the optical network and
+//! provide virtual connectivity services to users between VMs hosting
+//! VNFs." Concretely it installs one forwarding rule per switch along each
+//! chain's path and tracks table occupancy per switch.
+
+use std::collections::{BTreeMap, HashMap};
+
+use alvc_graph::NodeId;
+use alvc_optical::HybridPath;
+use serde::{Deserialize, Serialize};
+
+use crate::chain::NfcId;
+
+/// A forwarding rule installed on one switch for one chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// The chain the rule belongs to.
+    pub chain: NfcId,
+    /// Switch (graph node) holding the rule.
+    pub switch: NodeId,
+    /// Where matched packets come from (previous hop), if any.
+    pub in_port: Option<NodeId>,
+    /// Where matched packets go (next hop), if any.
+    pub out_port: Option<NodeId>,
+}
+
+/// Tracks installed flow rules per chain and per switch.
+///
+/// # Example
+///
+/// ```
+/// use alvc_graph::NodeId;
+/// use alvc_nfv::{NfcId, SdnController};
+/// use alvc_optical::HybridPath;
+/// use alvc_topology::Domain::Optical;
+///
+/// let mut ctl = SdnController::new();
+/// let path = HybridPath::new(vec![NodeId(0), NodeId(1), NodeId(2)], vec![Optical; 2], 2.0);
+/// let installed = ctl.install_path(NfcId(0), &path);
+/// assert_eq!(installed, 3);
+/// assert_eq!(ctl.rules_for_chain(NfcId(0)).len(), 3);
+/// ctl.remove_chain(NfcId(0));
+/// assert_eq!(ctl.total_rules(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SdnController {
+    rules: BTreeMap<NfcId, Vec<FlowRule>>,
+    per_switch: HashMap<NodeId, usize>,
+    /// Flow-table capacity per switch (TCAM size); `None` = unlimited.
+    table_limit: Option<usize>,
+}
+
+/// A switch's flow table is full (its TCAM limit would be exceeded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableFull {
+    /// The saturated switch.
+    pub switch: NodeId,
+    /// The configured per-switch limit.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for TableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flow table of switch {} is full (limit {})",
+            self.switch.index(),
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for TableFull {}
+
+impl SdnController {
+    /// Creates an empty controller with unlimited flow tables.
+    pub fn new() -> Self {
+        SdnController::default()
+    }
+
+    /// Creates a controller whose switches hold at most `limit` rules each
+    /// (hardware TCAM capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn with_table_limit(limit: usize) -> Self {
+        assert!(limit > 0, "table limit must be positive");
+        SdnController {
+            table_limit: Some(limit),
+            ..SdnController::default()
+        }
+    }
+
+    /// The per-switch rule limit, if any.
+    pub fn table_limit(&self) -> Option<usize> {
+        self.table_limit
+    }
+
+    /// Fallible installation: like [`SdnController::install_path`], but
+    /// checks the per-switch table limit first and installs nothing on
+    /// overflow. (Replacing a chain's own rules frees its slots before the
+    /// check.)
+    ///
+    /// # Errors
+    ///
+    /// [`TableFull`] naming the first saturated switch.
+    pub fn try_install_path(
+        &mut self,
+        chain: NfcId,
+        path: &HybridPath,
+    ) -> Result<usize, TableFull> {
+        if let Some(limit) = self.table_limit {
+            // Slots freed by replacing this chain's old rules.
+            let mut freed: HashMap<NodeId, usize> = HashMap::new();
+            if let Some(old) = self.rules.get(&chain) {
+                for r in old {
+                    *freed.entry(r.switch).or_insert(0) += 1;
+                }
+            }
+            let mut incoming: HashMap<NodeId, usize> = HashMap::new();
+            for &n in path.nodes() {
+                *incoming.entry(n).or_insert(0) += 1;
+            }
+            for (&n, &add) in &incoming {
+                let current = self.per_switch.get(&n).copied().unwrap_or(0)
+                    - freed.get(&n).copied().unwrap_or(0);
+                if current + add > limit {
+                    return Err(TableFull { switch: n, limit });
+                }
+            }
+        }
+        Ok(self.install_path(chain, path))
+    }
+
+    /// Installs forwarding rules for `chain` along `path` (one rule per
+    /// traversed node); returns how many rules were installed.
+    ///
+    /// Installing a second path for the same chain *replaces* the previous
+    /// rules (chain modification, §IV.B).
+    pub fn install_path(&mut self, chain: NfcId, path: &HybridPath) -> usize {
+        self.remove_chain(chain);
+        let nodes = path.nodes();
+        let mut rules = Vec::with_capacity(nodes.len());
+        for (i, &n) in nodes.iter().enumerate() {
+            rules.push(FlowRule {
+                chain,
+                switch: n,
+                in_port: (i > 0).then(|| nodes[i - 1]),
+                out_port: (i + 1 < nodes.len()).then(|| nodes[i + 1]),
+            });
+            *self.per_switch.entry(n).or_insert(0) += 1;
+        }
+        let count = rules.len();
+        self.rules.insert(chain, rules);
+        count
+    }
+
+    /// Removes every rule of `chain`; returns how many were removed.
+    pub fn remove_chain(&mut self, chain: NfcId) -> usize {
+        let Some(rules) = self.rules.remove(&chain) else {
+            return 0;
+        };
+        for r in &rules {
+            if let Some(c) = self.per_switch.get_mut(&r.switch) {
+                *c -= 1;
+                if *c == 0 {
+                    self.per_switch.remove(&r.switch);
+                }
+            }
+        }
+        rules.len()
+    }
+
+    /// The rules currently installed for `chain` (empty if none).
+    pub fn rules_for_chain(&self, chain: NfcId) -> &[FlowRule] {
+        self.rules.get(&chain).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of rules resident on `switch`.
+    pub fn rules_on_switch(&self, switch: NodeId) -> usize {
+        self.per_switch.get(&switch).copied().unwrap_or(0)
+    }
+
+    /// Total rules across all switches.
+    pub fn total_rules(&self) -> usize {
+        self.rules.values().map(|v| v.len()).sum()
+    }
+
+    /// Number of chains with installed paths.
+    pub fn chain_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The most-loaded switch and its rule count, if any rules exist.
+    pub fn hottest_switch(&self) -> Option<(NodeId, usize)> {
+        self.per_switch
+            .iter()
+            .max_by_key(|&(n, c)| (*c, std::cmp::Reverse(n.index())))
+            .map(|(&n, &c)| (n, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alvc_topology::Domain::Optical;
+
+    fn path(ids: &[usize]) -> HybridPath {
+        HybridPath::new(
+            ids.iter().map(|&i| NodeId(i)).collect(),
+            vec![Optical; ids.len() - 1],
+            ids.len() as f64,
+        )
+    }
+
+    #[test]
+    fn install_creates_rule_per_node() {
+        let mut ctl = SdnController::new();
+        assert_eq!(ctl.install_path(NfcId(0), &path(&[0, 1, 2, 3])), 4);
+        assert_eq!(ctl.total_rules(), 4);
+        assert_eq!(ctl.chain_count(), 1);
+        let rules = ctl.rules_for_chain(NfcId(0));
+        assert_eq!(rules[0].in_port, None);
+        assert_eq!(rules[0].out_port, Some(NodeId(1)));
+        assert_eq!(rules[3].in_port, Some(NodeId(2)));
+        assert_eq!(rules[3].out_port, None);
+    }
+
+    #[test]
+    fn reinstall_replaces_rules() {
+        let mut ctl = SdnController::new();
+        ctl.install_path(NfcId(0), &path(&[0, 1, 2]));
+        ctl.install_path(NfcId(0), &path(&[0, 5]));
+        assert_eq!(ctl.total_rules(), 2);
+        assert_eq!(ctl.rules_on_switch(NodeId(1)), 0);
+        assert_eq!(ctl.rules_on_switch(NodeId(5)), 1);
+    }
+
+    #[test]
+    fn shared_switch_counts_per_chain() {
+        let mut ctl = SdnController::new();
+        ctl.install_path(NfcId(0), &path(&[0, 1, 2]));
+        ctl.install_path(NfcId(1), &path(&[3, 1, 4]));
+        assert_eq!(ctl.rules_on_switch(NodeId(1)), 2);
+        assert_eq!(ctl.hottest_switch(), Some((NodeId(1), 2)));
+        ctl.remove_chain(NfcId(0));
+        assert_eq!(ctl.rules_on_switch(NodeId(1)), 1);
+        assert_eq!(ctl.rules_on_switch(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn remove_unknown_chain_is_zero() {
+        let mut ctl = SdnController::new();
+        assert_eq!(ctl.remove_chain(NfcId(9)), 0);
+        assert!(ctl.rules_for_chain(NfcId(9)).is_empty());
+        assert_eq!(ctl.hottest_switch(), None);
+    }
+
+    #[test]
+    fn trivial_single_node_path() {
+        let mut ctl = SdnController::new();
+        let p = HybridPath::new(vec![NodeId(7)], vec![], 0.0);
+        assert_eq!(ctl.install_path(NfcId(0), &p), 1);
+        let rules = ctl.rules_for_chain(NfcId(0));
+        assert_eq!(rules[0].in_port, None);
+        assert_eq!(rules[0].out_port, None);
+    }
+}
+
+#[cfg(test)]
+mod table_limit_tests {
+    use super::*;
+    use alvc_topology::Domain::Optical;
+
+    fn path(ids: &[usize]) -> HybridPath {
+        HybridPath::new(
+            ids.iter().map(|&i| NodeId(i)).collect(),
+            vec![Optical; ids.len() - 1],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn limit_rejects_overflow_and_installs_nothing() {
+        let mut ctl = SdnController::with_table_limit(2);
+        assert_eq!(ctl.table_limit(), Some(2));
+        ctl.try_install_path(NfcId(0), &path(&[0, 1])).unwrap();
+        ctl.try_install_path(NfcId(1), &path(&[1, 2])).unwrap();
+        // Switch 1 now holds 2 rules; a third chain through it must fail.
+        let err = ctl
+            .try_install_path(NfcId(2), &path(&[3, 1, 4]))
+            .unwrap_err();
+        assert_eq!(err.switch, NodeId(1));
+        assert_eq!(err.limit, 2);
+        assert!(err.to_string().contains("full"));
+        // Nothing partially installed.
+        assert!(ctl.rules_for_chain(NfcId(2)).is_empty());
+        assert_eq!(ctl.rules_on_switch(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn replacing_own_rules_frees_slots() {
+        let mut ctl = SdnController::with_table_limit(1);
+        ctl.try_install_path(NfcId(0), &path(&[0, 1])).unwrap();
+        // Same chain re-routes through switch 1 again: its old slot frees.
+        ctl.try_install_path(NfcId(0), &path(&[1, 2])).unwrap();
+        assert_eq!(ctl.rules_on_switch(NodeId(1)), 1);
+        assert_eq!(ctl.rules_on_switch(NodeId(0)), 0);
+        // But a different chain cannot use switch 1.
+        assert!(ctl.try_install_path(NfcId(1), &path(&[1, 3])).is_err());
+    }
+
+    #[test]
+    fn unlimited_controller_never_rejects() {
+        let mut ctl = SdnController::new();
+        assert_eq!(ctl.table_limit(), None);
+        for i in 0..100 {
+            ctl.try_install_path(NfcId(i), &path(&[0, 1])).unwrap();
+        }
+        assert_eq!(ctl.rules_on_switch(NodeId(0)), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_rejected() {
+        SdnController::with_table_limit(0);
+    }
+}

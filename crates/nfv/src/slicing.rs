@@ -1,0 +1,188 @@
+//! Optical slice allocation (§IV.B–C, Figs. 6 and 7).
+//!
+//! "It will logically divide the optical network into virtual slices and
+//! will allocate each slice to a single NFC. In AL-VC, that division is in
+//! the shape of ALs." — a slice *is* a virtual cluster's abstraction layer,
+//! and the one-NFC-per-VC rule makes slices single-tenant.
+
+use std::collections::BTreeMap;
+
+use alvc_core::ClusterId;
+use serde::{Deserialize, Serialize};
+
+use crate::chain::NfcId;
+
+/// A slice: the binding of one NFC to one virtual cluster (whose AL is the
+/// optical slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpticalSlice {
+    /// The chain the slice serves.
+    pub chain: NfcId,
+    /// The virtual cluster providing the slice (its AL's OPSs).
+    pub cluster: ClusterId,
+}
+
+/// Registry of slice bindings, enforcing one chain per cluster and one
+/// cluster per chain.
+///
+/// # Example
+///
+/// ```
+/// use alvc_core::ClusterId;
+/// use alvc_nfv::{NfcId, SliceRegistry};
+///
+/// let mut reg = SliceRegistry::new();
+/// reg.bind(NfcId(0), ClusterId(10)).unwrap();
+/// assert_eq!(reg.cluster_of(NfcId(0)), Some(ClusterId(10)));
+/// assert_eq!(reg.chain_of(ClusterId(10)), Some(NfcId(0)));
+/// // A second chain cannot claim the same cluster.
+/// assert!(reg.bind(NfcId(1), ClusterId(10)).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SliceRegistry {
+    by_chain: BTreeMap<NfcId, ClusterId>,
+    by_cluster: BTreeMap<ClusterId, NfcId>,
+}
+
+/// Error binding a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SliceError {
+    /// The chain already has a slice.
+    ChainAlreadyBound(NfcId),
+    /// The cluster already serves another chain.
+    ClusterAlreadyBound(ClusterId),
+}
+
+impl std::fmt::Display for SliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SliceError::ChainAlreadyBound(c) => write!(f, "chain {c} already has a slice"),
+            SliceError::ClusterAlreadyBound(c) => {
+                write!(f, "cluster {c} already serves another chain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+impl SliceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SliceRegistry::default()
+    }
+
+    /// Binds `chain` to `cluster`.
+    ///
+    /// # Errors
+    ///
+    /// [`SliceError`] if either side is already bound.
+    pub fn bind(&mut self, chain: NfcId, cluster: ClusterId) -> Result<(), SliceError> {
+        if self.by_chain.contains_key(&chain) {
+            return Err(SliceError::ChainAlreadyBound(chain));
+        }
+        if self.by_cluster.contains_key(&cluster) {
+            return Err(SliceError::ClusterAlreadyBound(cluster));
+        }
+        self.by_chain.insert(chain, cluster);
+        self.by_cluster.insert(cluster, chain);
+        Ok(())
+    }
+
+    /// Releases the binding of `chain`; returns the freed cluster if it
+    /// was bound.
+    pub fn unbind(&mut self, chain: NfcId) -> Option<ClusterId> {
+        let cluster = self.by_chain.remove(&chain)?;
+        self.by_cluster.remove(&cluster);
+        Some(cluster)
+    }
+
+    /// The cluster serving `chain`.
+    pub fn cluster_of(&self, chain: NfcId) -> Option<ClusterId> {
+        self.by_chain.get(&chain).copied()
+    }
+
+    /// The chain a cluster serves.
+    pub fn chain_of(&self, cluster: ClusterId) -> Option<NfcId> {
+        self.by_cluster.get(&cluster).copied()
+    }
+
+    /// Number of live slices.
+    pub fn len(&self) -> usize {
+        self.by_chain.len()
+    }
+
+    /// Whether any slices exist.
+    pub fn is_empty(&self) -> bool {
+        self.by_chain.is_empty()
+    }
+
+    /// Iterates over live slices in chain order.
+    pub fn slices(&self) -> impl Iterator<Item = OpticalSlice> + '_ {
+        self.by_chain
+            .iter()
+            .map(|(&chain, &cluster)| OpticalSlice { chain, cluster })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup_both_directions() {
+        let mut reg = SliceRegistry::new();
+        reg.bind(NfcId(0), ClusterId(5)).unwrap();
+        reg.bind(NfcId(1), ClusterId(6)).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.cluster_of(NfcId(1)), Some(ClusterId(6)));
+        assert_eq!(reg.chain_of(ClusterId(5)), Some(NfcId(0)));
+        assert_eq!(reg.cluster_of(NfcId(9)), None);
+    }
+
+    #[test]
+    fn double_binding_rejected() {
+        let mut reg = SliceRegistry::new();
+        reg.bind(NfcId(0), ClusterId(5)).unwrap();
+        assert_eq!(
+            reg.bind(NfcId(0), ClusterId(6)),
+            Err(SliceError::ChainAlreadyBound(NfcId(0)))
+        );
+        assert_eq!(
+            reg.bind(NfcId(1), ClusterId(5)),
+            Err(SliceError::ClusterAlreadyBound(ClusterId(5)))
+        );
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn unbind_frees_both_sides() {
+        let mut reg = SliceRegistry::new();
+        reg.bind(NfcId(0), ClusterId(5)).unwrap();
+        assert_eq!(reg.unbind(NfcId(0)), Some(ClusterId(5)));
+        assert!(reg.is_empty());
+        // Both sides reusable.
+        reg.bind(NfcId(0), ClusterId(5)).unwrap();
+        assert_eq!(reg.unbind(NfcId(3)), None);
+    }
+
+    #[test]
+    fn slices_iterates_in_chain_order() {
+        let mut reg = SliceRegistry::new();
+        reg.bind(NfcId(2), ClusterId(0)).unwrap();
+        reg.bind(NfcId(0), ClusterId(1)).unwrap();
+        let order: Vec<_> = reg.slices().map(|s| s.chain).collect();
+        assert_eq!(order, vec![NfcId(0), NfcId(2)]);
+    }
+
+    #[test]
+    fn slice_error_display() {
+        assert!(SliceError::ChainAlreadyBound(NfcId(1))
+            .to_string()
+            .contains("nfc-1"));
+        assert!(SliceError::ClusterAlreadyBound(ClusterId(2))
+            .to_string()
+            .contains("vc-2"));
+    }
+}

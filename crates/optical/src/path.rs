@@ -1,0 +1,269 @@
+//! Domain-annotated physical paths.
+
+use alvc_graph::NodeId;
+use alvc_topology::Domain;
+use serde::{Deserialize, Serialize};
+
+/// A physical path through the data center with each traversed link's
+/// domain recorded.
+///
+/// `links[i]` is the domain of the link between `nodes[i]` and
+/// `nodes[i + 1]`; hence `links.len() + 1 == nodes.len()` for non-trivial
+/// paths (a single-node path has no links).
+///
+/// # Example
+///
+/// ```
+/// use alvc_graph::NodeId;
+/// use alvc_optical::HybridPath;
+/// use alvc_topology::Domain::{Electronic as E, Optical as O};
+///
+/// // server -E- tor -O- ops -O- tor -E- server: one optical segment,
+/// // no O/E/O detour (the flow converts at ingress and egress only).
+/// let p = HybridPath::new(
+///     (0..5).map(NodeId).collect(),
+///     vec![E, O, O, E],
+///     12.0,
+/// );
+/// assert_eq!(p.oeo_conversions(), 0);
+/// assert_eq!(p.domain_crossings(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridPath {
+    nodes: Vec<NodeId>,
+    links: Vec<Domain>,
+    latency_us: f64,
+}
+
+impl HybridPath {
+    /// Creates a path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links.len() + 1 != nodes.len()` (unless both are empty).
+    pub fn new(nodes: Vec<NodeId>, links: Vec<Domain>, latency_us: f64) -> Self {
+        if !nodes.is_empty() || !links.is_empty() {
+            assert_eq!(
+                links.len() + 1,
+                nodes.len(),
+                "path with {} nodes needs {} link domains",
+                nodes.len(),
+                nodes.len().saturating_sub(1)
+            );
+        }
+        HybridPath {
+            nodes,
+            links,
+            latency_us,
+        }
+    }
+
+    /// An empty path (zero hops, zero latency).
+    pub fn empty() -> Self {
+        HybridPath {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            latency_us: 0.0,
+        }
+    }
+
+    /// The traversed nodes in order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Per-link domains, in order.
+    pub fn link_domains(&self) -> &[Domain] {
+        &self.links
+    }
+
+    /// Number of links traversed.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Accumulated link latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.latency_us
+    }
+
+    /// Appends another path that starts where this one ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` does not start at this path's last node.
+    pub fn join(&mut self, other: &HybridPath) {
+        if other.nodes.is_empty() {
+            return;
+        }
+        if self.nodes.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            *self.nodes.last().expect("non-empty"),
+            other.nodes[0],
+            "joined path must start at the current endpoint"
+        );
+        self.nodes.extend_from_slice(&other.nodes[1..]);
+        self.links.extend_from_slice(&other.links);
+        self.latency_us += other.latency_us;
+    }
+
+    /// Number of adjacent link pairs whose domain differs (each is one
+    /// O→E or E→O conversion point).
+    pub fn domain_crossings(&self) -> usize {
+        self.links.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Number of **O/E/O conversions** in the paper's sense: maximal
+    /// electronic segments with optical segments on *both* sides. A flow
+    /// that dips out of the optical core to visit an electronic VNF and
+    /// returns incurs exactly one such conversion (§IV.D, Fig. 8); the
+    /// inherent electronic ingress/egress at the end servers does not
+    /// count.
+    pub fn oeo_conversions(&self) -> usize {
+        let mut conversions = 0;
+        let mut seen_optical = false;
+        let mut in_electronic_run = false;
+        for &d in &self.links {
+            match d {
+                Domain::Electronic => {
+                    if seen_optical {
+                        in_electronic_run = true;
+                    }
+                }
+                Domain::Optical => {
+                    if in_electronic_run {
+                        conversions += 1;
+                        in_electronic_run = false;
+                    }
+                    seen_optical = true;
+                }
+            }
+        }
+        conversions
+    }
+
+    /// Hops traversed in each domain: `(electronic, optical)`.
+    pub fn hops_by_domain(&self) -> (usize, usize) {
+        let e = self
+            .links
+            .iter()
+            .filter(|&&d| d == Domain::Electronic)
+            .count();
+        (e, self.links.len() - e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Domain::{Electronic as E, Optical as O};
+
+    fn path(domains: &[Domain]) -> HybridPath {
+        let nodes = (0..=domains.len()).map(NodeId).collect();
+        HybridPath::new(nodes, domains.to_vec(), domains.len() as f64)
+    }
+
+    #[test]
+    fn empty_path_counts_nothing() {
+        let p = HybridPath::empty();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.oeo_conversions(), 0);
+        assert_eq!(p.domain_crossings(), 0);
+        assert_eq!(p.latency_us(), 0.0);
+    }
+
+    #[test]
+    fn pure_optical_no_conversions() {
+        let p = path(&[O, O, O]);
+        assert_eq!(p.oeo_conversions(), 0);
+        assert_eq!(p.domain_crossings(), 0);
+        assert_eq!(p.hops_by_domain(), (0, 3));
+    }
+
+    #[test]
+    fn pure_electronic_no_conversions() {
+        let p = path(&[E, E]);
+        assert_eq!(p.oeo_conversions(), 0);
+        assert_eq!(p.hops_by_domain(), (2, 0));
+    }
+
+    #[test]
+    fn ingress_egress_not_counted() {
+        // server -E- core -O,O- egress -E- server.
+        let p = path(&[E, O, O, E]);
+        assert_eq!(p.oeo_conversions(), 0);
+        assert_eq!(p.domain_crossings(), 2);
+    }
+
+    #[test]
+    fn one_electronic_detour_is_one_conversion() {
+        // Fig. 8: optical, dip to electronic VNF, back to optical.
+        let p = path(&[E, O, E, E, O, E]);
+        assert_eq!(p.oeo_conversions(), 1);
+    }
+
+    #[test]
+    fn two_detours_two_conversions() {
+        let p = path(&[E, O, E, O, E, O, E]);
+        assert_eq!(p.oeo_conversions(), 2);
+        assert_eq!(p.domain_crossings(), 6);
+    }
+
+    #[test]
+    fn consecutive_electronic_vnfs_share_a_conversion() {
+        // Two VNFs visited in one electronic dip: still one O/E/O.
+        let p = path(&[O, E, E, E, O]);
+        assert_eq!(p.oeo_conversions(), 1);
+    }
+
+    #[test]
+    fn trailing_electronic_run_not_counted() {
+        let p = path(&[O, O, E, E]);
+        assert_eq!(p.oeo_conversions(), 0);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let mut a = path(&[E, O]);
+        let b = HybridPath::new(vec![NodeId(2), NodeId(3)], vec![O], 5.0);
+        a.join(&b);
+        assert_eq!(a.hop_count(), 3);
+        assert_eq!(a.latency_us(), 7.0);
+        assert_eq!(a.nodes().len(), 4);
+    }
+
+    #[test]
+    fn join_empty_paths() {
+        let mut a = HybridPath::empty();
+        let b = path(&[O, E]);
+        a.join(&b);
+        assert_eq!(a, b);
+        let mut c = b.clone();
+        c.join(&HybridPath::empty());
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at the current endpoint")]
+    fn join_mismatched_endpoint_panics() {
+        let mut a = path(&[O]);
+        let b = HybridPath::new(vec![NodeId(9), NodeId(10)], vec![O], 1.0);
+        a.join(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "link domains")]
+    fn inconsistent_lengths_rejected() {
+        HybridPath::new(vec![NodeId(0), NodeId(1)], vec![], 0.0);
+    }
+
+    #[test]
+    fn single_node_path_is_valid() {
+        let p = HybridPath::new(vec![NodeId(5)], vec![], 0.0);
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.oeo_conversions(), 0);
+    }
+}

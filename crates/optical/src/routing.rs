@@ -1,0 +1,475 @@
+//! Waypoint routing over the physical graph, with optional slice
+//! restriction.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use alvc_graph::shortest_path::dijkstra;
+use alvc_graph::{Graph, NodeId};
+use alvc_topology::{DataCenter, LinkAttrs, PhysNode};
+
+use crate::path::HybridPath;
+
+/// Errors from flow routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoutingError {
+    /// No route between two consecutive waypoints (possibly because the
+    /// slice restriction removed every path).
+    NoRoute {
+        /// Segment source.
+        from: NodeId,
+        /// Segment target.
+        to: NodeId,
+    },
+    /// Fewer than two waypoints were supplied.
+    TooFewWaypoints,
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::NoRoute { from, to } => {
+                write!(
+                    f,
+                    "no route from node {} to node {}",
+                    from.index(),
+                    to.index()
+                )
+            }
+            RoutingError::TooFewWaypoints => write!(f, "routing needs at least two waypoints"),
+        }
+    }
+}
+
+impl Error for RoutingError {}
+
+/// Latency in tenths of microseconds as an integer Dijkstra cost.
+fn latency_cost(attrs: &LinkAttrs) -> u64 {
+    (attrs.latency_us * 10.0).round().max(0.0) as u64
+}
+
+fn segment(
+    graph: &Graph<PhysNode, LinkAttrs>,
+    from: NodeId,
+    to: NodeId,
+    allowed: Option<&HashSet<NodeId>>,
+) -> Result<HybridPath, RoutingError> {
+    // Restricted routing: forbid disallowed *intermediate* nodes by giving
+    // their incident edges infinite cost. Simpler: run Dijkstra on a cost
+    // function that returns u64::MAX/4 for edges touching a forbidden node;
+    // such edges are never chosen unless no other route exists, so verify
+    // the resulting path afterwards.
+    let path = dijkstra(graph, from, to, |e, attrs| {
+        if let Some(allowed) = allowed {
+            let (a, b) = graph.edge_endpoints(e).expect("edge exists");
+            let node_ok = |n: NodeId| n == from || n == to || allowed.contains(&n);
+            if !node_ok(a) || !node_ok(b) {
+                return u64::MAX / 8;
+            }
+        }
+        latency_cost(attrs)
+    })
+    .map_err(|_| RoutingError::NoRoute { from, to })?;
+    if let Some(allowed) = allowed {
+        for &n in &path.nodes {
+            if n != from && n != to && !allowed.contains(&n) {
+                return Err(RoutingError::NoRoute { from, to });
+            }
+        }
+    }
+    // Annotate with link domains and real latency.
+    let mut domains = Vec::with_capacity(path.nodes.len().saturating_sub(1));
+    let mut latency = 0.0;
+    for w in path.nodes.windows(2) {
+        // Cheapest-latency parallel edge between w[0] and w[1].
+        let attrs = graph
+            .incident_edges(w[0])
+            .filter(|&(_, n)| n == w[1])
+            .map(|(e, _)| *graph.edge_weight(e).expect("edge exists"))
+            .min_by(|a, b| {
+                a.latency_us
+                    .partial_cmp(&b.latency_us)
+                    .expect("latency is finite")
+            })
+            .expect("path edges exist");
+        domains.push(attrs.domain);
+        latency += attrs.latency_us;
+    }
+    Ok(HybridPath::new(path.nodes, domains, latency))
+}
+
+/// Routes a flow through `waypoints` (≥ 2 physical nodes, in visiting
+/// order), taking the latency-minimal path for each leg.
+///
+/// # Errors
+///
+/// [`RoutingError::TooFewWaypoints`] for fewer than two waypoints,
+/// [`RoutingError::NoRoute`] if a leg is unroutable.
+///
+/// # Example
+///
+/// ```
+/// use alvc_optical::routing::route_flow;
+/// use alvc_topology::AlvcTopologyBuilder;
+///
+/// let dc = AlvcTopologyBuilder::new().seed(1).build();
+/// let a = dc.node_of_server(alvc_topology::ServerId(0));
+/// let b = dc.node_of_server(alvc_topology::ServerId(5));
+/// let path = route_flow(&dc, &[a, b])?;
+/// assert!(path.hop_count() >= 2);
+/// # Ok::<(), alvc_optical::RoutingError>(())
+/// ```
+pub fn route_flow(dc: &DataCenter, waypoints: &[NodeId]) -> Result<HybridPath, RoutingError> {
+    route_impl(dc, waypoints, None)
+}
+
+/// Like [`route_flow`], but intermediate nodes are restricted to `allowed`
+/// (waypoints themselves are always permitted). This implements slice
+/// isolation: a chain routed within its AL may only transit the AL's
+/// switches.
+pub fn route_flow_within(
+    dc: &DataCenter,
+    allowed: &HashSet<NodeId>,
+    waypoints: &[NodeId],
+) -> Result<HybridPath, RoutingError> {
+    route_impl(dc, waypoints, Some(allowed))
+}
+
+/// Like [`route_flow`], but equal-latency paths are tie-broken by a
+/// per-flow hash — flow-level ECMP. Distinct `flow_hash` values spread
+/// flows across the parallel spines/cores of multipath fabrics instead of
+/// funneling them all through the lowest-id switch; the chosen path is
+/// still latency-minimal.
+///
+/// # Errors
+///
+/// As [`route_flow`].
+pub fn route_flow_ecmp(
+    dc: &DataCenter,
+    waypoints: &[NodeId],
+    flow_hash: u64,
+) -> Result<HybridPath, RoutingError> {
+    if waypoints.len() < 2 {
+        return Err(RoutingError::TooFewWaypoints);
+    }
+    let graph = dc.graph();
+    let mut full = HybridPath::empty();
+    for w in waypoints.windows(2) {
+        if w[0] == w[1] {
+            continue;
+        }
+        // Scale latency so the hash jitter (0..8) never changes which
+        // paths are latency-minimal (min link latency is 1 µs = 160 units).
+        let path = dijkstra(graph, w[0], w[1], |e, attrs| {
+            let jitter = {
+                // SplitMix-style mix of edge id and flow hash.
+                let mut x = flow_hash ^ (e.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x % 8
+            };
+            (attrs.latency_us * 160.0).round() as u64 + jitter
+        })
+        .map_err(|_| RoutingError::NoRoute {
+            from: w[0],
+            to: w[1],
+        })?;
+        let mut domains = Vec::with_capacity(path.nodes.len().saturating_sub(1));
+        let mut latency = 0.0;
+        for hop in path.nodes.windows(2) {
+            let attrs = graph
+                .incident_edges(hop[0])
+                .filter(|&(_, n)| n == hop[1])
+                .map(|(e, _)| *graph.edge_weight(e).expect("edge exists"))
+                .min_by(|a, b| {
+                    a.latency_us
+                        .partial_cmp(&b.latency_us)
+                        .expect("latency is finite")
+                })
+                .expect("path edges exist");
+            domains.push(attrs.domain);
+            latency += attrs.latency_us;
+        }
+        full.join(&HybridPath::new(path.nodes, domains, latency));
+    }
+    if full.nodes().is_empty() {
+        full = HybridPath::new(vec![waypoints[0]], vec![], 0.0);
+    }
+    Ok(full)
+}
+
+/// The concrete edges a path traverses: for each hop, the
+/// cheapest-latency parallel link between the two nodes (the same choice
+/// the router makes).
+///
+/// # Panics
+///
+/// Panics if consecutive path nodes are not adjacent in `dc`.
+pub fn path_edges(dc: &DataCenter, path: &HybridPath) -> Vec<alvc_graph::EdgeId> {
+    path.nodes()
+        .windows(2)
+        .map(|w| {
+            dc.graph()
+                .incident_edges(w[0])
+                .filter(|&(_, n)| n == w[1])
+                .min_by(|&(a, _), &(b, _)| {
+                    let la = dc.graph().edge_weight(a).expect("edge exists").latency_us;
+                    let lb = dc.graph().edge_weight(b).expect("edge exists").latency_us;
+                    la.partial_cmp(&lb).expect("finite latency")
+                })
+                .map(|(e, _)| e)
+                .expect("path nodes must be adjacent")
+        })
+        .collect()
+}
+
+fn route_impl(
+    dc: &DataCenter,
+    waypoints: &[NodeId],
+    allowed: Option<&HashSet<NodeId>>,
+) -> Result<HybridPath, RoutingError> {
+    if waypoints.len() < 2 {
+        return Err(RoutingError::TooFewWaypoints);
+    }
+    let mut full = HybridPath::empty();
+    for w in waypoints.windows(2) {
+        if w[0] == w[1] {
+            continue; // co-located waypoints need no hop
+        }
+        let seg = segment(dc.graph(), w[0], w[1], allowed)?;
+        full.join(&seg);
+    }
+    if full.nodes().is_empty() {
+        // All waypoints co-located.
+        full = HybridPath::new(vec![waypoints[0]], vec![], 0.0);
+    }
+    Ok(full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alvc_topology::{AlvcTopologyBuilder, Domain, OpsInterconnect, ServerId};
+
+    fn dc() -> DataCenter {
+        AlvcTopologyBuilder::new()
+            .racks(6)
+            .servers_per_rack(2)
+            .ops_count(6)
+            .tor_ops_degree(2)
+            .interconnect(OpsInterconnect::Ring)
+            .seed(13)
+            .build()
+    }
+
+    #[test]
+    fn server_to_server_route_crosses_core() {
+        let dc = dc();
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(11)); // different rack
+        let p = route_flow(&dc, &[a, b]).unwrap();
+        assert_eq!(p.nodes().first(), Some(&a));
+        assert_eq!(p.nodes().last(), Some(&b));
+        // server -E- tor ... tor -E- server with optical middle.
+        assert!(
+            p.hops_by_domain().1 >= 1,
+            "route should use the optical core"
+        );
+        assert!(p.latency_us() > 0.0);
+    }
+
+    #[test]
+    fn same_rack_route_stays_electronic() {
+        let dc = dc();
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(1));
+        let p = route_flow(&dc, &[a, b]).unwrap();
+        assert_eq!(p.hop_count(), 2); // server-tor-server
+        assert_eq!(p.hops_by_domain(), (2, 0));
+        assert_eq!(p.oeo_conversions(), 0);
+    }
+
+    #[test]
+    fn waypoint_route_visits_in_order() {
+        let dc = dc();
+        let a = dc.node_of_server(ServerId(0));
+        let mid = dc.node_of_ops(dc.ops_ids().next().unwrap());
+        let b = dc.node_of_server(ServerId(10));
+        let p = route_flow(&dc, &[a, mid, b]).unwrap();
+        let pos = |n| p.nodes().iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(mid));
+        assert!(pos(mid) <= pos(b));
+    }
+
+    #[test]
+    fn duplicate_waypoints_are_skipped() {
+        let dc = dc();
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(3));
+        let p1 = route_flow(&dc, &[a, a, b, b]).unwrap();
+        let p2 = route_flow(&dc, &[a, b]).unwrap();
+        assert_eq!(p1.hop_count(), p2.hop_count());
+    }
+
+    #[test]
+    fn all_colocated_waypoints_give_trivial_path() {
+        let dc = dc();
+        let a = dc.node_of_server(ServerId(0));
+        let p = route_flow(&dc, &[a, a]).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.nodes(), &[a]);
+    }
+
+    #[test]
+    fn too_few_waypoints_rejected() {
+        let dc = dc();
+        let a = dc.node_of_server(ServerId(0));
+        assert_eq!(route_flow(&dc, &[a]), Err(RoutingError::TooFewWaypoints));
+        assert_eq!(route_flow(&dc, &[]), Err(RoutingError::TooFewWaypoints));
+    }
+
+    #[test]
+    fn restricted_route_stays_in_slice() {
+        let dc = dc();
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(11));
+        let free = route_flow(&dc, &[a, b]).unwrap();
+        // Allow exactly the free path's interior → same route is found.
+        let allowed: HashSet<NodeId> = free.nodes().iter().copied().collect();
+        let restricted = route_flow_within(&dc, &allowed, &[a, b]).unwrap();
+        for n in restricted.nodes() {
+            assert!(allowed.contains(n));
+        }
+    }
+
+    #[test]
+    fn empty_slice_blocks_cross_rack_route() {
+        let dc = dc();
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(11));
+        let err = route_flow_within(&dc, &HashSet::new(), &[a, b]);
+        assert!(matches!(err, Err(RoutingError::NoRoute { .. })));
+    }
+
+    #[test]
+    fn route_latency_is_sum_of_link_latencies() {
+        let dc = dc();
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(2));
+        let p = route_flow(&dc, &[a, b]).unwrap();
+        let expected: f64 = p
+            .link_domains()
+            .iter()
+            .map(|d| match d {
+                Domain::Electronic => 2.0,
+                Domain::Optical => 1.0,
+            })
+            .sum();
+        assert!((p.latency_us() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_error_display() {
+        let e = RoutingError::NoRoute {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
+        assert!(e.to_string().contains("no route"));
+        assert!(RoutingError::TooFewWaypoints.to_string().contains("two"));
+    }
+}
+
+#[cfg(test)]
+mod path_edges_tests {
+    use super::*;
+    use alvc_topology::{AlvcTopologyBuilder, ServerId};
+
+    #[test]
+    fn path_edges_match_hops_and_domains() {
+        let dc = AlvcTopologyBuilder::new().seed(4).build();
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(7));
+        let p = route_flow(&dc, &[a, b]).unwrap();
+        let edges = path_edges(&dc, &p);
+        assert_eq!(edges.len(), p.hop_count());
+        for (e, d) in edges.iter().zip(p.link_domains()) {
+            assert_eq!(dc.graph().edge_weight(*e).unwrap().domain, *d);
+        }
+    }
+
+    #[test]
+    fn trivial_path_has_no_edges() {
+        let dc = AlvcTopologyBuilder::new().seed(4).build();
+        let a = dc.node_of_server(ServerId(0));
+        let p = route_flow(&dc, &[a, a]).unwrap();
+        assert!(path_edges(&dc, &p).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod ecmp_tests {
+    use super::*;
+    use alvc_topology::{fat_tree, FatTreeParams, ServerId};
+
+    #[test]
+    fn ecmp_spreads_flows_across_cores() {
+        let dc = fat_tree(&FatTreeParams {
+            k: 4,
+            vms_per_server: 1,
+            seed: 0,
+        });
+        // Cross-pod pair: servers 0 (pod 0) and 15 (pod 3).
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(15));
+        let mut distinct = std::collections::HashSet::new();
+        for h in 0..32u64 {
+            let p = route_flow_ecmp(&dc, &[a, b], h).unwrap();
+            distinct.insert(p.nodes().to_vec());
+            // All paths remain shortest (6 hops in a fat-tree).
+            assert_eq!(p.hop_count(), 6, "hash {h}");
+        }
+        assert!(
+            distinct.len() >= 2,
+            "ECMP must use multiple equal-cost paths, got {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_hash() {
+        let dc = fat_tree(&FatTreeParams::default());
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(12));
+        for h in [0u64, 7, 99] {
+            let p1 = route_flow_ecmp(&dc, &[a, b], h).unwrap();
+            let p2 = route_flow_ecmp(&dc, &[a, b], h).unwrap();
+            assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn ecmp_matches_plain_routing_cost() {
+        let dc = fat_tree(&FatTreeParams::default());
+        let a = dc.node_of_server(ServerId(0));
+        let b = dc.node_of_server(ServerId(15));
+        let plain = route_flow(&dc, &[a, b]).unwrap();
+        let ecmp = route_flow_ecmp(&dc, &[a, b], 5).unwrap();
+        assert_eq!(plain.hop_count(), ecmp.hop_count());
+        assert!((plain.latency_us() - ecmp.latency_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecmp_trivial_cases() {
+        let dc = fat_tree(&FatTreeParams::default());
+        let a = dc.node_of_server(ServerId(0));
+        assert!(matches!(
+            route_flow_ecmp(&dc, &[a], 0),
+            Err(RoutingError::TooFewWaypoints)
+        ));
+        let p = route_flow_ecmp(&dc, &[a, a], 0).unwrap();
+        assert_eq!(p.hop_count(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for hybrid paths, routing, and cost models.
+
+use alvc_graph::NodeId;
+use alvc_optical::routing::{route_flow, route_flow_within};
+use alvc_optical::{EnergyModel, HybridPath, OeoCostModel};
+use alvc_topology::{AlvcTopologyBuilder, DataCenter, Domain, OpsInterconnect, ServerId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn domain_strategy() -> impl Strategy<Value = Vec<Domain>> {
+    proptest::collection::vec(
+        prop_oneof![Just(Domain::Optical), Just(Domain::Electronic)],
+        0..40,
+    )
+}
+
+fn path_of(domains: &[Domain]) -> HybridPath {
+    if domains.is_empty() {
+        return HybridPath::empty();
+    }
+    HybridPath::new(
+        (0..=domains.len()).map(NodeId).collect(),
+        domains.to_vec(),
+        domains.len() as f64,
+    )
+}
+
+fn dc_strategy() -> impl Strategy<Value = DataCenter> {
+    (2usize..6, 1usize..4, 2usize..8, 1usize..4, 0u64..500).prop_map(
+        |(racks, spr, ops, degree, seed)| {
+            AlvcTopologyBuilder::new()
+                .racks(racks)
+                .servers_per_rack(spr)
+                .vms_per_server(1)
+                .ops_count(ops)
+                .tor_ops_degree(degree)
+                .interconnect(OpsInterconnect::FullMesh)
+                .seed(seed)
+                .build()
+        },
+    )
+}
+
+proptest! {
+    /// Conversions are at most half the domain crossings, and zero for
+    /// single-domain paths.
+    #[test]
+    fn conversions_bounded_by_crossings(domains in domain_strategy()) {
+        let p = path_of(&domains);
+        prop_assert!(p.oeo_conversions() * 2 <= p.domain_crossings() + 1);
+        let single_domain = domains.windows(2).all(|w| w[0] == w[1]);
+        if single_domain {
+            prop_assert_eq!(p.oeo_conversions(), 0);
+            prop_assert_eq!(p.domain_crossings(), 0);
+        }
+        let (e, o) = p.hops_by_domain();
+        prop_assert_eq!(e + o, p.hop_count());
+    }
+
+    /// Conversions equal the number of electronic runs strictly between
+    /// optical segments (independent reference implementation).
+    #[test]
+    fn conversions_match_reference_count(domains in domain_strategy()) {
+        let p = path_of(&domains);
+        // Reference: trim leading/trailing electronic hops, then count
+        // maximal electronic runs.
+        let first_o = domains.iter().position(|&d| d == Domain::Optical);
+        let last_o = domains.iter().rposition(|&d| d == Domain::Optical);
+        let expected = match (first_o, last_o) {
+            (Some(a), Some(b)) if a < b => {
+                let inner = &domains[a..=b];
+                let mut runs = 0;
+                let mut in_run = false;
+                for &d in inner {
+                    match d {
+                        Domain::Electronic if !in_run => {
+                            runs += 1;
+                            in_run = true;
+                        }
+                        Domain::Optical => in_run = false,
+                        _ => {}
+                    }
+                }
+                runs
+            }
+            _ => 0,
+        };
+        prop_assert_eq!(p.oeo_conversions(), expected);
+    }
+
+    /// Energy is monotone in flow size and additive over conversions.
+    #[test]
+    fn energy_monotone_in_bytes(domains in domain_strategy(), bytes in 1u64..1_000_000) {
+        let p = path_of(&domains);
+        let m = EnergyModel::default();
+        let e1 = m.total_energy_nj(&p, bytes);
+        let e2 = m.total_energy_nj(&p, bytes * 2);
+        if p.hop_count() > 0 {
+            prop_assert!(e2 > e1);
+            prop_assert!((e2 - 2.0 * e1).abs() < 1e-6 * e2.max(1.0), "energy linear in bytes");
+        } else {
+            prop_assert_eq!(e1, 0.0);
+        }
+        let oeo = OeoCostModel::default();
+        prop_assert_eq!(
+            oeo.path_conversion_energy_nj(&p, bytes),
+            p.oeo_conversions() as f64 * oeo.conversion_energy_nj(bytes)
+        );
+    }
+
+    /// Routed paths connect their endpoints through existing edges and the
+    /// slice restriction is honored.
+    #[test]
+    fn routes_are_walks_and_respect_slices(dc in dc_strategy()) {
+        let servers: Vec<ServerId> = dc.server_ids().collect();
+        let a = dc.node_of_server(servers[0]);
+        let b = dc.node_of_server(*servers.last().unwrap());
+        if let Ok(p) = route_flow(&dc, &[a, b]) {
+            prop_assert_eq!(*p.nodes().first().unwrap(), a);
+            prop_assert_eq!(*p.nodes().last().unwrap(), b);
+            for w in p.nodes().windows(2) {
+                prop_assert!(dc.graph().contains_edge(w[0], w[1]));
+            }
+            // Restricting to exactly the found path reproduces a path
+            // inside the allowed set.
+            let allowed: HashSet<NodeId> = p.nodes().iter().copied().collect();
+            let q = route_flow_within(&dc, &allowed, &[a, b]).expect("path still available");
+            for n in q.nodes() {
+                prop_assert!(allowed.contains(n));
+            }
+        }
+    }
+
+    /// A route's latency equals the sum of the cheapest per-hop latencies.
+    #[test]
+    fn route_latency_is_additive(dc in dc_strategy()) {
+        let servers: Vec<ServerId> = dc.server_ids().collect();
+        let a = dc.node_of_server(servers[0]);
+        let b = dc.node_of_server(servers[servers.len() / 2]);
+        if a == b {
+            return Ok(());
+        }
+        if let Ok(p) = route_flow(&dc, &[a, b]) {
+            let mut total = 0.0;
+            for w in p.nodes().windows(2) {
+                let min_latency = dc
+                    .graph()
+                    .incident_edges(w[0])
+                    .filter(|&(_, n)| n == w[1])
+                    .map(|(e, _)| dc.graph().edge_weight(e).unwrap().latency_us)
+                    .fold(f64::INFINITY, f64::min);
+                total += min_latency;
+            }
+            prop_assert!((p.latency_us() - total).abs() < 1e-9);
+        }
+    }
+}

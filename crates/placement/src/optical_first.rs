@@ -1,0 +1,111 @@
+//! The paper's optical-first placement rule (§IV.D).
+
+use std::collections::HashMap;
+
+use alvc_nfv::ResourceDemand;
+use alvc_nfv::{ChainSpec, HostLocation, PlacementContext, PlacementError, VnfPlacer};
+use alvc_topology::{OpsId, ServerId};
+
+/// "We propose to move VNFs to the optical domain": each VNF goes to an
+/// optoelectronic router of the slice's AL whenever one has capacity,
+/// otherwise to a server.
+///
+/// Routers are chosen best-fit (tightest remaining CPU after placement) so
+/// light VNFs pack densely and capacity is preserved for later chains;
+/// servers are chosen least-loaded-first like the electronic baseline.
+///
+/// # Example
+///
+/// ```
+/// // See the `alvc-placement` integration tests; constructing a context
+/// // requires a built topology and abstraction layer.
+/// use alvc_placement::OpticalFirstPlacer;
+/// use alvc_nfv::VnfPlacer;
+/// assert_eq!(OpticalFirstPlacer::new().name(), "optical-first");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpticalFirstPlacer {
+    _priv: (),
+}
+
+impl OpticalFirstPlacer {
+    /// Creates the placer.
+    pub fn new() -> Self {
+        OpticalFirstPlacer::default()
+    }
+}
+
+/// Shared helper: pick the least-CPU-loaded server.
+pub(crate) fn least_loaded_server(
+    servers: &[ServerId],
+    load: &HashMap<ServerId, f64>,
+) -> Option<ServerId> {
+    servers
+        .iter()
+        .min_by(|a, b| {
+            let la = load.get(a).copied().unwrap_or(0.0);
+            let lb = load.get(b).copied().unwrap_or(0.0);
+            la.partial_cmp(&lb).expect("finite load").then(a.cmp(b))
+        })
+        .copied()
+}
+
+impl VnfPlacer for OpticalFirstPlacer {
+    fn name(&self) -> &'static str {
+        "optical-first"
+    }
+
+    fn place(
+        &self,
+        ctx: &PlacementContext<'_>,
+        chain: &ChainSpec,
+    ) -> Result<Vec<HostLocation>, PlacementError> {
+        let opto = ctx.opto_candidates();
+        // Local view of usage accumulated during this placement.
+        let mut opto_used: HashMap<OpsId, ResourceDemand> =
+            opto.iter().map(|&o| (o, ctx.used_on_opto(o))).collect();
+        let mut server_load: HashMap<ServerId, f64> = ctx
+            .servers
+            .iter()
+            .map(|&s| (s, ctx.used_on_server(s).cpu))
+            .collect();
+
+        let mut hosts = Vec::with_capacity(chain.vnfs.len());
+        for (i, spec) in chain.vnfs.iter().enumerate() {
+            // Best-fit optoelectronic router: feasible with minimal
+            // remaining CPU after placement.
+            let best_opto = opto
+                .iter()
+                .filter(|&&o| {
+                    let cap = ctx.dc.opto_capacity(o).expect("opto candidate");
+                    spec.demand.fits_in(&cap, &opto_used[&o])
+                })
+                .min_by(|&&a, &&b| {
+                    let rem = |o: OpsId| {
+                        ctx.dc.opto_capacity(o).expect("opto candidate").cpu
+                            - opto_used[&o].cpu
+                            - spec.demand.cpu
+                    };
+                    rem(a).partial_cmp(&rem(b)).expect("finite").then(a.cmp(&b))
+                })
+                .copied();
+            if let Some(o) = best_opto {
+                let e = opto_used.get_mut(&o).expect("tracked");
+                *e = e.plus(&spec.demand);
+                hosts.push(HostLocation::OptoRouter(o));
+                continue;
+            }
+            // Fall back to the electronic domain.
+            let Some(server) = least_loaded_server(ctx.servers, &server_load) else {
+                return Err(if ctx.servers.is_empty() {
+                    PlacementError::NoElectronicHost
+                } else {
+                    PlacementError::NoCapacity { chain_position: i }
+                });
+            };
+            *server_load.entry(server).or_insert(0.0) += spec.demand.cpu;
+            hosts.push(HostLocation::Server(server));
+        }
+        Ok(hosts)
+    }
+}

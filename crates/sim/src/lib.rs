@@ -1,0 +1,41 @@
+//! Flow-level discrete-event simulation and workload generation for the
+//! AL-VC experiments.
+//!
+//! The paper's architecture claims (service locality §III.A, O/E/O savings
+//! §IV.D, energy §III.B) are exercised by simulating flows over deployed
+//! chains:
+//!
+//! * [`event`] — a deterministic discrete-event queue (u64-nanosecond
+//!   timebase, FIFO tie-breaking);
+//! * [`workload`] — seeded generators: Poisson arrivals, Pareto
+//!   heavy-tailed flow sizes, service-correlated VM-to-VM traffic;
+//! * [`traffic`] — traffic matrices and the intra- vs inter-cluster
+//!   locality report of experiment E1;
+//! * [`flowsim`] — the flow-level simulator: flows arrive per chain,
+//!   traverse the chain's hybrid path, and accumulate completion-time,
+//!   conversion, and energy metrics;
+//! * [`fairshare`] — flow-level contention: max–min fair rate allocation
+//!   with event-driven recomputation (experiment E10);
+//! * [`linkload`] — per-link byte accounting and hotspot reports;
+//! * [`metrics`] — counters and sample summaries (mean/percentiles).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fairshare;
+pub mod flowsim;
+pub mod linkload;
+pub mod metrics;
+pub mod traffic;
+pub mod workload;
+
+pub use event::EventQueue;
+pub use fairshare::{simulate_fair_share, FairFlow, FairShareReport};
+pub use flowsim::{ChainLoad, FlowSim, SimReport};
+pub use linkload::LinkLoad;
+pub use metrics::{Counter, Summary};
+pub use traffic::{LocalityReport, TrafficMatrix};
+pub use workload::{
+    ChainBlueprint, ChainWorkload, FlowSizeDistribution, PoissonArrivals, ServiceTraffic,
+};

@@ -1,0 +1,188 @@
+//! Traffic matrices and the cluster-locality report (experiment E1).
+
+use serde::{Deserialize, Serialize};
+
+use alvc_topology::{DataCenter, VmId};
+
+use crate::workload::GeneratedFlow;
+
+/// A set of VM-to-VM traffic demands.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    entries: Vec<GeneratedFlow>,
+}
+
+impl TrafficMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        TrafficMatrix::default()
+    }
+
+    /// Adds a demand.
+    pub fn push(&mut self, flow: GeneratedFlow) {
+        self.entries.push(flow);
+    }
+
+    /// Number of demands.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over demands.
+    pub fn iter(&self) -> impl Iterator<Item = &GeneratedFlow> {
+        self.entries.iter()
+    }
+
+    /// Total bytes across all demands.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|f| f.bytes).sum()
+    }
+}
+
+impl FromIterator<GeneratedFlow> for TrafficMatrix {
+    fn from_iter<T: IntoIterator<Item = GeneratedFlow>>(iter: T) -> Self {
+        TrafficMatrix {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<GeneratedFlow> for TrafficMatrix {
+    fn extend<T: IntoIterator<Item = GeneratedFlow>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+/// How much of a traffic matrix stays inside service clusters — the
+/// quantitative version of Fig. 1/3's motivation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityReport {
+    /// Bytes between same-service VMs.
+    pub intra_bytes: u64,
+    /// Bytes between different-service VMs.
+    pub inter_bytes: u64,
+    /// Flows between same-service VMs.
+    pub intra_flows: usize,
+    /// Flows between different-service VMs.
+    pub inter_flows: usize,
+}
+
+impl LocalityReport {
+    /// Computes the report for `matrix` against `dc`'s service tags.
+    pub fn compute(dc: &DataCenter, matrix: &TrafficMatrix) -> Self {
+        let mut report = LocalityReport {
+            intra_bytes: 0,
+            inter_bytes: 0,
+            intra_flows: 0,
+            inter_flows: 0,
+        };
+        for f in matrix.iter() {
+            if dc.service_of_vm(f.src) == dc.service_of_vm(f.dst) {
+                report.intra_bytes += f.bytes;
+                report.intra_flows += 1;
+            } else {
+                report.inter_bytes += f.bytes;
+                report.inter_flows += 1;
+            }
+        }
+        report
+    }
+
+    /// Fraction of bytes that stay within a service cluster (0 for an
+    /// empty matrix).
+    pub fn intra_byte_share(&self) -> f64 {
+        let total = self.intra_bytes + self.inter_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.intra_bytes as f64 / total as f64
+        }
+    }
+
+    /// Fraction of flows that stay within a service cluster.
+    pub fn intra_flow_share(&self) -> f64 {
+        let total = self.intra_flows + self.inter_flows;
+        if total == 0 {
+            0.0
+        } else {
+            self.intra_flows as f64 / total as f64
+        }
+    }
+}
+
+/// Helper: builds a matrix by selecting VM pairs with a fixed byte count.
+pub fn matrix_of_pairs(pairs: &[(VmId, VmId, u64)]) -> TrafficMatrix {
+    pairs
+        .iter()
+        .map(|&(src, dst, bytes)| GeneratedFlow { src, dst, bytes })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{FlowSizeDistribution, ServiceTraffic};
+    use alvc_topology::{AlvcTopologyBuilder, ServiceMix, ServiceType};
+
+    #[test]
+    fn empty_matrix_report() {
+        let dc = AlvcTopologyBuilder::new().seed(0).build();
+        let report = LocalityReport::compute(&dc, &TrafficMatrix::new());
+        assert_eq!(report.intra_byte_share(), 0.0);
+        assert_eq!(report.intra_flow_share(), 0.0);
+    }
+
+    #[test]
+    fn pure_intra_matrix() {
+        let dc = AlvcTopologyBuilder::new()
+            .service_mix(ServiceMix::uniform(&[ServiceType::WebService]))
+            .seed(1)
+            .build();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let m = matrix_of_pairs(&[(vms[0], vms[1], 100), (vms[2], vms[3], 50)]);
+        let r = LocalityReport::compute(&dc, &m);
+        assert_eq!(r.intra_bytes, 150);
+        assert_eq!(r.inter_bytes, 0);
+        assert_eq!(r.intra_byte_share(), 1.0);
+        assert_eq!(m.total_bytes(), 150);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn correlated_workload_shows_high_locality() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(6)
+            .vms_per_server(4)
+            .seed(3)
+            .build();
+        let mut gen = ServiceTraffic::new(0.8, FlowSizeDistribution::Constant(1000), 11);
+        let matrix: TrafficMatrix = gen.generate(&dc, 1000).into_iter().collect();
+        let r = LocalityReport::compute(&dc, &matrix);
+        assert!(r.intra_flow_share() > 0.7);
+        assert!(r.intra_byte_share() > 0.7);
+        assert_eq!(r.intra_flows + r.inter_flows, 1000);
+    }
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut m = TrafficMatrix::new();
+        assert!(m.is_empty());
+        m.push(GeneratedFlow {
+            src: VmId(0),
+            dst: VmId(1),
+            bytes: 10,
+        });
+        m.extend([GeneratedFlow {
+            src: VmId(1),
+            dst: VmId(0),
+            bytes: 20,
+        }]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.iter().map(|f| f.bytes).sum::<u64>(), 30);
+    }
+}

@@ -1,0 +1,706 @@
+//! Topology generators.
+//!
+//! [`AlvcTopologyBuilder`] produces the paper's topology (Fig. 2): racks of
+//! servers behind ToRs, each ToR uplinked to several OPSs, OPSs
+//! interconnected into an optical core. [`leaf_spine`] produces the
+//! conventional all-electronic baseline used by the comparison experiments.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::element::OptoCapacity;
+use crate::ids::TorId;
+use crate::service::ServiceMix;
+use crate::topology::DataCenter;
+
+/// How the OPSs of the optical core are interconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpsInterconnect {
+    /// No OPS↔OPS links: ToRs are the only bridges (the pure Fig. 2 shape).
+    None,
+    /// A ring over all OPSs.
+    Ring,
+    /// A full mesh over all OPSs.
+    FullMesh,
+    /// Each OPS gets links to `d` random distinct other OPSs.
+    Random(usize),
+}
+
+/// Builder for AL-VC style topologies.
+///
+/// All parameters have defaults small enough for unit tests; experiments
+/// scale them up. Randomness (uplink choice, service assignment,
+/// dual-homing, optoelectronic placement) is driven by a seeded RNG so runs
+/// are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use alvc_topology::AlvcTopologyBuilder;
+///
+/// let dc = AlvcTopologyBuilder::new()
+///     .racks(8)
+///     .servers_per_rack(4)
+///     .vms_per_server(4)
+///     .ops_count(12)
+///     .tor_ops_degree(3)
+///     .opto_fraction(0.5)
+///     .seed(42)
+///     .build();
+/// assert_eq!(dc.vm_count(), 8 * 4 * 4);
+/// assert!(!dc.optoelectronic_ops().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlvcTopologyBuilder {
+    racks: usize,
+    servers_per_rack: usize,
+    vms_per_server: usize,
+    ops_count: usize,
+    tor_ops_degree: usize,
+    opto_fraction: f64,
+    opto_capacity: OptoCapacity,
+    interconnect: OpsInterconnect,
+    service_mix: ServiceMix,
+    dual_home_prob: f64,
+    seed: u64,
+}
+
+impl Default for AlvcTopologyBuilder {
+    fn default() -> Self {
+        AlvcTopologyBuilder {
+            racks: 4,
+            servers_per_rack: 4,
+            vms_per_server: 2,
+            ops_count: 6,
+            tor_ops_degree: 2,
+            opto_fraction: 0.5,
+            opto_capacity: OptoCapacity::small(),
+            interconnect: OpsInterconnect::Ring,
+            service_mix: ServiceMix::default(),
+            dual_home_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl AlvcTopologyBuilder {
+    /// Creates a builder with the default (small) parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of racks (= number of ToRs).
+    pub fn racks(mut self, n: usize) -> Self {
+        self.racks = n;
+        self
+    }
+
+    /// Servers per rack.
+    pub fn servers_per_rack(mut self, n: usize) -> Self {
+        self.servers_per_rack = n;
+        self
+    }
+
+    /// VMs per server.
+    pub fn vms_per_server(mut self, n: usize) -> Self {
+        self.vms_per_server = n;
+        self
+    }
+
+    /// Number of OPSs in the optical core.
+    pub fn ops_count(mut self, n: usize) -> Self {
+        self.ops_count = n;
+        self
+    }
+
+    /// Number of distinct OPSs each ToR uplinks to (capped at `ops_count`).
+    pub fn tor_ops_degree(mut self, n: usize) -> Self {
+        self.tor_ops_degree = n;
+        self
+    }
+
+    /// Fraction of OPSs that are optoelectronic routers (0..=1).
+    pub fn opto_fraction(mut self, f: f64) -> Self {
+        self.opto_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Capacity given to each optoelectronic router.
+    pub fn opto_capacity(mut self, cap: OptoCapacity) -> Self {
+        self.opto_capacity = cap;
+        self
+    }
+
+    /// OPS core interconnect pattern.
+    pub fn interconnect(mut self, i: OpsInterconnect) -> Self {
+        self.interconnect = i;
+        self
+    }
+
+    /// Service mix for VM assignment.
+    pub fn service_mix(mut self, mix: ServiceMix) -> Self {
+        self.service_mix = mix;
+        self
+    }
+
+    /// Probability that a server gets a second access link to a random
+    /// foreign ToR (the multi-homed machines of Fig. 4).
+    pub fn dual_home_prob(mut self, p: f64) -> Self {
+        self.dual_home_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Generates the data center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `racks`, `servers_per_rack`, or `ops_count` is zero.
+    pub fn build(&self) -> DataCenter {
+        assert!(self.racks > 0, "need at least one rack");
+        assert!(
+            self.servers_per_rack > 0,
+            "need at least one server per rack"
+        );
+        assert!(self.ops_count > 0, "need at least one OPS");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dc = DataCenter::new();
+
+        // Racks, servers, VMs.
+        let mut rack_ids = Vec::with_capacity(self.racks);
+        for _ in 0..self.racks {
+            let (rack, _tor) = dc.add_rack();
+            rack_ids.push(rack);
+            for _ in 0..self.servers_per_rack {
+                let server = dc.add_server(rack);
+                for _ in 0..self.vms_per_server {
+                    let service = self.service_mix.sample(rng.random());
+                    dc.add_vm(server, service);
+                }
+            }
+        }
+
+        // OPS core: first `ceil(fraction * n)` switches optoelectronic, then
+        // shuffled so positions are random but the count exact.
+        let n_opto = (self.opto_fraction * self.ops_count as f64).round() as usize;
+        let mut opto_flags: Vec<bool> = (0..self.ops_count).map(|i| i < n_opto).collect();
+        opto_flags.shuffle(&mut rng);
+        let ops_ids: Vec<_> = opto_flags
+            .iter()
+            .map(|&is_opto| dc.add_ops(is_opto.then_some(self.opto_capacity)))
+            .collect();
+
+        // ToR uplinks: each ToR picks `degree` distinct OPSs at random, but
+        // every OPS gets at least one ToR when possible (round-robin first).
+        let degree = self.tor_ops_degree.clamp(1, self.ops_count);
+        for (t, _) in rack_ids.iter().enumerate() {
+            let tor = TorId(t);
+            let mut picks: Vec<usize> = Vec::with_capacity(degree);
+            // Round-robin guarantees core usage spread.
+            picks.push(t % self.ops_count);
+            let mut candidates: Vec<usize> = (0..self.ops_count)
+                .filter(|&o| o != t % self.ops_count)
+                .collect();
+            candidates.shuffle(&mut rng);
+            picks.extend(candidates.into_iter().take(degree - 1));
+            for o in picks {
+                dc.connect_tor_ops(tor, ops_ids[o]);
+            }
+        }
+
+        // Dual-homing.
+        if self.dual_home_prob > 0.0 && self.racks > 1 {
+            for server in dc.server_ids().collect::<Vec<_>>() {
+                if rng.random::<f64>() < self.dual_home_prob {
+                    let home = dc.rack_of_server(server);
+                    let mut other = rng.random_range(0..self.racks);
+                    if other == home.index() {
+                        other = (other + 1) % self.racks;
+                    }
+                    dc.add_access_link(server, TorId(other));
+                }
+            }
+        }
+
+        // OPS interconnect.
+        match self.interconnect {
+            OpsInterconnect::None => {}
+            OpsInterconnect::Ring => {
+                if self.ops_count > 1 {
+                    for i in 0..self.ops_count {
+                        dc.connect_ops_ops(ops_ids[i], ops_ids[(i + 1) % self.ops_count]);
+                    }
+                }
+            }
+            OpsInterconnect::FullMesh => {
+                for i in 0..self.ops_count {
+                    for j in (i + 1)..self.ops_count {
+                        dc.connect_ops_ops(ops_ids[i], ops_ids[j]);
+                    }
+                }
+            }
+            OpsInterconnect::Random(d) => {
+                for i in 0..self.ops_count {
+                    let mut others: Vec<usize> = (0..self.ops_count).filter(|&j| j != i).collect();
+                    others.shuffle(&mut rng);
+                    for &j in others.iter().take(d) {
+                        dc.connect_ops_ops(ops_ids[i], ops_ids[j]);
+                    }
+                }
+            }
+        }
+
+        dc
+    }
+}
+
+/// Parameters for the electronic leaf–spine baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafSpineParams {
+    /// Number of leaf (ToR) switches = racks.
+    pub leaves: usize,
+    /// Number of spine switches.
+    pub spines: usize,
+    /// Servers per rack.
+    pub servers_per_rack: usize,
+    /// VMs per server.
+    pub vms_per_server: usize,
+    /// RNG seed for service assignment.
+    pub seed: u64,
+}
+
+impl Default for LeafSpineParams {
+    fn default() -> Self {
+        LeafSpineParams {
+            leaves: 4,
+            spines: 2,
+            servers_per_rack: 4,
+            vms_per_server: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a conventional all-electronic leaf–spine data center: every
+/// leaf connects to every spine with electronic aggregation links.
+///
+/// Spines are modeled as OPS nodes without optical links or optoelectronic
+/// capacity so the same covering/query machinery applies; every link carries
+/// [`crate::LinkAttrs::electronic_agg`] attributes, so domain-aware cost
+/// models see a purely electronic fabric.
+///
+/// # Panics
+///
+/// Panics if `leaves`, `spines`, or `servers_per_rack` is zero.
+pub fn leaf_spine(params: &LeafSpineParams) -> DataCenter {
+    assert!(params.leaves > 0, "need at least one leaf");
+    assert!(params.spines > 0, "need at least one spine");
+    assert!(
+        params.servers_per_rack > 0,
+        "need at least one server per rack"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mix = ServiceMix::default();
+    let mut dc = DataCenter::new();
+    for _ in 0..params.leaves {
+        let (rack, _) = dc.add_rack();
+        for _ in 0..params.servers_per_rack {
+            let server = dc.add_server(rack);
+            for _ in 0..params.vms_per_server {
+                dc.add_vm(server, mix.sample(rng.random()));
+            }
+        }
+    }
+    let spines: Vec<_> = (0..params.spines).map(|_| dc.add_ops(None)).collect();
+    for t in 0..params.leaves {
+        for &s in &spines {
+            dc.connect_tor_ops_with(TorId(t), s, crate::LinkAttrs::electronic_agg());
+        }
+    }
+    dc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Domain;
+
+    #[test]
+    fn builder_produces_requested_counts() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(5)
+            .servers_per_rack(3)
+            .vms_per_server(4)
+            .ops_count(7)
+            .seed(1)
+            .build();
+        assert_eq!(dc.rack_count(), 5);
+        assert_eq!(dc.tor_count(), 5);
+        assert_eq!(dc.server_count(), 15);
+        assert_eq!(dc.vm_count(), 60);
+        assert_eq!(dc.ops_count(), 7);
+    }
+
+    #[test]
+    fn tor_degree_respected() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(6)
+            .ops_count(8)
+            .tor_ops_degree(3)
+            .seed(2)
+            .build();
+        for t in dc.tor_ids() {
+            assert_eq!(dc.ops_of_tor(t).len(), 3, "tor {t} degree");
+        }
+    }
+
+    #[test]
+    fn degree_capped_at_ops_count() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(2)
+            .ops_count(2)
+            .tor_ops_degree(10)
+            .seed(3)
+            .build();
+        for t in dc.tor_ids() {
+            assert_eq!(dc.ops_of_tor(t).len(), 2);
+        }
+    }
+
+    #[test]
+    fn opto_fraction_counts() {
+        let dc = AlvcTopologyBuilder::new()
+            .ops_count(10)
+            .opto_fraction(0.3)
+            .seed(4)
+            .build();
+        assert_eq!(dc.optoelectronic_ops().len(), 3);
+        let all = AlvcTopologyBuilder::new()
+            .ops_count(10)
+            .opto_fraction(1.0)
+            .seed(4)
+            .build();
+        assert_eq!(all.optoelectronic_ops().len(), 10);
+        let none = AlvcTopologyBuilder::new()
+            .ops_count(10)
+            .opto_fraction(0.0)
+            .seed(4)
+            .build();
+        assert!(none.optoelectronic_ops().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_topology() {
+        let a = AlvcTopologyBuilder::new()
+            .seed(9)
+            .dual_home_prob(0.5)
+            .build();
+        let b = AlvcTopologyBuilder::new()
+            .seed(9)
+            .dual_home_prob(0.5)
+            .build();
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        for t in a.tor_ids() {
+            assert_eq!(a.ops_of_tor(t), b.ops_of_tor(t));
+        }
+        for vm in a.vm_ids() {
+            assert_eq!(a.service_of_vm(vm), b.service_of_vm(vm));
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_wiring() {
+        let a = AlvcTopologyBuilder::new()
+            .racks(10)
+            .ops_count(10)
+            .tor_ops_degree(3)
+            .seed(1)
+            .build();
+        let b = AlvcTopologyBuilder::new()
+            .racks(10)
+            .ops_count(10)
+            .tor_ops_degree(3)
+            .seed(2)
+            .build();
+        let differs = a.tor_ids().any(|t| a.ops_of_tor(t) != b.ops_of_tor(t));
+        assert!(differs, "seeds should change uplink wiring");
+    }
+
+    #[test]
+    fn ring_interconnect_connects_core() {
+        let dc = AlvcTopologyBuilder::new()
+            .interconnect(OpsInterconnect::Ring)
+            .seed(5)
+            .build();
+        assert!(dc.is_core_connected());
+    }
+
+    #[test]
+    fn full_mesh_edge_count() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(2)
+            .ops_count(5)
+            .tor_ops_degree(1)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(6)
+            .build();
+        // 2 access-per-server*? Count OPS-OPS links = C(5,2) = 10.
+        let optical_links = dc.link_count_in_domain(Domain::Optical);
+        // 2 uplinks + 10 core links.
+        assert_eq!(optical_links, 12);
+    }
+
+    #[test]
+    fn random_interconnect_bounded_degree() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(2)
+            .ops_count(6)
+            .interconnect(OpsInterconnect::Random(2))
+            .seed(7)
+            .build();
+        // Each OPS initiated ≤2 links; total core links ≤ 12.
+        let core_links = dc
+            .graph()
+            .edges()
+            .filter(|(_, a, b, _)| {
+                matches!(
+                    (dc.graph().node_weight(*a), dc.graph().node_weight(*b)),
+                    (
+                        Some(crate::element::PhysNode::Ops { .. }),
+                        Some(crate::element::PhysNode::Ops { .. })
+                    )
+                )
+            })
+            .count();
+        assert!(core_links <= 12);
+        assert!(core_links >= 6); // each initiates at least 2, deduped ≥ n
+    }
+
+    #[test]
+    fn dual_homing_creates_extra_access_links() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(8)
+            .servers_per_rack(4)
+            .dual_home_prob(1.0)
+            .seed(8)
+            .build();
+        for s in dc.server_ids() {
+            let vm = dc.vms_of_server(s)[0];
+            assert_eq!(dc.tors_of_vm(vm).len(), 2, "every server dual-homed");
+        }
+    }
+
+    #[test]
+    fn every_ops_touched_when_tors_outnumber_ops() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(12)
+            .ops_count(6)
+            .tor_ops_degree(2)
+            .seed(10)
+            .build();
+        for o in dc.ops_ids() {
+            assert!(
+                !dc.tors_of_ops(o).is_empty(),
+                "round-robin should touch every OPS"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn zero_racks_rejected() {
+        AlvcTopologyBuilder::new().racks(0).build();
+    }
+
+    #[test]
+    fn leaf_spine_is_fully_electronic_and_connected() {
+        let dc = leaf_spine(&LeafSpineParams::default());
+        assert_eq!(dc.link_count_in_domain(Domain::Optical), 0);
+        assert!(dc.is_core_connected());
+        assert_eq!(dc.vm_count(), 4 * 4 * 2);
+        // Every leaf sees every spine.
+        for t in dc.tor_ids() {
+            assert_eq!(dc.ops_of_tor(t).len(), 2);
+        }
+        assert!(dc.optoelectronic_ops().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one spine")]
+    fn leaf_spine_zero_spines_rejected() {
+        leaf_spine(&LeafSpineParams {
+            spines: 0,
+            ..Default::default()
+        });
+    }
+}
+
+/// Parameters for the 3-tier k-ary fat-tree electronic baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatTreeParams {
+    /// Switch radix `k` (must be even and ≥ 2). The tree has `k` pods,
+    /// `k/2` edge + `k/2` aggregation switches per pod, `(k/2)²` core
+    /// switches, and `k/2` servers per edge switch — `k³/4` servers total.
+    pub k: usize,
+    /// VMs per server.
+    pub vms_per_server: usize,
+    /// RNG seed for service assignment.
+    pub seed: u64,
+}
+
+impl Default for FatTreeParams {
+    fn default() -> Self {
+        FatTreeParams {
+            k: 4,
+            vms_per_server: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a k-ary fat-tree: the canonical fully-provisioned electronic
+/// DCN (Al-Fares et al.), used as a second baseline beside
+/// [`leaf_spine`].
+///
+/// Mapping onto the AL-VC element model: edge switches are ToRs;
+/// aggregation and core switches are OPS nodes without optical links or
+/// optoelectronic capacity, joined by [`crate::LinkAttrs::electronic_agg`]
+/// links, so domain-aware cost models see a purely electronic fabric.
+/// Aggregation switches occupy OPS ids `0..k²/2` (pod-major); core
+/// switches follow.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or zero.
+pub fn fat_tree(params: &FatTreeParams) -> DataCenter {
+    let k = params.k;
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree radix must be even and >= 2"
+    );
+    let half = k / 2;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mix = ServiceMix::default();
+    let mut dc = DataCenter::new();
+
+    // Edge switches (= racks/ToRs) with their servers: k pods × k/2 edges.
+    for _pod in 0..k {
+        for _edge in 0..half {
+            let (rack, _tor) = dc.add_rack();
+            for _ in 0..half {
+                let server = dc.add_server(rack);
+                for _ in 0..params.vms_per_server {
+                    dc.add_vm(server, mix.sample(rng.random()));
+                }
+            }
+        }
+    }
+    // Aggregation switches: k pods × k/2; then (k/2)² core switches.
+    let agg: Vec<Vec<crate::OpsId>> = (0..k)
+        .map(|_| (0..half).map(|_| dc.add_ops(None)).collect())
+        .collect();
+    let core: Vec<crate::OpsId> = (0..half * half).map(|_| dc.add_ops(None)).collect();
+
+    for (pod, pod_aggs) in agg.iter().enumerate() {
+        for (a, &agg_sw) in pod_aggs.iter().enumerate() {
+            // Full bipartite edge↔agg inside the pod.
+            for e in 0..half {
+                let tor = TorId(pod * half + e);
+                dc.connect_tor_ops_with(tor, agg_sw, crate::LinkAttrs::electronic_agg());
+            }
+            // Each agg switch connects to k/2 core switches: agg `a`
+            // reaches cores a*k/2 .. a*k/2 + k/2 - 1.
+            for c in 0..half {
+                dc.connect_ops_ops_with(
+                    agg_sw,
+                    core[a * half + c],
+                    crate::LinkAttrs::electronic_agg(),
+                );
+            }
+        }
+    }
+    dc
+}
+
+#[cfg(test)]
+mod fat_tree_tests {
+    use super::*;
+    use crate::element::Domain;
+    use crate::stats::TopologyStats;
+
+    #[test]
+    fn k4_fat_tree_has_canonical_counts() {
+        let dc = fat_tree(&FatTreeParams::default());
+        // k=4: 16 servers, 8 edge (ToR), 8 agg + 4 core = 12 OPS nodes.
+        assert_eq!(dc.server_count(), 16);
+        assert_eq!(dc.tor_count(), 8);
+        assert_eq!(dc.ops_count(), 12);
+        // Links: 16 access + 8 edges×2 agg = 16 edge-agg + 8 agg×2 core.
+        let s = TopologyStats::compute(&dc);
+        assert_eq!(s.optical_links, 0, "fully electronic");
+        assert_eq!(s.electronic_links, 16 + 16 + 16);
+        assert!(s.core_connected);
+    }
+
+    #[test]
+    fn k6_fat_tree_scales() {
+        let dc = fat_tree(&FatTreeParams {
+            k: 6,
+            vms_per_server: 2,
+            seed: 1,
+        });
+        assert_eq!(dc.server_count(), 6 * 6 * 6 / 4);
+        assert_eq!(dc.vm_count(), 2 * 54);
+        assert_eq!(dc.tor_count(), 18);
+        assert_eq!(dc.ops_count(), 18 + 9);
+        assert!(dc.is_core_connected());
+        assert_eq!(dc.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fat_tree_paths_have_bounded_hops() {
+        use alvc_graph::shortest_path::bfs_distances;
+        let dc = fat_tree(&FatTreeParams::default());
+        // Server-to-server ≤ 6 hops (srv-edge-agg-core-agg-edge-srv).
+        let src = dc.node_of_server(crate::ServerId(0));
+        let dist = bfs_distances(dc.graph(), src);
+        for s in dc.server_ids() {
+            let d = dist[dc.node_of_server(s).index()];
+            assert!(d <= 6, "server {s} at distance {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_radix_rejected() {
+        fat_tree(&FatTreeParams {
+            k: 3,
+            vms_per_server: 1,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn fat_tree_is_rearrangeably_nonblocking_shape() {
+        // Every edge switch reaches every core switch (via its pod aggs).
+        let dc = fat_tree(&FatTreeParams::default());
+        let core_ids: Vec<_> = dc.ops_ids().skip(8).collect();
+        for t in dc.tor_ids() {
+            for &c in &core_ids {
+                let reachable = alvc_graph::traversal::is_reachable(
+                    dc.graph(),
+                    dc.node_of_tor(t),
+                    dc.node_of_ops(c),
+                );
+                assert!(reachable);
+            }
+        }
+        let _ = Domain::Electronic;
+    }
+}

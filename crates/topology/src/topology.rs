@@ -1,0 +1,726 @@
+//! The queryable data center topology.
+
+use alvc_graph::cover::SetCoverInstance;
+use alvc_graph::{Bipartite, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::element::{Domain, LinkAttrs, OptoCapacity, PhysNode};
+use crate::ids::{OpsId, RackId, ServerId, TorId, VmId};
+use crate::service::ServiceType;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RackRecord {
+    tor: TorId,
+    servers: Vec<ServerId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServerRecord {
+    rack: RackId,
+    node: NodeId,
+    /// ToRs this server has access links to (first is the rack's own ToR;
+    /// extra entries model dual-homed servers as in the paper's Fig. 4).
+    tors: Vec<TorId>,
+    vms: Vec<VmId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct VmRecord {
+    server: ServerId,
+    service: ServiceType,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TorRecord {
+    rack: RackId,
+    node: NodeId,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OpsRecord {
+    node: NodeId,
+    opto: Option<OptoCapacity>,
+}
+
+/// A data center: racks of servers behind ToR switches, an OPS core, and
+/// VMs placed on the servers.
+///
+/// The struct owns a physical [`Graph`] over ToRs, servers, and OPSs and
+/// dense id maps for each element class. VMs are not graph nodes; they
+/// attach to the topology through their server.
+///
+/// Instances are usually produced by
+/// [`AlvcTopologyBuilder`](crate::AlvcTopologyBuilder) or
+/// [`leaf_spine`](crate::generators::leaf_spine); the mutation API below is
+/// public so tests and custom generators can build arbitrary shapes.
+///
+/// # Example
+///
+/// ```
+/// use alvc_topology::{DataCenter, ServiceType};
+///
+/// let mut dc = DataCenter::new();
+/// let (rack, tor) = dc.add_rack();
+/// let srv = dc.add_server(rack);
+/// let vm = dc.add_vm(srv, ServiceType::WebService);
+/// let ops = dc.add_ops(None);
+/// dc.connect_tor_ops(tor, ops);
+/// assert_eq!(dc.tor_of_vm(vm), tor);
+/// assert_eq!(dc.ops_of_tor(tor), vec![ops]);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataCenter {
+    graph: Graph<PhysNode, LinkAttrs>,
+    racks: Vec<RackRecord>,
+    servers: Vec<ServerRecord>,
+    vms: Vec<VmRecord>,
+    tors: Vec<TorRecord>,
+    opss: Vec<OpsRecord>,
+}
+
+impl DataCenter {
+    /// Creates an empty data center.
+    pub fn new() -> Self {
+        DataCenter::default()
+    }
+
+    // ----- construction -----------------------------------------------
+
+    /// Adds a rack with its ToR switch; returns `(rack, tor)`.
+    pub fn add_rack(&mut self) -> (RackId, TorId) {
+        let rack = RackId(self.racks.len());
+        let tor = TorId(self.tors.len());
+        let node = self.graph.add_node(PhysNode::Tor(tor));
+        self.tors.push(TorRecord { rack, node });
+        self.racks.push(RackRecord {
+            tor,
+            servers: Vec::new(),
+        });
+        (rack, tor)
+    }
+
+    /// Adds a server to `rack`, wired to the rack's ToR with an access link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack` does not exist.
+    pub fn add_server(&mut self, rack: RackId) -> ServerId {
+        let tor = self.racks[rack.0].tor;
+        let server = ServerId(self.servers.len());
+        let node = self.graph.add_node(PhysNode::Server(server));
+        self.graph
+            .add_edge(node, self.tors[tor.0].node, LinkAttrs::access());
+        self.servers.push(ServerRecord {
+            rack,
+            node,
+            tors: vec![tor],
+            vms: Vec::new(),
+        });
+        self.racks[rack.0].servers.push(server);
+        server
+    }
+
+    /// Adds an extra access link from `server` to `tor` (dual-homing, as in
+    /// the machines of the paper's Fig. 4 that attach to several ToRs).
+    ///
+    /// Has no effect if the link already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` or `tor` does not exist.
+    pub fn add_access_link(&mut self, server: ServerId, tor: TorId) {
+        let srec = &self.servers[server.0];
+        if srec.tors.contains(&tor) {
+            return;
+        }
+        let (snode, tnode) = (srec.node, self.tors[tor.0].node);
+        self.graph.add_edge(snode, tnode, LinkAttrs::access());
+        self.servers[server.0].tors.push(tor);
+    }
+
+    /// Places a new VM with `service` on `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` does not exist.
+    pub fn add_vm(&mut self, server: ServerId, service: ServiceType) -> VmId {
+        assert!(server.0 < self.servers.len(), "server {server} not found");
+        let vm = VmId(self.vms.len());
+        self.vms.push(VmRecord { server, service });
+        self.servers[server.0].vms.push(vm);
+        vm
+    }
+
+    /// Adds an OPS to the core; `opto` gives it optoelectronic (VNF-hosting)
+    /// capacity.
+    pub fn add_ops(&mut self, opto: Option<OptoCapacity>) -> OpsId {
+        let ops = OpsId(self.opss.len());
+        let node = self.graph.add_node(PhysNode::Ops { id: ops, opto });
+        self.opss.push(OpsRecord { node, opto });
+        ops
+    }
+
+    /// Connects `tor` to `ops` with an optical uplink.
+    ///
+    /// Has no effect if the link already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist.
+    pub fn connect_tor_ops(&mut self, tor: TorId, ops: OpsId) {
+        self.connect_tor_ops_with(tor, ops, LinkAttrs::optical_uplink());
+    }
+
+    /// Connects `tor` to `ops` with explicit link attributes (the electronic
+    /// leaf–spine baseline uses this with
+    /// [`LinkAttrs::electronic_agg`]).
+    ///
+    /// Has no effect if the link already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist.
+    pub fn connect_tor_ops_with(&mut self, tor: TorId, ops: OpsId, attrs: LinkAttrs) {
+        let (tn, on) = (self.tors[tor.0].node, self.opss[ops.0].node);
+        if self.graph.contains_edge(tn, on) {
+            return;
+        }
+        self.graph.add_edge(tn, on, attrs);
+    }
+
+    /// Connects two OPSs with an optical core link.
+    ///
+    /// Has no effect on self-connections or if the link already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist.
+    pub fn connect_ops_ops(&mut self, a: OpsId, b: OpsId) {
+        self.connect_ops_ops_with(a, b, LinkAttrs::optical_core());
+    }
+
+    /// Connects two OPSs with explicit link attributes (electronic
+    /// baselines model aggregation/core switches as OPS nodes joined by
+    /// [`LinkAttrs::electronic_agg`] links).
+    ///
+    /// Has no effect on self-connections or if the link already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist.
+    pub fn connect_ops_ops_with(&mut self, a: OpsId, b: OpsId, attrs: LinkAttrs) {
+        if a == b {
+            return;
+        }
+        let (an, bn) = (self.opss[a.0].node, self.opss[b.0].node);
+        if self.graph.contains_edge(an, bn) {
+            return;
+        }
+        self.graph.add_edge(an, bn, attrs);
+    }
+
+    /// Migrates `vm` to `target` server (used by the update-cost
+    /// experiments). Returns the previous server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` or `target` does not exist.
+    pub fn migrate_vm(&mut self, vm: VmId, target: ServerId) -> ServerId {
+        assert!(target.0 < self.servers.len(), "server {target} not found");
+        let old = self.vms[vm.0].server;
+        if old == target {
+            return old;
+        }
+        self.servers[old.0].vms.retain(|&v| v != vm);
+        self.servers[target.0].vms.push(vm);
+        self.vms[vm.0].server = target;
+        old
+    }
+
+    // ----- counts -------------------------------------------------------
+
+    /// Number of racks.
+    pub fn rack_count(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Number of ToR switches.
+    pub fn tor_count(&self) -> usize {
+        self.tors.len()
+    }
+
+    /// Number of OPSs.
+    pub fn ops_count(&self) -> usize {
+        self.opss.len()
+    }
+
+    // ----- id iteration ---------------------------------------------------
+
+    /// Iterates over all VM ids.
+    pub fn vm_ids(&self) -> impl Iterator<Item = VmId> {
+        (0..self.vms.len()).map(VmId)
+    }
+
+    /// Iterates over all server ids.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> {
+        (0..self.servers.len()).map(ServerId)
+    }
+
+    /// Iterates over all ToR ids.
+    pub fn tor_ids(&self) -> impl Iterator<Item = TorId> {
+        (0..self.tors.len()).map(TorId)
+    }
+
+    /// Iterates over all OPS ids.
+    pub fn ops_ids(&self) -> impl Iterator<Item = OpsId> {
+        (0..self.opss.len()).map(OpsId)
+    }
+
+    // ----- relations ------------------------------------------------------
+
+    /// The server hosting `vm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` does not exist.
+    pub fn server_of_vm(&self, vm: VmId) -> ServerId {
+        self.vms[vm.0].server
+    }
+
+    /// The service of `vm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` does not exist.
+    pub fn service_of_vm(&self, vm: VmId) -> ServiceType {
+        self.vms[vm.0].service
+    }
+
+    /// The primary (rack) ToR of `vm`'s server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` does not exist.
+    pub fn tor_of_vm(&self, vm: VmId) -> TorId {
+        let server = self.vms[vm.0].server;
+        self.racks[self.servers[server.0].rack.0].tor
+    }
+
+    /// All ToRs reachable from `vm`'s server over access links (≥1; more if
+    /// dual-homed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` does not exist.
+    pub fn tors_of_vm(&self, vm: VmId) -> &[TorId] {
+        &self.servers[self.vms[vm.0].server.0].tors
+    }
+
+    /// The rack of `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` does not exist.
+    pub fn rack_of_server(&self, server: ServerId) -> RackId {
+        self.servers[server.0].rack
+    }
+
+    /// The rack ToR of `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` does not exist.
+    pub fn tor_of_server(&self, server: ServerId) -> TorId {
+        self.racks[self.servers[server.0].rack.0].tor
+    }
+
+    /// VMs hosted on `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` does not exist.
+    pub fn vms_of_server(&self, server: ServerId) -> &[VmId] {
+        &self.servers[server.0].vms
+    }
+
+    /// The VMs providing `service`.
+    pub fn vms_of_service(&self, service: ServiceType) -> Vec<VmId> {
+        self.vms
+            .iter()
+            .enumerate()
+            .filter(|(_, rec)| rec.service == service)
+            .map(|(i, _)| VmId(i))
+            .collect()
+    }
+
+    /// The distinct services present in the data center, sorted.
+    pub fn services(&self) -> Vec<ServiceType> {
+        let mut s: Vec<_> = self.vms.iter().map(|v| v.service).collect();
+        s.sort();
+        s.dedup();
+        s
+    }
+
+    /// OPSs directly connected to `tor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tor` does not exist.
+    pub fn ops_of_tor(&self, tor: TorId) -> Vec<OpsId> {
+        self.graph
+            .neighbors(self.tors[tor.0].node)
+            .filter_map(|n| match self.graph.node_weight(n) {
+                Some(PhysNode::Ops { id, .. }) => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// ToRs directly connected to `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` does not exist.
+    pub fn tors_of_ops(&self, ops: OpsId) -> Vec<TorId> {
+        self.graph
+            .neighbors(self.opss[ops.0].node)
+            .filter_map(|n| match self.graph.node_weight(n) {
+                Some(PhysNode::Tor(id)) => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The optoelectronic capacity of `ops`, `None` for pure packet
+    /// switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` does not exist.
+    pub fn opto_capacity(&self, ops: OpsId) -> Option<OptoCapacity> {
+        self.opss[ops.0].opto
+    }
+
+    /// Ids of OPSs with optoelectronic capability.
+    pub fn optoelectronic_ops(&self) -> Vec<OpsId> {
+        self.opss
+            .iter()
+            .enumerate()
+            .filter(|(_, rec)| rec.opto.is_some())
+            .map(|(i, _)| OpsId(i))
+            .collect()
+    }
+
+    // ----- graph access -----------------------------------------------------
+
+    /// The underlying physical graph.
+    pub fn graph(&self) -> &Graph<PhysNode, LinkAttrs> {
+        &self.graph
+    }
+
+    /// Graph node of `tor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tor` does not exist.
+    pub fn node_of_tor(&self, tor: TorId) -> NodeId {
+        self.tors[tor.0].node
+    }
+
+    /// Graph node of `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` does not exist.
+    pub fn node_of_ops(&self, ops: OpsId) -> NodeId {
+        self.opss[ops.0].node
+    }
+
+    /// Graph node of `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` does not exist.
+    pub fn node_of_server(&self, server: ServerId) -> NodeId {
+        self.servers[server.0].node
+    }
+
+    /// Iterates over `(edge id, attributes)` of all physical links.
+    pub fn links(&self) -> impl Iterator<Item = (alvc_graph::EdgeId, &LinkAttrs)> {
+        self.graph.edges().map(|(e, _, _, w)| (e, w))
+    }
+
+    /// Number of links in the given domain.
+    pub fn link_count_in_domain(&self, domain: Domain) -> usize {
+        self.links().filter(|(_, a)| a.domain == domain).count()
+    }
+
+    /// Returns `true` if the ToR+OPS core is connected (ignoring servers).
+    pub fn is_core_connected(&self) -> bool {
+        let core: Vec<NodeId> = self
+            .tors
+            .iter()
+            .map(|t| t.node)
+            .chain(self.opss.iter().map(|o| o.node))
+            .collect();
+        let in_core = {
+            let mut mask = vec![false; self.graph.node_count()];
+            for &n in &core {
+                mask[n.index()] = true;
+            }
+            mask
+        };
+        alvc_graph::traversal::connected_within(&self.graph, &core, |n| in_core[n.index()])
+    }
+
+    // ----- covering-problem views (used by alvc-core) -------------------
+
+    /// Builds the VM↔ToR bipartite graph of Fig. 4 restricted to `vms`:
+    /// an edge joins a VM to each ToR its server can reach.
+    pub fn vm_tor_bipartite(&self, vms: &[VmId]) -> Bipartite<VmId, TorId, ()> {
+        let mut b = Bipartite::new();
+        let mut tor_idx = std::collections::HashMap::new();
+        let lefts: Vec<_> = vms.iter().map(|&vm| b.add_left(vm)).collect();
+        for (i, &vm) in vms.iter().enumerate() {
+            for &tor in self.tors_of_vm(vm) {
+                let &mut r = tor_idx.entry(tor).or_insert_with(|| b.add_right(tor));
+                b.add_edge(lefts[i], r, ());
+            }
+        }
+        b
+    }
+
+    /// Builds the ToR↔OPS bipartite graph restricted to `tors` (all OPSs
+    /// adjacent to any of them appear on the right).
+    pub fn tor_ops_bipartite(&self, tors: &[TorId]) -> Bipartite<TorId, OpsId, ()> {
+        let mut b = Bipartite::new();
+        let mut ops_idx = std::collections::HashMap::new();
+        let lefts: Vec<_> = tors.iter().map(|&t| b.add_left(t)).collect();
+        for (i, &tor) in tors.iter().enumerate() {
+            for ops in self.ops_of_tor(tor) {
+                let &mut r = ops_idx.entry(ops).or_insert_with(|| b.add_right(ops));
+                b.add_edge(lefts[i], r, ());
+            }
+        }
+        b
+    }
+
+    /// Builds the OPS set-cover instance over `tors`: universe = the given
+    /// ToRs, one candidate set per OPS listing the ToRs it connects.
+    ///
+    /// Returns the instance together with the OPS id for each candidate set
+    /// index.
+    pub fn ops_cover_instance(&self, tors: &[TorId]) -> (SetCoverInstance, Vec<OpsId>) {
+        let tor_pos: std::collections::HashMap<TorId, usize> =
+            tors.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut sets = Vec::new();
+        let mut ops_ids = Vec::new();
+        for ops in self.ops_ids() {
+            let covered: Vec<usize> = self
+                .tors_of_ops(ops)
+                .into_iter()
+                .filter_map(|t| tor_pos.get(&t).copied())
+                .collect();
+            if !covered.is_empty() {
+                sets.push(covered);
+                ops_ids.push(ops);
+            }
+        }
+        (SetCoverInstance::new(tors.len(), sets), ops_ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 racks × 2 servers × 2 VMs, 3 OPSs; tor0 -> ops0, ops1; tor1 -> ops1, ops2.
+    fn small_dc() -> DataCenter {
+        let mut dc = DataCenter::new();
+        let (r0, t0) = dc.add_rack();
+        let (r1, t1) = dc.add_rack();
+        for rack in [r0, r1] {
+            for _ in 0..2 {
+                let s = dc.add_server(rack);
+                dc.add_vm(s, ServiceType::WebService);
+                dc.add_vm(s, ServiceType::MapReduce);
+            }
+        }
+        let o0 = dc.add_ops(None);
+        let o1 = dc.add_ops(Some(OptoCapacity::small()));
+        let o2 = dc.add_ops(None);
+        dc.connect_tor_ops(t0, o0);
+        dc.connect_tor_ops(t0, o1);
+        dc.connect_tor_ops(t1, o1);
+        dc.connect_tor_ops(t1, o2);
+        dc
+    }
+
+    #[test]
+    fn counts_after_construction() {
+        let dc = small_dc();
+        assert_eq!(dc.rack_count(), 2);
+        assert_eq!(dc.tor_count(), 2);
+        assert_eq!(dc.server_count(), 4);
+        assert_eq!(dc.vm_count(), 8);
+        assert_eq!(dc.ops_count(), 3);
+    }
+
+    #[test]
+    fn vm_relations() {
+        let dc = small_dc();
+        let vm = VmId(0);
+        assert_eq!(dc.server_of_vm(vm), ServerId(0));
+        assert_eq!(dc.tor_of_vm(vm), TorId(0));
+        assert_eq!(dc.service_of_vm(vm), ServiceType::WebService);
+        assert_eq!(dc.tors_of_vm(vm), &[TorId(0)]);
+    }
+
+    #[test]
+    fn service_queries() {
+        let dc = small_dc();
+        let web = dc.vms_of_service(ServiceType::WebService);
+        let mr = dc.vms_of_service(ServiceType::MapReduce);
+        assert_eq!(web.len(), 4);
+        assert_eq!(mr.len(), 4);
+        assert_eq!(
+            dc.services(),
+            vec![ServiceType::WebService, ServiceType::MapReduce]
+        );
+    }
+
+    #[test]
+    fn tor_ops_adjacency() {
+        let dc = small_dc();
+        let mut o = dc.ops_of_tor(TorId(0));
+        o.sort();
+        assert_eq!(o, vec![OpsId(0), OpsId(1)]);
+        let mut t = dc.tors_of_ops(OpsId(1));
+        t.sort();
+        assert_eq!(t, vec![TorId(0), TorId(1)]);
+    }
+
+    #[test]
+    fn optoelectronic_listing() {
+        let dc = small_dc();
+        assert_eq!(dc.optoelectronic_ops(), vec![OpsId(1)]);
+        assert!(dc.opto_capacity(OpsId(1)).is_some());
+        assert!(dc.opto_capacity(OpsId(0)).is_none());
+    }
+
+    #[test]
+    fn core_connectivity() {
+        let dc = small_dc();
+        // tor0 - ops1 - tor1 keeps the core connected.
+        assert!(dc.is_core_connected());
+
+        // A core with a disconnected OPS is not connected.
+        let mut dc2 = DataCenter::new();
+        let (_, t) = dc2.add_rack();
+        let o = dc2.add_ops(None);
+        dc2.connect_tor_ops(t, o);
+        dc2.add_ops(None); // isolated
+        assert!(!dc2.is_core_connected());
+    }
+
+    #[test]
+    fn duplicate_links_ignored() {
+        let mut dc = small_dc();
+        let before = dc.graph().edge_count();
+        dc.connect_tor_ops(TorId(0), OpsId(0));
+        dc.connect_ops_ops(OpsId(0), OpsId(0));
+        assert_eq!(dc.graph().edge_count(), before);
+        dc.connect_ops_ops(OpsId(0), OpsId(2));
+        assert_eq!(dc.graph().edge_count(), before + 1);
+        dc.connect_ops_ops(OpsId(2), OpsId(0));
+        assert_eq!(dc.graph().edge_count(), before + 1);
+    }
+
+    #[test]
+    fn dual_homing_extends_tors_of_vm() {
+        let mut dc = small_dc();
+        let server = ServerId(0);
+        dc.add_access_link(server, TorId(1));
+        let vm = dc.vms_of_server(server)[0];
+        assert_eq!(dc.tors_of_vm(vm), &[TorId(0), TorId(1)]);
+        // Re-adding is a no-op.
+        let edges = dc.graph().edge_count();
+        dc.add_access_link(server, TorId(1));
+        assert_eq!(dc.graph().edge_count(), edges);
+    }
+
+    #[test]
+    fn migrate_vm_moves_hosting() {
+        let mut dc = small_dc();
+        let vm = VmId(0);
+        let old = dc.migrate_vm(vm, ServerId(3));
+        assert_eq!(old, ServerId(0));
+        assert_eq!(dc.server_of_vm(vm), ServerId(3));
+        assert_eq!(dc.tor_of_vm(vm), TorId(1));
+        assert!(dc.vms_of_server(ServerId(3)).contains(&vm));
+        assert!(!dc.vms_of_server(ServerId(0)).contains(&vm));
+        // Self-migration is a no-op.
+        assert_eq!(dc.migrate_vm(vm, ServerId(3)), ServerId(3));
+    }
+
+    #[test]
+    fn vm_tor_bipartite_shape() {
+        let dc = small_dc();
+        let vms: Vec<_> = dc.vms_of_service(ServiceType::WebService);
+        let b = dc.vm_tor_bipartite(&vms);
+        assert_eq!(b.left_count(), 4);
+        assert_eq!(b.right_count(), 2); // both racks host web VMs
+        assert_eq!(b.edge_count(), 4); // one primary ToR each
+        assert!(b.left_side_covered());
+    }
+
+    #[test]
+    fn tor_ops_bipartite_shape() {
+        let dc = small_dc();
+        let b = dc.tor_ops_bipartite(&[TorId(0), TorId(1)]);
+        assert_eq!(b.left_count(), 2);
+        assert_eq!(b.right_count(), 3);
+        assert_eq!(b.edge_count(), 4);
+    }
+
+    #[test]
+    fn ops_cover_instance_matches_adjacency() {
+        let dc = small_dc();
+        let (inst, ops) = dc.ops_cover_instance(&[TorId(0), TorId(1)]);
+        assert_eq!(inst.universe_size(), 2);
+        assert_eq!(inst.set_count(), 3);
+        assert!(inst.is_coverable());
+        // ops1 covers both ToRs, so the optimal cover has size 1.
+        let exact = inst.branch_and_bound().unwrap().unwrap();
+        assert_eq!(exact.len(), 1);
+        assert_eq!(ops[exact[0]], OpsId(1));
+    }
+
+    #[test]
+    fn ops_cover_instance_ignores_foreign_tors() {
+        let dc = small_dc();
+        let (inst, ops) = dc.ops_cover_instance(&[TorId(1)]);
+        assert_eq!(inst.universe_size(), 1);
+        // Only ops1 and ops2 touch tor1.
+        assert_eq!(ops.len(), 2);
+        assert!(inst.is_coverable());
+    }
+
+    #[test]
+    fn link_domain_counts() {
+        let dc = small_dc();
+        // 4 access links (electronic) + 4 uplinks (optical).
+        assert_eq!(dc.link_count_in_domain(Domain::Electronic), 4);
+        assert_eq!(dc.link_count_in_domain(Domain::Optical), 4);
+    }
+}

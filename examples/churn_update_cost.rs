@@ -1,0 +1,81 @@
+//! VM churn and network update cost (§I's "low network update costs"
+//! claim, companion work [14]).
+//!
+//! Migrates VMs around the data center and compares how many switches must
+//! be reprogrammed under AL-VC (only the affected abstraction layer)
+//! versus a flat fabric (everything).
+//!
+//! Run with: `cargo run --example churn_update_cost`
+
+use alvc::core::construction::PaperGreedy;
+use alvc::core::{service_clusters, ChurnEvent, ClusterManager, UpdateCostModel};
+use alvc::topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceMix, ServiceType};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut dc = AlvcTopologyBuilder::new()
+        .racks(16)
+        .servers_per_rack(4)
+        .vms_per_server(2)
+        .ops_count(48)
+        .tor_ops_degree(8)
+        .interconnect(OpsInterconnect::FullMesh)
+        .service_mix(ServiceMix::uniform(&[
+            ServiceType::WebService,
+            ServiceType::MapReduce,
+            ServiceType::Storage,
+        ]))
+        .seed(2)
+        .build();
+
+    let mut mgr = ClusterManager::new();
+    let mut cluster_of_vm = std::collections::HashMap::new();
+    for spec in service_clusters(&dc) {
+        let members = spec.vms.clone();
+        let id = mgr.create_cluster(&dc, &spec.label, spec.vms, &PaperGreedy::new())?;
+        for vm in members {
+            cluster_of_vm.insert(vm, id);
+        }
+        let vc = mgr.cluster(id).unwrap();
+        println!("cluster '{}' AL: {} OPSs", vc.label(), vc.al().ops_count());
+    }
+
+    let model = UpdateCostModel::new();
+    let mut rng = StdRng::seed_from_u64(77);
+    let servers: Vec<_> = dc.server_ids().collect();
+    let vms: Vec<_> = dc.vm_ids().collect();
+    let mut alvc_total = 0usize;
+    let mut flat_total = 0usize;
+    let migrations = 50;
+    for i in 0..migrations {
+        let &vm = vms.choose(&mut rng).unwrap();
+        let &target = servers.choose(&mut rng).unwrap();
+        let event = ChurnEvent::Migrate { vm, target };
+        let flat = model.flat_cost(&dc, event);
+        let cluster = cluster_of_vm[&vm];
+        let realized =
+            model.apply_migration(&mut dc, &mut mgr, cluster, vm, target, &PaperGreedy::new())?;
+        alvc_total += realized.total();
+        flat_total += flat.total();
+        if i < 5 {
+            println!(
+                "migration {i}: {vm} → {target}: AL-VC updates {} switches \
+                 (rebuild: {}), flat updates {}",
+                realized.total(),
+                realized.al_rebuilt,
+                flat.total()
+            );
+        }
+    }
+    println!(
+        "\nover {migrations} migrations: AL-VC {:.1} switches/migration, flat {:.1} \
+         ({:.1}× more)",
+        alvc_total as f64 / migrations as f64,
+        flat_total as f64 / migrations as f64,
+        flat_total as f64 / alvc_total as f64
+    );
+    println!("ALs still disjoint: {}", mgr.verify_disjoint());
+    Ok(())
+}

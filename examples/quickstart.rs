@@ -1,0 +1,72 @@
+//! Quickstart: build an AL-VC data center, cluster it by service, and
+//! construct an abstraction layer per cluster.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use alvc::core::construction::{AlConstruct, PaperGreedy, RandomSelection};
+use alvc::core::{service_clusters, ClusterManager, OpsAvailability};
+use alvc::topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceMix, ServiceType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small data center: 8 racks × 4 servers × 2 VMs behind a
+    //    full-mesh optical core of 24 OPSs (half of them optoelectronic).
+    let dc = AlvcTopologyBuilder::new()
+        .racks(8)
+        .servers_per_rack(4)
+        .vms_per_server(2)
+        .ops_count(24)
+        .tor_ops_degree(4)
+        .opto_fraction(0.5)
+        .interconnect(OpsInterconnect::FullMesh)
+        .service_mix(ServiceMix::uniform(&[
+            ServiceType::WebService,
+            ServiceType::MapReduce,
+            ServiceType::Sns,
+        ]))
+        .seed(1)
+        .build();
+    println!(
+        "data center: {} racks, {} servers, {} VMs, {} OPSs ({} optoelectronic)",
+        dc.rack_count(),
+        dc.server_count(),
+        dc.vm_count(),
+        dc.ops_count(),
+        dc.optoelectronic_ops().len()
+    );
+
+    // 2. Service-based clustering (§III.A): one group per service.
+    let clusters = service_clusters(&dc);
+    for c in &clusters {
+        println!("cluster '{}': {} VMs", c.label, c.len());
+    }
+
+    // 3. Abstraction layer per cluster (§III.C), with the paper's greedy,
+    //    enforcing the one-OPS-per-AL rule via the cluster manager.
+    let mut mgr = ClusterManager::new();
+    for c in &clusters {
+        let id = mgr.create_cluster(&dc, &c.label, c.vms.clone(), &PaperGreedy::new())?;
+        let vc = mgr.cluster(id).unwrap();
+        println!(
+            "VC {} ('{}'): AL = {:?} ({} OPSs, {} ToRs) — valid: {}",
+            id,
+            vc.label(),
+            vc.al().ops(),
+            vc.al().ops_count(),
+            vc.al().tor_count(),
+            vc.al().validate(&dc, vc.vms()).is_ok()
+        );
+    }
+    println!("ALs OPS-disjoint: {}", mgr.verify_disjoint());
+
+    // 4. Compare against the random baseline of the authors' prior work.
+    let first = &clusters[0];
+    let greedy = PaperGreedy::new().construct(&dc, &first.vms, &OpsAvailability::all())?;
+    let random = RandomSelection::new(7).construct(&dc, &first.vms, &OpsAvailability::all())?;
+    println!(
+        "cluster '{}': paper greedy selects {} OPSs, random selection {} OPSs",
+        first.label,
+        greedy.ops_count(),
+        random.ops_count()
+    );
+    Ok(())
+}

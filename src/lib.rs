@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the AL-VC workspace.
+pub use alvc_core as core;
+pub use alvc_graph as graph;
+pub use alvc_nfv as nfv;
+pub use alvc_optical as optical;
+pub use alvc_placement as placement;
+pub use alvc_sim as sim;
+pub use alvc_topology as topology;

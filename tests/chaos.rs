@@ -1,0 +1,162 @@
+//! Chaos integration test: failures, modifications, scaling, churn, and
+//! teardown interleaved over the full stack, with global invariants
+//! checked at every step.
+
+use alvc::core::clustering::tenant_clusters;
+use alvc::core::construction::{PaperGreedy, RedundantGreedy};
+use alvc::nfv::chain::fig5;
+use alvc::nfv::Orchestrator;
+use alvc::placement::OpticalFirstPlacer;
+use alvc::topology::{AlvcTopologyBuilder, DataCenter, OpsInterconnect};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+fn build() -> DataCenter {
+    AlvcTopologyBuilder::new()
+        .racks(10)
+        .servers_per_rack(4)
+        .vms_per_server(2)
+        .ops_count(40)
+        .tor_ops_degree(8)
+        .opto_fraction(0.5)
+        .interconnect(OpsInterconnect::FullMesh)
+        .seed(777)
+        .build()
+}
+
+#[test]
+fn orchestrator_survives_chaotic_operation_mix() {
+    let dc = build();
+    let mut orch = Orchestrator::new();
+    let mut rng = StdRng::seed_from_u64(31337);
+
+    let all_vms: Vec<_> = dc.vm_ids().collect();
+    let tenants = tenant_clusters(&all_vms, 3);
+    let mut live = Vec::new();
+    let mut free: Vec<usize> = (0..tenants.len()).collect();
+
+    for step in 0..120 {
+        match rng.random_range(0..6u8) {
+            // Deploy a chain for a free tenant group.
+            0 => {
+                if let Some(pos) = (!free.is_empty()).then(|| rng.random_range(0..free.len())) {
+                    let tenant_idx = free[pos];
+                    let group = &tenants[tenant_idx];
+                    let spec = match step % 3 {
+                        0 => fig5::blue(group.vms[0], *group.vms.last().unwrap()),
+                        1 => fig5::black(group.vms[0], *group.vms.last().unwrap()),
+                        _ => fig5::green(group.vms[0], *group.vms.last().unwrap()),
+                    };
+                    if let Ok(id) = orch.deploy_chain(
+                        &dc,
+                        &group.label,
+                        group.vms.clone(),
+                        spec,
+                        &PaperGreedy::new(),
+                        &OpticalFirstPlacer::new(),
+                    ) {
+                        free.swap_remove(pos);
+                        live.push((id, tenant_idx));
+                    }
+                }
+            }
+            // Teardown a live chain.
+            1 if !live.is_empty() => {
+                let pos = rng.random_range(0..live.len());
+                let (id, tenant_idx) = live.swap_remove(pos);
+                orch.teardown_chain(id).expect("live chain");
+                free.push(tenant_idx);
+            }
+            // Modify a live chain.
+            2 => {
+                if let Some(&(id, tenant_idx)) = live.first() {
+                    let group = &tenants[tenant_idx];
+                    let spec = fig5::black(group.vms[0], *group.vms.last().unwrap());
+                    let _ = orch.modify_chain(&dc, id, spec, &OpticalFirstPlacer::new());
+                }
+            }
+            // Scale out / in.
+            3 => {
+                if let Some(&(id, _)) = live.first() {
+                    if let Ok(replica) = orch.scale_out(&dc, id, 0) {
+                        if rng.random::<f64>() < 0.5 {
+                            orch.scale_in(replica).expect("fresh replica");
+                        }
+                    }
+                }
+            }
+            // Lifecycle events.
+            4 => {
+                if let Some(&(id, _)) = live.first() {
+                    if let Some(&iid) = orch.chain(id).unwrap().instances().first() {
+                        let _ = orch.begin_update(iid);
+                        let _ = orch.complete_operation(iid);
+                    }
+                }
+            }
+            // No-op breathing room (keeps op mix from overloading slices).
+            _ => {}
+        }
+
+        // Global invariants after every operation.
+        assert!(orch.manager().verify_disjoint(), "step {step}: overlap");
+        assert_eq!(orch.chain_count(), live.len(), "step {step}: chain count");
+        for &(id, _) in &live {
+            let chain = orch.chain(id).expect("live chain");
+            let vc = orch.manager().cluster(chain.cluster()).expect("slice");
+            assert!(
+                vc.al().validate(&dc, vc.vms()).is_ok(),
+                "step {step}: invalid AL"
+            );
+            for &iid in chain.instances() {
+                assert!(
+                    orch.instance(iid).unwrap().is_serving(),
+                    "step {step}: chain member not serving"
+                );
+            }
+        }
+    }
+
+    // Drain.
+    for (id, _) in live {
+        orch.teardown_chain(id).expect("live chain");
+    }
+    assert_eq!(orch.chain_count(), 0);
+    assert_eq!(orch.sdn().total_rules(), 0);
+    assert_eq!(orch.manager().availability().blocked_count(), 0);
+}
+
+#[test]
+fn cluster_manager_survives_failure_storm_with_redundancy() {
+    let dc = build();
+    let mut mgr = alvc::core::ClusterManager::new();
+    let ctor = RedundantGreedy::new(2);
+    let all_vms: Vec<_> = dc.vm_ids().collect();
+    let groups = tenant_clusters(&all_vms, 2);
+    let mut ids = Vec::new();
+    for g in &groups {
+        ids.push(
+            mgr.create_cluster(&dc, &g.label, g.vms.clone(), &ctor)
+                .expect("roomy topology"),
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(99);
+    let pool: Vec<_> = dc.ops_ids().collect();
+    let mut recovered = 0;
+    for _ in 0..12 {
+        let &victim = pool.choose(&mut rng).unwrap();
+        if mgr.fail_ops(&dc, victim, &ctor).is_ok() {
+            recovered += 1;
+        }
+        assert!(mgr.verify_disjoint());
+        for &id in &ids {
+            let vc = mgr.cluster(id).unwrap();
+            // Valid unless the last repair failed (then flagged).
+            if mgr.verify_no_failed_in_use() {
+                assert!(vc.al().validate(&dc, vc.vms()).is_ok());
+            }
+        }
+    }
+    assert!(recovered >= 10, "redundant layers absorb most failures");
+}

@@ -1,0 +1,134 @@
+//! Reproducibility: the entire pipeline is a pure function of its seeds.
+
+use alvc::core::construction::{AlConstruct, PaperGreedy, RandomSelection};
+use alvc::core::{service_clusters, OpsAvailability};
+use alvc::nfv::chain::fig5;
+use alvc::nfv::Orchestrator;
+use alvc::optical::EnergyModel;
+use alvc::placement::{CostDrivenPlacer, OpticalFirstPlacer};
+use alvc::sim::workload::{FlowSizeDistribution, ServiceTraffic};
+use alvc::sim::{ChainLoad, FlowSim};
+use alvc::topology::{AlvcTopologyBuilder, DataCenter, OpsInterconnect};
+
+fn build(seed: u64) -> DataCenter {
+    AlvcTopologyBuilder::new()
+        .racks(8)
+        .servers_per_rack(4)
+        .vms_per_server(2)
+        .ops_count(24)
+        .tor_ops_degree(6)
+        .opto_fraction(0.5)
+        .dual_home_prob(0.3)
+        .interconnect(OpsInterconnect::FullMesh)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn topology_construction_is_deterministic() {
+    let (a, b) = (build(7), build(7));
+    assert_eq!(a.graph().node_count(), b.graph().node_count());
+    assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+    for vm in a.vm_ids() {
+        assert_eq!(a.service_of_vm(vm), b.service_of_vm(vm));
+        assert_eq!(a.tors_of_vm(vm), b.tors_of_vm(vm));
+    }
+    for o in a.ops_ids() {
+        assert_eq!(a.tors_of_ops(o), b.tors_of_ops(o));
+        assert_eq!(a.opto_capacity(o).is_some(), b.opto_capacity(o).is_some());
+    }
+}
+
+#[test]
+fn al_construction_is_deterministic() {
+    let dc = build(8);
+    for c in service_clusters(&dc) {
+        for _ in 0..3 {
+            let x = PaperGreedy::new().construct(&dc, &c.vms, &OpsAvailability::all());
+            let y = PaperGreedy::new().construct(&dc, &c.vms, &OpsAvailability::all());
+            assert_eq!(x, y);
+            let rx = RandomSelection::new(4).construct(&dc, &c.vms, &OpsAvailability::all());
+            let ry = RandomSelection::new(4).construct(&dc, &c.vms, &OpsAvailability::all());
+            assert_eq!(rx, ry);
+        }
+    }
+}
+
+#[test]
+fn full_deployment_is_deterministic() {
+    let run = || {
+        let dc = build(9);
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let mut orch = Orchestrator::new();
+        let spec = fig5::green(vms[0], *vms.last().unwrap());
+        let id = orch
+            .deploy_chain(
+                &dc,
+                "t",
+                vms.clone(),
+                spec,
+                &PaperGreedy::new(),
+                &CostDrivenPlacer::new(),
+            )
+            .unwrap();
+        let chain = orch.chain(id).unwrap();
+        (
+            chain.hosts().to_vec(),
+            chain.path().nodes().to_vec(),
+            chain.oeo_conversions(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn flow_simulation_is_deterministic() {
+    let dc = build(10);
+    let vms: Vec<_> = dc.vm_ids().collect();
+    let mut orch = Orchestrator::new();
+    let spec = fig5::blue(vms[0], *vms.last().unwrap());
+    let id = orch
+        .deploy_chain(
+            &dc,
+            "t",
+            vms,
+            spec,
+            &PaperGreedy::new(),
+            &OpticalFirstPlacer::new(),
+        )
+        .unwrap();
+    let load = || ChainLoad {
+        chain: id,
+        path: orch.chain(id).unwrap().path().clone(),
+        bandwidth_gbps: 10.0,
+        arrival_rate_per_s: 3000.0,
+        sizes: FlowSizeDistribution::dcn_default(),
+    };
+    let a = FlowSim::new(EnergyModel::default(), vec![load()]).run(0.02, 11);
+    let b = FlowSim::new(EnergyModel::default(), vec![load()]).run(0.02, 11);
+    assert_eq!(a.total_flows, b.total_flows);
+    assert_eq!(a.total_bytes, b.total_bytes);
+    assert_eq!(a.total_oeo, b.total_oeo);
+    assert_eq!(a.peak_in_flight, b.peak_in_flight);
+    assert!((a.total_energy_j - b.total_energy_j).abs() < 1e-12);
+}
+
+#[test]
+fn workload_generation_is_deterministic() {
+    let dc = build(11);
+    let gen = |seed| {
+        let mut g = ServiceTraffic::new(0.8, FlowSizeDistribution::dcn_default(), seed);
+        g.generate(&dc, 200)
+    };
+    assert_eq!(gen(3), gen(3));
+    assert_ne!(gen(3), gen(4));
+}
+
+#[test]
+fn different_topology_seeds_differ() {
+    let a = build(1);
+    let b = build(2);
+    let differs = a.tor_ids().any(|t| a.ops_of_tor(t) != b.ops_of_tor(t))
+        || a.vm_ids().any(|v| a.service_of_vm(v) != b.service_of_vm(v));
+    assert!(differs);
+}
