@@ -8,11 +8,125 @@
 
 use std::time::Instant;
 
-use alvc_bench::{f2, print_table, Scale};
+use alvc_bench::{f2, measure, print_table, write_results, Json, LatencyStats, Scale};
 use alvc_core::construction::{
-    AlConstruct, CostAwareGreedy, ExactCover, PaperGreedy, RandomSelection, StaticDegreeGreedy,
+    AlConstruct, CostAwareGreedy, ExactCover, NaiveGreedy, PaperGreedy, RandomSelection,
+    StaticDegreeGreedy,
 };
-use alvc_core::{service_clusters, OpsAvailability};
+use alvc_core::{service_clusters, ClusterManager, OpsAvailability};
+use alvc_topology::{DataCenter, VmId};
+
+/// Speedup targets from the incremental-engine work (ROADMAP perf PR).
+const KERNEL_10K_TARGET: f64 = 5.0;
+const BATCH_TARGET: f64 = 3.0;
+
+/// Construction-kernel scales: whole-DC clusters at 1k / 10k / 100k VMs.
+const KERNEL_SCALES: [(Scale, usize); 3] = [
+    (
+        Scale {
+            name: "1k",
+            racks: 16,
+            servers_per_rack: 16,
+            vms_per_server: 4,
+            ops: 48,
+            degree: 8,
+        },
+        40,
+    ),
+    (Scale::LADDER[4], 12), // pod-10k: 10 752 VMs
+    (
+        Scale {
+            name: "100k",
+            racks: 312,
+            servers_per_rack: 80,
+            vms_per_server: 4,
+            ops: 936,
+            degree: 8,
+        },
+        3,
+    ),
+];
+
+/// One naive-vs-incremental comparison, rendered to JSON.
+fn cmp_json(label: &str, naive: LatencyStats, lazy: LatencyStats) -> (f64, Json) {
+    let speedup = naive.mean_us / lazy.mean_us;
+    let json = Json::object()
+        .field("label", label)
+        .field("naive_rescan", naive.to_json())
+        .field("incremental_lazy", lazy.to_json())
+        .field("speedup", (speedup * 100.0).round() / 100.0);
+    (speedup, json)
+}
+
+/// Benchmarks the greedy-construction kernel (no augmentation, whole-DC
+/// cluster) at one scale: rescan baseline vs the heap-backed incremental
+/// engine.
+fn kernel_bench(scale: &Scale, iters: usize) -> (f64, Json, Vec<String>) {
+    let dc = scale.build(23);
+    let vms: Vec<VmId> = dc.vm_ids().collect();
+    let naive_ctor = NaiveGreedy::without_augmentation();
+    let lazy_ctor = PaperGreedy::without_augmentation();
+    let all = OpsAvailability::all();
+    let naive = measure(iters, || {
+        naive_ctor
+            .construct(&dc, &vms, &all)
+            .expect("kernel construction feasible")
+    });
+    let lazy = measure(iters, || {
+        lazy_ctor
+            .construct(&dc, &vms, &all)
+            .expect("kernel construction feasible")
+    });
+    let size_naive = naive_ctor.construct(&dc, &vms, &all).unwrap().ops_count();
+    let size_lazy = lazy_ctor.construct(&dc, &vms, &all).unwrap().ops_count();
+    assert_eq!(
+        size_naive, size_lazy,
+        "rescan and incremental greedy must pick identical layers"
+    );
+    let (speedup, cmp) = cmp_json(scale.name, naive, lazy);
+    let json = Json::object()
+        .field("scale", scale.name)
+        .field("vms", vms.len())
+        .field("ops", scale.ops)
+        .field("al_size", size_lazy)
+        .field("iters", iters)
+        .field("comparison", cmp);
+    let row = vec![
+        scale.name.to_string(),
+        vms.len().to_string(),
+        f2(naive.p50_us / 1e3),
+        f2(lazy.p50_us / 1e3),
+        f2(naive.p99_us / 1e3),
+        f2(lazy.p99_us / 1e3),
+        format!("{speedup:.2}x"),
+    ];
+    (speedup, json, row)
+}
+
+/// Builds the 64-cluster batch scenario: racks are divided into groups and
+/// each group's VMs are interleaved across `clusters_per_group` clusters,
+/// so every cluster spans its whole rack group while per-ToR uplink demand
+/// stays below the uplink degree.
+fn batch_requests(
+    dc: &DataCenter,
+    group_racks: usize,
+    per_group: usize,
+) -> Vec<(String, Vec<VmId>)> {
+    let groups = dc.rack_count() / group_racks;
+    let mut clusters: Vec<Vec<VmId>> = vec![Vec::new(); groups * per_group];
+    let mut spread = vec![0usize; groups];
+    for vm in dc.vm_ids() {
+        let group = dc.tor_of_vm(vm).index() / group_racks;
+        let slot = group * per_group + spread[group] % per_group;
+        spread[group] += 1;
+        clusters[slot].push(vm);
+    }
+    clusters
+        .into_iter()
+        .enumerate()
+        .map(|(i, vms)| (format!("batch-{i}"), vms))
+        .collect()
+}
 
 fn main() {
     let scale = Scale::LADDER[1]; // per-service clusters stay under the exact limit
@@ -157,4 +271,168 @@ fn main() {
          cost {paper_cost:.1} ({paper_opto} opto OPSs used) vs cost-aware \
          {aware_cost:.1} ({aware_opto} opto OPSs used)"
     );
+
+    // ------------------------------------------------------------------
+    // Incremental-engine microbenchmarks (machine-readable output).
+    // ------------------------------------------------------------------
+
+    println!("\nconstruction kernel: rescan greedy vs incremental lazy greedy");
+    println!("(whole-DC cluster, augmentation disabled on both sides)\n");
+    let mut kernel_rows = Vec::new();
+    let mut kernel_json = Vec::new();
+    let mut kernel_10k_speedup = 0.0;
+    for (scale, iters) in &KERNEL_SCALES {
+        let (speedup, json, row) = kernel_bench(scale, *iters);
+        if scale.name == Scale::LADDER[4].name {
+            kernel_10k_speedup = speedup;
+        }
+        kernel_rows.push(row);
+        kernel_json.push(json);
+    }
+    print_table(
+        &[
+            "scale",
+            "VMs",
+            "naive p50 ms",
+            "lazy p50 ms",
+            "naive p99 ms",
+            "lazy p99 ms",
+            "speedup",
+        ],
+        &kernel_rows,
+    );
+
+    // Per-service-cluster comparison with the full pipeline (augmentation
+    // included) — the shape real orchestration sees.
+    let dc10k = Scale::LADDER[4].build(23);
+    let clusters10k = service_clusters(&dc10k);
+    let all = OpsAvailability::all();
+    let per_cluster_naive = measure(8, || {
+        let ctor = NaiveGreedy::new();
+        for c in &clusters10k {
+            std::hint::black_box(ctor.construct(&dc10k, &c.vms, &all).expect("feasible"));
+        }
+    });
+    let per_cluster_lazy = measure(8, || {
+        let ctor = PaperGreedy::new();
+        for c in &clusters10k {
+            std::hint::black_box(ctor.construct(&dc10k, &c.vms, &all).expect("feasible"));
+        }
+    });
+    let (per_cluster_speedup, per_cluster_json) = cmp_json(
+        "service-clusters@pod-10k",
+        per_cluster_naive,
+        per_cluster_lazy,
+    );
+    println!(
+        "\nper-service clusters at pod-10k ({} clusters): naive {:.2} ms vs \
+         incremental {:.2} ms per pass ({:.2}x)",
+        clusters10k.len(),
+        per_cluster_naive.mean_us / 1e3,
+        per_cluster_lazy.mean_us / 1e3,
+        per_cluster_speedup
+    );
+
+    // Batch orchestration: 64 clusters through ClusterManager, serial
+    // rescan fold vs the partitioned construct_all path.
+    let batch_scale = Scale {
+        name: "batch-64",
+        racks: 96,
+        servers_per_rack: 56,
+        vms_per_server: 4,
+        ops: 2048,
+        degree: 32,
+    };
+    let batch_dc = batch_scale.build(23);
+    let requests = batch_requests(&batch_dc, 24, 16);
+    assert_eq!(requests.len(), 64);
+    let serial_ok = {
+        let mut mgr = ClusterManager::new();
+        let ctor = NaiveGreedy::new();
+        requests
+            .iter()
+            .filter(|(label, vms)| {
+                mgr.create_cluster(&batch_dc, label.clone(), vms.clone(), &ctor)
+                    .is_ok()
+            })
+            .count()
+    };
+    let batch_ok = {
+        let mut mgr = ClusterManager::new();
+        mgr.construct_all(&batch_dc, requests.clone(), &PaperGreedy::new())
+            .iter()
+            .filter(|r| r.is_ok())
+            .count()
+    };
+    let batch_naive = measure(8, || {
+        let mut mgr = ClusterManager::new();
+        let ctor = NaiveGreedy::new();
+        requests
+            .iter()
+            .filter(|(label, vms)| {
+                mgr.create_cluster(&batch_dc, label.clone(), vms.clone(), &ctor)
+                    .is_ok()
+            })
+            .count()
+    });
+    let batch_incremental = measure(8, || {
+        let mut mgr = ClusterManager::new();
+        mgr.construct_all(&batch_dc, requests.clone(), &PaperGreedy::new())
+            .iter()
+            .filter(|r| r.is_ok())
+            .count()
+    });
+    let (batch_speedup, batch_cmp) = cmp_json("batch-64-clusters", batch_naive, batch_incremental);
+    println!(
+        "\nbatch orchestration, {} clusters ({} VMs): serial rescan fold {:.2} ms \
+         ({serial_ok}/64 feasible) vs construct_all {:.2} ms ({batch_ok}/64 feasible) \
+         -> {:.2}x",
+        requests.len(),
+        batch_dc.vm_count(),
+        batch_naive.mean_us / 1e3,
+        batch_incremental.mean_us / 1e3,
+        batch_speedup
+    );
+
+    let kernel_met = kernel_10k_speedup >= KERNEL_10K_TARGET;
+    let batch_met = batch_speedup >= BATCH_TARGET;
+    println!(
+        "\ntargets: 10k-VM kernel {kernel_10k_speedup:.2}x (need >= {KERNEL_10K_TARGET}x: \
+         {}), batch {batch_speedup:.2}x (need >= {BATCH_TARGET}x: {})",
+        if kernel_met { "MET" } else { "MISSED" },
+        if batch_met { "MET" } else { "MISSED" },
+    );
+
+    let json = Json::object()
+        .field("experiment", "e3_al_construction")
+        .field(
+            "description",
+            "rescan greedy vs incremental lazy-greedy engine",
+        )
+        .field("kernel", Json::Array(kernel_json))
+        .field("per_cluster", per_cluster_json)
+        .field(
+            "batch",
+            Json::object()
+                .field("clusters", requests.len())
+                .field("vms", batch_dc.vm_count())
+                .field("serial_feasible", serial_ok)
+                .field("batch_feasible", batch_ok)
+                .field("comparison", batch_cmp),
+        )
+        .field(
+            "targets",
+            Json::object()
+                .field("kernel_10k_speedup_min", KERNEL_10K_TARGET)
+                .field(
+                    "kernel_10k_speedup",
+                    (kernel_10k_speedup * 100.0).round() / 100.0,
+                )
+                .field("kernel_10k_met", kernel_met)
+                .field("batch_speedup_min", BATCH_TARGET)
+                .field("batch_speedup", (batch_speedup * 100.0).round() / 100.0)
+                .field("batch_met", batch_met),
+        );
+    let path = write_results("BENCH_al_construction.json", &json.pretty());
+    println!("wrote {}", path.display());
 }

@@ -64,7 +64,7 @@ fn main() {
                 .servers_per_rack(4)
                 .vms_per_server(4)
                 .ops_count(48)
-                .tor_ops_degree(6)
+                .tor_ops_degree(8)
                 .opto_fraction(opto_fraction)
                 .interconnect(OpsInterconnect::FullMesh)
                 .seed(77)
@@ -164,7 +164,7 @@ fn main() {
             .servers_per_rack(4)
             .vms_per_server(4)
             .ops_count(48)
-            .tor_ops_degree(6)
+            .tor_ops_degree(8)
             .opto_fraction(0.5)
             .interconnect(OpsInterconnect::FullMesh)
             .seed(seed)

@@ -6,18 +6,20 @@
 
 use std::time::Instant;
 
-use alvc_bench::{f2, print_table, Scale};
-use alvc_core::construction::{AlConstruct, PaperGreedy, RandomSelection};
+use alvc_bench::{f2, print_table, write_results, Json, Scale};
+use alvc_core::construction::{AlConstruct, NaiveGreedy, PaperGreedy, RandomSelection};
 use alvc_core::{service_clusters, OpsAvailability};
 
 fn main() {
     println!("E8: scalability of AL construction (claim of §I / [15])\n");
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for scale in Scale::LADDER {
         let dc = scale.build(19);
         let clusters = service_clusters(&dc);
         for (name, ctor) in [
             ("paper-greedy", &PaperGreedy::new() as &dyn AlConstruct),
+            ("naive-greedy", &NaiveGreedy::new()),
             ("random [15]", &RandomSelection::new(1)),
         ] {
             let start = Instant::now();
@@ -29,14 +31,26 @@ fn main() {
                 total_ops += al.ops_count();
             }
             let elapsed = start.elapsed();
+            let mean_al = total_ops as f64 / clusters.len() as f64;
+            let ms_per_cluster = elapsed.as_secs_f64() * 1e3 / clusters.len() as f64;
             rows.push(vec![
                 scale.name.to_string(),
                 scale.vm_count().to_string(),
                 scale.ops.to_string(),
                 name.to_string(),
-                f2(total_ops as f64 / clusters.len() as f64),
-                f2(elapsed.as_secs_f64() * 1e3 / clusters.len() as f64),
+                f2(mean_al),
+                f2(ms_per_cluster),
             ]);
+            json_rows.push(
+                Json::object()
+                    .field("scale", scale.name)
+                    .field("vms", scale.vm_count())
+                    .field("ops", scale.ops)
+                    .field("clusters", clusters.len())
+                    .field("constructor", name)
+                    .field("mean_al_size", (mean_al * 100.0).round() / 100.0)
+                    .field("ms_per_cluster", (ms_per_cluster * 1e3).round() / 1e3),
+            );
         }
     }
     print_table(
@@ -55,4 +69,13 @@ fn main() {
          (the greedy is near-linear in the bipartite graph size), and the greedy's AL\n\
          size advantage over random selection persists at every scale."
     );
+    let json = Json::object()
+        .field("experiment", "e8_scalability")
+        .field(
+            "description",
+            "AL construction time and size across the scale ladder",
+        )
+        .field("rows", Json::Array(json_rows));
+    let path = write_results("BENCH_scalability.json", &json.pretty());
+    println!("wrote {}", path.display());
 }

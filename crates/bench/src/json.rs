@@ -1,0 +1,196 @@
+//! Minimal hand-rolled JSON emitter for machine-readable benchmark output.
+//!
+//! The workspace intentionally carries no serialization dependency in the
+//! bench harness, so experiment binaries build [`Json`] trees directly and
+//! render them with [`Json::pretty`]. Only the subset the benches need is
+//! implemented: objects (insertion-ordered), arrays, strings, numbers and
+//! booleans.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A JSON object; keys keep insertion order.
+    Object(Vec<(String, Json)>),
+    /// A JSON array.
+    Array(Vec<Json>),
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (rendered via [`fmt_number`]).
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Json {
+    /// An empty object, for chained [`Json::field`] construction.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a field to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders with two-space indentation and a trailing newline, suitable
+    /// for writing straight to a results file.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Object(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Object(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str(&format!("{}: ", escape(k)));
+                    v.render(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+            Json::Array(items) if items.is_empty() => out.push_str("[]"),
+            Json::Array(items) => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    v.render(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Str(s) => out.push_str(&escape(s)),
+            Json::Num(n) => out.push_str(&fmt_number(*n)),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+}
+
+/// Renders an f64 as JSON: integers without a fraction, everything else
+/// with enough digits to round-trip the measured value (non-finite values
+/// are not valid JSON and are rendered as `null`).
+pub fn fmt_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_object() {
+        let j = Json::object()
+            .field("name", "bench")
+            .field("ok", true)
+            .field("n", 3usize)
+            .field("xs", Json::Array(vec![Json::Num(1.5), Json::Num(2.0)]));
+        let s = j.pretty();
+        assert!(s.contains("\"name\": \"bench\""));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.contains("\"n\": 3"));
+        assert!(s.contains("1.5"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn numbers_round_trip_integers_cleanly() {
+        assert_eq!(fmt_number(3.0), "3");
+        assert_eq!(fmt_number(0.25), "0.25");
+        assert_eq!(fmt_number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::Str("a\"b\n".into()).pretty(), "\"a\\\"b\\n\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn field_on_array_panics() {
+        let _ = Json::Array(vec![]).field("k", 1usize);
+    }
+}

@@ -182,6 +182,28 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+pub mod json;
+pub mod stats;
+
+pub use json::Json;
+pub use stats::{measure, LatencyStats};
+
+/// Writes `content` to `results/<filename>` at the repository root
+/// (resolved relative to this crate's manifest, so it works from any
+/// working directory) and returns the path written.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — experiment binaries want the
+/// failure loud, not silent.
+pub fn write_results(filename: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(filename);
+    std::fs::write(&path, content).expect("write results file");
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,108 @@
+//! Latency sampling for the machine-readable benches: run a closure a
+//! fixed number of times, record per-iteration wall-clock, and summarize
+//! as mean / p50 / p99 / throughput.
+
+use std::time::Instant;
+
+use crate::Json;
+
+/// Summary statistics over a set of per-iteration latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub samples: usize,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency in microseconds (nearest-rank).
+    pub p99_us: f64,
+    /// Iterations per second implied by the mean latency.
+    pub ops_per_sec: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a sample of latencies given in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn from_us(mut us: Vec<f64>) -> LatencyStats {
+        assert!(!us.is_empty(), "latency sample must be non-empty");
+        us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let samples = us.len();
+        let mean_us = us.iter().sum::<f64>() / samples as f64;
+        let rank = |q: f64| us[(((samples as f64) * q).ceil() as usize).clamp(1, samples) - 1];
+        LatencyStats {
+            samples,
+            mean_us,
+            p50_us: rank(0.50),
+            p99_us: rank(0.99),
+            ops_per_sec: 1e6 / mean_us,
+        }
+    }
+
+    /// Renders the stats as a JSON object fragment.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("samples", self.samples)
+            .field("mean_us", round3(self.mean_us))
+            .field("p50_us", round3(self.p50_us))
+            .field("p99_us", round3(self.p99_us))
+            .field("ops_per_sec", round3(self.ops_per_sec))
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+/// Runs `f` once as warm-up, then `iters` timed times, returning the
+/// per-iteration latency summary. The closure's return value is consumed
+/// with [`std::hint::black_box`] so the measured work is not optimized
+/// away.
+pub fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> LatencyStats {
+    assert!(iters > 0, "need at least one timed iteration");
+    std::hint::black_box(f());
+    let mut us = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    LatencyStats::from_us(us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sample() {
+        let s = LatencyStats::from_us((1..=100).map(|i| i as f64).collect());
+        assert_eq!(s.samples, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p99_us, 99.0);
+        assert!((s.ops_per_sec - 1e6 / 50.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_sample_is_all_percentiles() {
+        let s = LatencyStats::from_us(vec![7.0]);
+        assert_eq!(s.p50_us, 7.0);
+        assert_eq!(s.p99_us, 7.0);
+    }
+
+    #[test]
+    fn measure_times_the_closure() {
+        let mut n = 0u64;
+        let s = measure(5, || {
+            n += 1;
+            n
+        });
+        assert_eq!(s.samples, 5);
+        assert_eq!(n, 6); // warm-up + 5 timed
+        assert!(s.mean_us >= 0.0);
+    }
+}

@@ -27,6 +27,7 @@ mod exact;
 mod paper;
 mod random;
 mod redundant;
+pub mod reference;
 mod static_degree;
 
 pub use cost_aware::CostAwareGreedy;
@@ -34,11 +35,13 @@ pub use exact::ExactCover;
 pub use paper::PaperGreedy;
 pub use random::RandomSelection;
 pub use redundant::RedundantGreedy;
+pub use reference::NaiveGreedy;
 pub use static_degree::StaticDegreeGreedy;
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use alvc_graph::NodeId;
+use alvc_graph::{LazySelector, NodeId};
 use alvc_topology::{DataCenter, OpsId, TorId, VmId};
 
 use crate::abstraction_layer::AbstractionLayer;
@@ -126,10 +129,74 @@ pub trait AlConstruct {
 
 // ----- shared pipeline pieces used by the concrete constructors -----------
 
+/// A covering candidate (a ToR covering VMs, or an OPS covering ToRs) in
+/// the compact indexed form the incremental greedy loop works on.
+struct CoverCandidate<Id> {
+    id: Id,
+    degree: usize,
+    members: Vec<u32>,
+}
+
+/// The shared incremental greedy cover loop behind [`select_tors_greedy`]
+/// and [`select_ops_greedy`]: repeatedly select the candidate maximizing
+/// `(gain, degree, Reverse(id))` via a [`LazySelector`], decaying gains
+/// through the `element → candidates` inverted index (in CSR form:
+/// element `e`'s candidates are `elem_data[elem_offsets[e]..elem_offsets
+/// [e + 1]]`, avoiding one heap allocation per element) as elements get
+/// covered. Identical output to the historical per-round rescan
+/// (see `reference::select_cover_naive`), in `O((cands + decays) log cands
+/// + edges)` instead of `O(rounds × edges)`.
+///
+/// Returns the chosen candidate ids (selection order) or the index of the
+/// first element left uncoverable.
+fn greedy_cover_indexed<Id: Copy + Ord>(
+    cands: &[CoverCandidate<Id>],
+    elem_offsets: &[u32],
+    elem_data: &[u32],
+) -> Result<Vec<Id>, usize> {
+    let n_elems = elem_offsets.len() - 1;
+    let mut gains: Vec<usize> = cands.iter().map(|c| c.members.len()).collect();
+    let mut covered = vec![false; n_elems];
+    let mut n_covered = 0;
+    let mut used = vec![false; cands.len()];
+    let mut selected = Vec::new();
+    let key = |ci: usize, gain: usize| (gain, cands[ci].degree, Reverse(cands[ci].id));
+    let mut selector = LazySelector::with_capacity(cands.len());
+    for (ci, &g) in gains.iter().enumerate() {
+        if g > 0 {
+            selector.push(ci, key(ci, g));
+        }
+    }
+    while n_covered < n_elems {
+        let Some(ci) =
+            selector.pop_max(|ci| (!used[ci] && gains[ci] > 0).then(|| key(ci, gains[ci])))
+        else {
+            return Err(covered
+                .iter()
+                .position(|&c| !c)
+                .expect("uncovered element exists"));
+        };
+        used[ci] = true;
+        selected.push(cands[ci].id);
+        for k in 0..cands[ci].members.len() {
+            let e = cands[ci].members[k] as usize;
+            if !covered[e] {
+                covered[e] = true;
+                n_covered += 1;
+                for &cj in &elem_data[elem_offsets[e] as usize..elem_offsets[e + 1] as usize] {
+                    gains[cj as usize] -= 1;
+                }
+            }
+        }
+    }
+    Ok(selected)
+}
+
 /// Greedy ToR selection: repeatedly pick the ToR covering the most
 /// still-uncovered VMs; ties break toward the ToR with more OPS uplinks
 /// (the paper's "incoming and outgoing connections" weight), then the lower
-/// id.
+/// id. Runs on the incremental lazy-greedy engine; output is identical to
+/// [`reference::select_tors_greedy_naive`].
 pub(crate) fn select_tors_greedy(
     dc: &DataCenter,
     vms: &[VmId],
@@ -137,137 +204,90 @@ pub(crate) fn select_tors_greedy(
     if vms.is_empty() {
         return Err(ConstructionError::EmptyCluster);
     }
-    // vm -> candidate ToRs; tor -> member VMs it can cover.
-    let mut tor_vms: HashMap<TorId, Vec<usize>> = HashMap::new();
+    // Dense slot table (ToR index → candidate index) and a CSR inverted
+    // index: both avoid per-element hashing/allocation on the hot path.
+    let mut tor_slot: Vec<u32> = vec![u32::MAX; dc.tor_count()];
+    let mut cands: Vec<CoverCandidate<TorId>> = Vec::new();
+    let mut elem_offsets: Vec<u32> = Vec::with_capacity(vms.len() + 1);
+    let mut elem_data: Vec<u32> = Vec::with_capacity(vms.len());
+    elem_offsets.push(0);
     for (i, &vm) in vms.iter().enumerate() {
         let tors = dc.tors_of_vm(vm);
         if tors.is_empty() {
             return Err(ConstructionError::UncoverableVm(vm));
         }
         for &t in tors {
-            tor_vms.entry(t).or_default().push(i);
+            let slot = &mut tor_slot[t.index()];
+            if *slot == u32::MAX {
+                *slot = cands.len() as u32;
+                cands.push(CoverCandidate {
+                    id: t,
+                    degree: dc.ops_of_tor(t).len(),
+                    members: Vec::new(),
+                });
+            }
+            let ci = *slot;
+            cands[ci as usize].members.push(i as u32);
+            elem_data.push(ci);
         }
+        elem_offsets.push(elem_data.len() as u32);
     }
-    let mut covered = vec![false; vms.len()];
-    let mut n_covered = 0;
-    let mut selected = Vec::new();
-    let mut used: HashSet<TorId> = HashSet::new();
-    while n_covered < vms.len() {
-        let mut best: Option<(usize, usize, TorId)> = None; // (gain, out_degree, tor)
-        for (&tor, members) in &tor_vms {
-            if used.contains(&tor) {
-                continue;
-            }
-            let gain = members.iter().filter(|&&i| !covered[i]).count();
-            if gain == 0 {
-                continue;
-            }
-            let out_degree = dc.ops_of_tor(tor).len();
-            let candidate = (gain, out_degree, tor);
-            best = Some(match best {
-                None => candidate,
-                Some(cur) => {
-                    // Higher gain, then higher out-degree, then lower id.
-                    if (candidate.0, candidate.1, std::cmp::Reverse(candidate.2))
-                        > (cur.0, cur.1, std::cmp::Reverse(cur.2))
-                    {
-                        candidate
-                    } else {
-                        cur
-                    }
-                }
-            });
+    match greedy_cover_indexed(&cands, &elem_offsets, &elem_data) {
+        Ok(mut selected) => {
+            selected.sort();
+            Ok(selected)
         }
-        let Some((_, _, tor)) = best else {
-            // Some VM remains uncovered by any unused ToR — only possible
-            // if coverage is impossible (we never skip useful ToRs).
-            let vm = vms[covered
-                .iter()
-                .position(|&c| !c)
-                .expect("uncovered vm exists")];
-            return Err(ConstructionError::UncoverableVm(vm));
-        };
-        used.insert(tor);
-        selected.push(tor);
-        for &i in &tor_vms[&tor] {
-            if !covered[i] {
-                covered[i] = true;
-                n_covered += 1;
-            }
-        }
+        Err(i) => Err(ConstructionError::UncoverableVm(vms[i])),
     }
-    selected.sort();
-    Ok(selected)
 }
 
 /// Greedy OPS selection over the selected ToRs, restricted to available
 /// OPSs: repeatedly pick the available OPS covering the most uncovered
 /// ToRs; ties break toward the OPS with more ToR links, then the lower id.
+/// Runs on the incremental lazy-greedy engine; output is identical to
+/// [`reference::select_ops_greedy_naive`].
 pub(crate) fn select_ops_greedy(
     dc: &DataCenter,
     tors: &[TorId],
     available: &OpsAvailability,
 ) -> Result<Vec<OpsId>, ConstructionError> {
-    let mut ops_tors: HashMap<OpsId, Vec<usize>> = HashMap::new();
-    for (i, &tor) in tors.iter().enumerate() {
+    let mut ops_slot: Vec<u32> = vec![u32::MAX; dc.ops_count()];
+    let mut cands: Vec<CoverCandidate<OpsId>> = Vec::new();
+    let mut elem_offsets: Vec<u32> = Vec::with_capacity(tors.len() + 1);
+    let mut elem_data: Vec<u32> = Vec::with_capacity(tors.len());
+    elem_offsets.push(0);
+    for &tor in tors {
+        let i = elem_offsets.len() - 1;
         let mut any = false;
         for ops in dc.ops_of_tor(tor) {
             if available.is_available(ops) {
-                ops_tors.entry(ops).or_default().push(i);
+                let slot = &mut ops_slot[ops.index()];
+                if *slot == u32::MAX {
+                    *slot = cands.len() as u32;
+                    cands.push(CoverCandidate {
+                        id: ops,
+                        degree: dc.tors_of_ops(ops).len(),
+                        members: Vec::new(),
+                    });
+                }
+                let ci = *slot;
+                cands[ci as usize].members.push(i as u32);
+                elem_data.push(ci);
                 any = true;
             }
         }
         if !any {
             return Err(ConstructionError::UncoverableTor(tor));
         }
+        elem_offsets.push(elem_data.len() as u32);
     }
-    let mut covered = vec![false; tors.len()];
-    let mut n_covered = 0;
-    let mut selected = Vec::new();
-    let mut used: HashSet<OpsId> = HashSet::new();
-    while n_covered < tors.len() {
-        let mut best: Option<(usize, usize, OpsId)> = None;
-        for (&ops, members) in &ops_tors {
-            if used.contains(&ops) {
-                continue;
-            }
-            let gain = members.iter().filter(|&&i| !covered[i]).count();
-            if gain == 0 {
-                continue;
-            }
-            let degree = dc.tors_of_ops(ops).len();
-            let candidate = (gain, degree, ops);
-            best = Some(match best {
-                None => candidate,
-                Some(cur) => {
-                    if (candidate.0, candidate.1, std::cmp::Reverse(candidate.2))
-                        > (cur.0, cur.1, std::cmp::Reverse(cur.2))
-                    {
-                        candidate
-                    } else {
-                        cur
-                    }
-                }
-            });
+    match greedy_cover_indexed(&cands, &elem_offsets, &elem_data) {
+        Ok(mut selected) => {
+            selected.sort();
+            Ok(selected)
         }
-        let Some((_, _, ops)) = best else {
-            let tor = tors[covered
-                .iter()
-                .position(|&c| !c)
-                .expect("uncovered tor exists")];
-            return Err(ConstructionError::UncoverableTor(tor));
-        };
-        used.insert(ops);
-        selected.push(ops);
-        for &i in &ops_tors[&ops] {
-            if !covered[i] {
-                covered[i] = true;
-                n_covered += 1;
-            }
-        }
+        Err(i) => Err(ConstructionError::UncoverableTor(tors[i])),
     }
-    selected.sort();
-    Ok(selected)
 }
 
 /// Connectivity augmentation: while the layer's switches form more than one
@@ -365,6 +385,137 @@ pub(crate) fn ensure_connected(
             return Err(ConstructionError::Disconnected);
         }
     }
+}
+
+// ----- batch (fleet) construction ----------------------------------------
+
+/// Constructs one abstraction layer per VM cluster against a shared OPS
+/// pool — the batch engine behind [`crate::ClusterManager::construct_all`]
+/// and the NFV orchestrator's bulk chain deployment.
+///
+/// Three phases:
+///
+/// 1. **Partition** — each cluster's *candidate* OPSs (available switches
+///    adjacent to its VMs' ToRs) are computed, and every contested OPS is
+///    assigned to exactly one requesting cluster (fewest assignments so
+///    far, then lowest cluster index), yielding near-disjoint per-cluster
+///    pools.
+/// 2. **Optimistic construction** — each cluster is constructed against
+///    its restricted pool. With the `parallel` feature (default) this fans
+///    out over rayon worker threads; without it, a serial loop.
+/// 3. **Serial commit** — in cluster order, a successful optimistic layer
+///    commits iff all its OPSs are still unclaimed; otherwise (including
+///    optimistic failures, which may be artifacts of the restricted pool)
+///    the cluster is re-constructed serially against the true remaining
+///    availability.
+///
+/// Guarantees: the result is **deterministic** (independent of thread
+/// schedule), committed layers are pairwise **OPS-disjoint** and disjoint
+/// from `available`'s blocked set, and every `Ok` layer is a valid output
+/// of `ctor` for its cluster. The result is *not* guaranteed to equal
+/// folding [`AlConstruct::construct`] serially over the clusters: an
+/// optimistic layer built from a restricted pool may commit even though a
+/// serial pass — seeing more candidates — would have chosen differently
+/// (see `DESIGN.md`).
+pub fn construct_layers(
+    dc: &DataCenter,
+    clusters: &[Vec<VmId>],
+    ctor: &(dyn AlConstruct + Sync),
+    available: &OpsAvailability,
+) -> Vec<Result<AbstractionLayer, ConstructionError>> {
+    if clusters.is_empty() {
+        return Vec::new();
+    }
+    // Phase 1: deterministic pool partition over the contested candidates.
+    let mut requests: BTreeMap<OpsId, Vec<usize>> = BTreeMap::new();
+    for (c, vms) in clusters.iter().enumerate() {
+        let mut cands: Vec<OpsId> = Vec::new();
+        for &vm in vms {
+            for &tor in dc.tors_of_vm(vm) {
+                for ops in dc.ops_of_tor(tor) {
+                    if available.is_available(ops) {
+                        cands.push(ops);
+                    }
+                }
+            }
+        }
+        cands.sort();
+        cands.dedup();
+        for o in cands {
+            requests.entry(o).or_default().push(c);
+        }
+    }
+    let mut assigned = vec![0usize; clusters.len()];
+    let mut owner: HashMap<OpsId, usize> = HashMap::new();
+    for (&o, reqs) in &requests {
+        let &winner = reqs
+            .iter()
+            .min_by_key(|&&c| (assigned[c], c))
+            .expect("every requested OPS has a requester");
+        owner.insert(o, winner);
+        assigned[winner] += 1;
+    }
+    let pools: Vec<OpsAvailability> = (0..clusters.len())
+        .map(|c| {
+            let mut pool = available.clone();
+            for (&o, &w) in &owner {
+                if w != c {
+                    pool.block(o);
+                }
+            }
+            pool
+        })
+        .collect();
+
+    // Phase 2: optimistic construction against the restricted pools.
+    let optimistic = construct_each(dc, clusters, ctor, &pools);
+
+    // Phase 3: serial conflict resolution in cluster order. The commit
+    // check also catches overlaps the partition cannot see, e.g. two
+    // connectivity augmentations absorbing the same unrequested bridge OPS.
+    let mut pool = available.clone();
+    let mut results = Vec::with_capacity(clusters.len());
+    for (c, opt) in optimistic.into_iter().enumerate() {
+        let resolved = match opt {
+            Ok(al) if al.ops().iter().all(|&o| pool.is_available(o)) => Ok(al),
+            _ => ctor.construct(dc, &clusters[c], &pool),
+        };
+        if let Ok(al) = &resolved {
+            for &o in al.ops() {
+                pool.block(o);
+            }
+        }
+        results.push(resolved);
+    }
+    results
+}
+
+/// Runs `ctor` once per cluster against per-cluster pools — fanned out
+/// over rayon with the `parallel` feature, a plain loop without.
+#[cfg(feature = "parallel")]
+fn construct_each(
+    dc: &DataCenter,
+    clusters: &[Vec<VmId>],
+    ctor: &(dyn AlConstruct + Sync),
+    pools: &[OpsAvailability],
+) -> Vec<Result<AbstractionLayer, ConstructionError>> {
+    use rayon::prelude::*;
+    (0..clusters.len())
+        .into_par_iter()
+        .map(|c| ctor.construct(dc, &clusters[c], &pools[c]))
+        .collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn construct_each(
+    dc: &DataCenter,
+    clusters: &[Vec<VmId>],
+    ctor: &(dyn AlConstruct + Sync),
+    pools: &[OpsAvailability],
+) -> Vec<Result<AbstractionLayer, ConstructionError>> {
+    (0..clusters.len())
+        .map(|c| ctor.construct(dc, &clusters[c], &pools[c]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -489,6 +640,99 @@ mod tests {
         assert_eq!(
             ensure_connected(&dc, al, &avail),
             Err(ConstructionError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn construct_layers_is_disjoint_valid_and_deterministic() {
+        use crate::construction::PaperGreedy;
+        let dc = AlvcTopologyBuilder::new()
+            .racks(12)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(24)
+            .tor_ops_degree(4)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(9)
+            .build();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let clusters: Vec<Vec<_>> = vms.chunks(8).map(<[_]>::to_vec).collect();
+        let a = construct_layers(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        let b = construct_layers(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        assert_eq!(a, b, "batch construction must be deterministic");
+        let mut seen: HashSet<OpsId> = HashSet::new();
+        for (c, res) in a.iter().enumerate() {
+            let al = res.as_ref().expect("full mesh with 24 OPSs fits 3 ALs");
+            assert!(al.validate(&dc, &clusters[c]).is_ok());
+            for &o in al.ops() {
+                assert!(seen.insert(o), "OPS {o} claimed by two layers");
+            }
+        }
+    }
+
+    #[test]
+    fn construct_layers_matches_serial_fold_on_full_mesh() {
+        // On a full-mesh core the bare greedy cover is already connected,
+        // so an optimistic layer that commits is exactly what the serial
+        // fold would build (extra never-winning candidates don't change the
+        // argmax) — and a layer that differs must conflict and be redone
+        // serially. Either way the batch equals the serial fold here.
+        use crate::construction::PaperGreedy;
+        let dc = AlvcTopologyBuilder::new()
+            .racks(16)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(32)
+            .tor_ops_degree(4)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(23)
+            .build();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let clusters: Vec<Vec<_>> = vms.chunks(10).map(<[_]>::to_vec).collect();
+        let batch = construct_layers(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        let mut pool = OpsAvailability::all();
+        for (c, res) in batch.iter().enumerate() {
+            let serial = PaperGreedy::new().construct(&dc, &clusters[c], &pool);
+            assert_eq!(res, &serial, "cluster {c} diverged from the serial fold");
+            if let Ok(al) = &serial {
+                for &o in al.ops() {
+                    pool.block(o);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn construct_layers_handles_contention_and_exhaustion() {
+        // 2 OPSs, many clusters: later clusters must fail cleanly with a
+        // construction error, never panic or overlap.
+        use crate::construction::PaperGreedy;
+        let dc = AlvcTopologyBuilder::new()
+            .racks(6)
+            .ops_count(2)
+            .tor_ops_degree(1)
+            .seed(5)
+            .build();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let clusters: Vec<Vec<_>> = vms.chunks(2).map(<[_]>::to_vec).collect();
+        let results =
+            construct_layers(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        assert_eq!(results.len(), clusters.len());
+        assert!(results.iter().any(|r| r.is_err()), "pool must exhaust");
+        let mut seen: HashSet<OpsId> = HashSet::new();
+        for res in results.iter().flatten() {
+            for &o in res.ops() {
+                assert!(seen.insert(o));
+            }
+        }
+    }
+
+    #[test]
+    fn construct_layers_empty_input() {
+        use crate::construction::PaperGreedy;
+        let dc = AlvcTopologyBuilder::new().seed(0).build();
+        assert!(
+            construct_layers(&dc, &[], &PaperGreedy::new(), &OpsAvailability::all()).is_empty()
         );
     }
 

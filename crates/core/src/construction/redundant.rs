@@ -8,8 +8,10 @@
 //! [`crate::ClusterManager::fail_ops`]'s shrink-first path and experiment
 //! E9).
 
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::HashMap;
 
+use alvc_graph::LazySelector;
 use alvc_topology::{DataCenter, OpsId, VmId};
 
 use crate::abstraction_layer::AbstractionLayer;
@@ -65,63 +67,85 @@ impl AlConstruct for RedundantGreedy {
     ) -> Result<AbstractionLayer, ConstructionError> {
         let tors = select_tors_greedy(dc, vms)?;
 
+        // Indexed candidate pool: one entry per available OPS that covers
+        // some selected ToR, plus the ToR → candidate-occurrence inverted
+        // index driving incremental gain decay.
+        struct Cand {
+            ops: OpsId,
+            degree: usize,
+            members: Vec<u32>,
+        }
         // need[i] = copies still required for tors[i].
         let mut need: Vec<usize> = vec![self.r; tors.len()];
-        let mut ops_cover: HashMap<OpsId, Vec<usize>> = HashMap::new();
+        let mut total_need = 0usize;
+        let mut ops_index: HashMap<OpsId, usize> = HashMap::new();
+        let mut cands: Vec<Cand> = Vec::new();
+        let mut tor_cands: Vec<Vec<u32>> = vec![Vec::new(); tors.len()];
         for (i, &tor) in tors.iter().enumerate() {
-            let candidates: Vec<OpsId> = dc
-                .ops_of_tor(tor)
-                .into_iter()
-                .filter(|&o| available.is_available(o))
-                .collect();
-            if candidates.is_empty() {
+            let mut uplinks = 0usize;
+            for o in dc.ops_of_tor(tor) {
+                if !available.is_available(o) {
+                    continue;
+                }
+                uplinks += 1;
+                let ci = *ops_index.entry(o).or_insert_with(|| {
+                    cands.push(Cand {
+                        ops: o,
+                        degree: dc.tors_of_ops(o).len(),
+                        members: Vec::new(),
+                    });
+                    cands.len() - 1
+                });
+                cands[ci].members.push(i as u32);
+                tor_cands[i].push(ci as u32);
+            }
+            if uplinks == 0 {
                 return Err(ConstructionError::UncoverableTor(tor));
             }
             // A ToR cannot get more copies than it has available uplinks.
-            need[i] = need[i].min(candidates.len());
-            for o in candidates {
-                ops_cover.entry(o).or_default().push(i);
-            }
+            need[i] = need[i].min(uplinks);
+            total_need += need[i];
         }
 
-        let mut selected: HashSet<OpsId> = HashSet::new();
-        while need.iter().any(|&n| n > 0) {
-            let mut best: Option<(usize, usize, OpsId)> = None;
-            for (&ops, members) in &ops_cover {
-                if selected.contains(&ops) {
-                    continue;
-                }
-                let gain = members.iter().filter(|&&i| need[i] > 0).count();
-                if gain == 0 {
-                    continue;
-                }
-                let degree = dc.tors_of_ops(ops).len();
-                let candidate = (gain, degree, ops);
-                best = Some(match best {
-                    None => candidate,
-                    Some(cur) => {
-                        if (candidate.0, candidate.1, std::cmp::Reverse(candidate.2))
-                            > (cur.0, cur.1, std::cmp::Reverse(cur.2))
-                        {
-                            candidate
-                        } else {
-                            cur
-                        }
-                    }
-                });
+        // Multicover gain: member occurrences whose ToR still needs copies.
+        // All needs start positive, so the initial gain is the member count;
+        // a candidate's gain drops only when a ToR's need reaches zero, once
+        // per occurrence of that ToR in its member list — exactly the naive
+        // rescan's `filter(need > 0).count()`.
+        let mut gains: Vec<usize> = cands.iter().map(|c| c.members.len()).collect();
+        let mut used = vec![false; cands.len()];
+        let key = |ci: usize, gain: usize| (gain, cands[ci].degree, Reverse(cands[ci].ops));
+        let mut selector = LazySelector::with_capacity(cands.len());
+        for (ci, &g) in gains.iter().enumerate() {
+            if g > 0 {
+                selector.push(ci, key(ci, g));
             }
-            let Some((_, _, ops)) = best else {
+        }
+        let mut selected: Vec<OpsId> = Vec::new();
+        while total_need > 0 {
+            let Some(ci) =
+                selector.pop_max(|ci| (!used[ci] && gains[ci] > 0).then(|| key(ci, gains[ci])))
+            else {
                 let i = need.iter().position(|&n| n > 0).expect("unmet need");
                 return Err(ConstructionError::UncoverableTor(tors[i]));
             };
-            selected.insert(ops);
-            for &i in &ops_cover[&ops] {
-                need[i] = need[i].saturating_sub(1);
+            used[ci] = true;
+            selected.push(cands[ci].ops);
+            for k in 0..cands[ci].members.len() {
+                let i = cands[ci].members[k] as usize;
+                if need[i] > 0 {
+                    need[i] -= 1;
+                    total_need -= 1;
+                    if need[i] == 0 {
+                        for &cj in &tor_cands[i] {
+                            gains[cj as usize] -= 1;
+                        }
+                    }
+                }
             }
         }
 
-        let ops: Vec<OpsId> = selected.into_iter().collect();
-        ensure_connected(dc, AbstractionLayer::new(tors, ops), available)
+        ensure_connected(dc, AbstractionLayer::new(tors, selected), available)
     }
 }
 

@@ -1,0 +1,269 @@
+//! Reference rescan implementations of the greedy selection stages.
+//!
+//! The production selectors in [`super`] run on the incremental lazy-greedy
+//! engine ([`alvc_graph::lazy_greedy`]). The per-round full rescans they
+//! replaced live here, byte-for-byte equivalent in output, serving two
+//! purposes:
+//!
+//! * **equivalence testing** — property tests assert the heap-based
+//!   selectors return identical results on random topologies;
+//! * **benchmarking** — the `e3_al_construction` experiment measures the
+//!   engine speedup against these baselines.
+
+use std::collections::{HashMap, HashSet};
+
+use alvc_topology::{DataCenter, OpsId, TorId, VmId};
+
+use crate::abstraction_layer::AbstractionLayer;
+use crate::construction::{ensure_connected, AlConstruct, OpsAvailability};
+use crate::error::ConstructionError;
+
+/// Naive greedy ToR selection: per-round rescan of every candidate ToR.
+/// Same tie-break as [`super::select_tors_greedy`] — `(gain, OPS uplink
+/// count, Reverse(id))` — so the output is identical.
+pub fn select_tors_greedy_naive(
+    dc: &DataCenter,
+    vms: &[VmId],
+) -> Result<Vec<TorId>, ConstructionError> {
+    if vms.is_empty() {
+        return Err(ConstructionError::EmptyCluster);
+    }
+    let mut tor_vms: HashMap<TorId, Vec<usize>> = HashMap::new();
+    for (i, &vm) in vms.iter().enumerate() {
+        let tors = dc.tors_of_vm(vm);
+        if tors.is_empty() {
+            return Err(ConstructionError::UncoverableVm(vm));
+        }
+        for &t in tors {
+            tor_vms.entry(t).or_default().push(i);
+        }
+    }
+    let mut covered = vec![false; vms.len()];
+    let mut n_covered = 0;
+    let mut selected = Vec::new();
+    let mut used: HashSet<TorId> = HashSet::new();
+    while n_covered < vms.len() {
+        let mut best: Option<(usize, usize, TorId)> = None; // (gain, out_degree, tor)
+        for (&tor, members) in &tor_vms {
+            if used.contains(&tor) {
+                continue;
+            }
+            let gain = members.iter().filter(|&&i| !covered[i]).count();
+            if gain == 0 {
+                continue;
+            }
+            let out_degree = dc.ops_of_tor(tor).len();
+            let candidate = (gain, out_degree, tor);
+            best = Some(match best {
+                None => candidate,
+                Some(cur) => {
+                    // Higher gain, then higher out-degree, then lower id.
+                    if (candidate.0, candidate.1, std::cmp::Reverse(candidate.2))
+                        > (cur.0, cur.1, std::cmp::Reverse(cur.2))
+                    {
+                        candidate
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        let Some((_, _, tor)) = best else {
+            let vm = vms[covered
+                .iter()
+                .position(|&c| !c)
+                .expect("uncovered vm exists")];
+            return Err(ConstructionError::UncoverableVm(vm));
+        };
+        used.insert(tor);
+        selected.push(tor);
+        for &i in &tor_vms[&tor] {
+            if !covered[i] {
+                covered[i] = true;
+                n_covered += 1;
+            }
+        }
+    }
+    selected.sort();
+    Ok(selected)
+}
+
+/// Naive greedy OPS selection: per-round rescan of every available OPS.
+/// Same tie-break as [`super::select_ops_greedy`] — `(gain, ToR link count,
+/// Reverse(id))` — so the output is identical.
+pub fn select_ops_greedy_naive(
+    dc: &DataCenter,
+    tors: &[TorId],
+    available: &OpsAvailability,
+) -> Result<Vec<OpsId>, ConstructionError> {
+    let mut ops_tors: HashMap<OpsId, Vec<usize>> = HashMap::new();
+    for (i, &tor) in tors.iter().enumerate() {
+        let mut any = false;
+        for ops in dc.ops_of_tor(tor) {
+            if available.is_available(ops) {
+                ops_tors.entry(ops).or_default().push(i);
+                any = true;
+            }
+        }
+        if !any {
+            return Err(ConstructionError::UncoverableTor(tor));
+        }
+    }
+    let mut covered = vec![false; tors.len()];
+    let mut n_covered = 0;
+    let mut selected = Vec::new();
+    let mut used: HashSet<OpsId> = HashSet::new();
+    while n_covered < tors.len() {
+        let mut best: Option<(usize, usize, OpsId)> = None;
+        for (&ops, members) in &ops_tors {
+            if used.contains(&ops) {
+                continue;
+            }
+            let gain = members.iter().filter(|&&i| !covered[i]).count();
+            if gain == 0 {
+                continue;
+            }
+            let degree = dc.tors_of_ops(ops).len();
+            let candidate = (gain, degree, ops);
+            best = Some(match best {
+                None => candidate,
+                Some(cur) => {
+                    if (candidate.0, candidate.1, std::cmp::Reverse(candidate.2))
+                        > (cur.0, cur.1, std::cmp::Reverse(cur.2))
+                    {
+                        candidate
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        let Some((_, _, ops)) = best else {
+            let tor = tors[covered
+                .iter()
+                .position(|&c| !c)
+                .expect("uncovered tor exists")];
+            return Err(ConstructionError::UncoverableTor(tor));
+        };
+        used.insert(ops);
+        selected.push(ops);
+        for &i in &ops_tors[&ops] {
+            if !covered[i] {
+                covered[i] = true;
+                n_covered += 1;
+            }
+        }
+    }
+    selected.sort();
+    Ok(selected)
+}
+
+/// [`super::PaperGreedy`]'s pipeline on the naive rescan selectors: the
+/// speedup baseline for the incremental engine, and the oracle for
+/// equivalence tests (`NaiveGreedy` and `PaperGreedy` must return identical
+/// layers on every input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NaiveGreedy {
+    skip_augmentation: bool,
+}
+
+impl NaiveGreedy {
+    /// Creates the constructor with augmentation enabled.
+    pub fn new() -> Self {
+        NaiveGreedy::default()
+    }
+
+    /// Creates the constructor without the connectivity augmentation pass.
+    pub fn without_augmentation() -> Self {
+        NaiveGreedy {
+            skip_augmentation: true,
+        }
+    }
+}
+
+impl AlConstruct for NaiveGreedy {
+    fn name(&self) -> &'static str {
+        "naive-greedy"
+    }
+
+    fn construct(
+        &self,
+        dc: &DataCenter,
+        vms: &[VmId],
+        available: &OpsAvailability,
+    ) -> Result<AbstractionLayer, ConstructionError> {
+        let tors = select_tors_greedy_naive(dc, vms)?;
+        let ops = select_ops_greedy_naive(dc, &tors, available)?;
+        let al = AbstractionLayer::new(tors, ops);
+        if self.skip_augmentation {
+            Ok(al)
+        } else {
+            ensure_connected(dc, al, available)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::PaperGreedy;
+    use alvc_topology::AlvcTopologyBuilder;
+
+    /// The tentpole's equivalence guarantee: heap-based PaperGreedy and the
+    /// naive rescan produce identical layers (including identical errors)
+    /// across random topologies, availabilities, and cluster shapes.
+    #[test]
+    fn heap_pipeline_equals_naive_pipeline_on_random_topologies() {
+        for seed in 0..60u64 {
+            let dc = AlvcTopologyBuilder::new()
+                .racks(8)
+                .servers_per_rack(2)
+                .vms_per_server(2)
+                .ops_count(10)
+                .tor_ops_degree(2 + (seed % 3) as usize)
+                .opto_fraction(0.5)
+                .dual_home_prob(0.3)
+                .seed(seed)
+                .build();
+            let vms: Vec<_> = dc.vm_ids().collect();
+            // Block a seed-dependent slice of the pool to exercise the
+            // availability-restricted path too.
+            let blocked = (0..(seed % 4)).map(|k| alvc_topology::OpsId(k as usize));
+            let avail = OpsAvailability::with_blocked(blocked);
+            for cluster in vms.chunks(7) {
+                let heap = PaperGreedy::new().construct(&dc, cluster, &avail);
+                let naive = NaiveGreedy::new().construct(&dc, cluster, &avail);
+                assert_eq!(heap, naive, "divergence at seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_selectors_match_incremental_selectors() {
+        use crate::construction::{select_ops_greedy, select_tors_greedy};
+        for seed in 0..40u64 {
+            let dc = AlvcTopologyBuilder::new()
+                .racks(6)
+                .ops_count(8)
+                .tor_ops_degree(3)
+                .dual_home_prob(0.4)
+                .seed(seed)
+                .build();
+            let vms: Vec<_> = dc.vm_ids().collect();
+            let tors = select_tors_greedy(&dc, &vms);
+            assert_eq!(tors, select_tors_greedy_naive(&dc, &vms));
+            if let Ok(tors) = tors {
+                let avail = OpsAvailability::all();
+                assert_eq!(
+                    select_ops_greedy(&dc, &tors, &avail),
+                    select_ops_greedy_naive(&dc, &tors, &avail)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(NaiveGreedy::new().name(), "naive-greedy");
+    }
+}

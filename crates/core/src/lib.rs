@@ -50,7 +50,7 @@ pub mod update_cost;
 
 pub use abstraction_layer::AbstractionLayer;
 pub use clustering::{service_clusters, ClusterSpec};
-pub use construction::OpsAvailability;
+pub use construction::{construct_layers, OpsAvailability};
 pub use error::{AlValidationError, ConstructionError};
 pub use manager::{ClusterId, ClusterManager, VirtualCluster};
 pub use update_cost::{ChurnEvent, UpdateCost, UpdateCostModel};

@@ -6,7 +6,7 @@ use alvc_topology::{DataCenter, OpsId, VmId};
 use serde::{Deserialize, Serialize};
 
 use crate::abstraction_layer::AbstractionLayer;
-use crate::construction::{AlConstruct, OpsAvailability};
+use crate::construction::{construct_layers, AlConstruct, OpsAvailability};
 use crate::error::ConstructionError;
 
 /// Identifier of a virtual cluster issued by a [`ClusterManager`].
@@ -162,6 +162,89 @@ impl ClusterManager {
             },
         );
         Ok(id)
+    }
+
+    /// Builds abstraction layers for a whole batch of cluster requests at
+    /// once via [`construct_layers`]: the OPS pool is partitioned across
+    /// the requests, construction fans out in parallel (with the default
+    /// `parallel` feature), and conflicts are resolved serially in request
+    /// order. Successful requests are registered as clusters claiming
+    /// their OPSs; failures are returned per-request without touching
+    /// state.
+    ///
+    /// Deterministic, and the registered clusters are OPS-disjoint, but
+    /// the resulting layers may differ from calling
+    /// [`ClusterManager::create_cluster`] one request at a time (see
+    /// [`construct_layers`]).
+    pub fn construct_all(
+        &mut self,
+        dc: &DataCenter,
+        requests: Vec<(String, Vec<VmId>)>,
+        constructor: &(dyn AlConstruct + Sync),
+    ) -> Vec<Result<ClusterId, ConstructionError>> {
+        let clusters: Vec<Vec<VmId>> = requests
+            .iter()
+            .map(|(_, vms)| {
+                let mut vms = vms.clone();
+                vms.sort();
+                vms.dedup();
+                vms
+            })
+            .collect();
+        let layers = construct_layers(dc, &clusters, constructor, &self.availability);
+        layers
+            .into_iter()
+            .zip(requests.into_iter().zip(clusters))
+            .map(|(layer, ((label, _), vms))| layer.map(|al| self.register_cluster(label, vms, al)))
+            .collect()
+    }
+
+    /// Registers an already-constructed cluster, claiming its OPSs. The
+    /// caller must guarantee the layer's OPSs are currently available
+    /// (checked in debug builds).
+    fn register_cluster(
+        &mut self,
+        label: String,
+        vms: Vec<VmId>,
+        al: AbstractionLayer,
+    ) -> ClusterId {
+        debug_assert!(
+            al.ops().iter().all(|&o| self.availability.is_available(o)),
+            "registering a layer whose OPSs are already claimed"
+        );
+        let id = ClusterId(self.next_id);
+        self.next_id += 1;
+        for &o in al.ops() {
+            self.availability.block(o);
+        }
+        self.clusters
+            .insert(id, VirtualCluster { id, label, vms, al });
+        id
+    }
+
+    /// Adopts a pre-built abstraction layer as a new cluster if it is
+    /// valid for `vms` and all of its OPSs are still available; returns
+    /// `None` (without touching state) otherwise.
+    ///
+    /// This is the commit half of an optimistic construct-then-adopt
+    /// pipeline: build layers in bulk with [`construct_layers`], then
+    /// adopt each one, falling back to
+    /// [`ClusterManager::create_cluster`] for the rejects.
+    pub fn try_adopt_cluster(
+        &mut self,
+        dc: &DataCenter,
+        label: impl Into<String>,
+        mut vms: Vec<VmId>,
+        al: AbstractionLayer,
+    ) -> Option<ClusterId> {
+        vms.sort();
+        vms.dedup();
+        if al.validate(dc, &vms).is_err()
+            || al.ops().iter().any(|&o| !self.availability.is_available(o))
+        {
+            return None;
+        }
+        Some(self.register_cluster(label.into(), vms, al))
     }
 
     /// Destroys a cluster and releases its OPSs (failed OPSs stay
@@ -533,6 +616,114 @@ mod tests {
     fn remove_unknown_cluster_is_none() {
         let mut mgr = ClusterManager::new();
         assert!(mgr.remove_cluster(ClusterId(5)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::construction::PaperGreedy;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect};
+
+    fn dc() -> DataCenter {
+        AlvcTopologyBuilder::new()
+            .racks(12)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(24)
+            .tor_ops_degree(4)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(33)
+            .build()
+    }
+
+    fn requests(dc: &DataCenter, chunk: usize) -> Vec<(String, Vec<VmId>)> {
+        let vms: Vec<_> = dc.vm_ids().collect();
+        vms.chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| (format!("batch-{i}"), c.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn construct_all_registers_disjoint_clusters() {
+        let dc = dc();
+        let mut mgr = ClusterManager::new();
+        let results = mgr.construct_all(&dc, requests(&dc, 8), &PaperGreedy::new());
+        assert_eq!(results.len(), 6);
+        for res in &results {
+            let id = res.as_ref().expect("24 OPSs fit 6 small ALs");
+            let vc = mgr.cluster(*id).unwrap();
+            assert!(vc.al().validate(&dc, vc.vms()).is_ok());
+        }
+        assert!(mgr.verify_disjoint());
+        assert_eq!(mgr.cluster_count(), 6);
+        assert_eq!(mgr.availability().blocked_count(), mgr.owned_ops_count());
+    }
+
+    #[test]
+    fn construct_all_is_deterministic() {
+        let dc = dc();
+        let mut a = ClusterManager::new();
+        let mut b = ClusterManager::new();
+        let ra = a.construct_all(&dc, requests(&dc, 10), &PaperGreedy::new());
+        let rb = b.construct_all(&dc, requests(&dc, 10), &PaperGreedy::new());
+        assert_eq!(ra, rb);
+        let als_a: Vec<_> = a.clusters().map(|vc| vc.al().clone()).collect();
+        let als_b: Vec<_> = b.clusters().map(|vc| vc.al().clone()).collect();
+        assert_eq!(als_a, als_b);
+    }
+
+    #[test]
+    fn construct_all_reports_failures_without_state() {
+        let dc = dc();
+        let mut mgr = ClusterManager::new();
+        let mut reqs = requests(&dc, 12);
+        reqs.insert(1, ("empty".into(), vec![]));
+        let results = mgr.construct_all(&dc, reqs, &PaperGreedy::new());
+        assert_eq!(results[1], Err(ConstructionError::EmptyCluster));
+        assert!(results.iter().filter(|r| r.is_ok()).count() >= 1);
+        assert!(mgr.verify_disjoint());
+        assert!(mgr.cluster_by_label("empty").is_none());
+    }
+
+    #[test]
+    fn try_adopt_commits_only_available_valid_layers() {
+        let dc = dc();
+        let mut mgr = ClusterManager::new();
+        let vms: Vec<_> = dc.vm_ids().take(8).collect();
+        let al = PaperGreedy::new()
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        let id = mgr
+            .try_adopt_cluster(&dc, "first", vms.clone(), al.clone())
+            .expect("fresh layer adopts");
+        assert_eq!(mgr.cluster(id).unwrap().al(), &al);
+        // Second adoption of the same layer conflicts on its OPSs.
+        assert!(mgr
+            .try_adopt_cluster(&dc, "dup", vms.clone(), al.clone())
+            .is_none());
+        // A layer that does not cover its VMs is rejected.
+        let wrong: Vec<_> = dc.vm_ids().collect();
+        assert!(mgr.try_adopt_cluster(&dc, "bad", wrong, al).is_none());
+        assert_eq!(mgr.cluster_count(), 1);
+    }
+
+    #[test]
+    fn batch_then_incremental_interoperate() {
+        let dc = dc();
+        let mut mgr = ClusterManager::new();
+        let mut reqs = requests(&dc, 8);
+        let last = reqs.split_off(4);
+        let batch = mgr.construct_all(&dc, reqs, &PaperGreedy::new());
+        assert!(batch.iter().all(Result::is_ok));
+        for (label, vms) in last {
+            if let Ok(id) = mgr.create_cluster(&dc, label, vms, &PaperGreedy::new()) {
+                let vc = mgr.cluster(id).unwrap();
+                assert!(vc.al().validate(&dc, vc.vms()).is_ok());
+            }
+        }
+        assert!(mgr.verify_disjoint());
     }
 }
 

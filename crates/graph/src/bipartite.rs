@@ -204,6 +204,115 @@ impl<L, R, E> Bipartite<L, R, E> {
     pub fn left_side_covered(&self) -> bool {
         self.left_adj.iter().all(|adj| !adj.is_empty())
     }
+
+    /// Builds a compact CSR (compressed sparse row) view of both adjacency
+    /// directions, for algorithms whose inner loop walks neighborhoods
+    /// (e.g. [`crate::cover::greedy_vertex_cover`]): rows are contiguous
+    /// `u32` slices instead of per-node `Vec`s, so coverage updates are
+    /// cache-friendly index walks.
+    pub fn to_csr(&self) -> BipartiteCsr {
+        fn pack(adj: &[Vec<(usize, impl Copy + Into<usize>)>]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+            let total: usize = adj.iter().map(Vec::len).sum();
+            let mut offsets = Vec::with_capacity(adj.len() + 1);
+            let mut edges = Vec::with_capacity(total);
+            let mut targets = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for row in adj {
+                for &(e, t) in row {
+                    edges.push(e as u32);
+                    targets.push(t.into() as u32);
+                }
+                offsets.push(edges.len() as u32);
+            }
+            (offsets, edges, targets)
+        }
+        let (left_offsets, left_edges, left_targets) = pack(&self.left_adj);
+        let (right_offsets, right_edges, right_targets) = pack(&self.right_adj);
+        BipartiteCsr {
+            left_offsets,
+            left_edges,
+            left_targets,
+            right_offsets,
+            right_edges,
+            right_targets,
+        }
+    }
+}
+
+impl From<LeftId> for usize {
+    fn from(l: LeftId) -> usize {
+        l.0
+    }
+}
+
+impl From<RightId> for usize {
+    fn from(r: RightId) -> usize {
+        r.0
+    }
+}
+
+/// Compact CSR adjacency of a [`Bipartite`] graph: per-side offset arrays
+/// into flat `u32` edge-id and opposite-endpoint arrays. Immutable snapshot;
+/// rebuild after mutating the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteCsr {
+    left_offsets: Vec<u32>,
+    left_edges: Vec<u32>,
+    left_targets: Vec<u32>,
+    right_offsets: Vec<u32>,
+    right_edges: Vec<u32>,
+    right_targets: Vec<u32>,
+}
+
+impl BipartiteCsr {
+    /// Number of left nodes.
+    pub fn left_count(&self) -> usize {
+        self.left_offsets.len() - 1
+    }
+
+    /// Number of right nodes.
+    pub fn right_count(&self) -> usize {
+        self.right_offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.left_edges.len()
+    }
+
+    /// Degree of left node `l`.
+    pub fn left_degree(&self, l: usize) -> usize {
+        (self.left_offsets[l + 1] - self.left_offsets[l]) as usize
+    }
+
+    /// Degree of right node `r`.
+    pub fn right_degree(&self, r: usize) -> usize {
+        (self.right_offsets[r + 1] - self.right_offsets[r]) as usize
+    }
+
+    /// Iterates over `(edge index, right index)` incident to left node `l`.
+    pub fn left_row(&self, l: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let (lo, hi) = (
+            self.left_offsets[l] as usize,
+            self.left_offsets[l + 1] as usize,
+        );
+        self.left_edges[lo..hi]
+            .iter()
+            .zip(&self.left_targets[lo..hi])
+            .map(|(&e, &t)| (e as usize, t as usize))
+    }
+
+    /// Iterates over `(edge index, left index)` incident to right node `r`.
+    pub fn right_row(&self, r: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let (lo, hi) = (
+            self.right_offsets[r] as usize,
+            self.right_offsets[r + 1] as usize,
+        );
+        self.right_edges[lo..hi]
+            .iter()
+            .zip(&self.right_targets[lo..hi])
+            .map(|(&e, &t)| (e as usize, t as usize))
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +382,43 @@ mod tests {
         assert!(b.left_side_covered());
         b.add_left(99);
         assert!(!b.left_side_covered());
+    }
+
+    #[test]
+    fn csr_rows_match_adjacency() {
+        let b = small();
+        let csr = b.to_csr();
+        assert_eq!(csr.left_count(), 3);
+        assert_eq!(csr.right_count(), 2);
+        assert_eq!(csr.edge_count(), 4);
+        for l in 0..3 {
+            assert_eq!(csr.left_degree(l), b.left_degree(LeftId(l)));
+            let row: Vec<usize> = csr.left_row(l).map(|(_, r)| r).collect();
+            let adj: Vec<usize> = b.left_neighbors(LeftId(l)).map(|r| r.0).collect();
+            assert_eq!(row, adj);
+        }
+        for r in 0..2 {
+            assert_eq!(csr.right_degree(r), b.right_degree(RightId(r)));
+            let row: Vec<usize> = csr.right_row(r).map(|(_, l)| l).collect();
+            let adj: Vec<usize> = b.right_neighbors(RightId(r)).map(|l| l.0).collect();
+            assert_eq!(row, adj);
+        }
+        // Edge ids in rows refer back to the edge list.
+        for l in 0..3 {
+            for (e, r) in csr.left_row(l) {
+                let (el, er, ()) = b.edges().nth(e).unwrap();
+                assert_eq!((el.0, er.0), (l, r));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_of_empty_graph() {
+        let b: Bipartite<(), (), ()> = Bipartite::new();
+        let csr = b.to_csr();
+        assert_eq!(csr.left_count(), 0);
+        assert_eq!(csr.right_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
     }
 
     #[test]

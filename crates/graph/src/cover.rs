@@ -11,11 +11,18 @@
 //! * [`SetCoverInstance`] with [`SetCoverInstance::greedy`] and
 //!   [`SetCoverInstance::branch_and_bound`] — the set-cover view used when
 //!   selecting the minimum set of OPSs that covers all selected ToRs.
+//!
+//! All greedy entry points run on the incremental lazy-greedy engine in
+//! [`crate::lazy_greedy`]; the historical rescan implementations are kept
+//! as `*_naive` functions for equivalence testing and benchmarking.
+
+use std::cmp::Reverse;
 
 use serde::{Deserialize, Serialize};
 
 use crate::bipartite::{Bipartite, LeftId, RightId};
 use crate::error::GraphError;
+use crate::lazy_greedy::{LazySelector, TotalF64};
 use crate::matching::hopcroft_karp;
 
 /// A vertex cover of a bipartite graph: every edge has an endpoint in the
@@ -117,9 +124,84 @@ pub fn konig_vertex_cover<L, R, E>(graph: &Bipartite<L, R, E>) -> VertexCover {
 /// Greedy maximum-degree vertex cover ("maximum-weighted algorithm" in the
 /// paper): repeatedly add the vertex covering the most uncovered edges.
 ///
+/// Incremental lazy-greedy implementation: vertex degrees decay in place as
+/// edges get covered (walking [`crate::bipartite::BipartiteCsr`] rows), and
+/// the per-round maximum comes from a [`LazySelector`] instead of a full
+/// rescan. Output is identical to [`greedy_vertex_cover_naive`]: ties
+/// prefer the right side (switches), then the higher index within a side,
+/// matching the historical rescan's selection rule.
+///
 /// Not optimal in general; [`konig_vertex_cover`] gives the optimum for
 /// comparison.
 pub fn greedy_vertex_cover<L, R, E>(graph: &Bipartite<L, R, E>) -> VertexCover {
+    let n_left = graph.left_count();
+    let n_right = graph.right_count();
+    let csr = graph.to_csr();
+    let mut edge_covered = vec![false; csr.edge_count()];
+    let mut remaining = csr.edge_count();
+    let mut left_deg: Vec<usize> = (0..n_left).map(|l| csr.left_degree(l)).collect();
+    let mut right_deg: Vec<usize> = (0..n_right).map(|r| csr.right_degree(r)).collect();
+
+    // Key = (degree, side, index): higher degree wins; the right side wins
+    // cross-side ties; the higher index wins within a side. Vertices are
+    // numbered left-first so `current` can tell the sides apart.
+    let key_left = |l: usize, deg: usize| (deg, 0usize, l);
+    let key_right = |r: usize, deg: usize| (deg, 1usize, r);
+    let mut selector = LazySelector::with_capacity(n_left + n_right);
+    for (l, &deg) in left_deg.iter().enumerate() {
+        if deg > 0 {
+            selector.push(l, key_left(l, deg));
+        }
+    }
+    for (r, &deg) in right_deg.iter().enumerate() {
+        if deg > 0 {
+            selector.push(n_left + r, key_right(r, deg));
+        }
+    }
+
+    let mut cover = VertexCover::default();
+    while remaining > 0 {
+        let v = selector
+            .pop_max(|v| {
+                if v < n_left {
+                    let deg = left_deg[v];
+                    (deg > 0).then(|| key_left(v, deg))
+                } else {
+                    let deg = right_deg[v - n_left];
+                    (deg > 0).then(|| key_right(v - n_left, deg))
+                }
+            })
+            .expect("an uncovered edge implies a positive-degree vertex");
+        if v >= n_left {
+            let r = v - n_left;
+            cover.right.push(RightId(r));
+            for (e, l) in csr.right_row(r) {
+                if !edge_covered[e] {
+                    edge_covered[e] = true;
+                    remaining -= 1;
+                    left_deg[l] -= 1;
+                    right_deg[r] -= 1;
+                }
+            }
+        } else {
+            cover.left.push(LeftId(v));
+            for (e, r) in csr.left_row(v) {
+                if !edge_covered[e] {
+                    edge_covered[e] = true;
+                    remaining -= 1;
+                    left_deg[v] -= 1;
+                    right_deg[r] -= 1;
+                }
+            }
+        }
+    }
+    cover
+}
+
+/// Reference rescan implementation of [`greedy_vertex_cover`], kept for
+/// equivalence testing and speedup benchmarking: every round rescans the
+/// full edge list (`O(rounds × edges)`).
+pub fn greedy_vertex_cover_naive<L, R, E>(graph: &Bipartite<L, R, E>) -> VertexCover {
     let n_left = graph.left_count();
     let n_right = graph.right_count();
     let edges: Vec<(usize, usize)> = graph.edges().map(|(l, r, _)| (l.0, r.0)).collect();
@@ -237,12 +319,67 @@ impl SetCoverInstance {
         seen.iter().all(|&b| b)
     }
 
+    /// Builds the inverted element → set-occurrence index used by the
+    /// incremental greedies. Duplicate occurrences of an element within a
+    /// set are preserved so the incremental gain decrements match the naive
+    /// duplicate-counting gain exactly.
+    fn inverted_index(&self) -> Vec<Vec<u32>> {
+        let mut elem_sets: Vec<Vec<u32>> = vec![Vec::new(); self.universe_size];
+        for (i, s) in self.sets.iter().enumerate() {
+            for &e in s {
+                elem_sets[e].push(i as u32);
+            }
+        }
+        elem_sets
+    }
+
     /// Greedy set cover: repeatedly choose the set covering the most
     /// still-uncovered elements (ln(n)-approximate). Ties break toward the
     /// lower index, making the algorithm deterministic.
     ///
+    /// Incremental lazy-greedy implementation: per-set gains decay through
+    /// an inverted element→set index as elements get covered, and each
+    /// round's maximum comes from a [`LazySelector`]. Output is identical
+    /// to [`SetCoverInstance::greedy_naive`].
+    ///
     /// Returns `None` if the universe is not coverable.
     pub fn greedy(&self) -> Option<Vec<usize>> {
+        let mut covered = vec![false; self.universe_size];
+        let mut n_covered = 0;
+        let mut chosen = Vec::new();
+        let mut used = vec![false; self.sets.len()];
+        let elem_sets = self.inverted_index();
+        // Gains count element *occurrences*, matching the naive rescan's
+        // duplicate-counting `filter(!covered).count()`.
+        let mut gains: Vec<usize> = self.sets.iter().map(Vec::len).collect();
+        let mut selector = LazySelector::with_capacity(self.sets.len());
+        for (i, &g) in gains.iter().enumerate() {
+            if g > 0 {
+                selector.push(i, (g, Reverse(i)));
+            }
+        }
+        while n_covered < self.universe_size {
+            let i =
+                selector.pop_max(|i| (!used[i] && gains[i] > 0).then(|| (gains[i], Reverse(i))))?;
+            used[i] = true;
+            chosen.push(i);
+            for &e in &self.sets[i] {
+                if !covered[e] {
+                    covered[e] = true;
+                    n_covered += 1;
+                    for &j in &elem_sets[e] {
+                        gains[j as usize] -= 1;
+                    }
+                }
+            }
+        }
+        Some(chosen)
+    }
+
+    /// Reference rescan implementation of [`SetCoverInstance::greedy`], kept
+    /// for equivalence testing and speedup benchmarking: every round
+    /// recomputes every set's gain from scratch.
+    pub fn greedy_naive(&self) -> Option<Vec<usize>> {
         let mut covered = vec![false; self.universe_size];
         let mut n_covered = 0;
         let mut chosen = Vec::new();
@@ -277,6 +414,14 @@ impl SetCoverInstance {
     /// `weight / newly-covered`, the classical H_n-approximation for
     /// minimum-cost covers. Ties break toward the lower index.
     ///
+    /// Incremental lazy-greedy implementation over
+    /// `Reverse((density, index))` keys: as gains decay, densities only
+    /// increase, so the reversed key is non-increasing — exactly the
+    /// lazy-selection invariant. Output is identical to
+    /// [`SetCoverInstance::greedy_weighted_naive`] (the recomputed density
+    /// for an unchanged gain is bit-identical, so stale detection is
+    /// exact).
+    ///
     /// Returns `None` if the universe is not coverable.
     ///
     /// # Panics
@@ -284,6 +429,55 @@ impl SetCoverInstance {
     /// Panics if `weights.len() != set_count()` or any weight is not
     /// strictly positive and finite.
     pub fn greedy_weighted(&self, weights: &[f64]) -> Option<Vec<usize>> {
+        assert_eq!(
+            weights.len(),
+            self.sets.len(),
+            "one weight per candidate set"
+        );
+        for (i, w) in weights.iter().enumerate() {
+            assert!(
+                w.is_finite() && *w > 0.0,
+                "weight of set {i} must be positive and finite"
+            );
+        }
+        let mut covered = vec![false; self.universe_size];
+        let mut n_covered = 0;
+        let mut chosen = Vec::new();
+        let mut used = vec![false; self.sets.len()];
+        let elem_sets = self.inverted_index();
+        let mut gains: Vec<usize> = self.sets.iter().map(Vec::len).collect();
+        let key = |i: usize, gain: usize| Reverse((TotalF64(weights[i] / gain as f64), i));
+        let mut selector = LazySelector::with_capacity(self.sets.len());
+        for (i, &g) in gains.iter().enumerate() {
+            if g > 0 {
+                selector.push(i, key(i, g));
+            }
+        }
+        while n_covered < self.universe_size {
+            let i = selector.pop_max(|i| (!used[i] && gains[i] > 0).then(|| key(i, gains[i])))?;
+            used[i] = true;
+            chosen.push(i);
+            for &e in &self.sets[i] {
+                if !covered[e] {
+                    covered[e] = true;
+                    n_covered += 1;
+                    for &j in &elem_sets[e] {
+                        gains[j as usize] -= 1;
+                    }
+                }
+            }
+        }
+        Some(chosen)
+    }
+
+    /// Reference rescan implementation of
+    /// [`SetCoverInstance::greedy_weighted`], kept for equivalence testing
+    /// and speedup benchmarking.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SetCoverInstance::greedy_weighted`].
+    pub fn greedy_weighted_naive(&self, weights: &[f64]) -> Option<Vec<usize>> {
         assert_eq!(
             weights.len(),
             self.sets.len(),
@@ -598,6 +792,62 @@ mod tests {
     fn weighted_greedy_rejects_wrong_arity() {
         let inst = SetCoverInstance::new(1, vec![vec![0]]);
         inst.greedy_weighted(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn heap_greedy_matches_naive_on_fixtures() {
+        let instances = [
+            SetCoverInstance::new(4, vec![vec![0, 1], vec![2], vec![3], vec![2, 3]]),
+            SetCoverInstance::new(
+                8,
+                vec![
+                    vec![0, 1, 2, 3],
+                    vec![4, 5, 6, 7],
+                    vec![0, 1, 4, 5, 6],
+                    vec![2, 3, 7],
+                ],
+            ),
+            // Duplicate occurrences inflate the naive gain; the incremental
+            // version must count them identically.
+            SetCoverInstance::new(3, vec![vec![0, 0, 1], vec![0, 1, 2], vec![2, 2]]),
+            SetCoverInstance::new(3, vec![vec![0], vec![1]]), // uncoverable
+            SetCoverInstance::new(0, vec![vec![], vec![]]),
+        ];
+        for inst in &instances {
+            assert_eq!(inst.greedy(), inst.greedy_naive());
+        }
+    }
+
+    #[test]
+    fn heap_weighted_greedy_matches_naive_on_fixtures() {
+        let inst = SetCoverInstance::new(2, vec![vec![0, 1], vec![0], vec![1]]);
+        for weights in [[10.0, 1.0, 1.0], [1.0, 10.0, 10.0], [1.0, 1.0, 1.0]] {
+            assert_eq!(
+                inst.greedy_weighted(&weights),
+                inst.greedy_weighted_naive(&weights)
+            );
+        }
+        let uncoverable = SetCoverInstance::new(2, vec![vec![0]]);
+        assert_eq!(
+            uncoverable.greedy_weighted(&[1.0]),
+            uncoverable.greedy_weighted_naive(&[1.0])
+        );
+    }
+
+    #[test]
+    fn heap_vertex_cover_matches_naive_on_fixtures() {
+        type Fixture = (usize, usize, &'static [(usize, usize)]);
+        let shapes: &[Fixture] = &[
+            (1, 1, &[(0, 0)]),
+            (4, 1, &[(0, 0), (1, 0), (2, 0), (3, 0)]),
+            (3, 3, &[(0, 0), (0, 2), (1, 0), (1, 1), (2, 1), (2, 2)]),
+            (3, 3, &[]),
+            (2, 0, &[]),
+        ];
+        for &(nl, nr, edges) in shapes {
+            let b = bip(nl, nr, edges);
+            assert_eq!(greedy_vertex_cover(&b), greedy_vertex_cover_naive(&b));
+        }
     }
 
     #[test]

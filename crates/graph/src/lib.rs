@@ -14,6 +14,8 @@
 //! * [`matching`] — Hopcroft–Karp maximum bipartite matching.
 //! * [`cover`] — minimum vertex cover via König's theorem (exact, bipartite),
 //!   greedy vertex cover, and greedy / branch-and-bound set cover.
+//! * [`lazy_greedy`] — the heap-backed incremental selection engine behind
+//!   every greedy cover (lazy deletion of stale entries).
 //! * [`traversal`] — BFS/DFS orders, connected components, reachability.
 //! * [`shortest_path`] — Dijkstra and unweighted BFS shortest paths.
 //! * [`unionfind`] — disjoint set union used by the topology generators.
@@ -46,15 +48,17 @@ pub mod cover;
 pub mod digraph;
 pub mod error;
 pub mod graph;
+pub mod lazy_greedy;
 pub mod matching;
 pub mod shortest_path;
 pub mod traversal;
 pub mod unionfind;
 
-pub use bipartite::{Bipartite, LeftId, RightId};
+pub use bipartite::{Bipartite, BipartiteCsr, LeftId, RightId};
 pub use cover::{SetCoverInstance, VertexCover};
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, NodeId};
+pub use lazy_greedy::{LazySelector, TotalF64};
 pub use matching::Matching;
 pub use unionfind::UnionFind;

@@ -14,7 +14,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use alvc_core::construction::AlConstruct;
+use alvc_core::construction::{construct_layers, AlConstruct};
 use alvc_core::{ClusterId, ClusterManager};
 use alvc_graph::NodeId;
 use alvc_optical::routing::path_edges;
@@ -270,6 +270,64 @@ impl Orchestrator {
                 Err(e)
             }
         }
+    }
+
+    /// Deploys a batch of chains at once: abstraction layers for all
+    /// tenants are constructed in bulk via [`construct_layers`] (fanned
+    /// out over rayon with alvc-core's default `parallel` feature), then
+    /// each chain is committed serially in request order — adopting its
+    /// pre-built layer when it is still valid and conflict-free, falling
+    /// back to a fresh serial construction otherwise. Placement, routing,
+    /// admission, and flow-rule installation stay serial: they contend on
+    /// the shared bandwidth/host ledgers and the SDN rule tables.
+    ///
+    /// Returns one result per request, in request order. Deterministic;
+    /// failed requests roll back completely, exactly as in
+    /// [`Orchestrator::deploy_chain`].
+    pub fn deploy_chains(
+        &mut self,
+        dc: &DataCenter,
+        requests: Vec<(String, Vec<VmId>, ChainSpec)>,
+        constructor: &(dyn AlConstruct + Sync),
+        placer: &dyn VnfPlacer,
+    ) -> Vec<Result<NfcId, DeployError>> {
+        // Same membership normalization create_cluster applies, so the
+        // bulk-built layers match what the fallback path would see.
+        let clusters: Vec<Vec<VmId>> = requests
+            .iter()
+            .map(|(_, vms, _)| {
+                let mut vms = vms.clone();
+                vms.sort();
+                vms.dedup();
+                vms
+            })
+            .collect();
+        let layers = construct_layers(dc, &clusters, constructor, self.manager.availability());
+        requests
+            .into_iter()
+            .zip(layers)
+            .map(|((tenant, vms, spec), layer)| {
+                if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
+                    return Err(DeployError::EndpointOutsideCluster);
+                }
+                let adopted = layer
+                    .ok()
+                    .and_then(|al| self.manager.try_adopt_cluster(dc, &tenant, vms.clone(), al));
+                let cluster = match adopted {
+                    Some(id) => id,
+                    None => self
+                        .manager
+                        .create_cluster(dc, &tenant, vms.clone(), constructor)?,
+                };
+                match self.deploy_into_cluster(dc, cluster, &vms, spec, placer) {
+                    Ok(id) => Ok(id),
+                    Err(e) => {
+                        self.manager.remove_cluster(cluster);
+                        Err(e)
+                    }
+                }
+            })
+            .collect()
     }
 
     fn deploy_into_cluster(
@@ -977,6 +1035,151 @@ mod tests {
         let chain = orch.chain(id).unwrap();
         assert!(chain.hosts().is_empty());
         assert_eq!(chain.oeo_conversions(), 0);
+    }
+}
+
+#[cfg(test)]
+mod batch_deploy_tests {
+    use super::*;
+    use crate::chain::fig5;
+    use crate::placement::ElectronicOnlyPlacer;
+    use alvc_core::construction::PaperGreedy;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceType};
+
+    fn dc() -> DataCenter {
+        AlvcTopologyBuilder::new()
+            .racks(12)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(24)
+            .tor_ops_degree(4)
+            .opto_fraction(0.5)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(47)
+            .build()
+    }
+
+    fn batch_requests(dc: &DataCenter) -> Vec<(String, Vec<VmId>, ChainSpec)> {
+        dc.services()
+            .into_iter()
+            .filter_map(|s| {
+                let vms = dc.vms_of_service(s);
+                if vms.len() < 2 {
+                    return None;
+                }
+                let spec = fig5::black(vms[0], *vms.last().unwrap());
+                Some((s.label().to_string(), vms, spec))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_deploy_creates_disjoint_slices() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let reqs = batch_requests(&dc);
+        let n = reqs.len();
+        assert!(n >= 2, "need multiple tenants");
+        let results =
+            orch.deploy_chains(&dc, reqs, &PaperGreedy::new(), &ElectronicOnlyPlacer::new());
+        assert_eq!(results.len(), n);
+        let deployed = results.iter().filter(|r| r.is_ok()).count();
+        assert!(deployed >= 2, "most tenants deploy on a 24-OPS mesh");
+        assert_eq!(orch.chain_count(), deployed);
+        assert!(orch.manager().verify_disjoint());
+        for id in results.into_iter().flatten() {
+            let chain = orch.chain(id).unwrap();
+            assert_eq!(orch.slices().cluster_of(id), Some(chain.cluster()));
+            for &iid in chain.instances() {
+                assert_eq!(orch.instance(iid).unwrap().state(), VnfState::Active);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_deploy_is_deterministic() {
+        let dc = dc();
+        let mut a = Orchestrator::new();
+        let mut b = Orchestrator::new();
+        let ra = a.deploy_chains(
+            &dc,
+            batch_requests(&dc),
+            &PaperGreedy::new(),
+            &ElectronicOnlyPlacer::new(),
+        );
+        let rb = b.deploy_chains(
+            &dc,
+            batch_requests(&dc),
+            &PaperGreedy::new(),
+            &ElectronicOnlyPlacer::new(),
+        );
+        assert_eq!(ra, rb);
+        let als_a: Vec<_> = a.manager().clusters().map(|vc| vc.al().clone()).collect();
+        let als_b: Vec<_> = b.manager().clusters().map(|vc| vc.al().clone()).collect();
+        assert_eq!(als_a, als_b);
+    }
+
+    #[test]
+    fn batch_deploy_rejects_foreign_endpoints_without_state() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let web = dc.vms_of_service(ServiceType::WebService);
+        let foreign = dc.vm_ids().find(|v| !web.contains(v)).unwrap();
+        let bad_spec = fig5::blue(web[0], foreign);
+        let good_spec = fig5::black(web[0], *web.last().unwrap());
+        let results = orch.deploy_chains(
+            &dc,
+            vec![
+                ("bad".into(), web.clone(), bad_spec),
+                ("good".into(), web, good_spec),
+            ],
+            &PaperGreedy::new(),
+            &ElectronicOnlyPlacer::new(),
+        );
+        assert_eq!(results[0], Err(DeployError::EndpointOutsideCluster));
+        assert!(results[1].is_ok());
+        assert_eq!(orch.chain_count(), 1);
+        assert!(orch.manager().cluster_by_label("bad").is_none());
+        assert!(orch.manager().verify_disjoint());
+    }
+
+    #[test]
+    fn batch_matches_sequential_deploys_on_full_mesh() {
+        let dc = dc();
+        let reqs = batch_requests(&dc);
+        let mut batch = Orchestrator::new();
+        let batch_results = batch.deploy_chains(
+            &dc,
+            reqs.clone(),
+            &PaperGreedy::new(),
+            &ElectronicOnlyPlacer::new(),
+        );
+        let mut serial = Orchestrator::new();
+        let serial_results: Vec<_> = reqs
+            .into_iter()
+            .map(|(tenant, vms, spec)| {
+                serial.deploy_chain(
+                    &dc,
+                    &tenant,
+                    vms,
+                    spec,
+                    &PaperGreedy::new(),
+                    &ElectronicOnlyPlacer::new(),
+                )
+            })
+            .collect();
+        assert_eq!(batch_results, serial_results);
+        let als_batch: Vec<_> = batch
+            .manager()
+            .clusters()
+            .map(|vc| vc.al().clone())
+            .collect();
+        let als_serial: Vec<_> = serial
+            .manager()
+            .clusters()
+            .map(|vc| vc.al().clone())
+            .collect();
+        assert_eq!(als_batch, als_serial);
     }
 }
 

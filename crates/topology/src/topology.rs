@@ -335,6 +335,15 @@ impl DataCenter {
         self.servers[server.0].rack
     }
 
+    /// The rack a ToR switch serves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tor` does not exist.
+    pub fn rack_of_tor(&self, tor: TorId) -> RackId {
+        self.tors[tor.0].rack
+    }
+
     /// The rack ToR of `server`.
     ///
     /// # Panics

@@ -1,0 +1,234 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Supports the subset this workspace uses: `slice.par_iter()` and
+//! `(0..n).into_par_iter()`, chained through `.map(..)` into
+//! `.collect::<Vec<_>>()`. Work is distributed over `std::thread::scope`
+//! threads in contiguous chunks and results are returned in input order,
+//! matching rayon's ordered-collect semantics. The indexed-producer model
+//! means no work stealing, which is fine for the coarse per-cluster tasks
+//! the orchestrator fans out.
+
+use std::ops::Range;
+
+/// A data source whose items can be produced independently by index.
+pub trait IndexedProducer: Sync {
+    /// Item type produced for each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `i` (`i < len()`).
+    fn produce(&self, i: usize) -> Self::Item;
+}
+
+/// A parallel iterator: an indexed producer plus the adapters the
+/// workspace uses.
+pub trait ParallelIterator: IndexedProducer + Sized {
+    /// Maps each item through `f` in parallel.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and collects results in input order.
+    fn collect<C: FromParallel<Self::Item>>(self) -> C {
+        C::from_parallel(self)
+    }
+}
+
+impl<P: IndexedProducer + Sized> ParallelIterator for P {}
+
+/// Result of [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> IndexedProducer for Map<P, F>
+where
+    P: IndexedProducer,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn produce(&self, i: usize) -> U {
+        (self.f)(self.base.produce(i))
+    }
+}
+
+/// Collection types constructible from a parallel pipeline.
+pub trait FromParallel<T: Send> {
+    /// Runs `producer` to completion and gathers its items.
+    fn from_parallel<P: IndexedProducer<Item = T>>(producer: P) -> Self;
+}
+
+impl<T: Send> FromParallel<T> for Vec<T> {
+    fn from_parallel<P: IndexedProducer<Item = T>>(producer: P) -> Self {
+        run_ordered(&producer)
+    }
+}
+
+impl<T: Send, E: Send> FromParallel<Result<T, E>> for Result<Vec<T>, E> {
+    /// Rayon-style fallible collect: first error (in input order) wins.
+    fn from_parallel<P: IndexedProducer<Item = Result<T, E>>>(producer: P) -> Self {
+        run_ordered(&producer).into_iter().collect()
+    }
+}
+
+/// Produces all items, fanning contiguous chunks out over scoped threads.
+fn run_ordered<P: IndexedProducer>(producer: &P) -> Vec<P::Item> {
+    let n = producer.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return (0..n).map(|i| producer.produce(i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<P::Item>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(|i| producer.produce(i)).collect::<Vec<_>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Borrowing entry point: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed parallel iterator type.
+    type Iter: ParallelIterator;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> IndexedProducer for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn produce(&self, i: usize) -> &'a T {
+        &self.items[i]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// Consuming entry point: `(0..n).into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The owned parallel iterator type.
+    type Iter: ParallelIterator;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl IndexedProducer for ParRange {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+
+    fn produce(&self, i: usize) -> usize {
+        self.range.start + i
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_map_over_slice() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_map_over_range() {
+        let squares: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fallible_collect_short_circuits_to_first_error() {
+        let r: Result<Vec<usize>, usize> = (0..100)
+            .into_par_iter()
+            .map(|i| if i % 7 == 3 { Err(i) } else { Ok(i) })
+            .collect();
+        assert_eq!(r, Err(3));
+    }
+}

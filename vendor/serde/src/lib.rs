@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as derived markers on plain data types (no
+//! `#[serde(...)]` attributes, no serializer backends), so in registry-less
+//! build environments the traits degrade to blanket-implemented markers and
+//! the derives (re-exported from the vendored `serde_derive`) expand to
+//! nothing. Swapping the real serde back in requires no source changes.
+
+/// Marker replacement for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker replacement for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker replacement for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments without a crates.io mirror, so the
+//! real serde is replaced by a vendored marker-trait version (see
+//! `vendor/serde`). There, `Serialize`/`Deserialize` are blanket-implemented
+//! for every type, which lets these derives expand to nothing while keeping
+//! `#[derive(Serialize, Deserialize)]` and trait bounds compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the trait is blanket-implemented in `serde`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the trait is blanket-implemented in `serde`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
