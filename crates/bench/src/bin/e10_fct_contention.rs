@@ -60,7 +60,7 @@ fn run(dc: &DataCenter, wl: &[(usize, usize, u64, f64)]) -> (f64, f64, f64, f64)
             .expect("connected fabric"),
         })
         .collect();
-    let mut report = simulate_fair_share(dc, &flows);
+    let report = simulate_fair_share(dc, &flows);
     (
         report.fct_ms.percentile(50.0),
         report.fct_ms.percentile(99.0),

@@ -8,17 +8,61 @@
 
 use std::time::Instant;
 
-use alvc_bench::{f2, measure, print_table, write_results, Json, LatencyStats, Scale};
+use alvc_bench::{
+    f2, measure, print_table, telemetry_json, write_results, Json, LatencyStats, Scale,
+};
+use alvc_core::clustering::tenant_clusters;
 use alvc_core::construction::{
     AlConstruct, CostAwareGreedy, ExactCover, NaiveGreedy, PaperGreedy, RandomSelection,
     StaticDegreeGreedy,
 };
 use alvc_core::{service_clusters, ClusterManager, OpsAvailability};
+use alvc_nfv::chain::fig5;
+use alvc_nfv::Orchestrator;
+use alvc_placement::OpticalFirstPlacer;
 use alvc_topology::{DataCenter, VmId};
 
 /// Speedup targets from the incremental-engine work (ROADMAP perf PR).
 const KERNEL_10K_TARGET: f64 = 5.0;
 const BATCH_TARGET: f64 = 3.0;
+
+/// PR 1's recorded pod-10k incremental-kernel mean (µs) — the reference the
+/// probes-off overhead guard compares against (§DESIGN.md observability
+/// budget: telemetry compiled out must stay within 2% of this baseline).
+const PR1_KERNEL_10K_LAZY_US: f64 = 395.295;
+const OVERHEAD_BUDGET: f64 = 0.02;
+
+/// Deploys Fig. 5's three chains so a bench run exercises the orchestrator
+/// probes (`alvc_nfv.orchestrator.*`) alongside the construction kernel;
+/// returns the deployed-chain count.
+fn orchestrate_chains() -> usize {
+    let dc = Scale::LADDER[1].build(23);
+    let mut orch = Orchestrator::new();
+    let all_vms: Vec<_> = dc.vm_ids().collect();
+    let tenants = tenant_clusters(&all_vms, 3);
+    let specs = [
+        fig5::blue(tenants[0].vms[0], *tenants[0].vms.last().unwrap()),
+        fig5::black(tenants[1].vms[0], *tenants[1].vms.last().unwrap()),
+        fig5::green(tenants[2].vms[0], *tenants[2].vms.last().unwrap()),
+    ];
+    let mut deployed = 0usize;
+    for (tenant, spec) in tenants.iter().zip(specs) {
+        if orch
+            .deploy_chain(
+                &dc,
+                &tenant.label,
+                tenant.vms.clone(),
+                spec,
+                &PaperGreedy::new(),
+                &OpticalFirstPlacer::new(),
+            )
+            .is_ok()
+        {
+            deployed += 1;
+        }
+    }
+    deployed
+}
 
 /// Construction-kernel scales: whole-DC clusters at 1k / 10k / 100k VMs.
 const KERNEL_SCALES: [(Scale, usize); 3] = [
@@ -61,7 +105,7 @@ fn cmp_json(label: &str, naive: LatencyStats, lazy: LatencyStats) -> (f64, Json)
 /// Benchmarks the greedy-construction kernel (no augmentation, whole-DC
 /// cluster) at one scale: rescan baseline vs the heap-backed incremental
 /// engine.
-fn kernel_bench(scale: &Scale, iters: usize) -> (f64, Json, Vec<String>) {
+fn kernel_bench(scale: &Scale, iters: usize) -> (f64, f64, Json, Vec<String>) {
     let dc = scale.build(23);
     let vms: Vec<VmId> = dc.vm_ids().collect();
     let naive_ctor = NaiveGreedy::without_augmentation();
@@ -83,6 +127,7 @@ fn kernel_bench(scale: &Scale, iters: usize) -> (f64, Json, Vec<String>) {
         size_naive, size_lazy,
         "rescan and incremental greedy must pick identical layers"
     );
+    let lazy_mean_us = lazy.mean_us;
     let (speedup, cmp) = cmp_json(scale.name, naive, lazy);
     let json = Json::object()
         .field("scale", scale.name)
@@ -100,7 +145,7 @@ fn kernel_bench(scale: &Scale, iters: usize) -> (f64, Json, Vec<String>) {
         f2(lazy.p99_us / 1e3),
         format!("{speedup:.2}x"),
     ];
-    (speedup, json, row)
+    (speedup, lazy_mean_us, json, row)
 }
 
 /// Builds the 64-cluster batch scenario: racks are divided into groups and
@@ -281,10 +326,12 @@ fn main() {
     let mut kernel_rows = Vec::new();
     let mut kernel_json = Vec::new();
     let mut kernel_10k_speedup = 0.0;
+    let mut kernel_10k_lazy_us = 0.0;
     for (scale, iters) in &KERNEL_SCALES {
-        let (speedup, json, row) = kernel_bench(scale, *iters);
+        let (speedup, lazy_mean_us, json, row) = kernel_bench(scale, *iters);
         if scale.name == Scale::LADDER[4].name {
             kernel_10k_speedup = speedup;
+            kernel_10k_lazy_us = lazy_mean_us;
         }
         kernel_rows.push(row);
         kernel_json.push(json);
@@ -394,6 +441,11 @@ fn main() {
         batch_speedup
     );
 
+    // Orchestration pass: deploy Fig. 5's chains so the emitted telemetry
+    // snapshot carries nonzero orchestrator probes, not just construction.
+    let chains_deployed = orchestrate_chains();
+    println!("\norchestration pass: deployed {chains_deployed}/3 Fig. 5 chains");
+
     let kernel_met = kernel_10k_speedup >= KERNEL_10K_TARGET;
     let batch_met = batch_speedup >= BATCH_TARGET;
     println!(
@@ -432,7 +484,40 @@ fn main() {
                 .field("batch_speedup_min", BATCH_TARGET)
                 .field("batch_speedup", (batch_speedup * 100.0).round() / 100.0)
                 .field("batch_met", batch_met),
-        );
+        )
+        .field("chains_deployed", chains_deployed)
+        .field("telemetry_enabled", alvc_telemetry::telemetry_compiled())
+        .field("telemetry", telemetry_json());
     let path = write_results("BENCH_al_construction.json", &json.pretty());
     println!("wrote {}", path.display());
+
+    // Overhead guard: with probes compiled out, the kernel must sit within
+    // the budget of PR 1's recorded (pre-telemetry) baseline. Written only
+    // from the probes-off build so the on/off numbers never overwrite each
+    // other.
+    if !alvc_telemetry::telemetry_compiled() {
+        let ratio = kernel_10k_lazy_us / PR1_KERNEL_10K_LAZY_US;
+        let within = ratio <= 1.0 + OVERHEAD_BUDGET;
+        let guard = Json::object()
+            .field("experiment", "telemetry_overhead_guard")
+            .field(
+                "description",
+                "pod-10k construction kernel, telemetry compiled out, vs PR 1 baseline",
+            )
+            .field("baseline_mean_us", PR1_KERNEL_10K_LAZY_US)
+            .field("measured_mean_us", kernel_10k_lazy_us)
+            .field("ratio", (ratio * 1000.0).round() / 1000.0)
+            .field("budget", 1.0 + OVERHEAD_BUDGET)
+            .field("within_budget", within);
+        let guard_path = write_results("BENCH_telemetry_overhead.json", &guard.pretty());
+        println!(
+            "overhead guard: {kernel_10k_lazy_us:.3} µs vs baseline \
+             {PR1_KERNEL_10K_LAZY_US:.3} µs ({:.1}% {}, budget {:.0}%) -> {}",
+            (ratio - 1.0).abs() * 100.0,
+            if ratio >= 1.0 { "slower" } else { "faster" },
+            OVERHEAD_BUDGET * 100.0,
+            if within { "WITHIN" } else { "EXCEEDED" },
+        );
+        println!("wrote {}", guard_path.display());
+    }
 }

@@ -1,0 +1,144 @@
+//! Validates the telemetry snapshot embedded in a `results/BENCH_*.json`
+//! against `schemas/telemetry_snapshot.schema.json`, and — when the file
+//! comes from a probes-on build — checks that the selector, construction,
+//! and orchestrator probe families all recorded nonzero activity.
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_snapshot <results-file> [schema-file]
+//! ```
+//!
+//! Exits nonzero with a diagnostic on the first violation; CI's telemetry
+//! smoke job runs this after an instrumented bench.
+
+use std::process::ExitCode;
+
+use alvc_bench::Json;
+
+/// Probe-name prefixes that must show nonzero counters in an instrumented
+/// e3/e8 run (DESIGN.md §9 acceptance).
+const REQUIRED_PROBE_PREFIXES: [&str; 3] = [
+    "alvc_graph.selector.",
+    "alvc_core.construction.",
+    "alvc_nfv.orchestrator.",
+];
+
+/// Validates `value` against the JSON-Schema subset this repo uses:
+/// `type` (string form), `required`, `properties`, `items`, `minimum`.
+/// `path` names the location for diagnostics.
+fn validate(value: &Json, schema: &Json, path: &str) -> Result<(), String> {
+    if let Some(ty) = schema.get("type").and_then(Json::as_str) {
+        let ok = match ty {
+            "object" => matches!(value, Json::Object(_)),
+            "array" => matches!(value, Json::Array(_)),
+            "string" => matches!(value, Json::Str(_)),
+            "number" => matches!(value, Json::Num(_)),
+            "boolean" => matches!(value, Json::Bool(_)),
+            "null" => matches!(value, Json::Null),
+            other => return Err(format!("{path}: unsupported schema type {other:?}")),
+        };
+        if !ok {
+            return Err(format!("{path}: expected {ty}, got {value:?}"));
+        }
+    }
+    if let Some(min) = schema.get("minimum").and_then(Json::as_f64) {
+        if let Some(n) = value.as_f64() {
+            if n < min {
+                return Err(format!("{path}: {n} below minimum {min}"));
+            }
+        }
+    }
+    if let Some(required) = schema.get("required").and_then(Json::as_array) {
+        for key in required {
+            let key = key.as_str().expect("required entries are strings");
+            if value.get(key).is_none() {
+                return Err(format!("{path}: missing required field {key:?}"));
+            }
+        }
+    }
+    if let Some(props) = schema.get("properties").and_then(Json::as_object) {
+        for (key, sub) in props {
+            if let Some(v) = value.get(key) {
+                validate(v, sub, &format!("{path}.{key}"))?;
+            }
+        }
+    }
+    if let Some(items) = schema.get("items") {
+        if let Some(arr) = value.as_array() {
+            for (i, v) in arr.iter().enumerate() {
+                validate(v, items, &format!("{path}[{i}]"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every required probe family has at least one counter with a
+/// nonzero value.
+fn check_probe_coverage(snapshot: &Json) -> Result<(), String> {
+    let counters = snapshot
+        .get("counters")
+        .and_then(Json::as_array)
+        .ok_or("telemetry.counters missing")?;
+    for prefix in REQUIRED_PROBE_PREFIXES {
+        let hit = counters.iter().any(|c| {
+            c.get("name")
+                .and_then(Json::as_str)
+                .is_some_and(|n| n.starts_with(prefix))
+                && c.get("value").and_then(Json::as_f64).unwrap_or(0.0) > 0.0
+        });
+        if !hit {
+            return Err(format!("no nonzero counter under {prefix:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let results_path = args
+        .next()
+        .ok_or("usage: validate_snapshot <results-file> [schema-file]")?;
+    let schema_path = args.next().unwrap_or_else(|| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/telemetry_snapshot.schema.json"
+        )
+        .to_string()
+    });
+
+    let results_text =
+        std::fs::read_to_string(&results_path).map_err(|e| format!("read {results_path}: {e}"))?;
+    let schema_text =
+        std::fs::read_to_string(&schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let results = Json::parse(&results_text).map_err(|e| format!("{results_path}: {e}"))?;
+    let schema = Json::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+
+    let snapshot = results
+        .get("telemetry")
+        .ok_or_else(|| format!("{results_path}: no `telemetry` section"))?;
+    validate(snapshot, &schema, "telemetry")?;
+
+    let enabled = snapshot
+        .get("enabled")
+        .and_then(Json::as_bool)
+        .ok_or("telemetry.enabled missing")?;
+    if enabled {
+        check_probe_coverage(snapshot)?;
+        println!("{results_path}: telemetry snapshot valid, all probe families nonzero");
+    } else {
+        println!("{results_path}: telemetry snapshot valid (probes compiled out)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_snapshot: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -184,9 +184,11 @@ pub fn pct(x: f64) -> String {
 
 pub mod json;
 pub mod stats;
+pub mod telemetry_export;
 
 pub use json::Json;
 pub use stats::{measure, LatencyStats};
+pub use telemetry_export::telemetry_json;
 
 /// Writes `content` to `results/<filename>` at the repository root
 /// (resolved relative to this crate's manifest, so it works from any

@@ -160,6 +160,9 @@ fn greedy_cover_indexed<Id: Copy + Ord>(
     let mut n_covered = 0;
     let mut used = vec![false; cands.len()];
     let mut selected = Vec::new();
+    // Gain decrements, accumulated per covered element (its full candidate
+    // list is walked exactly once) so the inner decay loop stays untouched.
+    let mut decays: u64 = 0;
     let key = |ci: usize, gain: usize| (gain, cands[ci].degree, Reverse(cands[ci].id));
     let mut selector = LazySelector::with_capacity(cands.len());
     for (ci, &g) in gains.iter().enumerate() {
@@ -171,6 +174,8 @@ fn greedy_cover_indexed<Id: Copy + Ord>(
         let Some(ci) =
             selector.pop_max(|ci| (!used[ci] && gains[ci] > 0).then(|| key(ci, gains[ci])))
         else {
+            alvc_telemetry::counter!("alvc_core.construction.rounds").add(selected.len() as u64);
+            alvc_telemetry::counter!("alvc_core.construction.decays").add(decays);
             return Err(covered
                 .iter()
                 .position(|&c| !c)
@@ -183,12 +188,15 @@ fn greedy_cover_indexed<Id: Copy + Ord>(
             if !covered[e] {
                 covered[e] = true;
                 n_covered += 1;
+                decays += u64::from(elem_offsets[e + 1] - elem_offsets[e]);
                 for &cj in &elem_data[elem_offsets[e] as usize..elem_offsets[e + 1] as usize] {
                     gains[cj as usize] -= 1;
                 }
             }
         }
     }
+    alvc_telemetry::counter!("alvc_core.construction.rounds").add(selected.len() as u64);
+    alvc_telemetry::counter!("alvc_core.construction.decays").add(decays);
     Ok(selected)
 }
 
@@ -426,6 +434,7 @@ pub fn construct_layers(
     if clusters.is_empty() {
         return Vec::new();
     }
+    let _span = alvc_telemetry::span!("alvc_core.construction.construct_layers_us");
     // Phase 1: deterministic pool partition over the contested candidates.
     let mut requests: BTreeMap<OpsId, Vec<usize>> = BTreeMap::new();
     for (c, vms) in clusters.iter().enumerate() {
@@ -475,18 +484,36 @@ pub fn construct_layers(
     // connectivity augmentations absorbing the same unrequested bridge OPS.
     let mut pool = available.clone();
     let mut results = Vec::with_capacity(clusters.len());
+    let mut optimistic_commits: u64 = 0;
+    let mut conflict_fallbacks: u64 = 0;
     for (c, opt) in optimistic.into_iter().enumerate() {
         let resolved = match opt {
-            Ok(al) if al.ops().iter().all(|&o| pool.is_available(o)) => Ok(al),
-            _ => ctor.construct(dc, &clusters[c], &pool),
+            Ok(al) if al.ops().iter().all(|&o| pool.is_available(o)) => {
+                optimistic_commits += 1;
+                Ok(al)
+            }
+            _ => {
+                conflict_fallbacks += 1;
+                ctor.construct(dc, &clusters[c], &pool)
+            }
         };
         if let Ok(al) = &resolved {
+            alvc_telemetry::histogram!("alvc_core.construction.al_size")
+                .record(al.ops().len() as f64);
             for &o in al.ops() {
                 pool.block(o);
             }
         }
         results.push(resolved);
     }
+    alvc_telemetry::counter!("alvc_core.construction.optimistic_commits").add(optimistic_commits);
+    alvc_telemetry::counter!("alvc_core.construction.conflict_fallbacks").add(conflict_fallbacks);
+    alvc_telemetry::event!(
+        "alvc_core.construction.batch",
+        "clusters" = clusters.len(),
+        "optimistic_commits" = optimistic_commits,
+        "conflict_fallbacks" = conflict_fallbacks,
+    );
     results
 }
 

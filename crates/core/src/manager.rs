@@ -147,6 +147,8 @@ impl ClusterManager {
         vms.sort();
         vms.dedup();
         let al = constructor.construct(dc, &vms, &self.availability)?;
+        alvc_telemetry::counter!("alvc_core.manager.clusters_created").incr();
+        alvc_telemetry::histogram!("alvc_core.manager.al_size").record(al.ops().len() as f64);
         let id = ClusterId(self.next_id);
         self.next_id += 1;
         for &o in al.ops() {
@@ -212,6 +214,8 @@ impl ClusterManager {
             al.ops().iter().all(|&o| self.availability.is_available(o)),
             "registering a layer whose OPSs are already claimed"
         );
+        alvc_telemetry::counter!("alvc_core.manager.clusters_created").incr();
+        alvc_telemetry::histogram!("alvc_core.manager.al_size").record(al.ops().len() as f64);
         let id = ClusterId(self.next_id);
         self.next_id += 1;
         for &o in al.ops() {
@@ -252,6 +256,7 @@ impl ClusterManager {
     /// unknown.
     pub fn remove_cluster(&mut self, id: ClusterId) -> Option<VirtualCluster> {
         let vc = self.clusters.remove(&id)?;
+        alvc_telemetry::counter!("alvc_core.manager.clusters_removed").incr();
         for &o in vc.al.ops() {
             if !self.failed.contains(&o) {
                 self.availability.release(o);
@@ -287,6 +292,7 @@ impl ClusterManager {
         }
         match constructor.construct(dc, &vms, &self.availability) {
             Ok(new_al) => {
+                alvc_telemetry::counter!("alvc_core.manager.rebuilds").incr();
                 for &o in new_al.ops() {
                     self.availability.block(o);
                 }
@@ -324,6 +330,8 @@ impl ClusterManager {
         if !self.failed.insert(ops) {
             return Ok(None); // already failed
         }
+        alvc_telemetry::counter!("alvc_core.manager.ops_failures").incr();
+        alvc_telemetry::event!("alvc_core.manager.ops_failed", "ops" = ops.index());
         self.availability.block(ops);
         let Some(owner) = self.ops_owner(ops) else {
             return Ok(None);
@@ -348,8 +356,12 @@ impl ClusterManager {
     /// Brings a failed OPS back: it becomes available again unless some AL
     /// still lists it (a degraded AL left over from a failed rebuild).
     pub fn restore_ops(&mut self, ops: OpsId) {
-        if self.failed.remove(&ops) && self.ops_owner(ops).is_none() {
-            self.availability.release(ops);
+        if self.failed.remove(&ops) {
+            alvc_telemetry::counter!("alvc_core.manager.ops_restores").incr();
+            alvc_telemetry::event!("alvc_core.manager.ops_restored", "ops" = ops.index());
+            if self.ops_owner(ops).is_none() {
+                self.availability.release(ops);
+            }
         }
     }
 

@@ -80,6 +80,26 @@ impl<K: Ord> Ord for Entry<K> {
 #[derive(Debug, Clone, Default)]
 pub struct LazySelector<K: Ord> {
     heap: BinaryHeap<Entry<K>>,
+    stats: SelectorStats,
+}
+
+/// Operation counts accumulated by a [`LazySelector`] over its lifetime.
+///
+/// The counters are plain fields (kept in all builds — they cost one
+/// register increment per heap operation); with the `telemetry` feature on
+/// they are flushed into the global `alvc_graph.selector.*` counters when
+/// the selector drops, which is how bench runs decompose a greedy pass
+/// into heap work vs. stale refreshes vs. dead skips.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectorStats {
+    /// Entries offered via [`LazySelector::push`].
+    pub pushes: u64,
+    /// Successful selections returned by [`LazySelector::pop_max`].
+    pub pops: u64,
+    /// Stale entries re-pushed with a refreshed key before retrying.
+    pub stale_refreshes: u64,
+    /// Entries discarded because the candidate was no longer selectable.
+    pub dead_skips: u64,
 }
 
 impl<K: Ord> LazySelector<K> {
@@ -87,6 +107,7 @@ impl<K: Ord> LazySelector<K> {
     pub fn new() -> Self {
         LazySelector {
             heap: BinaryHeap::new(),
+            stats: SelectorStats::default(),
         }
     }
 
@@ -94,7 +115,13 @@ impl<K: Ord> LazySelector<K> {
     pub fn with_capacity(n: usize) -> Self {
         LazySelector {
             heap: BinaryHeap::with_capacity(n),
+            stats: SelectorStats::default(),
         }
+    }
+
+    /// Operation counts accumulated so far.
+    pub fn stats(&self) -> SelectorStats {
+        self.stats
     }
 
     /// Number of heap entries, counting stale duplicates.
@@ -109,6 +136,7 @@ impl<K: Ord> LazySelector<K> {
 
     /// Offers candidate `id` with its current score.
     pub fn push(&mut self, id: usize, key: K) {
+        self.stats.pushes += 1;
         self.heap.push(Entry { key, id });
     }
 
@@ -123,18 +151,39 @@ impl<K: Ord> LazySelector<K> {
     pub fn pop_max(&mut self, mut current: impl FnMut(usize) -> Option<K>) -> Option<usize> {
         while let Some(top) = self.heap.pop() {
             match current(top.id) {
-                None => continue,
-                Some(key) if key == top.key => return Some(top.id),
+                None => self.stats.dead_skips += 1,
+                Some(key) if key == top.key => {
+                    self.stats.pops += 1;
+                    return Some(top.id);
+                }
                 Some(key) => {
                     debug_assert!(
                         key < top.key,
                         "lazy-greedy invariant violated: a score increased"
                     );
+                    self.stats.stale_refreshes += 1;
                     self.heap.push(Entry { key, id: top.id });
                 }
             }
         }
         None
+    }
+}
+
+/// Flushes the per-selector operation counts into the global
+/// `alvc_graph.selector.*` counters. Only compiled with the `telemetry`
+/// feature: without it, dropping a selector stays trivial.
+#[cfg(feature = "telemetry")]
+impl<K: Ord> Drop for LazySelector<K> {
+    fn drop(&mut self) {
+        let s = self.stats;
+        if s.pushes == 0 && s.pops == 0 && s.stale_refreshes == 0 && s.dead_skips == 0 {
+            return;
+        }
+        alvc_telemetry::counter!("alvc_graph.selector.pushes").add(s.pushes);
+        alvc_telemetry::counter!("alvc_graph.selector.pops").add(s.pops);
+        alvc_telemetry::counter!("alvc_graph.selector.stale_refreshes").add(s.stale_refreshes);
+        alvc_telemetry::counter!("alvc_graph.selector.dead_skips").add(s.dead_skips);
     }
 }
 
@@ -223,6 +272,28 @@ mod tests {
             sel.push(i, (3usize, Reverse(i)));
         }
         assert_eq!(sel.pop_max(|i| Some((3usize, Reverse(i)))), Some(0));
+    }
+
+    #[test]
+    fn stats_count_pushes_pops_refreshes_and_skips() {
+        let mut scores = [10usize, 7];
+        let mut sel = LazySelector::new();
+        sel.push(0, scores[0]);
+        sel.push(1, scores[1]);
+        scores[0] = 3;
+        // Pops 0 (stale, re-push), then selects 1.
+        assert_eq!(sel.pop_max(|i| Some(scores[i])), Some(1));
+        // 0 is dead now: one skip, then exhaustion.
+        assert_eq!(sel.pop_max(|_| None::<usize>), None);
+        assert_eq!(
+            sel.stats(),
+            SelectorStats {
+                pushes: 2,
+                pops: 1,
+                stale_refreshes: 1,
+                dead_skips: 1,
+            }
+        );
     }
 
     #[test]

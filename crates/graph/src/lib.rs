@@ -42,6 +42,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library crates report progress through alvc-telemetry events, never the
+// process's stdout/stderr (enforced under cargo clippy).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod bipartite;
 pub mod cover;
@@ -59,6 +62,6 @@ pub use cover::{SetCoverInstance, VertexCover};
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, NodeId};
-pub use lazy_greedy::{LazySelector, TotalF64};
+pub use lazy_greedy::{LazySelector, SelectorStats, TotalF64};
 pub use matching::Matching;
 pub use unionfind::UnionFind;

@@ -74,6 +74,19 @@ pub enum VnfState {
 }
 
 impl VnfState {
+    /// Static lowercase name, used as the telemetry label of
+    /// `alvc_nfv.lifecycle.transitions` and by [`std::fmt::Display`].
+    pub fn label(self) -> &'static str {
+        match self {
+            VnfState::Requested => "requested",
+            VnfState::Instantiating => "instantiating",
+            VnfState::Active => "active",
+            VnfState::Scaling => "scaling",
+            VnfState::Updating => "updating",
+            VnfState::Terminated => "terminated",
+        }
+    }
+
     /// Legal direct transitions of the lifecycle state machine.
     pub fn can_transition_to(self, next: VnfState) -> bool {
         use VnfState::*;
@@ -96,15 +109,7 @@ impl VnfState {
 
 impl std::fmt::Display for VnfState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            VnfState::Requested => "requested",
-            VnfState::Instantiating => "instantiating",
-            VnfState::Active => "active",
-            VnfState::Scaling => "scaling",
-            VnfState::Updating => "updating",
-            VnfState::Terminated => "terminated",
-        };
-        write!(f, "{s}")
+        write!(f, "{}", self.label())
     }
 }
 
@@ -187,6 +192,9 @@ impl VnfInstance {
         }
         self.state = next;
         self.history.push(next);
+        // One labelled series per target state, so a snapshot decomposes
+        // lifecycle churn (e.g. how many instances reached `terminated`).
+        alvc_telemetry::counter_with("alvc_nfv.lifecycle.transitions", next.label()).incr();
         Ok(())
     }
 

@@ -254,19 +254,37 @@ impl Orchestrator {
         constructor: &dyn AlConstruct,
         placer: &dyn VnfPlacer,
     ) -> Result<NfcId, DeployError> {
+        let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.deploy_latency_us");
         if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
+            alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
             return Err(DeployError::EndpointOutsideCluster);
         }
 
         // 1. One NFC ↔ one VC: build the cluster / slice.
-        let cluster = self
+        let cluster = match self
             .manager
-            .create_cluster(dc, tenant, vms.clone(), constructor)?;
+            .create_cluster(dc, tenant, vms.clone(), constructor)
+        {
+            Ok(c) => c,
+            Err(e) => {
+                alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
+                return Err(e.into());
+            }
+        };
         let result = self.deploy_into_cluster(dc, cluster, &vms, spec, placer);
         match result {
-            Ok(id) => Ok(id),
+            Ok(id) => {
+                alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_ok").incr();
+                alvc_telemetry::event!(
+                    "alvc_nfv.orchestrator.chain_deployed",
+                    "nfc" = id.index(),
+                    "tenant" = tenant,
+                );
+                Ok(id)
+            }
             Err(e) => {
                 self.manager.remove_cluster(cluster);
+                alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
                 Err(e)
             }
         }
@@ -307,25 +325,43 @@ impl Orchestrator {
             .into_iter()
             .zip(layers)
             .map(|((tenant, vms, spec), layer)| {
-                if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
-                    return Err(DeployError::EndpointOutsideCluster);
-                }
-                let adopted = layer
-                    .ok()
-                    .and_then(|al| self.manager.try_adopt_cluster(dc, &tenant, vms.clone(), al));
-                let cluster = match adopted {
-                    Some(id) => id,
-                    None => self
-                        .manager
-                        .create_cluster(dc, &tenant, vms.clone(), constructor)?,
-                };
-                match self.deploy_into_cluster(dc, cluster, &vms, spec, placer) {
-                    Ok(id) => Ok(id),
-                    Err(e) => {
-                        self.manager.remove_cluster(cluster);
-                        Err(e)
+                let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.deploy_latency_us");
+                let result = (|| {
+                    if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
+                        return Err(DeployError::EndpointOutsideCluster);
+                    }
+                    let adopted = layer.ok().and_then(|al| {
+                        self.manager.try_adopt_cluster(dc, &tenant, vms.clone(), al)
+                    });
+                    let cluster = match adopted {
+                        Some(id) => id,
+                        None => {
+                            self.manager
+                                .create_cluster(dc, &tenant, vms.clone(), constructor)?
+                        }
+                    };
+                    match self.deploy_into_cluster(dc, cluster, &vms, spec, placer) {
+                        Ok(id) => Ok(id),
+                        Err(e) => {
+                            self.manager.remove_cluster(cluster);
+                            Err(e)
+                        }
+                    }
+                })();
+                match &result {
+                    Ok(id) => {
+                        alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_ok").incr();
+                        alvc_telemetry::event!(
+                            "alvc_nfv.orchestrator.chain_deployed",
+                            "nfc" = id.index(),
+                            "tenant" = tenant.as_str(),
+                        );
+                    }
+                    Err(_) => {
+                        alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
                     }
                 }
+                result
             })
             .collect()
     }
@@ -479,6 +515,8 @@ impl Orchestrator {
         self.sdn.remove_chain(id);
         self.slices.unbind(id);
         self.manager.remove_cluster(deployed.cluster);
+        alvc_telemetry::counter!("alvc_nfv.orchestrator.teardowns").incr();
+        alvc_telemetry::event!("alvc_nfv.orchestrator.chain_torn_down", "nfc" = id.index());
         Ok(deployed)
     }
 
@@ -634,6 +672,8 @@ impl Orchestrator {
                 edges: new_edges,
             },
         );
+        alvc_telemetry::counter!("alvc_nfv.orchestrator.modifications").incr();
+        alvc_telemetry::event!("alvc_nfv.orchestrator.chain_modified", "nfc" = id.index());
         Ok(())
     }
 
@@ -786,6 +826,7 @@ impl Orchestrator {
         inst.activate().expect("fresh instance activates");
         self.instances.insert(iid, inst);
         self.replicas.insert(iid, (chain, chain_position));
+        alvc_telemetry::counter!("alvc_nfv.orchestrator.scale_outs").incr();
         Ok(iid)
     }
 
@@ -823,6 +864,7 @@ impl Orchestrator {
                 }
             }
         }
+        alvc_telemetry::counter!("alvc_nfv.orchestrator.scale_ins").incr();
         Ok(())
     }
 }

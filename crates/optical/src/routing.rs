@@ -198,6 +198,7 @@ pub fn route_flow_ecmp(
     if full.nodes().is_empty() {
         full = HybridPath::new(vec![waypoints[0]], vec![], 0.0);
     }
+    record_route(&full);
     Ok(full)
 }
 
@@ -246,7 +247,18 @@ fn route_impl(
         // All waypoints co-located.
         full = HybridPath::new(vec![waypoints[0]], vec![], 0.0);
     }
+    record_route(&full);
     Ok(full)
+}
+
+/// O/E/O accounting probe, shared by every successful routing call: how
+/// many flows were routed and how many optical↔electronic boundary
+/// crossings their paths pay for (the cost the paper's hybrid
+/// architecture tries to minimize).
+fn record_route(path: &HybridPath) {
+    alvc_telemetry::counter!("alvc_optical.routing.routes").incr();
+    alvc_telemetry::counter!("alvc_optical.oeo.conversions").add(path.oeo_conversions() as u64);
+    alvc_telemetry::histogram!("alvc_optical.routing.path_latency_us").record(path.latency_us());
 }
 
 #[cfg(test)]

@@ -115,6 +115,8 @@ impl FlowSim {
     /// arrivals after the horizon are not generated, but flows in flight
     /// at the horizon are allowed to complete.
     pub fn run(&self, horizon_s: f64, seed: u64) -> SimReport {
+        let _span = alvc_telemetry::span!("alvc_sim.flowsim.run_us");
+        let wall_start = std::time::Instant::now();
         let horizon_ns = (horizon_s * 1e9) as u64;
         let mut queue: EventQueue<Event> = EventQueue::new();
 
@@ -142,7 +144,11 @@ impl FlowSim {
 
         let mut report = SimReport::default();
         let mut in_flight = 0usize;
+        // Event-loop accounting stays in plain locals and is flushed to the
+        // registry once after the loop, so the hot path carries no atomics.
+        let mut events_processed: u64 = 0;
         while let Some((now, event)) = queue.pop() {
+            events_processed += 1;
             match event {
                 Event::Arrival { chain_idx, bytes } => {
                     in_flight += 1;
@@ -174,9 +180,10 @@ impl FlowSim {
                     entry.bytes += bytes;
                     entry.oeo_conversions += load.path.oeo_conversions() as u64;
                     entry.energy_j += self.energy.total_energy_j(&load.path, bytes);
-                    entry
-                        .completion_us
-                        .record((queue.now() - started_ns) as f64 / 1000.0);
+                    let completion_us = (queue.now() - started_ns) as f64 / 1000.0;
+                    entry.completion_us.record(completion_us);
+                    alvc_telemetry::histogram!("alvc_sim.flowsim.completion_us")
+                        .record(completion_us);
                 }
             }
         }
@@ -187,6 +194,21 @@ impl FlowSim {
             report.total_oeo += chain.oeo_conversions;
             report.total_energy_j += chain.energy_j;
         }
+
+        alvc_telemetry::counter!("alvc_sim.flowsim.events").add(events_processed);
+        alvc_telemetry::counter!("alvc_sim.flowsim.flows_completed").add(report.total_flows);
+        let wall_s = wall_start.elapsed().as_secs_f64();
+        if wall_s > 0.0 {
+            alvc_telemetry::gauge!("alvc_sim.flowsim.events_per_sec")
+                .set(events_processed as f64 / wall_s);
+        }
+        alvc_telemetry::event!(
+            "alvc_sim.flowsim.run",
+            "chains" = self.chains.len(),
+            "events" = events_processed,
+            "flows" = report.total_flows,
+            "peak_in_flight" = report.peak_in_flight,
+        );
         report
     }
 }

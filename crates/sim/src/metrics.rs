@@ -1,8 +1,16 @@
 //! Counters and sample summaries.
+//!
+//! [`Summary`] is backed by [`alvc_telemetry::LogHistogram`], so memory is
+//! bounded (a fixed set of log-spaced buckets) no matter how many samples a
+//! simulation records. Count, sum, mean, stddev, min, and max are exact;
+//! interior percentiles are approximate with at most ~9.1% relative error
+//! (`p0`/`p100` remain exact).
 
+use alvc_telemetry::LogHistogram;
 use serde::{Deserialize, Serialize};
 
-/// A monotonically increasing counter.
+/// A monotonically increasing counter. Saturates at [`u64::MAX`] instead of
+/// overflowing, so a hot loop can increment unconditionally.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counter(u64);
 
@@ -12,14 +20,14 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at [`u64::MAX`].
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
-    /// Increments by one.
+    /// Increments by one, saturating at [`u64::MAX`].
     pub fn incr(&mut self) {
-        self.0 += 1;
+        self.add(1);
     }
 
     /// Current value.
@@ -28,8 +36,8 @@ impl Counter {
     }
 }
 
-/// A summary over recorded samples: count, sum, min/max, mean, and
-/// percentiles (exact, from retained samples).
+/// A bounded-memory summary over recorded samples: count, sum, min/max, mean,
+/// stddev, and approximate percentiles from a log-bucketed histogram.
 ///
 /// # Example
 ///
@@ -42,13 +50,14 @@ impl Counter {
 /// }
 /// assert_eq!(s.count(), 4);
 /// assert_eq!(s.mean(), 2.5);
-/// assert_eq!(s.percentile(50.0), 2.0);
+/// assert_eq!(s.min(), 1.0);
 /// assert_eq!(s.max(), 4.0);
+/// let p50 = s.percentile(50.0);
+/// assert!((p50 - 2.0).abs() / 2.0 < 0.095, "{p50}");
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
-    samples: Vec<f64>,
-    sorted: bool,
+    hist: LogHistogram,
 }
 
 impl Summary {
@@ -61,86 +70,70 @@ impl Summary {
     ///
     /// # Panics
     ///
-    /// Panics if `value` is NaN.
+    /// Panics if `value` is NaN or infinite.
     pub fn record(&mut self, value: f64) {
         assert!(!value.is_nan(), "summary samples must not be NaN");
-        self.samples.push(value);
-        self.sorted = false;
+        assert!(value.is_finite(), "summary samples must be finite");
+        self.hist.record(value);
     }
 
     /// Number of samples.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        // Saturating cast: the histogram counts in u64; usize is narrower only
+        // on 32-bit targets, where 2^32 samples is already unreachable.
+        usize::try_from(self.hist.count()).unwrap_or(usize::MAX)
     }
 
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.hist.count() == 0
     }
 
     /// Sum of samples.
     pub fn sum(&self) -> f64 {
-        self.samples.iter().sum()
+        self.hist.sum()
     }
 
     /// Arithmetic mean (0 for an empty summary).
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            0.0
-        } else {
-            self.sum() / self.samples.len() as f64
-        }
+        self.hist.mean()
     }
 
     /// Minimum (0 for an empty summary).
     pub fn min(&self) -> f64 {
-        if self.samples.is_empty() {
-            0.0
-        } else {
-            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
-        }
+        self.hist.min().unwrap_or(0.0)
     }
 
     /// Maximum (0 for an empty summary).
     pub fn max(&self) -> f64 {
-        if self.samples.is_empty() {
-            0.0
-        } else {
-            self.samples
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max)
-        }
+        self.hist.max().unwrap_or(0.0)
     }
 
-    /// The `p`-th percentile (nearest-rank; 0 for an empty summary).
+    /// The `p`-th percentile (0 for an empty summary). `p = 0` and `p = 100`
+    /// are the exact min/max; interior percentiles carry the histogram's
+    /// bucketing error (≤ ~9.1% relative).
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `0..=100`.
-    pub fn percentile(&mut self, p: f64) -> f64 {
+    pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
-            self.sorted = true;
-        }
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+        self.hist.percentile(p)
     }
 
     /// Standard deviation (population; 0 for fewer than two samples).
     pub fn stddev(&self) -> f64 {
-        if self.samples.len() < 2 {
-            return 0.0;
-        }
-        let m = self.mean();
-        let var =
-            self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.samples.len() as f64;
-        var.sqrt()
+        self.hist.stddev()
+    }
+
+    /// Merges another summary's samples into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.hist.merge(&other.hist);
+    }
+
+    /// The backing histogram (e.g. for bucket-level export).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
     }
 }
 
@@ -157,8 +150,19 @@ mod tests {
     }
 
     #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.value(), u64::MAX);
+        c.incr();
+        c.add(17);
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
     fn empty_summary_is_zeroes() {
-        let mut s = Summary::new();
+        let s = Summary::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.min(), 0.0);
@@ -178,21 +182,27 @@ mod tests {
         assert_eq!(s.mean(), 3.0);
         assert_eq!(s.min(), 1.0);
         assert_eq!(s.max(), 5.0);
+        // Extremes are exact; the median carries bucketing error.
         assert_eq!(s.percentile(0.0), 1.0);
-        assert_eq!(s.percentile(50.0), 3.0);
+        let p50 = s.percentile(50.0);
+        assert!((p50 - 3.0).abs() / 3.0 < 0.095, "{p50}");
         assert_eq!(s.percentile(100.0), 5.0);
-        assert!((s.stddev() - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!((s.stddev() - 2.0f64.sqrt()).abs() < 1e-9);
     }
 
     #[test]
-    fn percentile_nearest_rank() {
+    fn percentile_nearest_rank_within_bucket_error() {
         let mut s = Summary::new();
         for v in 1..=100 {
             s.record(v as f64);
         }
-        assert_eq!(s.percentile(95.0), 95.0);
-        assert_eq!(s.percentile(99.0), 99.0);
-        assert_eq!(s.percentile(1.0), 1.0);
+        for (p, exact) in [(95.0, 95.0), (99.0, 99.0), (1.0, 1.0), (50.0, 50.0)] {
+            let got = s.percentile(p);
+            assert!(
+                (got - exact).abs() / exact < 0.095,
+                "p{p}: {got} vs {exact}"
+            );
+        }
     }
 
     #[test]
@@ -206,9 +216,44 @@ mod tests {
     }
 
     #[test]
+    fn memory_stays_bounded() {
+        let mut s = Summary::new();
+        for i in 0..200_000u32 {
+            s.record(f64::from(i) + 0.5);
+        }
+        assert_eq!(s.count(), 200_000);
+        // The backing store is a fixed bucket array, not retained samples.
+        assert_eq!(
+            s.histogram().bucket_counts().len(),
+            alvc_telemetry::hist::BUCKET_COUNT
+        );
+        let p50 = s.percentile(50.0);
+        assert!((p50 - 100_000.0).abs() / 100_000.0 < 0.095, "{p50}");
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        a.record(1.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {
         Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_rejected() {
+        Summary::new().record(f64::INFINITY);
     }
 
     #[test]

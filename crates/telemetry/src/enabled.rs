@@ -1,0 +1,529 @@
+//! Real probe implementations, compiled when the `telemetry` feature is on.
+//!
+//! Everything here is std-only: atomics for the hot path, one `RwLock`ed
+//! `BTreeMap` for registration (cold — call sites cache handles via the
+//! [`counter!`](crate::counter)/[`histogram!`](crate::histogram) macros),
+//! and a thread-local event buffer that spills into a capped global sink.
+
+use std::cell::RefCell;
+use std::collections::btree_map::Entry as MapEntry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+use crate::hist::{bucket_index, LogHistogram, BUCKET_COUNT};
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+use crate::types::{Event, FieldValue};
+
+/// Whether probes are compiled in this build.
+pub const fn telemetry_compiled() -> bool {
+    true
+}
+
+// ---------------------------------------------------------------- cells --
+
+#[derive(Default)]
+struct CounterCell {
+    v: AtomicU64,
+}
+
+struct GaugeCell {
+    bits: AtomicU64,
+}
+
+impl Default for GaugeCell {
+    fn default() -> Self {
+        GaugeCell {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+struct HistCell {
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        HistCell {
+            counts: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            rejected: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Lock-free f64 accumulate via compare-exchange on the bit pattern.
+fn f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl HistCell {
+    fn record(&self, v: f64) {
+        if !v.is_finite() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        f64_update(&self.sum_bits, |s| s + v);
+        f64_update(&self.min_bits, |m| m.min(v));
+        f64_update(&self.max_bits, |m| m.max(v));
+    }
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, name: &str, label: &str) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let (min, max) = if min.is_finite() {
+            (Some(min), Some(max))
+        } else {
+            (None, None)
+        };
+        let h = LogHistogram::from_bucket_counts(counts, sum, min, max);
+        HistogramSnapshot {
+            name: name.to_owned(),
+            label: label.to_owned(),
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min().unwrap_or(0.0),
+            max: h.max().unwrap_or(0.0),
+            mean: h.mean(),
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// -------------------------------------------------------------- handles --
+
+/// A monotonically increasing counter. Cloning shares the underlying cell;
+/// additions wrap on `u64` overflow (the atomic `fetch_add` contract).
+#[derive(Clone)]
+pub struct Counter(Arc<CounterCell>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping on overflow).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins (or accumulated) floating-point value.
+#[derive(Clone)]
+pub struct Gauge(Arc<GaugeCell>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` to the value.
+    #[inline]
+    pub fn add(&self, v: f64) {
+        f64_update(&self.0.bits, |cur| cur + v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-bucketed latency/size histogram; non-finite samples are counted as
+/// rejected rather than recorded.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistCell>);
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        self.0.record(v);
+    }
+
+    /// Recorded (accepted) sample count.
+    pub fn count(&self) -> u64 {
+        self.0
+            .counts
+            .iter()
+            .fold(0u64, |a, c| a.saturating_add(c.load(Ordering::Relaxed)))
+    }
+}
+
+// ------------------------------------------------------------- registry --
+
+enum Metric {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Hist(Arc<HistCell>),
+}
+
+type Key = (&'static str, String);
+
+/// The metric registry: a sorted map from `(name, label)` to cells.
+#[derive(Default)]
+pub struct Registry {
+    map: RwLock<BTreeMap<Key, Metric>>,
+}
+
+fn kind_mismatch(name: &str) -> ! {
+    panic!("telemetry metric {name:?} already registered with a different kind")
+}
+
+impl Registry {
+    /// Returns (registering on first use) the counter `name`/`label`.
+    pub fn counter(&self, name: &'static str, label: &str) -> Counter {
+        if let Some(m) = self
+            .map
+            .read()
+            .expect("telemetry registry poisoned")
+            .get(&(name, label.to_owned()))
+        {
+            return match m {
+                Metric::Counter(c) => Counter(c.clone()),
+                _ => kind_mismatch(name),
+            };
+        }
+        let mut map = self.map.write().expect("telemetry registry poisoned");
+        match map.entry((name, label.to_owned())) {
+            MapEntry::Occupied(e) => match e.get() {
+                Metric::Counter(c) => Counter(c.clone()),
+                _ => kind_mismatch(name),
+            },
+            MapEntry::Vacant(slot) => {
+                let cell = Arc::new(CounterCell::default());
+                slot.insert(Metric::Counter(cell.clone()));
+                Counter(cell)
+            }
+        }
+    }
+
+    /// Returns (registering on first use) the gauge `name`/`label`.
+    pub fn gauge(&self, name: &'static str, label: &str) -> Gauge {
+        if let Some(m) = self
+            .map
+            .read()
+            .expect("telemetry registry poisoned")
+            .get(&(name, label.to_owned()))
+        {
+            return match m {
+                Metric::Gauge(g) => Gauge(g.clone()),
+                _ => kind_mismatch(name),
+            };
+        }
+        let mut map = self.map.write().expect("telemetry registry poisoned");
+        match map.entry((name, label.to_owned())) {
+            MapEntry::Occupied(e) => match e.get() {
+                Metric::Gauge(g) => Gauge(g.clone()),
+                _ => kind_mismatch(name),
+            },
+            MapEntry::Vacant(slot) => {
+                let cell = Arc::new(GaugeCell::default());
+                slot.insert(Metric::Gauge(cell.clone()));
+                Gauge(cell)
+            }
+        }
+    }
+
+    /// Returns (registering on first use) the histogram `name`/`label`.
+    pub fn histogram(&self, name: &'static str, label: &str) -> Histogram {
+        if let Some(m) = self
+            .map
+            .read()
+            .expect("telemetry registry poisoned")
+            .get(&(name, label.to_owned()))
+        {
+            return match m {
+                Metric::Hist(h) => Histogram(h.clone()),
+                _ => kind_mismatch(name),
+            };
+        }
+        let mut map = self.map.write().expect("telemetry registry poisoned");
+        match map.entry((name, label.to_owned())) {
+            MapEntry::Occupied(e) => match e.get() {
+                Metric::Hist(h) => Histogram(h.clone()),
+                _ => kind_mismatch(name),
+            },
+            MapEntry::Vacant(slot) => {
+                let cell = Arc::new(HistCell::default());
+                slot.insert(Metric::Hist(cell.clone()));
+                Histogram(cell)
+            }
+        }
+    }
+
+    /// Captures every registered metric, sorted by `(name, label)`.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.map.read().expect("telemetry registry poisoned");
+        let mut snap = Snapshot::default();
+        for ((name, label), metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push(CounterSnapshot {
+                    name: (*name).to_owned(),
+                    label: label.clone(),
+                    value: c.v.load(Ordering::Relaxed),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSnapshot {
+                    name: (*name).to_owned(),
+                    label: label.clone(),
+                    value: f64::from_bits(g.bits.load(Ordering::Relaxed)),
+                }),
+                Metric::Hist(h) => snap.histograms.push(h.snapshot(name, label)),
+            }
+        }
+        snap
+    }
+
+    /// Zeroes every metric in place. Cached handles stay valid (cells keep
+    /// their identity), which is what lets benches reset between phases.
+    pub fn reset(&self) {
+        let map = self.map.read().expect("telemetry registry poisoned");
+        for metric in map.values() {
+            match metric {
+                Metric::Counter(c) => c.v.store(0, Ordering::Relaxed),
+                Metric::Gauge(g) => g.bits.store(0f64.to_bits(), Ordering::Relaxed),
+                Metric::Hist(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// The process-wide registry used by the free functions and macros.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+/// Global unlabelled counter `name`.
+pub fn counter(name: &'static str) -> Counter {
+    global().counter(name, "")
+}
+
+/// Global counter `name` with `label`.
+pub fn counter_with(name: &'static str, label: &str) -> Counter {
+    global().counter(name, label)
+}
+
+/// Global unlabelled gauge `name`.
+pub fn gauge(name: &'static str) -> Gauge {
+    global().gauge(name, "")
+}
+
+/// Global gauge `name` with `label`.
+pub fn gauge_with(name: &'static str, label: &str) -> Gauge {
+    global().gauge(name, label)
+}
+
+/// Global unlabelled histogram `name`.
+pub fn histogram(name: &'static str) -> Histogram {
+    global().histogram(name, "")
+}
+
+/// Global histogram `name` with `label`.
+pub fn histogram_with(name: &'static str, label: &str) -> Histogram {
+    global().histogram(name, label)
+}
+
+/// Snapshot of the global registry.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Prometheus-style text rendering of the global registry.
+pub fn prometheus_text() -> String {
+    global().snapshot().to_prometheus_text()
+}
+
+/// Zeroes every metric in the global registry.
+pub fn reset() {
+    global().reset()
+}
+
+// ---------------------------------------------------------------- spans --
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// An RAII timing guard: on drop, records the elapsed microseconds into the
+/// histogram `name` and (when events are enabled) emits an event carrying
+/// `duration_us`.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    hist: Histogram,
+}
+
+/// Starts a span backed by the global histogram `name` (convention:
+/// `..._us` suffix, since the recorded unit is microseconds).
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: Instant::now(),
+        hist: histogram(name),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let us = self.start.elapsed().as_secs_f64() * 1e6;
+        self.hist.record(us);
+        if events_enabled() {
+            emit(self.name, vec![("duration_us", FieldValue::F64(us))]);
+        }
+    }
+}
+
+// --------------------------------------------------------------- events --
+
+/// Global event switch; recording is off by default so steady-state probes
+/// cost one relaxed load when nobody is listening.
+static EVENTS_ENABLED: AtomicBool = AtomicBool::new(false);
+/// Events discarded because the global sink was full.
+static EVENTS_DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Spill target for thread-local buffers; capped at [`SINK_CAP`].
+static SINK: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+
+const SINK_CAP: usize = 1 << 16;
+const FLUSH_AT: usize = 256;
+
+struct LocalBuf {
+    buf: RefCell<Vec<Event>>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        spill(&mut self.buf.borrow_mut());
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalBuf = const {
+        LocalBuf {
+            buf: RefCell::new(Vec::new()),
+        }
+    };
+}
+
+fn spill(local: &mut Vec<Event>) {
+    if local.is_empty() {
+        return;
+    }
+    let mut sink = SINK.lock().expect("telemetry event sink poisoned");
+    for ev in local.drain(..) {
+        if sink.len() < SINK_CAP {
+            sink.push(ev);
+        } else {
+            EVENTS_DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Turns structured-event recording on or off (off by default).
+pub fn set_events_enabled(on: bool) {
+    EVENTS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether structured-event recording is currently on.
+#[inline]
+pub fn events_enabled() -> bool {
+    EVENTS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records a structured event into the calling thread's buffer (spilling to
+/// the global sink every [`FLUSH_AT`] events). No-op while recording is
+/// disabled; prefer the [`event!`](crate::event) macro, which also skips
+/// building `fields`.
+pub fn emit(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    if !events_enabled() {
+        return;
+    }
+    let ev = Event {
+        ts_us: now_us(),
+        name,
+        fields,
+    };
+    LOCAL.with(|l| {
+        let mut buf = l.buf.borrow_mut();
+        buf.push(ev);
+        if buf.len() >= FLUSH_AT {
+            spill(&mut buf);
+        }
+    });
+}
+
+/// Takes every buffered event (this thread's buffer plus the global sink).
+/// Unflushed buffers of *other* live threads are not included until they
+/// spill or exit.
+pub fn drain_events() -> Vec<Event> {
+    LOCAL.with(|l| spill(&mut l.buf.borrow_mut()));
+    std::mem::take(&mut *SINK.lock().expect("telemetry event sink poisoned"))
+}
+
+/// Drains buffered events rendered as JSON lines (one object per line).
+pub fn drain_events_jsonl() -> String {
+    let mut out = String::new();
+    for ev in drain_events() {
+        out.push_str(&ev.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Number of events dropped because the sink was full.
+pub fn events_dropped() -> u64 {
+    EVENTS_DROPPED.load(Ordering::Relaxed)
+}

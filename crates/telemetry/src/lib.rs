@@ -1,0 +1,197 @@
+//! Dependency-light observability for the AL-VC workspace.
+//!
+//! Three kinds of signal, all addressable by static name plus optional
+//! label, all collected into one process-global registry:
+//!
+//! - **metrics** — atomic [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s with p50/p95/p99 [`snapshot`]s;
+//! - **spans** — RAII [`Span`] guards that time a scope with the monotonic
+//!   clock and record the elapsed microseconds into a histogram;
+//! - **events** — structured key/value [`Event`]s buffered per thread and
+//!   exported as JSON lines ([`drain_events_jsonl`]), for the progress
+//!   reporting that library crates must never print to stdout.
+//!
+//! Naming convention: `alvc_<crate>.<subsystem>.<metric>`, with `_us`
+//! suffixes for microsecond-denominated histograms (see DESIGN.md §9 for
+//! the probe inventory).
+//!
+//! # Feature gating
+//!
+//! The `telemetry` cargo feature (default-on) selects between the real
+//! implementation and a no-op twin with the identical API: with the
+//! feature off, handles are zero-sized, every method is an empty inline
+//! function, and the [`counter!`]/[`histogram!`]/[`span!`]/[`event!`]
+//! macros expand without evaluating their arguments — a disabled probe
+//! costs nothing. [`LogHistogram`] and the snapshot types are compiled
+//! unconditionally so data structures (e.g. `alvc_sim::Summary`) can build
+//! on them in any configuration.
+//!
+//! # Hot-path usage
+//!
+//! The free functions ([`counter`], [`histogram`], …) take a registry lock
+//! per call; the macros cache the handle in a per-call-site `OnceLock`, so
+//! steady-state cost is one atomic load plus the atomic update:
+//!
+//! ```
+//! alvc_telemetry::counter!("alvc_doc.example.widgets").add(3);
+//! let snap = alvc_telemetry::snapshot();
+//! # #[cfg(feature = "telemetry")]
+//! assert_eq!(snap.counters.iter().find(|c| c.name == "alvc_doc.example.widgets").unwrap().value, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+pub mod hist;
+mod snapshot;
+mod types;
+
+#[cfg(feature = "telemetry")]
+mod enabled;
+#[cfg(feature = "telemetry")]
+pub use enabled::*;
+
+#[cfg(not(feature = "telemetry"))]
+mod disabled;
+#[cfg(not(feature = "telemetry"))]
+pub use disabled::*;
+
+pub use hist::LogHistogram;
+pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+pub use types::{Event, FieldValue};
+
+/// Returns a `&'static Counter` for `name`, cached per call site.
+///
+/// With the `telemetry` feature off this expands to a no-op handle and
+/// `name` is not evaluated.
+#[cfg(feature = "telemetry")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Returns a `&'static Counter` for `name`, cached per call site.
+///
+/// With the `telemetry` feature off this expands to a no-op handle and
+/// `name` is not evaluated.
+#[cfg(not(feature = "telemetry"))]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        &$crate::Counter
+    }};
+}
+
+/// Returns a `&'static Gauge` for `name`, cached per call site.
+///
+/// With the `telemetry` feature off this expands to a no-op handle and
+/// `name` is not evaluated.
+#[cfg(feature = "telemetry")]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// Returns a `&'static Gauge` for `name`, cached per call site.
+///
+/// With the `telemetry` feature off this expands to a no-op handle and
+/// `name` is not evaluated.
+#[cfg(not(feature = "telemetry"))]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        &$crate::Gauge
+    }};
+}
+
+/// Returns a `&'static Histogram` for `name`, cached per call site.
+///
+/// With the `telemetry` feature off this expands to a no-op handle and
+/// `name` is not evaluated.
+#[cfg(feature = "telemetry")]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// Returns a `&'static Histogram` for `name`, cached per call site.
+///
+/// With the `telemetry` feature off this expands to a no-op handle and
+/// `name` is not evaluated.
+#[cfg(not(feature = "telemetry"))]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        &$crate::Histogram
+    }};
+}
+
+/// Starts a [`Span`] recording into the histogram `name` when dropped.
+///
+/// With the `telemetry` feature off this expands to a zero-sized guard.
+#[cfg(feature = "telemetry")]
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Starts a [`Span`] recording into the histogram `name` when dropped.
+///
+/// With the `telemetry` feature off this expands to a zero-sized guard.
+#[cfg(not(feature = "telemetry"))]
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span
+    };
+}
+
+/// Records a structured event: `event!("name", "key" = value, ...)`.
+///
+/// Field values go through [`FieldValue::from`], so integers, floats,
+/// bools, and strings all work. The field expressions are only evaluated
+/// when event recording is enabled ([`set_events_enabled`]); with the
+/// `telemetry` feature off the whole invocation compiles to nothing.
+#[cfg(feature = "telemetry")]
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:literal = $value:expr)* $(,)?) => {
+        if $crate::events_enabled() {
+            $crate::emit(
+                $name,
+                vec![$(($key, $crate::FieldValue::from($value))),*],
+            );
+        }
+    };
+}
+
+/// Records a structured event: `event!("name", "key" = value, ...)`.
+///
+/// Field values go through [`FieldValue::from`], so integers, floats,
+/// bools, and strings all work. The field expressions are only evaluated
+/// when event recording is enabled ([`set_events_enabled`]); with the
+/// `telemetry` feature off the whole invocation compiles to nothing.
+#[cfg(not(feature = "telemetry"))]
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:literal = $value:expr)* $(,)?) => {{
+        // Reference the field expressions from a never-called closure so
+        // "only used in telemetry" bindings don't warn, without evaluating
+        // anything.
+        let _ = || {
+            $(let _ = &$value;)*
+        };
+    }};
+}

@@ -37,6 +37,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library crates report progress through alvc-telemetry events, never the
+// process's stdout/stderr (enforced under cargo clippy).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod element;
 pub mod generators;

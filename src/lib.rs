@@ -5,4 +5,5 @@ pub use alvc_nfv as nfv;
 pub use alvc_optical as optical;
 pub use alvc_placement as placement;
 pub use alvc_sim as sim;
+pub use alvc_telemetry as telemetry;
 pub use alvc_topology as topology;

@@ -272,8 +272,8 @@ fn claim_optical_core_lowers_fct_under_contention() {
             })
             .collect()
     };
-    let mut optical = simulate_fair_share(&alvc_dc, &mk_flows(&alvc_dc));
-    let mut electronic = simulate_fair_share(&ls, &mk_flows(&ls));
+    let optical = simulate_fair_share(&alvc_dc, &mk_flows(&alvc_dc));
+    let electronic = simulate_fair_share(&ls, &mk_flows(&ls));
     let o99 = optical.fct_ms.percentile(99.0);
     let e99 = electronic.fct_ms.percentile(99.0);
     assert!(
