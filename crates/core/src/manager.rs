@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use alvc_topology::{DataCenter, OpsId, VmId};
+use alvc_topology::{DataCenter, OpsId, TorId, VmId};
 use serde::{Deserialize, Serialize};
 
 use crate::abstraction_layer::AbstractionLayer;
@@ -88,6 +88,7 @@ pub struct ClusterManager {
     clusters: BTreeMap<ClusterId, VirtualCluster>,
     availability: OpsAvailability,
     failed: std::collections::HashSet<OpsId>,
+    failed_tors: std::collections::HashSet<TorId>,
     next_id: usize,
 }
 
@@ -372,7 +373,61 @@ impl ClusterManager {
         v
     }
 
-    /// Returns `true` if no live AL contains a failed OPS.
+    /// Marks `tor` as failed (mirrors the orchestrator's element-health
+    /// view at the AL layer) and shrinks it out of every AL that can spare
+    /// it: an AL whose VMs are all dual-homed stays valid with the dead ToR
+    /// dropped, which also removes the switch from the slice's routing
+    /// surface. ALs that *need* the ToR (single-homed VMs behind it) keep
+    /// it and are left degraded for the orchestrator to handle per chain.
+    ///
+    /// Returns the ids of every cluster whose AL listed the ToR, shrunk or
+    /// not; an empty vector if the ToR was already failed or unused.
+    pub fn fail_tor(&mut self, dc: &DataCenter, tor: TorId) -> Vec<ClusterId> {
+        if !self.failed_tors.insert(tor) {
+            return Vec::new(); // already failed
+        }
+        alvc_telemetry::counter!("alvc_core.manager.tor_failures").incr();
+        alvc_telemetry::event!("alvc_core.manager.tor_failed", "tor" = tor.index());
+        let affected: Vec<ClusterId> = self
+            .clusters
+            .values()
+            .filter(|vc| vc.al.contains_tor(tor))
+            .map(|vc| vc.id)
+            .collect();
+        for &id in &affected {
+            let vc = self.clusters.get(&id).expect("affected cluster exists");
+            let shrunk = AbstractionLayer::new(
+                vc.al.tors().iter().copied().filter(|&t| t != tor).collect(),
+                vc.al.ops().to_vec(),
+            );
+            if shrunk.validate(dc, vc.vms()).is_ok() {
+                self.clusters.get_mut(&id).expect("cluster exists").al = shrunk;
+            }
+        }
+        affected
+    }
+
+    /// Brings a failed ToR back. Returns `true` if it was failed.
+    pub fn restore_tor(&mut self, tor: TorId) -> bool {
+        if self.failed_tors.remove(&tor) {
+            alvc_telemetry::counter!("alvc_core.manager.tor_restores").incr();
+            alvc_telemetry::event!("alvc_core.manager.tor_restored", "tor" = tor.index());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Currently failed ToRs, sorted.
+    pub fn failed_tors(&self) -> Vec<TorId> {
+        let mut v: Vec<_> = self.failed_tors.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Returns `true` if no live AL contains a failed OPS. (A failed ToR
+    /// may legitimately remain listed when single-homed VMs leave the AL no
+    /// valid shrink; chain-level recovery routes around it.)
     pub fn verify_no_failed_in_use(&self) -> bool {
         self.clusters
             .values()
@@ -956,5 +1011,86 @@ mod shrink_repair_tests {
                 "victim {victim}: single failures must shrink, not rebuild"
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tor_failure_tests {
+    use super::*;
+    use crate::construction::PaperGreedy;
+    use alvc_topology::{AlvcTopologyBuilder, ServiceType};
+
+    #[test]
+    fn fail_tor_shrinks_al_when_vms_are_dual_homed() {
+        // Two racks, one server each; server 0 is dual-homed to both ToRs.
+        let mut dc = DataCenter::new();
+        let (r0, t0) = dc.add_rack();
+        let (_r1, t1) = dc.add_rack();
+        let s0 = dc.add_server(r0);
+        dc.add_access_link(s0, t1);
+        let vm = dc.add_vm(s0, ServiceType::WebService);
+        let o0 = dc.add_ops(None);
+        dc.connect_tor_ops(t0, o0);
+        dc.connect_tor_ops(t1, o0);
+
+        let mut mgr = ClusterManager::new();
+        let al = AbstractionLayer::new(vec![t0, t1], vec![o0]);
+        let id = mgr
+            .try_adopt_cluster(&dc, "dual", vec![vm], al)
+            .expect("hand-built layer is valid");
+        let affected = mgr.fail_tor(&dc, t0);
+        assert_eq!(affected, vec![id]);
+        let vc = mgr.cluster(id).unwrap();
+        assert!(!vc.al().contains_tor(t0), "dead ToR shrunk out");
+        assert!(vc.al().contains_tor(t1));
+        assert!(vc.al().validate(&dc, vc.vms()).is_ok());
+        assert_eq!(mgr.failed_tors(), vec![t0]);
+    }
+
+    #[test]
+    fn fail_tor_keeps_needed_tor_for_single_homed_vms() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(6)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(12)
+            .tor_ops_degree(4)
+            .seed(17)
+            .build();
+        let mut mgr = ClusterManager::new();
+        let id = mgr
+            .create_cluster(
+                &dc,
+                "web",
+                dc.vms_of_service(ServiceType::WebService),
+                &PaperGreedy::new(),
+            )
+            .unwrap();
+        let victim = mgr.cluster(id).unwrap().al().tors()[0];
+        let affected = mgr.fail_tor(&dc, victim);
+        assert_eq!(affected, vec![id]);
+        // Single-homed VMs leave no valid shrink: the AL keeps the ToR and
+        // the failure is handled above, at the chain level.
+        assert!(mgr.cluster(id).unwrap().al().contains_tor(victim));
+        assert_eq!(mgr.failed_tors(), vec![victim]);
+        // Idempotent.
+        assert!(mgr.fail_tor(&dc, victim).is_empty());
+    }
+
+    #[test]
+    fn restore_tor_round_trip() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(2)
+            .ops_count(4)
+            .seed(3)
+            .build();
+        let mut mgr = ClusterManager::new();
+        let t = dc.tor_ids().next().unwrap();
+        assert!(!mgr.restore_tor(t), "nothing failed yet");
+        mgr.fail_tor(&dc, t);
+        assert_eq!(mgr.failed_tors(), vec![t]);
+        assert!(mgr.restore_tor(t));
+        assert!(mgr.failed_tors().is_empty());
+        assert!(!mgr.restore_tor(t));
     }
 }

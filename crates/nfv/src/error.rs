@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use alvc_core::ConstructionError;
+use alvc_graph::NodeId;
 use alvc_optical::RoutingError;
 
 use crate::chain::NfcId;
@@ -95,6 +96,17 @@ pub enum DeployError {
         /// latency), in microseconds.
         path_us: f64,
     },
+    /// A path references a link that does not exist in the topology graph
+    /// (e.g. the path was computed before a switch failed).
+    MissingEdge {
+        /// Upstream node of the missing hop.
+        from: NodeId,
+        /// Downstream node of the missing hop.
+        to: NodeId,
+    },
+    /// The chain's ingress or egress VM sits on a failed server, so the
+    /// chain cannot be served at all until the server is restored.
+    EndpointFailed,
 }
 
 impl fmt::Display for DeployError {
@@ -119,6 +131,15 @@ impl fmt::Display for DeployError {
                 f,
                 "routed path takes {path_us} µs, exceeding the {budget_us} µs budget"
             ),
+            DeployError::MissingEdge { from, to } => write!(
+                f,
+                "chain path references a missing link between node {} and node {}",
+                from.index(),
+                to.index()
+            ),
+            DeployError::EndpointFailed => {
+                write!(f, "chain endpoint vm sits on a failed server")
+            }
         }
     }
 }
@@ -166,6 +187,11 @@ mod tests {
                 to: VnfState::Requested,
             }),
             Box::new(DeployError::EndpointOutsideCluster),
+            Box::new(DeployError::MissingEdge {
+                from: NodeId(4),
+                to: NodeId(9),
+            }),
+            Box::new(DeployError::EndpointFailed),
         ];
         for e in errs {
             let s = e.to_string();

@@ -21,7 +21,10 @@
 //! * [`orchestrator`] — the network orchestrator for multi-tenant
 //!   SDN-enabled networks, "responsible for managing (provisioning,
 //!   creation, modification, upgradation, and deletion) of multiple NFCs",
-//!   mapping **one NFC to one virtual cluster**.
+//!   mapping **one NFC to one virtual cluster**;
+//! * [`recovery`] — the failure-recovery subsystem: element failures enter
+//!   at the orchestrator, the AL layer repairs slices, and every affected
+//!   chain climbs the reroute → replace → degrade ladder.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod error;
 pub mod lifecycle;
 pub mod orchestrator;
 pub mod placement;
+pub mod recovery;
 pub mod sdn;
 pub mod slicing;
 pub mod vnf;
@@ -43,6 +47,7 @@ pub use error::{DeployError, LifecycleError, PlacementError};
 pub use lifecycle::{HostLocation, VnfInstance, VnfInstanceId, VnfState};
 pub use orchestrator::{DeployedChain, Orchestrator};
 pub use placement::{ElectronicOnlyPlacer, PlacementContext, VnfPlacer};
+pub use recovery::{RecoveryOutcome, RecoveryReport};
 pub use sdn::{FlowRule, SdnController, TableFull};
 pub use slicing::{OpticalSlice, SliceRegistry};
 pub use vnf::{ResourceDemand, VnfSpec, VnfType};

@@ -133,12 +133,7 @@ impl VnfPlacer for ElectronicOnlyPlacer {
                 ctx.servers
                     .iter()
                     .filter(|&&s| avoid != Some(ctx.dc.rack_of_server(s)))
-                    .min_by(|a, b| {
-                        load[a]
-                            .partial_cmp(&load[b])
-                            .expect("cpu load is finite")
-                            .then(a.cmp(b))
-                    })
+                    .min_by(|a, b| load[a].total_cmp(&load[b]).then(a.cmp(b)))
                     .copied()
             };
             // Anti-affinity first; fall back when every server shares the

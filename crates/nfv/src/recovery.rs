@@ -1,0 +1,1032 @@
+//! Orchestrator-level failure recovery (§IV flexibility claim, completed).
+//!
+//! [`ClusterManager::fail_ops`](alvc_core::ClusterManager::fail_ops) repairs
+//! the abstraction layer around a failed switch, but a repair the layers
+//! above never hear about leaves deployed chains serving stale state: routes
+//! through the dead switch, flow rules on it, bandwidth ledger entries over
+//! its links. This module lifts the failure entry points to the
+//! orchestrator — [`Orchestrator::fail_ops`], [`Orchestrator::fail_server`],
+//! [`Orchestrator::fail_tor`] — so a substrate failure propagates through
+//! every ledger in one step.
+//!
+//! # The recovery ladder
+//!
+//! For every affected chain the orchestrator first releases the chain's
+//! network state (flow rules and bandwidth commitments — whatever the
+//! ladder decides, nothing may keep referencing the dead element), then
+//! climbs:
+//!
+//! 1. **Reroute** — all VNF hosts survived: route the same hosts inside the
+//!    (repaired) slice, avoiding failed elements.
+//! 2. **Replace** — some host died or the reroute failed: re-place the
+//!    VNFs on healthy hosts inside the slice and route fresh.
+//! 3. **Degrade** — the slice cannot carry the chain: place and route over
+//!    the full healthy fabric, abandoning slice isolation until
+//!    [`Orchestrator::reoptimize_degraded`] pulls the chain back in.
+//! 4. **Unrecoverable** — nothing works (or an endpoint server died): the
+//!    chain's remains are torn down and the error reported.
+//!
+//! Each rung returns a [`RecoveryOutcome`]; [`RecoveryReport`] collects the
+//! per-chain outcomes of one failure event.
+
+use std::collections::{BTreeMap, HashSet};
+
+use alvc_core::construction::AlConstruct;
+use alvc_core::{AbstractionLayer, ClusterId};
+use alvc_graph::NodeId;
+use alvc_optical::route_flow_within;
+use alvc_topology::{DataCenter, Element, ElementHealth, OpsId, ServerId, TorId};
+
+use crate::chain::NfcId;
+use crate::error::DeployError;
+use crate::lifecycle::{HostLocation, VnfInstance, VnfInstanceId};
+use crate::orchestrator::{kbps, Orchestrator};
+use crate::placement::{PlacementContext, VnfPlacer};
+
+/// How a chain fared through one recovery attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryOutcome {
+    /// The chain's hosts survived; only its path and rules were rebuilt
+    /// inside the slice.
+    Rerouted,
+    /// One or more VNFs were re-placed on healthy hosts inside the slice
+    /// and the chain rerouted.
+    Replaced,
+    /// The slice could not carry the chain: it now runs over the full
+    /// healthy fabric, outside its slice, until reoptimized.
+    Degraded,
+    /// The chain could not be recovered; its remains were torn down. The
+    /// error is the last failure on the ladder.
+    Unrecoverable(DeployError),
+}
+
+impl RecoveryOutcome {
+    /// `true` while the chain still carries traffic (anything but
+    /// [`RecoveryOutcome::Unrecoverable`]).
+    pub fn is_serving(&self) -> bool {
+        !matches!(self, RecoveryOutcome::Unrecoverable(_))
+    }
+
+    /// A short label for telemetry and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryOutcome::Rerouted => "rerouted",
+            RecoveryOutcome::Replaced => "replaced",
+            RecoveryOutcome::Degraded => "degraded",
+            RecoveryOutcome::Unrecoverable(_) => "unrecoverable",
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryOutcome::Unrecoverable(e) => write!(f, "unrecoverable ({e})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// The per-chain outcomes of one element failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    element: Element,
+    outcomes: BTreeMap<NfcId, RecoveryOutcome>,
+}
+
+impl RecoveryReport {
+    /// The element whose failure triggered this report.
+    pub fn element(&self) -> Element {
+        self.element
+    }
+
+    /// Outcome per affected chain, in chain-id order. Empty when the
+    /// element was already failed or carried no chain state.
+    pub fn outcomes(&self) -> &BTreeMap<NfcId, RecoveryOutcome> {
+        &self.outcomes
+    }
+
+    /// Number of chains the failure touched.
+    pub fn affected_count(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of affected chains still serving traffic.
+    pub fn serving_count(&self) -> usize {
+        self.outcomes.values().filter(|o| o.is_serving()).count()
+    }
+
+    /// Number of affected chains with the given outcome label
+    /// (`"rerouted"`, `"replaced"`, `"degraded"`, `"unrecoverable"`).
+    pub fn count_of(&self, label: &str) -> usize {
+        self.outcomes
+            .values()
+            .filter(|o| o.label() == label)
+            .count()
+    }
+}
+
+/// Which node set a recovery rung may route over.
+#[derive(Clone, Copy, PartialEq)]
+enum RecoveryScope {
+    /// The chain's (repaired) slice: its AL switches plus tenant servers.
+    Slice,
+    /// Every healthy node in the data center (graceful degradation).
+    FullFabric,
+}
+
+impl Orchestrator {
+    /// The orchestrator's element-health overlay.
+    pub fn health(&self) -> &ElementHealth {
+        &self.health
+    }
+
+    /// Chains currently running outside their slice
+    /// ([`RecoveryOutcome::Degraded`]), in id order.
+    pub fn degraded_chains(&self) -> Vec<NfcId> {
+        self.degraded.iter().copied().collect()
+    }
+
+    /// Fails an optical packet switch: the AL layer repairs affected slices
+    /// (shrink-first, then rebuild), then every chain whose path, hosts, or
+    /// slice touched the switch is taken through the recovery ladder.
+    pub fn fail_ops(
+        &mut self,
+        dc: &DataCenter,
+        ops: OpsId,
+        constructor: &dyn AlConstruct,
+        placer: &dyn VnfPlacer,
+    ) -> RecoveryReport {
+        self.fail_element(dc, Element::Ops(ops), Some(constructor), placer)
+    }
+
+    /// Fails a server: chains whose VNFs, ingress, or egress lived on it
+    /// are taken through the recovery ladder (a dead endpoint server makes
+    /// a chain [`RecoveryOutcome::Unrecoverable`]).
+    pub fn fail_server(
+        &mut self,
+        dc: &DataCenter,
+        server: ServerId,
+        placer: &dyn VnfPlacer,
+    ) -> RecoveryReport {
+        self.fail_element(dc, Element::Server(server), None, placer)
+    }
+
+    /// Fails a ToR switch: ALs that can spare it are shrunk at the AL
+    /// layer, then every chain whose path crossed it is taken through the
+    /// recovery ladder (dual-homed servers reach the fabric through their
+    /// other ToR).
+    pub fn fail_tor(
+        &mut self,
+        dc: &DataCenter,
+        tor: TorId,
+        placer: &dyn VnfPlacer,
+    ) -> RecoveryReport {
+        self.fail_element(dc, Element::Tor(tor), None, placer)
+    }
+
+    /// Restores a failed OPS at both the orchestrator and AL layer.
+    /// Returns `true` if it was failed.
+    pub fn restore_ops(&mut self, ops: OpsId) -> bool {
+        let was_failed = self.health.restore(Element::Ops(ops));
+        if was_failed {
+            self.manager.restore_ops(ops);
+            alvc_telemetry::counter!("alvc_nfv.recovery.element_restores").incr();
+        }
+        was_failed
+    }
+
+    /// Restores a failed server. Returns `true` if it was failed.
+    pub fn restore_server(&mut self, server: ServerId) -> bool {
+        let was_failed = self.health.restore(Element::Server(server));
+        if was_failed {
+            alvc_telemetry::counter!("alvc_nfv.recovery.element_restores").incr();
+        }
+        was_failed
+    }
+
+    /// Restores a failed ToR at both the orchestrator and AL layer.
+    /// Returns `true` if it was failed.
+    pub fn restore_tor(&mut self, tor: TorId) -> bool {
+        let was_failed = self.health.restore(Element::Tor(tor));
+        if was_failed {
+            self.manager.restore_tor(tor);
+            alvc_telemetry::counter!("alvc_nfv.recovery.element_restores").incr();
+        }
+        was_failed
+    }
+
+    /// Re-runs the recovery ladder for every degraded chain — typically
+    /// after restores — pulling chains back into their slices where
+    /// possible. Returns the new outcome per previously-degraded chain.
+    pub fn reoptimize_degraded(
+        &mut self,
+        dc: &DataCenter,
+        placer: &dyn VnfPlacer,
+    ) -> BTreeMap<NfcId, RecoveryOutcome> {
+        let ids: Vec<NfcId> = self.degraded.iter().copied().collect();
+        let mut outcomes = BTreeMap::new();
+        for id in ids {
+            let outcome = self.recover_chain(dc, id, placer);
+            alvc_telemetry::counter_with("alvc_nfv.recovery.outcomes", outcome.label()).incr();
+            outcomes.insert(id, outcome);
+        }
+        alvc_telemetry::gauge!("alvc_nfv.recovery.degraded_chains").set(self.degraded.len() as f64);
+        outcomes
+    }
+
+    /// Global invariant: no chain path, flow rule, bandwidth-ledger entry,
+    /// VNF host, or replica references a currently-failed element. The
+    /// chaos test asserts this after every step.
+    pub fn verify_no_failed_references(&self, dc: &DataCenter) -> bool {
+        for element in self.health.failed() {
+            let node = element_node(dc, element);
+            if self.sdn.rules_on_switch(node) > 0 {
+                return false;
+            }
+            for chain in self.chains.values() {
+                if chain.path.nodes().contains(&node) {
+                    return false;
+                }
+                if chain.hosts.iter().any(|&h| host_on(h, element)) {
+                    return false;
+                }
+            }
+            for &e in self.link_committed.keys() {
+                if let Some((a, b)) = dc.graph().edge_endpoints(e) {
+                    if a == node || b == node {
+                        return false;
+                    }
+                }
+            }
+            if self.instances.values().any(|i| host_on(i.host(), element)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn fail_element(
+        &mut self,
+        dc: &DataCenter,
+        element: Element,
+        constructor: Option<&dyn AlConstruct>,
+        placer: &dyn VnfPlacer,
+    ) -> RecoveryReport {
+        if !self.health.fail(element) {
+            // Already down: the first failure did the work.
+            return RecoveryReport {
+                element,
+                outcomes: BTreeMap::new(),
+            };
+        }
+        let _span = alvc_telemetry::span!("alvc_nfv.recovery.repair_latency_us");
+        alvc_telemetry::counter!("alvc_nfv.recovery.element_failures").incr();
+        alvc_telemetry::event!(
+            "alvc_nfv.recovery.element_failed",
+            "element" = element.to_string().as_str(),
+        );
+
+        // Mirror into the AL layer; it repairs slices where it can.
+        let mut repaired: Vec<ClusterId> = Vec::new();
+        match element {
+            Element::Ops(o) => {
+                let ctor = constructor.expect("fail_ops passes a constructor");
+                match self.manager.fail_ops(dc, o, ctor) {
+                    Ok(Some(c)) => repaired.push(c),
+                    Ok(None) => {}
+                    Err(_) => {
+                        // Rebuild failed: the owner keeps its degraded AL;
+                        // its chains still need chain-level recovery.
+                        if let Some(c) = self
+                            .manager
+                            .clusters()
+                            .find(|vc| vc.al().contains_ops(o))
+                            .map(|vc| vc.id())
+                        {
+                            repaired.push(c);
+                        }
+                    }
+                }
+            }
+            Element::Tor(t) => repaired = self.manager.fail_tor(dc, t),
+            Element::Server(_) => {}
+        }
+
+        // Replicas on dead elements are force-scaled-in before chain
+        // recovery runs, so no instance survives on a failed host.
+        let dead_replicas: Vec<VnfInstanceId> = self
+            .replicas
+            .keys()
+            .copied()
+            .filter(|iid| {
+                self.instances
+                    .get(iid)
+                    .is_some_and(|i| !self.host_up(i.host()))
+            })
+            .collect();
+        for replica in dead_replicas {
+            let _ = self.scale_in(replica);
+        }
+
+        // Affected: path crosses the dead node (endpoints included — a
+        // path starts and ends at the endpoint servers), a VNF host died,
+        // or the chain's slice was repaired out from under its route.
+        let node = element_node(dc, element);
+        let repaired: HashSet<ClusterId> = repaired.into_iter().collect();
+        let affected: Vec<NfcId> = self
+            .chains
+            .iter()
+            .filter(|(_, c)| {
+                c.path.nodes().contains(&node)
+                    || c.hosts.iter().any(|&h| !self.host_up(h))
+                    || repaired.contains(&c.cluster)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+
+        let mut outcomes = BTreeMap::new();
+        for id in affected {
+            let outcome = self.recover_chain(dc, id, placer);
+            alvc_telemetry::counter_with("alvc_nfv.recovery.outcomes", outcome.label()).incr();
+            alvc_telemetry::event!(
+                "alvc_nfv.recovery.chain_recovered",
+                "nfc" = id.index(),
+                "outcome" = outcome.label(),
+            );
+            outcomes.insert(id, outcome);
+        }
+        alvc_telemetry::gauge!("alvc_nfv.recovery.degraded_chains").set(self.degraded.len() as f64);
+        RecoveryReport { element, outcomes }
+    }
+
+    /// Climbs the recovery ladder for one chain. The chain's flow rules
+    /// and bandwidth commitments are released up front: no exit path —
+    /// including failure — leaves state referencing a dead element.
+    fn recover_chain(
+        &mut self,
+        dc: &DataCenter,
+        id: NfcId,
+        placer: &dyn VnfPlacer,
+    ) -> RecoveryOutcome {
+        let (old_edges, bandwidth_gbps, ingress, egress, hosts) = {
+            let chain = self.chains.get(&id).expect("affected chain exists");
+            (
+                chain.edges.clone(),
+                chain.nfc.spec().bandwidth_gbps,
+                chain.nfc.spec().ingress,
+                chain.nfc.spec().egress,
+                chain.hosts.clone(),
+            )
+        };
+        self.sdn.remove_chain(id);
+        self.release_edges(&old_edges, bandwidth_gbps);
+        {
+            let chain = self.chains.get_mut(&id).expect("affected chain exists");
+            chain.edges.clear();
+        }
+
+        if !self.health.server_up(dc.server_of_vm(ingress))
+            || !self.health.server_up(dc.server_of_vm(egress))
+        {
+            self.discard_chain(id);
+            return RecoveryOutcome::Unrecoverable(DeployError::EndpointFailed);
+        }
+
+        // Rung 1: same hosts, new route inside the slice.
+        if hosts.iter().all(|&h| self.host_up(h))
+            && self
+                .try_reroute(dc, id, &hosts, RecoveryScope::Slice)
+                .is_ok()
+        {
+            self.degraded.remove(&id);
+            return RecoveryOutcome::Rerouted;
+        }
+
+        // Rung 2: re-place on healthy hosts inside the slice.
+        let replace_err = match self.try_replace(dc, id, placer, RecoveryScope::Slice) {
+            Ok(()) => {
+                self.degraded.remove(&id);
+                return RecoveryOutcome::Replaced;
+            }
+            Err(e) => e,
+        };
+
+        // Rung 3: graceful degradation over the full healthy fabric.
+        if self
+            .try_replace(dc, id, placer, RecoveryScope::FullFabric)
+            .is_ok()
+        {
+            self.degraded.insert(id);
+            return RecoveryOutcome::Degraded;
+        }
+
+        // Rung 4: tear the remains down.
+        self.discard_chain(id);
+        RecoveryOutcome::Unrecoverable(replace_err)
+    }
+
+    fn host_up(&self, host: HostLocation) -> bool {
+        match host {
+            HostLocation::Server(s) => self.health.server_up(s),
+            HostLocation::OptoRouter(o) => self.health.ops_up(o),
+        }
+    }
+
+    /// Nodes a recovery route may traverse. Waypoints (endpoint servers
+    /// and VNF hosts) are added by the caller.
+    fn allowed_nodes(
+        &self,
+        dc: &DataCenter,
+        cluster: ClusterId,
+        scope: RecoveryScope,
+    ) -> HashSet<NodeId> {
+        match scope {
+            RecoveryScope::Slice => {
+                let vc = self.manager.cluster(cluster).expect("slice cluster exists");
+                let mut allowed: HashSet<NodeId> = vc
+                    .al()
+                    .switch_nodes(dc)
+                    .into_iter()
+                    .filter(|&n| self.health.node_up(dc, n))
+                    .collect();
+                for &v in vc.vms() {
+                    let s = dc.server_of_vm(v);
+                    if self.health.server_up(s) {
+                        allowed.insert(dc.node_of_server(s));
+                    }
+                }
+                allowed
+            }
+            RecoveryScope::FullFabric => {
+                let mut allowed = HashSet::new();
+                for s in dc.server_ids().filter(|&s| self.health.server_up(s)) {
+                    allowed.insert(dc.node_of_server(s));
+                }
+                for t in dc.tor_ids().filter(|&t| self.health.tor_up(t)) {
+                    allowed.insert(dc.node_of_tor(t));
+                }
+                for o in dc.ops_ids().filter(|&o| self.health.ops_up(o)) {
+                    allowed.insert(dc.node_of_ops(o));
+                }
+                allowed
+            }
+        }
+    }
+
+    /// Rung 1: route the chain's existing hosts over `scope`, commit rules
+    /// and bandwidth. The chain's own network state must already be
+    /// released.
+    fn try_reroute(
+        &mut self,
+        dc: &DataCenter,
+        id: NfcId,
+        hosts: &[HostLocation],
+        scope: RecoveryScope,
+    ) -> Result<(), DeployError> {
+        let chain = self.chains.get(&id).expect("chain exists");
+        let spec = chain.nfc.spec().clone();
+        let cluster = chain.cluster;
+        let mut allowed = self.allowed_nodes(dc, cluster, scope);
+        let mut waypoints = Vec::with_capacity(hosts.len() + 2);
+        waypoints.push(dc.node_of_server(dc.server_of_vm(spec.ingress)));
+        for &h in hosts {
+            let node = match h {
+                HostLocation::Server(s) => dc.node_of_server(s),
+                HostLocation::OptoRouter(o) => dc.node_of_ops(o),
+            };
+            allowed.insert(node);
+            waypoints.push(node);
+        }
+        waypoints.push(dc.node_of_server(dc.server_of_vm(spec.egress)));
+        let path = route_flow_within(dc, &allowed, &waypoints)?;
+        let edges = Self::check_bandwidth(dc, &self.link_committed, &path, spec.bandwidth_gbps)?;
+        self.check_latency(&spec, &path)?;
+        self.sdn
+            .try_install_path(id, &path)
+            .map_err(DeployError::RuleTableFull)?;
+        for &e in &edges {
+            *self.link_committed.entry(e).or_insert(0) += kbps(spec.bandwidth_gbps);
+        }
+        let chain = self.chains.get_mut(&id).expect("chain exists");
+        chain.path = path;
+        chain.edges = edges;
+        Ok(())
+    }
+
+    /// Rungs 2–3: re-place the chain's VNFs on healthy hosts, route over
+    /// `scope`, and swap instances. The chain's own network state must
+    /// already be released; its host capacity is reused during planning.
+    fn try_replace(
+        &mut self,
+        dc: &DataCenter,
+        id: NfcId,
+        placer: &dyn VnfPlacer,
+        scope: RecoveryScope,
+    ) -> Result<(), DeployError> {
+        let chain = self.chains.get(&id).expect("chain exists");
+        let spec = chain.nfc.spec().clone();
+        let cluster = chain.cluster;
+        let old_hosts = chain.hosts.clone();
+        let old_instances = chain.instances.clone();
+
+        let vc = self.manager.cluster(cluster).expect("slice cluster exists");
+        let vms = vc.vms().to_vec();
+        // Placement sees only the healthy part of the AL.
+        let al_view = AbstractionLayer::new(
+            vc.al()
+                .tors()
+                .iter()
+                .copied()
+                .filter(|&t| self.health.tor_up(t))
+                .collect(),
+            vc.al()
+                .ops()
+                .iter()
+                .copied()
+                .filter(|&o| self.health.ops_up(o))
+                .collect(),
+        );
+        let mut servers: Vec<ServerId> = vms.iter().map(|&v| dc.server_of_vm(v)).collect();
+        servers.sort();
+        servers.dedup();
+        servers.retain(|&s| self.health.server_up(s));
+
+        // Plan against ledgers without this chain's current host usage.
+        let mut opto_used = self.opto_used.clone();
+        let mut server_used = self.server_used.clone();
+        for (h, v) in old_hosts.iter().zip(spec.vnfs.iter()) {
+            match h {
+                HostLocation::Server(s) => {
+                    if let Some(e) = server_used.get_mut(s) {
+                        *e = e.saturating_minus(&v.demand);
+                    }
+                }
+                HostLocation::OptoRouter(o) => {
+                    if let Some(e) = opto_used.get_mut(o) {
+                        *e = e.saturating_minus(&v.demand);
+                    }
+                }
+            }
+        }
+        let hosts = {
+            let ctx = PlacementContext {
+                dc,
+                al: &al_view,
+                opto_used: &opto_used,
+                server_used: &server_used,
+                servers: &servers,
+            };
+            placer.place(&ctx, &spec)?
+        };
+
+        let mut allowed = self.allowed_nodes(dc, cluster, scope);
+        let mut waypoints = Vec::with_capacity(hosts.len() + 2);
+        waypoints.push(dc.node_of_server(dc.server_of_vm(spec.ingress)));
+        for h in &hosts {
+            let node = match h {
+                HostLocation::Server(s) => dc.node_of_server(*s),
+                HostLocation::OptoRouter(o) => dc.node_of_ops(*o),
+            };
+            allowed.insert(node);
+            waypoints.push(node);
+        }
+        waypoints.push(dc.node_of_server(dc.server_of_vm(spec.egress)));
+        let path = route_flow_within(dc, &allowed, &waypoints)?;
+        let edges = Self::check_bandwidth(dc, &self.link_committed, &path, spec.bandwidth_gbps)?;
+        self.check_latency(&spec, &path)?;
+        self.sdn
+            .try_install_path(id, &path)
+            .map_err(DeployError::RuleTableFull)?;
+
+        // Commit: bandwidth, host capacity, fresh instances.
+        for &e in &edges {
+            *self.link_committed.entry(e).or_insert(0) += kbps(spec.bandwidth_gbps);
+        }
+        for (h, v) in hosts.iter().zip(spec.vnfs.iter()) {
+            match h {
+                HostLocation::Server(s) => {
+                    let e = server_used.entry(*s).or_default();
+                    *e = e.plus(&v.demand);
+                }
+                HostLocation::OptoRouter(o) => {
+                    let e = opto_used.entry(*o).or_default();
+                    *e = e.plus(&v.demand);
+                }
+            }
+        }
+        self.opto_used = opto_used;
+        self.server_used = server_used;
+        for &iid in &old_instances {
+            self.terminate_and_collect(iid);
+        }
+        let mut instance_ids = Vec::with_capacity(hosts.len());
+        for (h, v) in hosts.iter().zip(spec.vnfs.iter()) {
+            let iid = VnfInstanceId(self.next_instance);
+            self.next_instance += 1;
+            let mut inst = VnfInstance::new(iid, *v, *h);
+            inst.activate().expect("fresh instance activates");
+            self.instances.insert(iid, inst);
+            instance_ids.push(iid);
+        }
+        let chain = self.chains.get_mut(&id).expect("chain exists");
+        chain.hosts = hosts;
+        chain.instances = instance_ids;
+        chain.path = path;
+        chain.edges = edges;
+        Ok(())
+    }
+
+    /// Removes what is left of an unrecoverable chain: instances,
+    /// replicas, host capacity, slice binding, and the virtual cluster.
+    /// Flow rules and bandwidth were already released by the ladder.
+    fn discard_chain(&mut self, id: NfcId) {
+        for replica in self.replicas_of(id) {
+            let _ = self.scale_in(replica);
+        }
+        let chain = self.chains.remove(&id).expect("chain exists");
+        for (&iid, (h, v)) in chain
+            .instances
+            .iter()
+            .zip(chain.hosts.iter().zip(chain.nfc.vnfs()))
+        {
+            self.terminate_and_collect(iid);
+            match h {
+                HostLocation::Server(s) => {
+                    if let Some(e) = self.server_used.get_mut(s) {
+                        *e = e.saturating_minus(&v.demand);
+                    }
+                }
+                HostLocation::OptoRouter(o) => {
+                    if let Some(e) = self.opto_used.get_mut(o) {
+                        *e = e.saturating_minus(&v.demand);
+                    }
+                }
+            }
+        }
+        self.slices.unbind(id);
+        self.degraded.remove(&id);
+        self.manager.remove_cluster(chain.cluster);
+        alvc_telemetry::counter!("alvc_nfv.recovery.chains_lost").incr();
+        alvc_telemetry::event!("alvc_nfv.recovery.chain_lost", "nfc" = id.index());
+    }
+}
+
+fn element_node(dc: &DataCenter, element: Element) -> NodeId {
+    match element {
+        Element::Server(s) => dc.node_of_server(s),
+        Element::Tor(t) => dc.node_of_tor(t),
+        Element::Ops(o) => dc.node_of_ops(o),
+    }
+}
+
+fn host_on(host: HostLocation, element: Element) -> bool {
+    match (host, element) {
+        (HostLocation::Server(s), Element::Server(fs)) => s == fs,
+        (HostLocation::OptoRouter(o), Element::Ops(fo)) => o == fo,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::fig5;
+    use crate::placement::ElectronicOnlyPlacer;
+    use alvc_core::construction::PaperGreedy;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceType, VmId};
+
+    fn dc() -> DataCenter {
+        AlvcTopologyBuilder::new()
+            .racks(8)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(24)
+            .tor_ops_degree(4)
+            .opto_fraction(0.5)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(31)
+            .build()
+    }
+
+    fn deploy(orch: &mut Orchestrator, dc: &DataCenter, tenant: &str, vms: Vec<VmId>) -> NfcId {
+        let spec = fig5::black(vms[0], *vms.last().unwrap());
+        orch.deploy_chain(
+            dc,
+            tenant,
+            vms,
+            spec,
+            &PaperGreedy::new(),
+            &ElectronicOnlyPlacer::new(),
+        )
+        .unwrap()
+    }
+
+    /// The headline regression: fail an AL switch carrying a live chain
+    /// and assert no surviving route, flow rule, or ledger entry
+    /// references it.
+    #[test]
+    fn fail_ops_on_al_switch_leaves_no_stale_state() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let id = deploy(
+            &mut orch,
+            &dc,
+            "web",
+            dc.vms_of_service(ServiceType::WebService),
+        );
+        // An AL switch actually on the chain's path.
+        let al = orch
+            .manager()
+            .cluster(orch.chain(id).unwrap().cluster())
+            .unwrap()
+            .al()
+            .clone();
+        let path_nodes: HashSet<NodeId> = orch
+            .chain(id)
+            .unwrap()
+            .path()
+            .nodes()
+            .iter()
+            .copied()
+            .collect();
+        let dead = al
+            .ops()
+            .iter()
+            .copied()
+            .find(|&o| path_nodes.contains(&dc.node_of_ops(o)))
+            .expect("slice path crosses an AL OPS");
+
+        let report = orch.fail_ops(&dc, dead, &PaperGreedy::new(), &ElectronicOnlyPlacer::new());
+        assert_eq!(report.element(), Element::Ops(dead));
+        let outcome = report.outcomes().get(&id).expect("chain was affected");
+        assert!(
+            outcome.is_serving(),
+            "chain recoverable on a 24-OPS mesh: {outcome}"
+        );
+
+        // No stale state anywhere.
+        assert!(orch.verify_no_failed_references(&dc));
+        let dead_node = dc.node_of_ops(dead);
+        assert_eq!(orch.sdn().rules_on_switch(dead_node), 0);
+        let chain = orch.chain(id).unwrap();
+        assert!(!chain.path().nodes().contains(&dead_node));
+        for &e in chain.edges() {
+            let (a, b) = dc.graph().edge_endpoints(e).unwrap();
+            assert_ne!(a, dead_node);
+            assert_ne!(b, dead_node);
+            assert!(orch.committed_bandwidth_gbps(e) > 0.0);
+        }
+        // Rules exactly cover the new path.
+        assert_eq!(orch.sdn().total_rules(), chain.path().nodes().len());
+        assert!(orch.manager().verify_disjoint());
+    }
+
+    #[test]
+    fn fail_server_hosting_vnf_replaces_it() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let vms = dc.vms_of_service(ServiceType::WebService);
+        let ingress_server = dc.server_of_vm(vms[0]);
+        let egress_server = dc.server_of_vm(*vms.last().unwrap());
+        let id = deploy(&mut orch, &dc, "web", vms);
+        // A VNF host that is not an endpoint server (so recovery can win).
+        let Some(dead) = orch
+            .chain(id)
+            .unwrap()
+            .hosts()
+            .iter()
+            .find_map(|h| match h {
+                HostLocation::Server(s) if *s != ingress_server && *s != egress_server => Some(*s),
+                _ => None,
+            })
+        else {
+            return; // anti-affinity put every VNF on an endpoint server
+        };
+        let report = orch.fail_server(&dc, dead, &ElectronicOnlyPlacer::new());
+        let outcome = report.outcomes().get(&id).expect("chain was affected");
+        assert!(
+            matches!(
+                outcome,
+                RecoveryOutcome::Replaced | RecoveryOutcome::Degraded
+            ),
+            "dead host forces re-placement: {outcome}"
+        );
+        assert!(orch.verify_no_failed_references(&dc));
+        for h in orch.chain(id).unwrap().hosts() {
+            assert_ne!(*h, HostLocation::Server(dead));
+        }
+        // Exactly the chain's instances survive, all active.
+        assert_eq!(
+            orch.instance_count(),
+            orch.chain(id).unwrap().instances().len()
+        );
+    }
+
+    #[test]
+    fn fail_ingress_server_is_unrecoverable() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let vms = dc.vms_of_service(ServiceType::WebService);
+        let ingress_server = dc.server_of_vm(vms[0]);
+        let id = deploy(&mut orch, &dc, "web", vms);
+        let report = orch.fail_server(&dc, ingress_server, &ElectronicOnlyPlacer::new());
+        assert_eq!(
+            report.outcomes().get(&id),
+            Some(&RecoveryOutcome::Unrecoverable(DeployError::EndpointFailed))
+        );
+        assert_eq!(report.serving_count(), 0);
+        // The chain is gone and everything it held is released.
+        assert!(orch.chain(id).is_none());
+        assert_eq!(orch.chain_count(), 0);
+        assert_eq!(orch.sdn().total_rules(), 0);
+        assert_eq!(orch.instance_count(), 0);
+        assert!(orch.slices().is_empty());
+        assert_eq!(orch.manager().cluster_count(), 0);
+        assert!(orch.verify_no_failed_references(&dc));
+    }
+
+    #[test]
+    fn unaffected_chains_are_untouched() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let web = deploy(
+            &mut orch,
+            &dc,
+            "web",
+            dc.vms_of_service(ServiceType::WebService),
+        );
+        let sns = deploy(&mut orch, &dc, "sns", dc.vms_of_service(ServiceType::Sns));
+        // Fail an OPS on web's path; slices are OPS-disjoint, so sns's
+        // path cannot cross it.
+        let web_path: HashSet<NodeId> = orch
+            .chain(web)
+            .unwrap()
+            .path()
+            .nodes()
+            .iter()
+            .copied()
+            .collect();
+        let al = orch
+            .manager()
+            .cluster(orch.chain(web).unwrap().cluster())
+            .unwrap()
+            .al()
+            .clone();
+        let Some(dead) = al
+            .ops()
+            .iter()
+            .copied()
+            .find(|&o| web_path.contains(&dc.node_of_ops(o)))
+        else {
+            return;
+        };
+        let sns_before = orch.chain(sns).unwrap().clone();
+        let report = orch.fail_ops(&dc, dead, &PaperGreedy::new(), &ElectronicOnlyPlacer::new());
+        assert!(report.outcomes().contains_key(&web));
+        assert!(!report.outcomes().contains_key(&sns));
+        assert_eq!(orch.chain(sns).unwrap(), &sns_before);
+    }
+
+    #[test]
+    fn double_failure_is_noop_and_restore_round_trips() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let id = deploy(
+            &mut orch,
+            &dc,
+            "web",
+            dc.vms_of_service(ServiceType::WebService),
+        );
+        let al = orch
+            .manager()
+            .cluster(orch.chain(id).unwrap().cluster())
+            .unwrap()
+            .al()
+            .clone();
+        let dead = al.ops()[0];
+        let first = orch.fail_ops(&dc, dead, &PaperGreedy::new(), &ElectronicOnlyPlacer::new());
+        let second = orch.fail_ops(&dc, dead, &PaperGreedy::new(), &ElectronicOnlyPlacer::new());
+        assert_eq!(second.affected_count(), 0, "second failure is a no-op");
+        let _ = first;
+        assert!(orch.restore_ops(dead));
+        assert!(!orch.restore_ops(dead), "already restored");
+        assert!(orch.health().all_healthy());
+        // The restored switch is usable again: a fresh deployment works.
+        let vms = dc.vms_of_service(ServiceType::MapReduce);
+        let spec = fig5::black(vms[0], *vms.last().unwrap());
+        assert!(orch
+            .deploy_chain(
+                &dc,
+                "mr",
+                vms,
+                spec,
+                &PaperGreedy::new(),
+                &ElectronicOnlyPlacer::new()
+            )
+            .is_ok());
+    }
+
+    /// Starve the slice so recovery must degrade to the full fabric, then
+    /// restore and reoptimize the chain back into its slice.
+    #[test]
+    fn degraded_chain_reoptimizes_back_into_slice() {
+        // Two OPSs, both reachable from every ToR; two tenants own one
+        // each, so a failed AL switch cannot be replaced.
+        let dc = AlvcTopologyBuilder::new()
+            .racks(4)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(2)
+            .tor_ops_degree(2)
+            .opto_fraction(0.0)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(13)
+            .build();
+        let mut orch = Orchestrator::new();
+        let vms: Vec<VmId> = dc.vm_ids().collect();
+        let half = vms.len() / 2;
+        let a = deploy(&mut orch, &dc, "a", vms[..half].to_vec());
+        let _b = deploy(&mut orch, &dc, "b", vms[half..].to_vec());
+        let al_a = orch
+            .manager()
+            .cluster(orch.chain(a).unwrap().cluster())
+            .unwrap()
+            .al()
+            .clone();
+        assert_eq!(al_a.ops_count(), 1, "minimal AL on a 2-OPS core");
+        let dead = al_a.ops()[0];
+        let report = orch.fail_ops(&dc, dead, &PaperGreedy::new(), &ElectronicOnlyPlacer::new());
+        let outcome = report.outcomes().get(&a).expect("chain a affected");
+        assert_eq!(
+            outcome,
+            &RecoveryOutcome::Degraded,
+            "no spare OPS: the chain must leave its slice"
+        );
+        assert_eq!(orch.degraded_chains(), vec![a]);
+        assert!(orch.verify_no_failed_references(&dc));
+        // The degraded path borrows the other tenant's switch.
+        let other_ops_node =
+            dc.node_of_ops(dc.ops_ids().find(|&o| o != dead).expect("two OPSs exist"));
+        assert!(orch
+            .chain(a)
+            .unwrap()
+            .path()
+            .nodes()
+            .contains(&other_ops_node));
+
+        // Restore and pull the chain back into its slice.
+        assert!(orch.restore_ops(dead));
+        let outcomes = orch.reoptimize_degraded(&dc, &ElectronicOnlyPlacer::new());
+        assert!(outcomes.get(&a).expect("reoptimized").is_serving());
+        assert!(orch.degraded_chains().is_empty());
+        let path_nodes = orch.chain(a).unwrap().path().nodes().to_vec();
+        assert!(
+            path_nodes.contains(&dc.node_of_ops(dead)),
+            "back on the slice's own switch"
+        );
+    }
+
+    #[test]
+    fn fail_tor_reroutes_or_degrades_crossing_chains() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let id = deploy(
+            &mut orch,
+            &dc,
+            "web",
+            dc.vms_of_service(ServiceType::WebService),
+        );
+        // A ToR on the chain's path that is not an endpoint rack's only
+        // uplink: fail the last ToR the path crosses before egress.
+        let path_tors: Vec<TorId> = orch
+            .chain(id)
+            .unwrap()
+            .path()
+            .nodes()
+            .iter()
+            .filter_map(|&n| match dc.graph().node_weight(n) {
+                Some(alvc_topology::PhysNode::Tor(t)) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert!(!path_tors.is_empty(), "chain path crosses ToRs");
+        let dead = path_tors[0];
+        let report = orch.fail_tor(&dc, dead, &ElectronicOnlyPlacer::new());
+        let outcome = report.outcomes().get(&id).expect("chain was affected");
+        // Single-homed servers behind the dead ToR make their VMs
+        // unreachable, so any outcome is legal — but state must be clean.
+        assert!(orch.verify_no_failed_references(&dc));
+        if outcome.is_serving() {
+            assert!(!orch
+                .chain(id)
+                .unwrap()
+                .path()
+                .nodes()
+                .contains(&dc.node_of_tor(dead)));
+        } else {
+            assert!(orch.chain(id).is_none());
+        }
+        assert!(orch.restore_tor(dead));
+    }
+}

@@ -103,8 +103,14 @@ impl ResourceDemand {
     ///
     /// # Panics
     ///
-    /// Panics if any component is negative.
+    /// Panics if any component is negative or non-finite (NaN/infinity).
+    /// Rejecting non-finite demands here keeps every downstream load
+    /// comparison (host selection, scaling) total-order safe.
     pub fn new(cpu: f64, memory_gib: f64, storage_gib: f64) -> Self {
+        assert!(
+            cpu.is_finite() && memory_gib.is_finite() && storage_gib.is_finite(),
+            "resource demand components must be finite"
+        );
         assert!(
             cpu >= 0.0 && memory_gib >= 0.0 && storage_gib >= 0.0,
             "resource demand components must be non-negative"

@@ -51,6 +51,13 @@ fn check_invariants(dc: &DataCenter, orch: &Orchestrator) {
         assert!(vc.al().validate(dc, vc.vms()).is_ok());
         assert_eq!(chain.hosts().len(), chain.nfc().vnfs().len());
     }
+    // Terminated instances are garbage-collected: the instance map holds
+    // exactly the chain members plus live replicas.
+    let expected_instances: usize = orch.chains().map(|c| c.instances().len()).sum();
+    assert_eq!(
+        orch.instance_count(),
+        expected_instances + orch.replica_count()
+    );
 }
 
 proptest! {
@@ -123,8 +130,72 @@ proptest! {
         prop_assert_eq!(orch.chain_count(), 0);
         prop_assert_eq!(orch.sdn().total_rules(), 0);
         prop_assert_eq!(orch.manager().availability().blocked_count(), 0);
+        prop_assert_eq!(orch.instance_count(), 0);
         for o in dc.optoelectronic_ops() {
             prop_assert_eq!(orch.opto_usage(o).cpu, 0.0);
+        }
+    }
+
+    /// Satellite of the failure-recovery issue: the bandwidth ledger must
+    /// round-trip deploy/teardown *exactly* — even with fractional Gb/s
+    /// figures and a background chain holding bandwidth on shared links —
+    /// because committed bandwidth is tracked in integer kb/s.
+    #[test]
+    fn bandwidth_ledger_round_trips_exactly(
+        seed in 0u64..100,
+        bg_bw in 0.01f64..3.0,
+        bws in proptest::collection::vec(0.01f64..3.0, 1..8),
+    ) {
+        let dc = dc_for(seed);
+        let vms: Vec<VmId> = dc.vm_ids().collect();
+        let half = vms.len() / 2;
+        let (a, b) = (vms[..half].to_vec(), vms[half..].to_vec());
+        let mut orch = Orchestrator::new();
+        let mut bg_spec = fig5::black(a[0], *a.last().unwrap());
+        bg_spec.bandwidth_gbps = bg_bw;
+        let bg = orch.deploy_chain(
+            &dc,
+            "bg",
+            a,
+            bg_spec,
+            &PaperGreedy::new(),
+            &ElectronicOnlyPlacer::new(),
+        );
+        // Snapshot the background chain's per-edge commitments: they must
+        // be bit-identical after every foreground round trip.
+        let bg_edges: Vec<(alvc_graph::EdgeId, f64)> = match bg {
+            Ok(id) => orch
+                .chain(id)
+                .unwrap()
+                .edges()
+                .iter()
+                .map(|&e| (e, orch.committed_bandwidth_gbps(e)))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        for &bw in &bws {
+            let mut spec = fig5::black(b[0], *b.last().unwrap());
+            spec.bandwidth_gbps = bw;
+            let Ok(id) = orch.deploy_chain(
+                &dc,
+                "fg",
+                b.clone(),
+                spec,
+                &PaperGreedy::new(),
+                &ElectronicOnlyPlacer::new(),
+            ) else {
+                continue;
+            };
+            let edges = orch.chain(id).unwrap().edges().to_vec();
+            prop_assert!(!edges.is_empty());
+            prop_assert!(orch.teardown_chain(id).is_ok());
+            for &e in &edges {
+                let expected = bg_edges
+                    .iter()
+                    .find(|&&(be, _)| be == e)
+                    .map_or(0.0, |&(_, v)| v);
+                prop_assert_eq!(orch.committed_bandwidth_gbps(e), expected);
+            }
         }
     }
 }

@@ -25,6 +25,15 @@ pub enum RoutingError {
     },
     /// Fewer than two waypoints were supplied.
     TooFewWaypoints,
+    /// A path references two consecutive nodes with no connecting link in
+    /// the topology — the signature of a stale path kept across a link or
+    /// switch failure.
+    MissingLink {
+        /// First node of the broken hop.
+        from: NodeId,
+        /// Second node of the broken hop.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for RoutingError {
@@ -39,6 +48,14 @@ impl fmt::Display for RoutingError {
                 )
             }
             RoutingError::TooFewWaypoints => write!(f, "routing needs at least two waypoints"),
+            RoutingError::MissingLink { from, to } => {
+                write!(
+                    f,
+                    "path references a missing link between node {} and node {}",
+                    from.index(),
+                    to.index()
+                )
+            }
         }
     }
 }
@@ -208,8 +225,23 @@ pub fn route_flow_ecmp(
 ///
 /// # Panics
 ///
-/// Panics if consecutive path nodes are not adjacent in `dc`.
+/// Panics if consecutive path nodes are not adjacent in `dc`. Use
+/// [`try_path_edges`] where a stale path (e.g. kept across an element
+/// failure) must surface as an error instead.
 pub fn path_edges(dc: &DataCenter, path: &HybridPath) -> Vec<alvc_graph::EdgeId> {
+    try_path_edges(dc, path).expect("path nodes must be adjacent")
+}
+
+/// Fallible variant of [`path_edges`]: a hop between non-adjacent nodes is
+/// reported as [`RoutingError::MissingLink`] instead of panicking.
+///
+/// # Errors
+///
+/// [`RoutingError::MissingLink`] naming the first broken hop.
+pub fn try_path_edges(
+    dc: &DataCenter,
+    path: &HybridPath,
+) -> Result<Vec<alvc_graph::EdgeId>, RoutingError> {
     path.nodes()
         .windows(2)
         .map(|w| {
@@ -219,10 +251,13 @@ pub fn path_edges(dc: &DataCenter, path: &HybridPath) -> Vec<alvc_graph::EdgeId>
                 .min_by(|&(a, _), &(b, _)| {
                     let la = dc.graph().edge_weight(a).expect("edge exists").latency_us;
                     let lb = dc.graph().edge_weight(b).expect("edge exists").latency_us;
-                    la.partial_cmp(&lb).expect("finite latency")
+                    la.total_cmp(&lb)
                 })
                 .map(|(e, _)| e)
-                .expect("path nodes must be adjacent")
+                .ok_or(RoutingError::MissingLink {
+                    from: w[0],
+                    to: w[1],
+                })
         })
         .collect()
 }

@@ -56,8 +56,7 @@ fn pack_optical(
         chain.vnfs[b]
             .demand
             .cpu
-            .partial_cmp(&chain.vnfs[a].demand.cpu)
-            .expect("finite")
+            .total_cmp(&chain.vnfs[a].demand.cpu)
             .then(a.cmp(&b))
     });
     let mut assignment = HashMap::new();
@@ -73,7 +72,7 @@ fn pack_optical(
                 let rem = |o: OpsId| {
                     ctx.dc.opto_capacity(o).expect("candidate").cpu - used[&o].cpu - demand.cpu
                 };
-                rem(a).partial_cmp(&rem(b)).expect("finite").then(a.cmp(&b))
+                rem(a).total_cmp(&rem(b)).then(a.cmp(&b))
             })
             .copied()?;
         let e = used.get_mut(&best).expect("tracked");

@@ -45,7 +45,7 @@ pub(crate) fn least_loaded_server(
         .min_by(|a, b| {
             let la = load.get(a).copied().unwrap_or(0.0);
             let lb = load.get(b).copied().unwrap_or(0.0);
-            la.partial_cmp(&lb).expect("finite load").then(a.cmp(b))
+            la.total_cmp(&lb).then(a.cmp(b))
         })
         .copied()
 }
@@ -86,7 +86,7 @@ impl VnfPlacer for OpticalFirstPlacer {
                             - opto_used[&o].cpu
                             - spec.demand.cpu
                     };
-                    rem(a).partial_cmp(&rem(b)).expect("finite").then(a.cmp(&b))
+                    rem(a).total_cmp(&rem(b)).then(a.cmp(&b))
                 })
                 .copied();
             if let Some(o) = best_opto {

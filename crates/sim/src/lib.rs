@@ -16,6 +16,10 @@
 //!   conversion, and energy metrics;
 //! * [`fairshare`] — flow-level contention: max–min fair rate allocation
 //!   with event-driven recomputation (experiment E10);
+//! * [`failure`] — seeded element-outage schedules and their projection
+//!   onto deployed chains, replayed by
+//!   [`FlowSim::run_with_outages`](flowsim::FlowSim::run_with_outages)
+//!   (experiment E9);
 //! * [`linkload`] — per-link byte accounting and hotspot reports;
 //! * [`metrics`] — counters and sample summaries (mean/percentiles).
 
@@ -26,6 +30,7 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod event;
+pub mod failure;
 pub mod fairshare;
 pub mod flowsim;
 pub mod linkload;
@@ -34,6 +39,7 @@ pub mod traffic;
 pub mod workload;
 
 pub use event::EventQueue;
+pub use failure::{chain_outages, FailureSchedule, OutageEvent};
 pub use fairshare::{simulate_fair_share, FairFlow, FairShareReport};
 pub use flowsim::{ChainLoad, FlowSim, SimReport};
 pub use linkload::LinkLoad;

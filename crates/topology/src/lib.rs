@@ -43,6 +43,7 @@
 
 pub mod element;
 pub mod generators;
+pub mod health;
 pub mod ids;
 pub mod service;
 pub mod stats;
@@ -53,6 +54,7 @@ pub use element::{Domain, LinkAttrs, OptoCapacity, PhysNode};
 pub use generators::{
     fat_tree, leaf_spine, AlvcTopologyBuilder, FatTreeParams, LeafSpineParams, OpsInterconnect,
 };
+pub use health::{Element, ElementHealth};
 pub use ids::{OpsId, RackId, ServerId, TorId, VmId};
 pub use service::{ServiceMix, ServiceType};
 pub use stats::TopologyStats;

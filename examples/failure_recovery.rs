@@ -8,6 +8,9 @@
 
 use alvc::core::construction::{PaperGreedy, RedundantGreedy};
 use alvc::core::{service_clusters, ClusterManager};
+use alvc::nfv::chain::fig5;
+use alvc::nfv::{HostLocation, Orchestrator};
+use alvc::placement::OpticalFirstPlacer;
 use alvc::topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceMix, ServiceType};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -102,6 +105,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "rebuild"
         }
+    );
+
+    // Failures seen end to end: the orchestrator hears about the failure,
+    // repairs the slice, and takes every affected chain through the
+    // recovery ladder — no stale route, rule, or reservation survives.
+    let mut orch = Orchestrator::new();
+    let ctor = PaperGreedy::new();
+    let placer = OpticalFirstPlacer::new();
+    let vms = dc.vms_of_service(ServiceType::WebService);
+    let spec = fig5::black(vms[0], *vms.last().unwrap());
+    let chain = orch.deploy_chain(&dc, "web", vms, spec, &ctor, &placer)?;
+    let al = orch
+        .manager()
+        .cluster(orch.chain(chain).unwrap().cluster())
+        .unwrap()
+        .al()
+        .clone();
+    let victim = al.ops()[0];
+    println!("\norchestrator: deployed chain {chain:?}; failing its AL switch {victim}");
+    let report = orch.fail_ops(&dc, victim, &ctor, &placer);
+    for (id, outcome) in report.outcomes() {
+        println!("  chain {id:?}: {outcome}");
+    }
+    println!(
+        "  no chain state references a failed element: {}",
+        orch.verify_no_failed_references(&dc)
+    );
+    if let Some(HostLocation::Server(host)) = orch
+        .chain(chain)
+        .unwrap()
+        .hosts()
+        .iter()
+        .find(|h| matches!(h, HostLocation::Server(_)))
+    {
+        let host = *host;
+        println!("orchestrator: failing VNF host {host}");
+        let report = orch.fail_server(&dc, host, &placer);
+        for (id, outcome) in report.outcomes() {
+            println!("  chain {id:?}: {outcome}");
+        }
+    }
+    orch.restore_ops(victim);
+    let back = orch.reoptimize_degraded(&dc, &placer);
+    println!(
+        "restored {victim}; reoptimized {} degraded chain(s); elements still failed: {}",
+        back.len(),
+        orch.health().failed_count()
     );
     Ok(())
 }

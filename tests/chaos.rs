@@ -7,7 +7,9 @@ use alvc::core::construction::{PaperGreedy, RedundantGreedy};
 use alvc::nfv::chain::fig5;
 use alvc::nfv::Orchestrator;
 use alvc::placement::OpticalFirstPlacer;
-use alvc::topology::{AlvcTopologyBuilder, DataCenter, OpsInterconnect};
+use alvc::topology::{
+    AlvcTopologyBuilder, DataCenter, Element, OpsId, OpsInterconnect, ServerId, TorId,
+};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
@@ -25,6 +27,14 @@ fn build() -> DataCenter {
         .build()
 }
 
+/// Step count, overridable for the CI chaos job (`CHAOS_STEPS=1000`).
+fn chaos_steps() -> usize {
+    std::env::var("CHAOS_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120)
+}
+
 #[test]
 fn orchestrator_survives_chaotic_operation_mix() {
     let dc = build();
@@ -33,11 +43,11 @@ fn orchestrator_survives_chaotic_operation_mix() {
 
     let all_vms: Vec<_> = dc.vm_ids().collect();
     let tenants = tenant_clusters(&all_vms, 3);
-    let mut live = Vec::new();
+    let mut live: Vec<(alvc::nfv::NfcId, usize)> = Vec::new();
     let mut free: Vec<usize> = (0..tenants.len()).collect();
 
-    for step in 0..120 {
-        match rng.random_range(0..6u8) {
+    for step in 0..chaos_steps() {
+        match rng.random_range(0..7u8) {
             // Deploy a chain for a free tenant group.
             0 => {
                 if let Some(pos) = (!free.is_empty()).then(|| rng.random_range(0..free.len())) {
@@ -95,6 +105,47 @@ fn orchestrator_survives_chaotic_operation_mix() {
                     }
                 }
             }
+            // Element failure or restore: the recovery ladder runs inline
+            // and may discard chains it cannot save.
+            5 => {
+                if rng.random::<f64>() < 0.6 {
+                    match rng.random_range(0..3u8) {
+                        0 => {
+                            let s = ServerId(rng.random_range(0..dc.server_count()));
+                            let _ = orch.fail_server(&dc, s, &OpticalFirstPlacer::new());
+                        }
+                        1 => {
+                            let t = TorId(rng.random_range(0..dc.tor_count()));
+                            let _ = orch.fail_tor(&dc, t, &OpticalFirstPlacer::new());
+                        }
+                        _ => {
+                            let o = OpsId(rng.random_range(0..dc.ops_count()));
+                            let _ = orch.fail_ops(
+                                &dc,
+                                o,
+                                &PaperGreedy::new(),
+                                &OpticalFirstPlacer::new(),
+                            );
+                        }
+                    }
+                } else if let Some(&element) = orch.health().failed().first() {
+                    match element {
+                        Element::Server(s) => assert!(orch.restore_server(s)),
+                        Element::Tor(t) => assert!(orch.restore_tor(t)),
+                        Element::Ops(o) => assert!(orch.restore_ops(o)),
+                    }
+                    // Pull degraded chains back into their slices.
+                    let _ = orch.reoptimize_degraded(&dc, &OpticalFirstPlacer::new());
+                }
+                // Recovery may have torn unrecoverable chains down.
+                live.retain(|&(id, tenant_idx)| {
+                    let alive = orch.chain(id).is_some();
+                    if !alive {
+                        free.push(tenant_idx);
+                    }
+                    alive
+                });
+            }
             // No-op breathing room (keeps op mix from overloading slices).
             _ => {}
         }
@@ -102,6 +153,18 @@ fn orchestrator_survives_chaotic_operation_mix() {
         // Global invariants after every operation.
         assert!(orch.manager().verify_disjoint(), "step {step}: overlap");
         assert_eq!(orch.chain_count(), live.len(), "step {step}: chain count");
+        assert!(
+            orch.verify_no_failed_references(&dc),
+            "step {step}: state references a failed element"
+        );
+        // Terminated instances are garbage-collected: the instance map
+        // holds exactly the chain members plus live replicas.
+        let chain_instances: usize = orch.chains().map(|c| c.instances().len()).sum();
+        assert_eq!(
+            orch.instance_count(),
+            chain_instances + orch.replica_count(),
+            "step {step}: instance leak"
+        );
         for &(id, _) in &live {
             let chain = orch.chain(id).expect("live chain");
             let vc = orch.manager().cluster(chain.cluster()).expect("slice");
@@ -118,12 +181,23 @@ fn orchestrator_survives_chaotic_operation_mix() {
         }
     }
 
-    // Drain.
+    // Drain, then restore whatever is still failed: the clean slate must
+    // hold ledgers, rules, instances, and switch availability at zero.
     for (id, _) in live {
         orch.teardown_chain(id).expect("live chain");
     }
+    for element in orch.health().failed() {
+        match element {
+            Element::Server(s) => assert!(orch.restore_server(s)),
+            Element::Tor(t) => assert!(orch.restore_tor(t)),
+            Element::Ops(o) => assert!(orch.restore_ops(o)),
+        }
+    }
+    assert!(orch.health().all_healthy());
     assert_eq!(orch.chain_count(), 0);
     assert_eq!(orch.sdn().total_rules(), 0);
+    assert_eq!(orch.instance_count(), 0);
+    assert!(orch.degraded_chains().is_empty());
     assert_eq!(orch.manager().availability().blocked_count(), 0);
 }
 
