@@ -1,0 +1,352 @@
+//! E10 (control plane): multi-tenant intent throughput and latency.
+//!
+//! N tenant threads submit weighted mixed intent streams (deploy /
+//! teardown / modify / scale, from `alvc-sim`'s [`IntentMix`]) against one
+//! shared [`ControlPlane`], while an operator thread injects failure /
+//! restore / reoptimize intents. The main thread drives batches and
+//! measures per-intent submit→completion latency. After each run the
+//! recorded intent log is replayed on a fresh control plane and the final
+//! [`alvc_nfv::StateView`]s are compared — the determinism claim, checked
+//! at bench scale.
+//!
+//! Emits `results/BENCH_control_plane.json`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use alvc_bench::{f2, print_table, write_results, Json};
+use alvc_nfv::{
+    ChainSpec, ControlPlane, Intent, IntentEffect, IntentId, IntentOutcome, TenantQuota, VnfSpec,
+    VnfType,
+};
+use alvc_sim::workload::ChainBlueprint;
+use alvc_sim::{ChainWorkload, IntentMix, IntentOp, MixWeights};
+use alvc_topology::{AlvcTopologyBuilder, DataCenter, Element, OpsId, OpsInterconnect, VmId};
+
+const TENANT_COUNTS: [usize; 4] = [2, 4, 8, 16];
+const INTENTS_PER_TENANT: usize = 40;
+const BATCH_SIZE: usize = 16;
+
+fn topology() -> Arc<DataCenter> {
+    Arc::new(
+        AlvcTopologyBuilder::new()
+            .racks(16)
+            .servers_per_rack(4)
+            .vms_per_server(2)
+            .ops_count(48)
+            .tor_ops_degree(8)
+            .opto_fraction(0.5)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(10)
+            .build(),
+    )
+}
+
+fn control_plane(dc: &Arc<DataCenter>) -> ControlPlane {
+    ControlPlane::builder()
+        .batch_size(BATCH_SIZE)
+        .default_quota(TenantQuota::new(6, 8))
+        .tenant_quota("operator", TenantQuota::unlimited())
+        .build(dc.clone())
+}
+
+/// Maps a sim blueprint onto a concrete chain spec: heavy VNFs become DPI
+/// (electronic-only), light ones firewalls (optoelectronic-eligible).
+fn spec_of(bp: &ChainBlueprint) -> ChainSpec {
+    let vnfs: Vec<VnfSpec> = bp
+        .heavy
+        .iter()
+        .map(|&h| VnfSpec::of(if h { VnfType::Dpi } else { VnfType::Firewall }))
+        .collect();
+    ChainSpec::new("gen", vnfs, bp.ingress, bp.egress, 1.0)
+}
+
+/// One tenant's submission loop: draw ops from the mix, resolve targets
+/// against the tenant's own live chains (via lock-free snapshots), and
+/// record every ticket with its submit instant.
+#[allow(clippy::type_complexity)]
+fn run_tenant(
+    cp: Arc<ControlPlane>,
+    tenant: String,
+    group: Vec<VmId>,
+    seed: u64,
+    pending: Arc<Mutex<Vec<(IntentId, Instant)>>>,
+) -> usize {
+    let mut mix = IntentMix::new(
+        MixWeights::default(),
+        ChainWorkload::new(1, 4, 0.4, seed),
+        seed,
+    );
+    let mut scale_out_tickets: Vec<IntentId> = Vec::new();
+    let mut replicas = Vec::new();
+    let mut submitted = 0;
+    for _ in 0..INTENTS_PER_TENANT {
+        let view = cp.view();
+        let own = view.chains_of(&tenant);
+        let intent = match mix.next(&group) {
+            IntentOp::Deploy(bp) => Intent::DeployChain {
+                vms: group.clone(),
+                spec: spec_of(&bp),
+            },
+            IntentOp::Teardown => match own.first() {
+                Some(&chain) => Intent::TeardownChain { chain },
+                None => continue,
+            },
+            IntentOp::Modify(bp) => match own.last() {
+                Some(&chain) => Intent::ModifyChain {
+                    chain,
+                    spec: spec_of(&bp),
+                },
+                None => continue,
+            },
+            IntentOp::ScaleOut => match own.first() {
+                Some(&chain) => Intent::ScaleOut { chain, position: 0 },
+                None => continue,
+            },
+            IntentOp::ScaleIn => {
+                // Harvest replica ids from resolved scale-out tickets.
+                scale_out_tickets.retain(|&t| match cp.outcome(t) {
+                    Some(IntentOutcome::Completed(IntentEffect::ScaledOut { replica, .. })) => {
+                        replicas.push(replica);
+                        false
+                    }
+                    Some(_) => false,
+                    None => true,
+                });
+                match replicas.pop() {
+                    Some(replica) => Intent::ScaleIn { replica },
+                    None => continue,
+                }
+            }
+        };
+        let is_scale_out = matches!(intent, Intent::ScaleOut { .. });
+        let id = cp.submit(&tenant, intent);
+        pending
+            .lock()
+            .expect("pending lock")
+            .push((id, Instant::now()));
+        if is_scale_out {
+            scale_out_tickets.push(id);
+        }
+        submitted += 1;
+    }
+    submitted
+}
+
+/// The operator's side channel: a few failure / restore / reoptimize
+/// cycles against OPS elements, exercising the recovery ladder under load.
+fn run_operator(cp: Arc<ControlPlane>, pending: Arc<Mutex<Vec<(IntentId, Instant)>>>) -> usize {
+    let mut submitted = 0;
+    for k in 0..3u32 {
+        for intent in [
+            Intent::FailElement {
+                element: Element::Ops(OpsId(k as usize)),
+            },
+            Intent::RestoreElement {
+                element: Element::Ops(OpsId(k as usize)),
+            },
+            Intent::Reoptimize,
+        ] {
+            let id = cp.submit("operator", intent);
+            pending
+                .lock()
+                .expect("pending lock")
+                .push((id, Instant::now()));
+            submitted += 1;
+            std::thread::yield_now();
+        }
+    }
+    submitted
+}
+
+struct RunResult {
+    tenants: usize,
+    intents: usize,
+    completed: usize,
+    rejected: usize,
+    failed: usize,
+    batches: u64,
+    wall_ms: f64,
+    intents_per_sec: f64,
+    latencies_us: Vec<f64>,
+    replay_identical: bool,
+}
+
+fn run_scenario(dc: &Arc<DataCenter>, tenants: usize) -> RunResult {
+    let vms: Vec<VmId> = dc.vm_ids().collect();
+    let per = vms.len() / tenants;
+    let cp = Arc::new(control_plane(dc));
+    let pending: Arc<Mutex<Vec<(IntentId, Instant)>>> = Arc::new(Mutex::new(Vec::new()));
+    let live_submitters = Arc::new(AtomicUsize::new(tenants + 1));
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..tenants {
+        let cp = cp.clone();
+        let pending = pending.clone();
+        let live = live_submitters.clone();
+        let group = vms[t * per..(t + 1) * per].to_vec();
+        handles.push(std::thread::spawn(move || {
+            let n = run_tenant(cp, format!("tenant-{t}"), group, 1000 + t as u64, pending);
+            live.fetch_sub(1, Ordering::SeqCst);
+            n
+        }));
+    }
+    {
+        let cp = cp.clone();
+        let pending = pending.clone();
+        let live = live_submitters.clone();
+        handles.push(std::thread::spawn(move || {
+            let n = run_operator(cp, pending);
+            live.fetch_sub(1, Ordering::SeqCst);
+            n
+        }));
+    }
+
+    // Drive batches until every submitter has finished and every ticket
+    // has resolved, recording submit→completion latency per intent.
+    let mut latencies_us: Vec<f64> = Vec::new();
+    loop {
+        let processed = cp.process_batch();
+        let now = Instant::now();
+        {
+            let mut p = pending.lock().expect("pending lock");
+            p.retain(|&(id, at)| {
+                if cp.outcome(id).is_some() {
+                    latencies_us.push((now - at).as_secs_f64() * 1e6);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let drained = pending.lock().expect("pending lock").is_empty();
+        if processed == 0
+            && drained
+            && cp.queue_depth() == 0
+            && live_submitters.load(Ordering::SeqCst) == 0
+        {
+            break;
+        }
+        if processed == 0 {
+            std::thread::yield_now();
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let intents: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("submitter"))
+        .sum();
+    assert_eq!(latencies_us.len(), intents, "every ticket measured");
+
+    let log = cp.intent_log();
+    let (mut completed, mut rejected, mut failed) = (0, 0, 0);
+    for record in log.records() {
+        match record.outcome {
+            IntentOutcome::Completed(_) => completed += 1,
+            IntentOutcome::Rejected(_) => rejected += 1,
+            IntentOutcome::Failed(_) => failed += 1,
+        }
+    }
+    let live_view = cp.view();
+    let replayed = control_plane(dc).replay(&log);
+    RunResult {
+        tenants,
+        intents,
+        completed,
+        rejected,
+        failed,
+        batches: live_view.version,
+        wall_ms,
+        intents_per_sec: intents as f64 / (wall_ms / 1e3),
+        latencies_us,
+        replay_identical: *live_view == *replayed,
+    }
+}
+
+fn pctl(sorted: &[f64], q: f64) -> f64 {
+    sorted[(((sorted.len() as f64) * q).ceil() as usize).clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    println!("E10: intent-based control plane — throughput and latency\n");
+    let dc = topology();
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for &tenants in &TENANT_COUNTS {
+        let mut r = run_scenario(&dc, tenants);
+        r.latencies_us
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mean = r.latencies_us.iter().sum::<f64>() / r.latencies_us.len() as f64;
+        let (p50, p95, p99) = (
+            pctl(&r.latencies_us, 0.50),
+            pctl(&r.latencies_us, 0.95),
+            pctl(&r.latencies_us, 0.99),
+        );
+        assert!(r.replay_identical, "replay must reproduce the live view");
+        rows.push(vec![
+            r.tenants.to_string(),
+            r.intents.to_string(),
+            format!("{}/{}/{}", r.completed, r.rejected, r.failed),
+            r.batches.to_string(),
+            f2(r.intents_per_sec),
+            f2(p50 / 1e3),
+            f2(p95 / 1e3),
+            f2(p99 / 1e3),
+            r.replay_identical.to_string(),
+        ]);
+        runs.push(
+            Json::object()
+                .field("tenants", r.tenants)
+                .field("intents", r.intents)
+                .field("completed", r.completed)
+                .field("rejected", r.rejected)
+                .field("failed", r.failed)
+                .field("batches", r.batches as f64)
+                .field("wall_ms", (r.wall_ms * 1e3).round() / 1e3)
+                .field("intents_per_sec", (r.intents_per_sec * 1e3).round() / 1e3)
+                .field(
+                    "latency_us",
+                    Json::object()
+                        .field("mean", (mean * 1e3).round() / 1e3)
+                        .field("p50", (p50 * 1e3).round() / 1e3)
+                        .field("p95", (p95 * 1e3).round() / 1e3)
+                        .field("p99", (p99 * 1e3).round() / 1e3),
+                )
+                .field("replay_identical", r.replay_identical),
+        );
+    }
+    print_table(
+        &[
+            "tenants",
+            "intents",
+            "ok/rej/fail",
+            "batches",
+            "intents/s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "replay==",
+        ],
+        &rows,
+    );
+
+    let doc = Json::object()
+        .field("bench", "control_plane")
+        .field("batch_size", BATCH_SIZE)
+        .field("intents_per_tenant", INTENTS_PER_TENANT)
+        .field(
+            "topology",
+            Json::object()
+                .field("vms", dc.vm_count())
+                .field("ops", dc.ops_count()),
+        )
+        .field("runs", Json::Array(runs));
+    let path = write_results("BENCH_control_plane.json", &doc.pretty());
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nLatency is submit→batch-completion as observed by the driver; every run's\n\
+         intent log replays to a bit-identical StateView on a fresh control plane."
+    );
+}

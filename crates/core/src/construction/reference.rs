@@ -19,7 +19,7 @@ use crate::construction::{ensure_connected, AlConstruct, OpsAvailability};
 use crate::error::ConstructionError;
 
 /// Naive greedy ToR selection: per-round rescan of every candidate ToR.
-/// Same tie-break as [`super::select_tors_greedy`] — `(gain, OPS uplink
+/// Same tie-break as `select_tors_greedy` — `(gain, OPS uplink
 /// count, Reverse(id))` — so the output is identical.
 pub fn select_tors_greedy_naive(
     dc: &DataCenter,
@@ -89,7 +89,7 @@ pub fn select_tors_greedy_naive(
 }
 
 /// Naive greedy OPS selection: per-round rescan of every available OPS.
-/// Same tie-break as [`super::select_ops_greedy`] — `(gain, ToR link count,
+/// Same tie-break as `select_ops_greedy` — `(gain, ToR link count,
 /// Reverse(id))` — so the output is identical.
 pub fn select_ops_greedy_naive(
     dc: &DataCenter,

@@ -1,0 +1,256 @@
+//! Admission control: every intent is checked *before* any state is
+//! mutated, so a rejection is free — no rollback, no residual SDN rules,
+//! no ledger entries (the regression tests in `tests/prop_control.rs`
+//! assert exactly that).
+//!
+//! Three rule families, all deterministic so that replaying an intent log
+//! reproduces every decision:
+//!
+//! 1. **Rate limits** — at most `max_intents_per_batch` intents per tenant
+//!    per executed batch (batch boundaries are recorded in the log).
+//! 2. **Quotas** — at most `max_live_chains` deployed chains per tenant,
+//!    counting chains admitted earlier in the same batch.
+//! 3. **Capacity & authority pre-checks** — structurally unservable
+//!    requests (empty VM group, endpoints outside the group, non-finite or
+//!    unservable bandwidth), intents against chains the tenant does not
+//!    own, and operator-only intents from ordinary tenants.
+
+use std::collections::BTreeMap;
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::chain::NfcId;
+use crate::lifecycle::VnfInstanceId;
+
+/// Per-tenant limits. `None` means unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Maximum simultaneously deployed chains.
+    pub max_live_chains: Option<usize>,
+    /// Maximum intents executed per batch (a deterministic rate limit:
+    /// the batch is the control plane's clock tick).
+    pub max_intents_per_batch: Option<usize>,
+}
+
+impl TenantQuota {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        TenantQuota::default()
+    }
+
+    /// Limits both live chains and per-batch intent rate.
+    pub fn new(max_live_chains: usize, max_intents_per_batch: usize) -> Self {
+        TenantQuota {
+            max_live_chains: Some(max_live_chains),
+            max_intents_per_batch: Some(max_intents_per_batch),
+        }
+    }
+}
+
+/// The control plane's admission configuration: a default quota, optional
+/// per-tenant overrides, and the operator tenant allowed to submit
+/// failure-workflow intents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionPolicy {
+    pub(crate) default_quota: TenantQuota,
+    pub(crate) overrides: BTreeMap<String, TenantQuota>,
+    pub(crate) operator: String,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            default_quota: TenantQuota::unlimited(),
+            overrides: BTreeMap::new(),
+            operator: "operator".to_string(),
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// The default policy: unlimited quotas, operator tenant `"operator"`.
+    pub fn new() -> Self {
+        AdmissionPolicy::default()
+    }
+
+    /// The quota applying to `tenant` (override or default).
+    pub fn quota_for(&self, tenant: &str) -> TenantQuota {
+        self.overrides
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.default_quota)
+    }
+
+    /// The tenant allowed to submit operator-only intents.
+    pub fn operator(&self) -> &str {
+        &self.operator
+    }
+}
+
+/// Why admission control rejected an intent. Rejections are guaranteed
+/// side-effect free.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The tenant already runs its maximum number of live chains.
+    QuotaExceeded {
+        /// The limited tenant.
+        tenant: String,
+        /// Live chains (including ones admitted earlier in this batch).
+        live_chains: usize,
+        /// The configured maximum.
+        limit: usize,
+    },
+    /// The tenant exceeded its per-batch intent budget; resubmit in a
+    /// later batch.
+    RateLimited {
+        /// The limited tenant.
+        tenant: String,
+        /// The configured per-batch maximum.
+        limit: usize,
+    },
+    /// An operator-only intent came from an ordinary tenant.
+    NotAuthorized {
+        /// The submitting tenant.
+        tenant: String,
+    },
+    /// The intent targets a chain the tenant does not own (or that does
+    /// not exist — the distinction is deliberately not leaked).
+    NotOwner {
+        /// The submitting tenant.
+        tenant: String,
+        /// The foreign chain.
+        chain: NfcId,
+    },
+    /// The intent targets a replica that does not exist or belongs to
+    /// another tenant's chain.
+    UnknownReplica {
+        /// The submitting tenant.
+        tenant: String,
+        /// The unknown replica.
+        replica: VnfInstanceId,
+    },
+    /// A deployment over an empty VM group can never succeed.
+    EmptyVmGroup,
+    /// A chain endpoint is not a member of the submitted VM group; the
+    /// deployment would be rejected after cluster construction, so it is
+    /// refused before.
+    EndpointOutsideGroup,
+    /// The requested bandwidth is not a positive finite number.
+    InvalidBandwidth {
+        /// The nonsensical figure.
+        requested_gbps: f64,
+    },
+    /// No link in the data center can carry the requested bandwidth even
+    /// when idle, so no path ever admits the chain.
+    BandwidthUnservable {
+        /// The requested bandwidth.
+        requested_gbps: f64,
+        /// The fattest link in the fabric.
+        max_link_gbps: f64,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QuotaExceeded {
+                tenant,
+                live_chains,
+                limit,
+            } => write!(
+                f,
+                "tenant '{tenant}' runs {live_chains} chains, at its limit of {limit}"
+            ),
+            AdmissionError::RateLimited { tenant, limit } => write!(
+                f,
+                "tenant '{tenant}' exceeded its budget of {limit} intents per batch"
+            ),
+            AdmissionError::NotAuthorized { tenant } => {
+                write!(f, "tenant '{tenant}' may not submit operator-only intents")
+            }
+            AdmissionError::NotOwner { tenant, chain } => {
+                write!(f, "tenant '{tenant}' does not own chain {chain}")
+            }
+            AdmissionError::UnknownReplica { tenant, replica } => {
+                write!(f, "tenant '{tenant}' has no live replica {replica}")
+            }
+            AdmissionError::EmptyVmGroup => {
+                write!(f, "a chain cannot be deployed over an empty vm group")
+            }
+            AdmissionError::EndpointOutsideGroup => {
+                write!(f, "chain endpoints must belong to the submitted vm group")
+            }
+            AdmissionError::InvalidBandwidth { requested_gbps } => {
+                write!(
+                    f,
+                    "requested bandwidth {requested_gbps} Gb/s is not a positive finite number"
+                )
+            }
+            AdmissionError::BandwidthUnservable {
+                requested_gbps,
+                max_link_gbps,
+            } => write!(
+                f,
+                "requested {requested_gbps} Gb/s exceeds the fattest link ({max_link_gbps} Gb/s)"
+            ),
+        }
+    }
+}
+
+impl StdError for AdmissionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_resolves_overrides_then_default() {
+        let mut policy = AdmissionPolicy::new();
+        policy.default_quota = TenantQuota::new(4, 2);
+        policy
+            .overrides
+            .insert("big".to_string(), TenantQuota::unlimited());
+        assert_eq!(policy.quota_for("small"), TenantQuota::new(4, 2));
+        assert_eq!(policy.quota_for("big"), TenantQuota::unlimited());
+        assert_eq!(policy.operator(), "operator");
+    }
+
+    #[test]
+    fn rejections_display_lowercase() {
+        let errs = [
+            AdmissionError::QuotaExceeded {
+                tenant: "t".into(),
+                live_chains: 3,
+                limit: 3,
+            },
+            AdmissionError::RateLimited {
+                tenant: "t".into(),
+                limit: 2,
+            },
+            AdmissionError::NotAuthorized { tenant: "t".into() },
+            AdmissionError::NotOwner {
+                tenant: "t".into(),
+                chain: NfcId(1),
+            },
+            AdmissionError::UnknownReplica {
+                tenant: "t".into(),
+                replica: VnfInstanceId(1),
+            },
+            AdmissionError::EmptyVmGroup,
+            AdmissionError::EndpointOutsideGroup,
+            AdmissionError::InvalidBandwidth {
+                requested_gbps: f64::NAN,
+            },
+            AdmissionError::BandwidthUnservable {
+                requested_gbps: 1000.0,
+                max_link_gbps: 400.0,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+}

@@ -1,0 +1,1061 @@
+//! The intent-based control plane (the public face of Fig. 6's
+//! multi-tenant orchestrator).
+//!
+//! The raw [`Orchestrator`] is a single-threaded `&mut self` object: one
+//! caller pokes it directly. Scaling past one caller — the paper's
+//! "multiple-tenant SDN-enabled network" — needs an asynchronous
+//! request/response protocol with admission control in front of it. That
+//! is the [`ControlPlane`]:
+//!
+//! * **Intents, not method calls.** Tenants [`ControlPlane::submit`]
+//!   typed [`Intent`]s (deploy, teardown, modify, scale, fail, restore,
+//!   reoptimize) and get an [`IntentId`] ticket back immediately.
+//! * **Deterministic batches.** A driver calls
+//!   [`ControlPlane::process_batch`]; queued intents execute in strict
+//!   submission order, with maximal runs of consecutive deployments
+//!   coalesced into [`Orchestrator::deploy_chains`] bulk construction
+//!   (rayon-parallel under the `parallel` feature).
+//! * **Admission control.** Per-tenant rate and quota limits plus
+//!   capacity pre-checks reject hopeless or over-budget intents *before*
+//!   any state is touched ([`AdmissionError`]); a rejected intent leaves
+//!   zero residual SDN or ledger state.
+//! * **Lock-free snapshot reads.** [`ControlPlane::view`] hands out an
+//!   `Arc<StateView>` captured at the last batch boundary; readers never
+//!   block the write path and always see a consistent world.
+//! * **Replayable log.** Every executed intent lands in the
+//!   [`IntentLog`] with its batch index and outcome;
+//!   [`ControlPlane::replay`] re-executes a log on a fresh control plane
+//!   and reproduces the live run's [`StateView`] bit-for-bit.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use alvc_core::construction::PaperGreedy;
+//! use alvc_nfv::chain::fig5;
+//! use alvc_nfv::{ControlPlane, Intent, IntentOutcome, TenantQuota};
+//! use alvc_topology::AlvcTopologyBuilder;
+//!
+//! let dc = Arc::new(AlvcTopologyBuilder::new().racks(4).ops_count(12).seed(9).build());
+//! let cp = ControlPlane::builder()
+//!     .batch_size(8)
+//!     .default_quota(TenantQuota::new(4, 8))
+//!     .build(dc.clone());
+//! let vms: Vec<_> = dc.vm_ids().take(8).collect();
+//! let spec = fig5::black(vms[0], vms[7]);
+//! let ticket = cp.submit("tenant-a", Intent::DeployChain { vms, spec });
+//! cp.process_batch();
+//! assert!(cp.outcome(ticket).unwrap().is_completed());
+//! assert_eq!(cp.view().chain_count(), 1);
+//! ```
+
+mod admission;
+mod intent;
+mod view;
+
+pub use admission::{AdmissionError, AdmissionPolicy, TenantQuota};
+pub use intent::{
+    Intent, IntentEffect, IntentId, IntentKind, IntentLog, IntentOutcome, IntentRecord,
+};
+pub use view::{ChainView, InstanceView, StateView, TenantView};
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use alvc_core::construction::{AlConstruct, PaperGreedy};
+use alvc_topology::{DataCenter, Element, VmId};
+
+use crate::chain::{ChainSpec, NfcId};
+use crate::error::Error;
+use crate::orchestrator::{kbps, Orchestrator};
+use crate::placement::{ElectronicOnlyPlacer, VnfPlacer};
+
+/// One queued submission.
+#[derive(Debug, Clone)]
+struct Submission {
+    id: IntentId,
+    tenant: String,
+    intent: Intent,
+}
+
+/// State guarded by the write-path lock: the orchestrator plus the
+/// bookkeeping only intent execution touches.
+struct Inner {
+    orch: Orchestrator,
+    /// Live chain → owning tenant; maintained here because the control
+    /// plane executes every mutation.
+    owners: BTreeMap<NfcId, String>,
+    log: IntentLog,
+    batches: u64,
+    intents_processed: u64,
+}
+
+/// Configures and builds a [`ControlPlane`].
+///
+/// Defaults: batch size 32, unlimited quotas, operator tenant
+/// `"operator"`, a fresh [`Orchestrator`], the paper's greedy AL
+/// constructor, and the electronic-only placer.
+pub struct ControlPlaneBuilder {
+    batch_size: usize,
+    policy: AdmissionPolicy,
+    orchestrator: Orchestrator,
+    constructor: Box<dyn AlConstruct + Send + Sync>,
+    placer: Box<dyn VnfPlacer + Send + Sync>,
+}
+
+impl Default for ControlPlaneBuilder {
+    fn default() -> Self {
+        ControlPlaneBuilder {
+            batch_size: 32,
+            policy: AdmissionPolicy::default(),
+            orchestrator: Orchestrator::new(),
+            constructor: Box::new(PaperGreedy::new()),
+            placer: Box::new(ElectronicOnlyPlacer::new()),
+        }
+    }
+}
+
+impl ControlPlaneBuilder {
+    /// Starts from the defaults.
+    pub fn new() -> Self {
+        ControlPlaneBuilder::default()
+    }
+
+    /// Maximum intents executed per [`ControlPlane::process_batch`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "batch size must be positive");
+        self.batch_size = n;
+        self
+    }
+
+    /// The quota applying to tenants without an explicit override.
+    pub fn default_quota(mut self, quota: TenantQuota) -> Self {
+        self.policy.default_quota = quota;
+        self
+    }
+
+    /// An explicit quota for one tenant.
+    pub fn tenant_quota(mut self, tenant: &str, quota: TenantQuota) -> Self {
+        self.policy.overrides.insert(tenant.to_string(), quota);
+        self
+    }
+
+    /// The tenant allowed to submit operator-only intents
+    /// (default `"operator"`).
+    pub fn operator(mut self, tenant: &str) -> Self {
+        self.policy.operator = tenant.to_string();
+        self
+    }
+
+    /// Brings a pre-configured orchestrator (SDN table limits, O/E/O cost
+    /// model — see [`crate::OrchestratorBuilder`]).
+    pub fn orchestrator(mut self, orch: Orchestrator) -> Self {
+        self.orchestrator = orch;
+        self
+    }
+
+    /// The abstraction-layer constructor used for deployments and OPS
+    /// failure repair (default: [`PaperGreedy`]).
+    pub fn constructor(mut self, c: impl AlConstruct + Send + Sync + 'static) -> Self {
+        self.constructor = Box::new(c);
+        self
+    }
+
+    /// The VNF placement strategy (default: [`ElectronicOnlyPlacer`]).
+    pub fn placer(mut self, p: impl VnfPlacer + Send + Sync + 'static) -> Self {
+        self.placer = Box::new(p);
+        self
+    }
+
+    /// Builds the control plane over `dc`.
+    pub fn build(self, dc: Arc<DataCenter>) -> ControlPlane {
+        let max_link_kbps = dc
+            .graph()
+            .edges()
+            .map(|(_, _, _, link)| kbps(link.bandwidth_gbps))
+            .max()
+            .unwrap_or(0);
+        let inner = Inner {
+            orch: self.orchestrator,
+            owners: BTreeMap::new(),
+            log: IntentLog::new(),
+            batches: 0,
+            intents_processed: 0,
+        };
+        let view = StateView::capture(0, 0, &inner.orch, &inner.owners);
+        ControlPlane {
+            dc,
+            batch_size: self.batch_size,
+            policy: self.policy,
+            constructor: self.constructor,
+            placer: self.placer,
+            max_link_kbps,
+            next_id: AtomicU64::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            inner: Mutex::new(inner),
+            completed: Mutex::new(BTreeMap::new()),
+            view: RwLock::new(Arc::new(view)),
+        }
+    }
+}
+
+/// The intent-based control-plane service: a concurrent multi-tenant
+/// frontend over one [`Orchestrator`]. See the [module docs](self) for
+/// the full model and an example.
+///
+/// All methods take `&self`; share the control plane across submitter
+/// threads with `Arc<ControlPlane>` while one driver thread calls
+/// [`ControlPlane::process_batch`].
+pub struct ControlPlane {
+    dc: Arc<DataCenter>,
+    batch_size: usize,
+    policy: AdmissionPolicy,
+    constructor: Box<dyn AlConstruct + Send + Sync>,
+    placer: Box<dyn VnfPlacer + Send + Sync>,
+    /// Capacity of the fattest link, for the unservable-bandwidth
+    /// pre-check.
+    max_link_kbps: u64,
+    next_id: AtomicU64,
+    queue: Mutex<VecDeque<Submission>>,
+    inner: Mutex<Inner>,
+    completed: Mutex<BTreeMap<IntentId, IntentOutcome>>,
+    view: RwLock<Arc<StateView>>,
+}
+
+impl ControlPlane {
+    /// Starts configuring a control plane.
+    pub fn builder() -> ControlPlaneBuilder {
+        ControlPlaneBuilder::new()
+    }
+
+    /// A control plane over `dc` with all defaults (see
+    /// [`ControlPlaneBuilder`]).
+    pub fn new(dc: Arc<DataCenter>) -> ControlPlane {
+        ControlPlaneBuilder::new().build(dc)
+    }
+
+    /// The data center this control plane manages.
+    pub fn data_center(&self) -> &Arc<DataCenter> {
+        &self.dc
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The admission policy.
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+
+    /// Enqueues an intent on behalf of `tenant` and returns its ticket.
+    /// The intent executes during a later [`ControlPlane::process_batch`]
+    /// call; poll [`ControlPlane::outcome`] with the ticket.
+    pub fn submit(&self, tenant: &str, intent: Intent) -> IntentId {
+        let id = IntentId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let depth = {
+            let mut queue = self.queue.lock();
+            queue.push_back(Submission {
+                id,
+                tenant: tenant.to_string(),
+                intent,
+            });
+            queue.len()
+        };
+        alvc_telemetry::counter!("alvc_nfv.control.intents_submitted").incr();
+        alvc_telemetry::gauge!("alvc_nfv.control.queue_depth").set(depth as f64);
+        id
+    }
+
+    /// Intents queued but not yet executed.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// The outcome of an executed intent, `None` while it is still
+    /// queued (or was never submitted).
+    pub fn outcome(&self, id: IntentId) -> Option<IntentOutcome> {
+        self.completed.lock().get(&id).cloned()
+    }
+
+    /// The current snapshot. A cheap `Arc` clone: readers never block
+    /// intent execution and see the consistent state as of the last
+    /// batch boundary.
+    pub fn view(&self) -> Arc<StateView> {
+        self.view.read().clone()
+    }
+
+    /// A copy of the intent log so far (execution order, with batch
+    /// indices and outcomes).
+    pub fn intent_log(&self) -> IntentLog {
+        self.inner.lock().log.clone()
+    }
+
+    /// Runs a read-only closure against the live orchestrator (blocks
+    /// intent execution; meant for tests and invariant checks, not for
+    /// read traffic — use [`ControlPlane::view`] for that).
+    pub fn inspect<R>(&self, f: impl FnOnce(&Orchestrator) -> R) -> R {
+        f(&self.inner.lock().orch)
+    }
+
+    /// Executes up to [`ControlPlane::batch_size`] queued intents in
+    /// submission order and publishes a fresh [`StateView`]. Returns the
+    /// number executed (0 when the queue was empty).
+    pub fn process_batch(&self) -> usize {
+        self.process_n(self.batch_size)
+    }
+
+    /// Drains the queue completely, batch by batch. Returns the total
+    /// number of intents executed.
+    pub fn process_all(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.process_batch();
+            if n == 0 {
+                return total;
+            }
+            total += n;
+        }
+    }
+
+    /// Re-executes `log` on this control plane, preserving the recorded
+    /// batch boundaries (admission is batch-scoped, so they are part of
+    /// the run's identity). Because every stage — admission, construction,
+    /// placement, routing, id assignment — is deterministic, the final
+    /// [`StateView`] and the regenerated log are bit-identical to the
+    /// live run's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this control plane has already executed intents or has
+    /// queued submissions: replay needs the same initial state the live
+    /// run started from.
+    pub fn replay(&self, log: &IntentLog) -> Arc<StateView> {
+        assert_eq!(
+            self.inner.lock().intents_processed,
+            0,
+            "replay requires a fresh control plane"
+        );
+        assert_eq!(
+            self.queue_depth(),
+            0,
+            "replay requires an empty submission queue"
+        );
+        let records = log.records();
+        let mut i = 0;
+        while i < records.len() {
+            let batch = records[i].batch;
+            let mut n = 0;
+            while i + n < records.len() && records[i + n].batch == batch {
+                let r = &records[i + n];
+                self.submit(&r.tenant, r.intent.clone());
+                n += 1;
+            }
+            self.process_n(n);
+            i += n;
+        }
+        self.view()
+    }
+
+    /// Executes up to `limit` queued intents as one batch.
+    fn process_n(&self, limit: usize) -> usize {
+        let batch: Vec<Submission> = {
+            let mut queue = self.queue.lock();
+            let n = limit.min(queue.len());
+            queue.drain(..n).collect()
+        };
+        if batch.is_empty() {
+            return 0;
+        }
+        let _span = alvc_telemetry::span!("alvc_nfv.control.batch_latency_us");
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let batch_index = inner.batches;
+
+        // Per-slot outcomes, filled in submission order; consecutive
+        // admitted deployments coalesce into one bulk construction.
+        let mut outcomes: Vec<Option<IntentOutcome>> = vec![None; batch.len()];
+        let mut run: Vec<(usize, String, Vec<VmId>, ChainSpec)> = Vec::new();
+        // Deterministic batch-scoped admission state.
+        let mut rate_used: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut pending_chains: BTreeMap<&str, usize> = BTreeMap::new();
+
+        for (slot, sub) in batch.iter().enumerate() {
+            let quota = self.policy.quota_for(&sub.tenant);
+            let used = rate_used.entry(sub.tenant.as_str()).or_insert(0);
+            *used += 1;
+            if let Some(cap) = quota.max_intents_per_batch {
+                if *used > cap {
+                    outcomes[slot] = Some(IntentOutcome::Rejected(AdmissionError::RateLimited {
+                        tenant: sub.tenant.clone(),
+                        limit: cap,
+                    }));
+                    continue;
+                }
+            }
+            match &sub.intent {
+                Intent::DeployChain { vms, spec } => {
+                    match self.admit_deploy(inner, &sub.tenant, vms, spec, &pending_chains) {
+                        Err(rej) => outcomes[slot] = Some(IntentOutcome::Rejected(rej)),
+                        Ok(()) => {
+                            *pending_chains.entry(sub.tenant.as_str()).or_insert(0) += 1;
+                            run.push((slot, sub.tenant.clone(), vms.clone(), spec.clone()));
+                        }
+                    }
+                }
+                other => {
+                    match self.admit_other(inner, &sub.tenant, other) {
+                        Err(rej) => {
+                            // Rejections have no side effects, so the
+                            // pending deployment run stays intact.
+                            outcomes[slot] = Some(IntentOutcome::Rejected(rej));
+                        }
+                        Ok(()) => {
+                            // A mutating intent: everything admitted
+                            // before it must be committed first.
+                            self.flush_deploys(inner, &mut run, &mut outcomes);
+                            let start = Instant::now();
+                            let outcome = self.execute_other(inner, &sub.tenant, other);
+                            record_latency(start.elapsed().as_secs_f64() * 1e6);
+                            outcomes[slot] = Some(outcome);
+                        }
+                    }
+                }
+            }
+        }
+        self.flush_deploys(inner, &mut run, &mut outcomes);
+
+        // Log, publish outcomes, bump counters, swap the snapshot.
+        let mut completed = self.completed.lock();
+        for (sub, outcome) in batch.iter().zip(outcomes) {
+            let outcome = outcome.expect("every slot decided");
+            alvc_telemetry::counter_with("alvc_nfv.control.intents", sub.intent.kind().label())
+                .incr();
+            alvc_telemetry::counter_with("alvc_nfv.control.outcomes", outcome.label()).incr();
+            inner.log.push(IntentRecord {
+                id: sub.id,
+                tenant: sub.tenant.clone(),
+                batch: batch_index,
+                intent: sub.intent.clone(),
+                outcome: outcome.clone(),
+            });
+            completed.insert(sub.id, outcome);
+        }
+        drop(completed);
+        inner.batches += 1;
+        inner.intents_processed += batch.len() as u64;
+        alvc_telemetry::counter!("alvc_nfv.control.batches").incr();
+        alvc_telemetry::gauge!("alvc_nfv.control.queue_depth").set(self.queue.lock().len() as f64);
+        let view = StateView::capture(
+            inner.batches,
+            inner.intents_processed,
+            &inner.orch,
+            &inner.owners,
+        );
+        *self.view.write() = Arc::new(view);
+        batch.len()
+    }
+
+    /// Pre-checks a deployment without touching any state.
+    fn admit_deploy(
+        &self,
+        inner: &Inner,
+        tenant: &str,
+        vms: &[VmId],
+        spec: &ChainSpec,
+        pending_chains: &BTreeMap<&str, usize>,
+    ) -> Result<(), AdmissionError> {
+        if vms.is_empty() {
+            return Err(AdmissionError::EmptyVmGroup);
+        }
+        if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
+            return Err(AdmissionError::EndpointOutsideGroup);
+        }
+        if !spec.bandwidth_gbps.is_finite() || spec.bandwidth_gbps <= 0.0 {
+            return Err(AdmissionError::InvalidBandwidth {
+                requested_gbps: spec.bandwidth_gbps,
+            });
+        }
+        if kbps(spec.bandwidth_gbps) > self.max_link_kbps {
+            return Err(AdmissionError::BandwidthUnservable {
+                requested_gbps: spec.bandwidth_gbps,
+                max_link_gbps: self.max_link_kbps as f64 / 1e6,
+            });
+        }
+        if let Some(limit) = self.policy.quota_for(tenant).max_live_chains {
+            // Chains admitted earlier in this batch count even though they
+            // have not executed yet (optimistic, deterministic).
+            let live = inner.owners.values().filter(|t| *t == tenant).count()
+                + pending_chains.get(tenant).copied().unwrap_or(0);
+            if live >= limit {
+                return Err(AdmissionError::QuotaExceeded {
+                    tenant: tenant.to_string(),
+                    live_chains: live,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Pre-checks authority and ownership for non-deployment intents.
+    fn admit_other(
+        &self,
+        inner: &Inner,
+        tenant: &str,
+        intent: &Intent,
+    ) -> Result<(), AdmissionError> {
+        if intent.kind().operator_only() && tenant != self.policy.operator {
+            return Err(AdmissionError::NotAuthorized {
+                tenant: tenant.to_string(),
+            });
+        }
+        if let Some(chain) = intent.target_chain() {
+            if inner.owners.get(&chain).map(String::as_str) != Some(tenant) {
+                return Err(AdmissionError::NotOwner {
+                    tenant: tenant.to_string(),
+                    chain,
+                });
+            }
+        }
+        if let Intent::ScaleIn { replica } = intent {
+            let owned = inner
+                .orch
+                .replica_chain(*replica)
+                .and_then(|chain| inner.owners.get(&chain))
+                .is_some_and(|t| t == tenant);
+            if !owned {
+                return Err(AdmissionError::UnknownReplica {
+                    tenant: tenant.to_string(),
+                    replica: *replica,
+                });
+            }
+        }
+        if let Intent::ModifyChain { spec, .. } = intent {
+            if !spec.bandwidth_gbps.is_finite() || spec.bandwidth_gbps <= 0.0 {
+                return Err(AdmissionError::InvalidBandwidth {
+                    requested_gbps: spec.bandwidth_gbps,
+                });
+            }
+            if kbps(spec.bandwidth_gbps) > self.max_link_kbps {
+                return Err(AdmissionError::BandwidthUnservable {
+                    requested_gbps: spec.bandwidth_gbps,
+                    max_link_gbps: self.max_link_kbps as f64 / 1e6,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits the pending run of admitted deployments: a single
+    /// deployment goes through [`Orchestrator::deploy_chain`], longer
+    /// runs through [`Orchestrator::deploy_chains`] bulk construction.
+    fn flush_deploys(
+        &self,
+        inner: &mut Inner,
+        run: &mut Vec<(usize, String, Vec<VmId>, ChainSpec)>,
+        outcomes: &mut [Option<IntentOutcome>],
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        let start = Instant::now();
+        let drained = std::mem::take(run);
+        let results: Vec<(usize, &str, Result<NfcId, Error>)> = if drained.len() == 1 {
+            let (slot, tenant, vms, spec) = &drained[0];
+            let result = inner.orch.deploy_chain(
+                &self.dc,
+                tenant,
+                vms.clone(),
+                spec.clone(),
+                &*self.constructor,
+                &*self.placer,
+            );
+            vec![(*slot, tenant.as_str(), result)]
+        } else {
+            let requests: Vec<(String, Vec<VmId>, ChainSpec)> = drained
+                .iter()
+                .map(|(_, tenant, vms, spec)| (tenant.clone(), vms.clone(), spec.clone()))
+                .collect();
+            let results =
+                inner
+                    .orch
+                    .deploy_chains(&self.dc, requests, &*self.constructor, &*self.placer);
+            drained
+                .iter()
+                .zip(results)
+                .map(|((slot, tenant, _, _), result)| (*slot, tenant.as_str(), result))
+                .collect()
+        };
+        let per_intent_us = start.elapsed().as_secs_f64() * 1e6 / drained.len() as f64;
+        for (slot, tenant, result) in results {
+            record_latency(per_intent_us);
+            outcomes[slot] = Some(match result {
+                Ok(chain) => {
+                    inner.owners.insert(chain, tenant.to_string());
+                    IntentOutcome::Completed(IntentEffect::Deployed { chain })
+                }
+                Err(e) => IntentOutcome::Failed(e),
+            });
+        }
+    }
+
+    /// Executes one admitted non-deployment intent.
+    fn execute_other(&self, inner: &mut Inner, tenant: &str, intent: &Intent) -> IntentOutcome {
+        let _ = tenant; // attribution already checked by admission
+        match intent {
+            Intent::DeployChain { .. } => unreachable!("deployments go through flush_deploys"),
+            Intent::TeardownChain { chain } => match inner.orch.teardown_chain(*chain) {
+                Ok(_) => {
+                    inner.owners.remove(chain);
+                    IntentOutcome::Completed(IntentEffect::TornDown { chain: *chain })
+                }
+                Err(e) => IntentOutcome::Failed(e),
+            },
+            Intent::ModifyChain { chain, spec } => {
+                match inner
+                    .orch
+                    .modify_chain(&self.dc, *chain, spec.clone(), &*self.placer)
+                {
+                    Ok(()) => IntentOutcome::Completed(IntentEffect::Modified { chain: *chain }),
+                    Err(e) => IntentOutcome::Failed(e),
+                }
+            }
+            Intent::ScaleOut { chain, position } => {
+                match inner.orch.scale_out(&self.dc, *chain, *position) {
+                    Ok(replica) => IntentOutcome::Completed(IntentEffect::ScaledOut {
+                        chain: *chain,
+                        replica,
+                    }),
+                    Err(e) => IntentOutcome::Failed(e),
+                }
+            }
+            Intent::ScaleIn { replica } => match inner.orch.scale_in(*replica) {
+                Ok(()) => IntentOutcome::Completed(IntentEffect::ScaledIn { replica: *replica }),
+                Err(e) => IntentOutcome::Failed(e),
+            },
+            Intent::FailElement { element } => {
+                let report = match *element {
+                    Element::Ops(ops) => {
+                        inner
+                            .orch
+                            .fail_ops(&self.dc, ops, &*self.constructor, &*self.placer)
+                    }
+                    Element::Server(server) => {
+                        inner.orch.fail_server(&self.dc, server, &*self.placer)
+                    }
+                    Element::Tor(tor) => inner.orch.fail_tor(&self.dc, tor, &*self.placer),
+                };
+                IntentOutcome::Completed(IntentEffect::Recovered {
+                    affected: report.affected_count(),
+                    serving: report.serving_count(),
+                })
+            }
+            Intent::RestoreElement { element } => {
+                let was_failed = match *element {
+                    Element::Ops(ops) => inner.orch.restore_ops(ops),
+                    Element::Server(server) => inner.orch.restore_server(server),
+                    Element::Tor(tor) => inner.orch.restore_tor(tor),
+                };
+                IntentOutcome::Completed(IntentEffect::Restored { was_failed })
+            }
+            Intent::Reoptimize => {
+                let outcomes = inner.orch.reoptimize_degraded(&self.dc, &*self.placer);
+                IntentOutcome::Completed(IntentEffect::Reoptimized {
+                    examined: outcomes.len(),
+                    still_degraded: inner.orch.degraded_chains().len(),
+                })
+            }
+        }
+    }
+}
+
+/// Records one intent's execution latency.
+fn record_latency(us: f64) {
+    alvc_telemetry::histogram!("alvc_nfv.control.intent_latency_us").record(us);
+}
+
+// The whole point of the control plane: it is shareable across submitter
+// threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ControlPlane>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::fig5;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceType};
+
+    fn dc() -> Arc<DataCenter> {
+        Arc::new(
+            AlvcTopologyBuilder::new()
+                .racks(8)
+                .servers_per_rack(2)
+                .vms_per_server(2)
+                .ops_count(24)
+                .tor_ops_degree(4)
+                .opto_fraction(0.5)
+                .interconnect(OpsInterconnect::FullMesh)
+                .seed(31)
+                .build(),
+        )
+    }
+
+    fn deploy_intent(dc: &DataCenter, service: ServiceType) -> Intent {
+        let vms = dc.vms_of_service(service);
+        let spec = fig5::black(vms[0], *vms.last().unwrap());
+        Intent::DeployChain { vms, spec }
+    }
+
+    #[test]
+    fn submit_then_batch_deploys_and_publishes_view() {
+        let dc = dc();
+        let cp = ControlPlane::new(dc.clone());
+        assert_eq!(cp.view().version, 0);
+        let a = cp.submit("web", deploy_intent(&dc, ServiceType::WebService));
+        let b = cp.submit("sns", deploy_intent(&dc, ServiceType::Sns));
+        assert_eq!(cp.queue_depth(), 2);
+        assert!(cp.outcome(a).is_none(), "not executed yet");
+        assert_eq!(cp.process_batch(), 2);
+        assert_eq!(cp.queue_depth(), 0);
+        let (oa, ob) = (cp.outcome(a).unwrap(), cp.outcome(b).unwrap());
+        assert!(oa.is_completed(), "{oa:?}");
+        assert!(ob.is_completed(), "{ob:?}");
+        let view = cp.view();
+        assert_eq!(view.version, 1);
+        assert_eq!(view.intents_processed, 2);
+        assert_eq!(view.chain_count(), 2);
+        assert_eq!(view.tenant("web").live_chains, 1);
+        assert_eq!(view.chains_of("sns").len(), 1);
+        assert!(view.total_committed_kbps > 0);
+        assert!(view.sdn_rules > 0);
+    }
+
+    #[test]
+    fn views_are_immutable_snapshots() {
+        let dc = dc();
+        let cp = ControlPlane::new(dc.clone());
+        let before = cp.view();
+        cp.submit("web", deploy_intent(&dc, ServiceType::WebService));
+        cp.process_all();
+        assert_eq!(before.chain_count(), 0, "old snapshot untouched");
+        assert_eq!(cp.view().chain_count(), 1);
+    }
+
+    #[test]
+    fn full_lifecycle_through_intents() {
+        let dc = dc();
+        let cp = ControlPlane::new(dc.clone());
+        let vms = dc.vms_of_service(ServiceType::WebService);
+        let spec = fig5::black(vms[0], *vms.last().unwrap());
+        let t = cp.submit(
+            "web",
+            Intent::DeployChain {
+                vms: vms.clone(),
+                spec,
+            },
+        );
+        cp.process_all();
+        let IntentOutcome::Completed(IntentEffect::Deployed { chain }) = cp.outcome(t).unwrap()
+        else {
+            panic!("deploy failed");
+        };
+        // Modify, scale out, scale in, tear down.
+        let modify = cp.submit(
+            "web",
+            Intent::ModifyChain {
+                chain,
+                spec: fig5::blue(vms[0], *vms.last().unwrap()),
+            },
+        );
+        cp.process_all();
+        assert!(cp.outcome(modify).unwrap().is_completed());
+        assert_eq!(cp.view().chains[&chain].vnf_count, 3);
+        let out = cp.submit("web", Intent::ScaleOut { chain, position: 0 });
+        cp.process_all();
+        let IntentOutcome::Completed(IntentEffect::ScaledOut { replica, .. }) =
+            cp.outcome(out).unwrap()
+        else {
+            panic!("scale-out failed");
+        };
+        assert_eq!(cp.view().tenant("web").replicas, 1);
+        let scale_in = cp.submit("web", Intent::ScaleIn { replica });
+        let teardown = cp.submit("web", Intent::TeardownChain { chain });
+        cp.process_all();
+        assert!(cp.outcome(scale_in).unwrap().is_completed());
+        assert!(cp.outcome(teardown).unwrap().is_completed());
+        let view = cp.view();
+        assert_eq!(view.chain_count(), 0);
+        assert_eq!(view.instance_count(), 0);
+        assert_eq!(view.total_committed_kbps, 0);
+        assert_eq!(view.sdn_rules, 0);
+    }
+
+    #[test]
+    fn quota_rejects_before_touching_state() {
+        let dc = dc();
+        let cp = ControlPlane::builder()
+            .default_quota(TenantQuota {
+                max_live_chains: Some(1),
+                max_intents_per_batch: None,
+            })
+            .build(dc.clone());
+        let a = cp.submit("web", deploy_intent(&dc, ServiceType::WebService));
+        cp.process_all();
+        assert!(cp.outcome(a).unwrap().is_completed());
+        let view_before = cp.view();
+        let b = cp.submit("web", deploy_intent(&dc, ServiceType::WebService));
+        cp.process_all();
+        assert!(matches!(
+            cp.outcome(b).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::QuotaExceeded { .. })
+        ));
+        let view_after = cp.view();
+        // Nothing but the version counters moved.
+        assert_eq!(view_before.chains, view_after.chains);
+        assert_eq!(
+            view_before.link_committed_kbps,
+            view_after.link_committed_kbps
+        );
+        assert_eq!(view_before.sdn_rules, view_after.sdn_rules);
+        cp.inspect(|orch| assert_eq!(orch.manager().cluster_count(), 1));
+    }
+
+    #[test]
+    fn rate_limit_is_per_batch() {
+        let dc = dc();
+        let cp = ControlPlane::builder()
+            .batch_size(8)
+            .default_quota(TenantQuota {
+                max_live_chains: None,
+                max_intents_per_batch: Some(1),
+            })
+            .operator("ops-team")
+            .build(dc.clone());
+        // Two intents from one tenant in one batch: second is rate-limited
+        // even though both are operator-only rejections otherwise… use two
+        // harmless reoptimizes from the operator.
+        let a = cp.submit("ops-team", Intent::Reoptimize);
+        let b = cp.submit("ops-team", Intent::Reoptimize);
+        cp.process_batch();
+        assert!(cp.outcome(a).unwrap().is_completed());
+        assert!(matches!(
+            cp.outcome(b).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::RateLimited { .. })
+        ));
+        // Resubmitted in a fresh batch it passes.
+        let c = cp.submit("ops-team", Intent::Reoptimize);
+        cp.process_batch();
+        assert!(cp.outcome(c).unwrap().is_completed());
+    }
+
+    #[test]
+    fn tenants_cannot_touch_foreign_chains_or_operator_intents() {
+        let dc = dc();
+        let cp = ControlPlane::new(dc.clone());
+        let a = cp.submit("web", deploy_intent(&dc, ServiceType::WebService));
+        cp.process_all();
+        let IntentOutcome::Completed(IntentEffect::Deployed { chain }) = cp.outcome(a).unwrap()
+        else {
+            panic!("deploy failed");
+        };
+        let steal = cp.submit("mallory", Intent::TeardownChain { chain });
+        let fail = cp.submit(
+            "mallory",
+            Intent::FailElement {
+                element: Element::Ops(alvc_topology::OpsId(0)),
+            },
+        );
+        cp.process_all();
+        assert!(matches!(
+            cp.outcome(steal).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::NotOwner { .. })
+        ));
+        assert!(matches!(
+            cp.outcome(fail).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::NotAuthorized { .. })
+        ));
+        assert_eq!(cp.view().chain_count(), 1, "chain survived");
+    }
+
+    #[test]
+    fn capacity_prechecks_reject_unservable_deploys() {
+        let dc = dc();
+        let cp = ControlPlane::new(dc.clone());
+        let vms = dc.vms_of_service(ServiceType::WebService);
+        let mut fat = fig5::black(vms[0], *vms.last().unwrap());
+        fat.bandwidth_gbps = 100_000.0;
+        let a = cp.submit(
+            "web",
+            Intent::DeployChain {
+                vms: vms.clone(),
+                spec: fat,
+            },
+        );
+        let b = cp.submit(
+            "web",
+            Intent::DeployChain {
+                vms: vec![],
+                spec: fig5::black(vms[0], vms[1]),
+            },
+        );
+        let mut nan = fig5::black(vms[0], *vms.last().unwrap());
+        nan.bandwidth_gbps = f64::INFINITY;
+        let c = cp.submit(
+            "web",
+            Intent::DeployChain {
+                vms: vms.clone(),
+                spec: nan,
+            },
+        );
+        cp.process_all();
+        assert!(matches!(
+            cp.outcome(a).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::BandwidthUnservable { .. })
+        ));
+        assert!(matches!(
+            cp.outcome(b).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::EmptyVmGroup)
+        ));
+        assert!(matches!(
+            cp.outcome(c).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::InvalidBandwidth { .. })
+        ));
+        let view = cp.view();
+        assert_eq!(view.chain_count(), 0);
+        assert_eq!(view.sdn_rules, 0);
+        assert!(view.link_committed_kbps.is_empty());
+    }
+
+    #[test]
+    fn operator_failure_workflow_round_trips() {
+        let dc = dc();
+        let cp = ControlPlane::new(dc.clone());
+        cp.submit("web", deploy_intent(&dc, ServiceType::WebService));
+        cp.process_all();
+        let chain_view = cp.view();
+        let ops = {
+            // Fail an OPS inside the deployed chain's slice.
+            let chain = chain_view.chains.values().next().unwrap();
+            cp.inspect(|orch| {
+                orch.manager()
+                    .cluster(chain.cluster)
+                    .unwrap()
+                    .al()
+                    .ops()
+                    .first()
+                    .copied()
+            })
+        };
+        let Some(ops) = ops else { return };
+        let fail = cp.submit(
+            "operator",
+            Intent::FailElement {
+                element: Element::Ops(ops),
+            },
+        );
+        cp.process_all();
+        assert!(cp.outcome(fail).unwrap().is_completed());
+        assert!(cp.view().failed_elements.contains(&Element::Ops(ops)));
+        cp.inspect(|orch| assert!(orch.verify_no_failed_references(&dc)));
+        let restore = cp.submit(
+            "operator",
+            Intent::RestoreElement {
+                element: Element::Ops(ops),
+            },
+        );
+        let reopt = cp.submit("operator", Intent::Reoptimize);
+        cp.process_all();
+        assert!(matches!(
+            cp.outcome(restore).unwrap(),
+            IntentOutcome::Completed(IntentEffect::Restored { was_failed: true })
+        ));
+        assert!(cp.outcome(reopt).unwrap().is_completed());
+        assert!(cp.view().failed_elements.is_empty());
+    }
+
+    #[test]
+    fn coalesced_and_singleton_deploys_fill_in_submission_order() {
+        let dc = dc();
+        let cp = ControlPlane::builder().batch_size(16).build(dc.clone());
+        let services = [
+            ServiceType::WebService,
+            ServiceType::Sns,
+            ServiceType::MapReduce,
+        ];
+        let tickets: Vec<_> = services
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| cp.submit(&format!("t{i}"), deploy_intent(&dc, s)))
+            .collect();
+        // Interleave a non-deploy intent to split the run.
+        cp.submit("operator", Intent::Reoptimize);
+        assert_eq!(cp.process_batch(), 4);
+        let mut deployed = Vec::new();
+        for t in tickets {
+            if let IntentOutcome::Completed(IntentEffect::Deployed { chain }) =
+                cp.outcome(t).unwrap()
+            {
+                deployed.push(chain);
+            }
+        }
+        assert!(deployed.len() >= 2, "mesh fits several tenants");
+        let view = cp.view();
+        assert_eq!(view.chain_count(), deployed.len());
+        cp.inspect(|orch| assert!(orch.manager().verify_disjoint()));
+    }
+
+    #[test]
+    fn replay_reproduces_the_view() {
+        let dc = dc();
+        let build = || {
+            ControlPlane::builder()
+                .batch_size(3)
+                .default_quota(TenantQuota::new(2, 3))
+                .build(dc.clone())
+        };
+        let live = build();
+        let vms = dc.vms_of_service(ServiceType::WebService);
+        live.submit("web", deploy_intent(&dc, ServiceType::WebService));
+        live.submit("sns", deploy_intent(&dc, ServiceType::Sns));
+        live.process_batch();
+        let chain = live.view().chains_of("web")[0];
+        live.submit(
+            "web",
+            Intent::ModifyChain {
+                chain,
+                spec: fig5::blue(vms[0], *vms.last().unwrap()),
+            },
+        );
+        live.submit("web", Intent::ScaleOut { chain, position: 0 });
+        live.submit("mallory", Intent::TeardownChain { chain });
+        live.process_batch();
+        let (live_view, log) = (live.view(), live.intent_log());
+        assert!(!log.is_empty());
+
+        let fresh = build();
+        let replayed = fresh.replay(&log);
+        assert_eq!(*live_view, *replayed);
+        assert_eq!(log, fresh.intent_log(), "outcomes replay identically too");
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh control plane")]
+    fn replay_refuses_a_used_control_plane() {
+        let dc = dc();
+        let cp = ControlPlane::new(dc.clone());
+        cp.submit("operator", Intent::Reoptimize);
+        cp.process_all();
+        let log = cp.intent_log();
+        cp.replay(&log);
+    }
+}

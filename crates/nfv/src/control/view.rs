@@ -1,0 +1,194 @@
+//! Lock-free snapshot reads: the immutable [`StateView`].
+//!
+//! After every executed batch the control plane captures the entire
+//! observable orchestrator state into one immutable [`StateView`] and
+//! swaps it behind an `Arc`. Readers clone the `Arc` (a reference-count
+//! bump) and then read freely — chain status, slice usage, committed
+//! bandwidth — while the write path executes the next batch on the live
+//! orchestrator. Read traffic therefore never blocks intent execution,
+//! and a reader always sees a *consistent* state: exactly the world as of
+//! some batch boundary, never a half-applied intent.
+//!
+//! Every collection is a `BTreeMap`/`BTreeSet` so two views compare
+//! field-for-field deterministically; the replay property test leans on
+//! this (`replay(log)` must produce a `StateView` equal to the live one).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use alvc_core::ClusterId;
+use alvc_topology::Element;
+
+use crate::chain::NfcId;
+use crate::lifecycle::{HostLocation, VnfInstanceId, VnfState};
+use crate::orchestrator::Orchestrator;
+
+/// One deployed chain as seen by readers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainView {
+    /// The owning tenant.
+    pub tenant: String,
+    /// The virtual cluster serving as the chain's slice.
+    pub cluster: ClusterId,
+    /// The chain spec's name.
+    pub name: String,
+    /// Number of VNFs in the chain.
+    pub vnf_count: usize,
+    /// Requested bandwidth, in the ledger's integer kb/s unit.
+    pub bandwidth_kbps: u64,
+    /// Hops of the routed path.
+    pub hop_count: usize,
+    /// O/E/O conversions the chain's flow incurs.
+    pub oeo_conversions: usize,
+    /// The chain's VNF instances, in chain order.
+    pub instances: Vec<VnfInstanceId>,
+    /// `true` while the chain runs outside its slice after a failure.
+    pub degraded: bool,
+}
+
+/// One VNF instance (chain member or scale-out replica) as seen by
+/// readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceView {
+    /// Lifecycle state.
+    pub state: VnfState,
+    /// Where the instance runs.
+    pub host: HostLocation,
+}
+
+/// Per-tenant aggregate usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantView {
+    /// Live deployed chains.
+    pub live_chains: usize,
+    /// Bandwidth committed across the tenant's chains, integer kb/s.
+    pub committed_kbps: u64,
+    /// Live scale-out replicas across the tenant's chains.
+    pub replicas: usize,
+}
+
+/// An immutable, internally consistent snapshot of everything the control
+/// plane exposes to readers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StateView {
+    /// Number of batches executed when the snapshot was taken (the
+    /// snapshot's version: strictly increasing).
+    pub version: u64,
+    /// Total intents executed (completed, rejected, or failed).
+    pub intents_processed: u64,
+    /// Deployed chains by id.
+    pub chains: BTreeMap<NfcId, ChainView>,
+    /// Live VNF instances (chain members and replicas) by id.
+    pub instances: BTreeMap<VnfInstanceId, InstanceView>,
+    /// Committed bandwidth per physical link, integer kb/s.
+    pub link_committed_kbps: BTreeMap<alvc_graph::EdgeId, u64>,
+    /// Per-tenant aggregates (only tenants with live chains appear).
+    pub tenants: BTreeMap<String, TenantView>,
+    /// Substrate elements currently failed.
+    pub failed_elements: BTreeSet<Element>,
+    /// Chains currently running outside their slice.
+    pub degraded_chains: BTreeSet<NfcId>,
+    /// Flow rules installed across all switches.
+    pub sdn_rules: usize,
+    /// Sum of `link_committed_kbps` (total network commitment).
+    pub total_committed_kbps: u64,
+}
+
+impl StateView {
+    /// Captures the orchestrator's observable state. `owners` maps each
+    /// live chain to its tenant (maintained by the control plane, which
+    /// executes every mutation).
+    pub(crate) fn capture(
+        version: u64,
+        intents_processed: u64,
+        orch: &Orchestrator,
+        owners: &BTreeMap<NfcId, String>,
+    ) -> StateView {
+        let mut chains = BTreeMap::new();
+        let mut tenants: BTreeMap<String, TenantView> = BTreeMap::new();
+        for (&id, deployed) in &orch.chains {
+            let tenant = owners.get(&id).cloned().unwrap_or_default();
+            let bandwidth_kbps = crate::orchestrator::kbps(deployed.nfc().spec().bandwidth_gbps);
+            let entry = tenants.entry(tenant.clone()).or_default();
+            entry.live_chains += 1;
+            entry.committed_kbps += bandwidth_kbps;
+            chains.insert(
+                id,
+                ChainView {
+                    tenant,
+                    cluster: deployed.cluster(),
+                    name: deployed.nfc().spec().name.clone(),
+                    vnf_count: deployed.nfc().vnfs().len(),
+                    bandwidth_kbps,
+                    hop_count: deployed.path().hop_count(),
+                    oeo_conversions: deployed.oeo_conversions(),
+                    instances: deployed.instances().to_vec(),
+                    degraded: orch.degraded.contains(&id),
+                },
+            );
+        }
+        for (chain, _) in orch.replicas.values() {
+            if let Some(tenant) = owners.get(chain) {
+                if let Some(entry) = tenants.get_mut(tenant) {
+                    entry.replicas += 1;
+                }
+            }
+        }
+        let instances = orch
+            .instances
+            .iter()
+            .map(|(&id, inst)| {
+                (
+                    id,
+                    InstanceView {
+                        state: inst.state(),
+                        host: inst.host(),
+                    },
+                )
+            })
+            .collect();
+        let link_committed_kbps: BTreeMap<_, _> =
+            orch.link_committed.iter().map(|(&e, &b)| (e, b)).collect();
+        let total_committed_kbps = link_committed_kbps.values().sum();
+        StateView {
+            version,
+            intents_processed,
+            chains,
+            instances,
+            link_committed_kbps,
+            tenants,
+            failed_elements: orch.health.failed().into_iter().collect(),
+            degraded_chains: orch.degraded.iter().copied().collect(),
+            sdn_rules: orch.sdn.total_rules(),
+            total_committed_kbps,
+        }
+    }
+
+    /// Number of deployed chains.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Number of live VNF instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Bandwidth (Gb/s) committed on a physical link.
+    pub fn committed_bandwidth_gbps(&self, edge: alvc_graph::EdgeId) -> f64 {
+        self.link_committed_kbps.get(&edge).copied().unwrap_or(0) as f64 / 1e6
+    }
+
+    /// The chains owned by `tenant`, in id order.
+    pub fn chains_of(&self, tenant: &str) -> Vec<NfcId> {
+        self.chains
+            .iter()
+            .filter(|(_, c)| c.tenant == tenant)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// The aggregate usage of `tenant`, zero if it runs nothing.
+    pub fn tenant(&self, tenant: &str) -> TenantView {
+        self.tenants.get(tenant).copied().unwrap_or_default()
+    }
+}

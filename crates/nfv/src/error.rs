@@ -1,6 +1,14 @@
 //! Error types for the NFV layer.
+//!
+//! The fine-grained enums ([`DeployError`], [`LifecycleError`],
+//! [`PlacementError`]) describe exactly what went wrong inside one
+//! subsystem; the unified [`enum@Error`] wraps them (plus routing and
+//! control-plane admission failures) so every [`crate::Orchestrator`] and
+//! [`crate::ControlPlane`] entry point returns a single type. Match on
+//! [`Error::kind`] for stable coarse dispatch, or destructure the wrapped
+//! enum when the detail matters.
 
-use std::error::Error;
+use std::error::Error as StdError;
 use std::fmt;
 
 use alvc_core::ConstructionError;
@@ -8,6 +16,7 @@ use alvc_graph::NodeId;
 use alvc_optical::RoutingError;
 
 use crate::chain::NfcId;
+use crate::control::AdmissionError;
 use crate::lifecycle::VnfState;
 
 /// Why a VNF could not be placed.
@@ -40,7 +49,7 @@ impl fmt::Display for PlacementError {
     }
 }
 
-impl Error for PlacementError {}
+impl StdError for PlacementError {}
 
 /// Why a lifecycle transition was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +70,7 @@ impl fmt::Display for LifecycleError {
     }
 }
 
-impl Error for LifecycleError {}
+impl StdError for LifecycleError {}
 
 /// Why a chain deployment failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,8 +153,8 @@ impl fmt::Display for DeployError {
     }
 }
 
-impl Error for DeployError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
+impl StdError for DeployError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             DeployError::Cluster(e) => Some(e),
             DeployError::Placement(e) => Some(e),
@@ -173,13 +182,171 @@ impl From<RoutingError> for DeployError {
     }
 }
 
+/// The unified NFV error: every fallible [`crate::Orchestrator`] and
+/// [`crate::ControlPlane`] entry point returns this one type.
+///
+/// The old fine-grained enums survive as variants, so existing matches
+/// keep working one level down:
+///
+/// ```
+/// use alvc_nfv::{DeployError, Error, ErrorKind, NfcId};
+///
+/// let e = Error::from(DeployError::UnknownChain(NfcId(7)));
+/// assert_eq!(e.kind(), ErrorKind::UnknownChain);
+/// match e {
+///     Error::Deploy(DeployError::UnknownChain(id)) => assert_eq!(id, NfcId(7)),
+///     other => panic!("unexpected {other}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A chain deployment / modification / teardown / scaling failure.
+    Deploy(DeployError),
+    /// An illegal VNF lifecycle transition.
+    Lifecycle(LifecycleError),
+    /// A routing failure outside a deployment (deployment-time routing
+    /// failures arrive as [`DeployError::Routing`]).
+    Routing(RoutingError),
+    /// The control plane rejected the request before touching any state.
+    Admission(AdmissionError),
+}
+
+/// Coarse, stable classification of an [`enum@Error`]; use it to dispatch
+/// without matching the wrapped enums exhaustively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Virtual cluster / abstraction layer construction failed.
+    Cluster,
+    /// VNF placement failed.
+    Placement,
+    /// Path routing failed.
+    Routing,
+    /// A referenced chain does not exist.
+    UnknownChain,
+    /// Chain endpoints left the tenant's VM group.
+    EndpointOutsideCluster,
+    /// A link cannot carry the requested bandwidth.
+    InsufficientBandwidth,
+    /// A switch flow table is full.
+    RuleTableFull,
+    /// The routed path exceeds the chain's latency budget.
+    LatencyBudgetExceeded,
+    /// A path references a link missing from the topology.
+    MissingEdge,
+    /// A chain endpoint VM sits on a failed server.
+    EndpointFailed,
+    /// An illegal VNF lifecycle transition.
+    Lifecycle,
+    /// The control plane's admission checks rejected the request.
+    Admission,
+}
+
+impl Error {
+    /// The coarse, stable classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Deploy(e) => match e {
+                DeployError::Cluster(_) => ErrorKind::Cluster,
+                DeployError::Placement(_) => ErrorKind::Placement,
+                DeployError::Routing(_) => ErrorKind::Routing,
+                DeployError::UnknownChain(_) => ErrorKind::UnknownChain,
+                DeployError::EndpointOutsideCluster => ErrorKind::EndpointOutsideCluster,
+                DeployError::InsufficientBandwidth { .. } => ErrorKind::InsufficientBandwidth,
+                DeployError::RuleTableFull(_) => ErrorKind::RuleTableFull,
+                DeployError::LatencyBudgetExceeded { .. } => ErrorKind::LatencyBudgetExceeded,
+                DeployError::MissingEdge { .. } => ErrorKind::MissingEdge,
+                DeployError::EndpointFailed => ErrorKind::EndpointFailed,
+            },
+            Error::Lifecycle(_) => ErrorKind::Lifecycle,
+            Error::Routing(_) => ErrorKind::Routing,
+            Error::Admission(_) => ErrorKind::Admission,
+        }
+    }
+
+    /// The wrapped [`DeployError`], if that is what this is.
+    pub fn as_deploy(&self) -> Option<&DeployError> {
+        match self {
+            Error::Deploy(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The wrapped [`AdmissionError`], if that is what this is.
+    pub fn as_admission(&self) -> Option<&AdmissionError> {
+        match self {
+            Error::Admission(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Deploy(e) => e.fmt(f),
+            Error::Lifecycle(e) => e.fmt(f),
+            Error::Routing(e) => write!(f, "routing failed: {e}"),
+            Error::Admission(e) => write!(f, "admission rejected: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Deploy(e) => Some(e),
+            Error::Lifecycle(e) => Some(e),
+            Error::Routing(e) => Some(e),
+            Error::Admission(e) => Some(e),
+        }
+    }
+}
+
+impl From<DeployError> for Error {
+    fn from(e: DeployError) -> Self {
+        Error::Deploy(e)
+    }
+}
+
+impl From<LifecycleError> for Error {
+    fn from(e: LifecycleError) -> Self {
+        Error::Lifecycle(e)
+    }
+}
+
+impl From<RoutingError> for Error {
+    fn from(e: RoutingError) -> Self {
+        Error::Routing(e)
+    }
+}
+
+impl From<AdmissionError> for Error {
+    fn from(e: AdmissionError) -> Self {
+        Error::Admission(e)
+    }
+}
+
+impl From<ConstructionError> for Error {
+    fn from(e: ConstructionError) -> Self {
+        Error::Deploy(DeployError::Cluster(e))
+    }
+}
+
+impl From<PlacementError> for Error {
+    fn from(e: PlacementError) -> Self {
+        Error::Deploy(DeployError::Placement(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn displays_are_lowercase_and_informative() {
-        let errs: Vec<Box<dyn Error>> = vec![
+        let errs: Vec<Box<dyn StdError>> = vec![
             Box::new(PlacementError::NoCapacity { chain_position: 2 }),
             Box::new(PlacementError::NoElectronicHost),
             Box::new(LifecycleError {
@@ -215,5 +382,52 @@ mod tests {
         assert!(matches!(c, DeployError::Cluster(_)));
         let r: DeployError = RoutingError::TooFewWaypoints.into();
         assert!(matches!(r, DeployError::Routing(_)));
+    }
+
+    #[test]
+    fn unified_error_kinds_are_stable() {
+        let cases: Vec<(Error, ErrorKind)> = vec![
+            (
+                DeployError::EndpointOutsideCluster.into(),
+                ErrorKind::EndpointOutsideCluster,
+            ),
+            (
+                DeployError::UnknownChain(NfcId(1)).into(),
+                ErrorKind::UnknownChain,
+            ),
+            (
+                LifecycleError {
+                    from: VnfState::Active,
+                    to: VnfState::Requested,
+                }
+                .into(),
+                ErrorKind::Lifecycle,
+            ),
+            (RoutingError::TooFewWaypoints.into(), ErrorKind::Routing),
+            (ConstructionError::EmptyCluster.into(), ErrorKind::Cluster),
+            (
+                PlacementError::NoElectronicHost.into(),
+                ErrorKind::Placement,
+            ),
+        ];
+        for (e, kind) in cases {
+            assert_eq!(e.kind(), kind, "{e:?}");
+            assert!(e.source().is_some() || !e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn unified_error_preserves_wrapped_enum() {
+        let e = Error::from(DeployError::InsufficientBandwidth {
+            requested_gbps: 5.0,
+            available_gbps: 1.0,
+        });
+        assert_eq!(e.kind(), ErrorKind::InsufficientBandwidth);
+        assert!(matches!(
+            e.as_deploy(),
+            Some(DeployError::InsufficientBandwidth { .. })
+        ));
+        assert!(e.as_admission().is_none());
+        assert!(e.to_string().contains("Gb/s"));
     }
 }

@@ -24,7 +24,11 @@
 //!   mapping **one NFC to one virtual cluster**;
 //! * [`recovery`] — the failure-recovery subsystem: element failures enter
 //!   at the orchestrator, the AL layer repairs slices, and every affected
-//!   chain climbs the reroute → replace → degrade ladder.
+//!   chain climbs the reroute → replace → degrade ladder;
+//! * [`control`] — the intent-based control plane: a concurrent
+//!   multi-tenant frontend over the orchestrator with typed [`Intent`]s,
+//!   deterministic batch execution, admission control, lock-free
+//!   [`StateView`] snapshot reads, and a replayable intent log.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +37,7 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod chain;
+pub mod control;
 pub mod error;
 pub mod lifecycle;
 pub mod orchestrator;
@@ -43,9 +48,14 @@ pub mod slicing;
 pub mod vnf;
 
 pub use chain::{ChainSpec, ForwardingGraph, Nfc, NfcId};
-pub use error::{DeployError, LifecycleError, PlacementError};
+pub use control::{
+    AdmissionError, AdmissionPolicy, ChainView, ControlPlane, ControlPlaneBuilder, InstanceView,
+    Intent, IntentEffect, IntentId, IntentKind, IntentLog, IntentOutcome, IntentRecord, StateView,
+    TenantQuota, TenantView,
+};
+pub use error::{DeployError, Error, ErrorKind, LifecycleError, PlacementError};
 pub use lifecycle::{HostLocation, VnfInstance, VnfInstanceId, VnfState};
-pub use orchestrator::{DeployedChain, Orchestrator};
+pub use orchestrator::{DeployedChain, Orchestrator, OrchestratorBuilder};
 pub use placement::{ElectronicOnlyPlacer, PlacementContext, VnfPlacer};
 pub use recovery::{RecoveryOutcome, RecoveryReport};
 pub use sdn::{FlowRule, SdnController, TableFull};

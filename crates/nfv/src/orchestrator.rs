@@ -22,7 +22,7 @@ use alvc_optical::{route_flow_within, HybridPath, OeoCostModel, RoutingError};
 use alvc_topology::{DataCenter, ElementHealth, OpsId, ServerId, VmId};
 
 use crate::chain::{ChainSpec, Nfc, NfcId};
-use crate::error::DeployError;
+use crate::error::{DeployError, Error};
 use crate::lifecycle::{HostLocation, VnfInstance, VnfInstanceId, VnfState};
 use crate::placement::{PlacementContext, VnfPlacer};
 use crate::sdn::SdnController;
@@ -97,7 +97,7 @@ impl DeployedChain {
 /// let chain = orch.chain(id).unwrap();
 /// assert_eq!(chain.hosts().len(), 2);
 /// orch.teardown_chain(id)?;
-/// # Ok::<(), alvc_nfv::DeployError>(())
+/// # Ok::<(), alvc_nfv::Error>(())
 /// ```
 #[derive(Debug, Default)]
 pub struct Orchestrator {
@@ -116,8 +116,82 @@ pub struct Orchestrator {
     pub(crate) health: ElementHealth,
     pub(crate) degraded: BTreeSet<NfcId>,
     oeo: OeoCostModel,
+    /// Suppresses per-operation telemetry events (counters and spans still
+    /// fire); set via [`OrchestratorBuilder::quiet`].
+    pub(crate) quiet: bool,
     pub(crate) next_chain: usize,
     pub(crate) next_instance: usize,
+}
+
+/// Configures and builds an [`Orchestrator`].
+///
+/// Replaces the constructor-per-knob pattern
+/// ([`Orchestrator::with_sdn_table_limit`] is deprecated in its favor):
+///
+/// ```
+/// use alvc_nfv::Orchestrator;
+/// use alvc_optical::OeoCostModel;
+///
+/// let orch = Orchestrator::builder()
+///     .sdn_table_limit(1024)
+///     .oeo_model(OeoCostModel::default())
+///     .quiet(true)
+///     .build();
+/// assert_eq!(orch.chain_count(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct OrchestratorBuilder {
+    sdn_table_limit: Option<usize>,
+    oeo: Option<OeoCostModel>,
+    quiet: bool,
+}
+
+impl OrchestratorBuilder {
+    /// Starts from the defaults: unlimited SDN flow tables, the default
+    /// O/E/O cost model, telemetry events on.
+    pub fn new() -> Self {
+        OrchestratorBuilder::default()
+    }
+
+    /// Caps every switch's flow table at `limit` rules (hardware TCAM
+    /// capacity); deployments whose path would overflow a table are
+    /// rejected with [`DeployError::RuleTableFull`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`OrchestratorBuilder::build`]) if `limit` is zero.
+    pub fn sdn_table_limit(mut self, limit: usize) -> Self {
+        self.sdn_table_limit = Some(limit);
+        self
+    }
+
+    /// Overrides the O/E/O cost model used for latency-budget admission.
+    pub fn oeo_model(mut self, model: OeoCostModel) -> Self {
+        self.oeo = Some(model);
+        self
+    }
+
+    /// Suppresses per-operation telemetry *events* (chain deployed, torn
+    /// down, modified, recovery steps). Counters, gauges, and latency
+    /// spans still fire; this only silences the high-volume event stream
+    /// for hot loops like benchmarks.
+    pub fn quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Builds the orchestrator.
+    pub fn build(self) -> Orchestrator {
+        Orchestrator {
+            sdn: match self.sdn_table_limit {
+                Some(limit) => SdnController::with_table_limit(limit),
+                None => SdnController::default(),
+            },
+            oeo: self.oeo.unwrap_or_default(),
+            quiet: self.quiet,
+            ..Orchestrator::default()
+        }
+    }
 }
 
 /// Converts a Gb/s figure to the integer kb/s unit of the bandwidth ledger.
@@ -131,6 +205,12 @@ impl Orchestrator {
         Orchestrator::default()
     }
 
+    /// Starts configuring an orchestrator (SDN table limit, O/E/O cost
+    /// model, telemetry opt-out).
+    pub fn builder() -> OrchestratorBuilder {
+        OrchestratorBuilder::new()
+    }
+
     /// Creates an orchestrator whose switches hold at most `limit` flow
     /// rules each (hardware TCAM capacity); deployments whose path would
     /// overflow a switch's table are rejected with
@@ -139,6 +219,7 @@ impl Orchestrator {
     /// # Panics
     ///
     /// Panics if `limit` is zero.
+    #[deprecated(note = "use Orchestrator::builder().sdn_table_limit(limit).build()")]
     pub fn with_sdn_table_limit(limit: usize) -> Self {
         Orchestrator {
             sdn: SdnController::with_table_limit(limit),
@@ -277,7 +358,8 @@ impl Orchestrator {
     ///
     /// # Errors
     ///
-    /// [`DeployError`]; on error all partial state is rolled back.
+    /// [`Error::Deploy`] wrapping the [`DeployError`] cause; on error all
+    /// partial state is rolled back.
     pub fn deploy_chain(
         &mut self,
         dc: &DataCenter,
@@ -286,11 +368,11 @@ impl Orchestrator {
         spec: ChainSpec,
         constructor: &dyn AlConstruct,
         placer: &dyn VnfPlacer,
-    ) -> Result<NfcId, DeployError> {
+    ) -> Result<NfcId, Error> {
         let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.deploy_latency_us");
         if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
             alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
-            return Err(DeployError::EndpointOutsideCluster);
+            return Err(DeployError::EndpointOutsideCluster.into());
         }
 
         // 1. One NFC ↔ one VC: build the cluster / slice.
@@ -308,17 +390,19 @@ impl Orchestrator {
         match result {
             Ok(id) => {
                 alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_ok").incr();
-                alvc_telemetry::event!(
-                    "alvc_nfv.orchestrator.chain_deployed",
-                    "nfc" = id.index(),
-                    "tenant" = tenant,
-                );
+                if !self.quiet {
+                    alvc_telemetry::event!(
+                        "alvc_nfv.orchestrator.chain_deployed",
+                        "nfc" = id.index(),
+                        "tenant" = tenant,
+                    );
+                }
                 Ok(id)
             }
             Err(e) => {
                 self.manager.remove_cluster(cluster);
                 alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
-                Err(e)
+                Err(e.into())
             }
         }
     }
@@ -341,7 +425,7 @@ impl Orchestrator {
         requests: Vec<(String, Vec<VmId>, ChainSpec)>,
         constructor: &(dyn AlConstruct + Sync),
         placer: &dyn VnfPlacer,
-    ) -> Vec<Result<NfcId, DeployError>> {
+    ) -> Vec<Result<NfcId, Error>> {
         // Same membership normalization create_cluster applies, so the
         // bulk-built layers match what the fallback path would see.
         let clusters: Vec<Vec<VmId>> = requests
@@ -359,9 +443,9 @@ impl Orchestrator {
             .zip(layers)
             .map(|((tenant, vms, spec), layer)| {
                 let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.deploy_latency_us");
-                let result = (|| {
+                let result = (|| -> Result<NfcId, Error> {
                     if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
-                        return Err(DeployError::EndpointOutsideCluster);
+                        return Err(DeployError::EndpointOutsideCluster.into());
                     }
                     let adopted = layer.ok().and_then(|al| {
                         self.manager.try_adopt_cluster(dc, &tenant, vms.clone(), al)
@@ -377,18 +461,20 @@ impl Orchestrator {
                         Ok(id) => Ok(id),
                         Err(e) => {
                             self.manager.remove_cluster(cluster);
-                            Err(e)
+                            Err(e.into())
                         }
                     }
                 })();
                 match &result {
                     Ok(id) => {
                         alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_ok").incr();
-                        alvc_telemetry::event!(
-                            "alvc_nfv.orchestrator.chain_deployed",
-                            "nfc" = id.index(),
-                            "tenant" = tenant.as_str(),
-                        );
+                        if !self.quiet {
+                            alvc_telemetry::event!(
+                                "alvc_nfv.orchestrator.chain_deployed",
+                                "nfc" = id.index(),
+                                "tenant" = tenant.as_str(),
+                            );
+                        }
                     }
                     Err(_) => {
                         alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
@@ -522,9 +608,9 @@ impl Orchestrator {
     /// # Errors
     ///
     /// [`DeployError::UnknownChain`] if the chain does not exist.
-    pub fn teardown_chain(&mut self, id: NfcId) -> Result<DeployedChain, DeployError> {
+    pub fn teardown_chain(&mut self, id: NfcId) -> Result<DeployedChain, Error> {
         if !self.chains.contains_key(&id) {
-            return Err(DeployError::UnknownChain(id));
+            return Err(DeployError::UnknownChain(id).into());
         }
         // Replicas belong to the chain: scale them in first so their
         // capacity and map entries go with it.
@@ -557,7 +643,9 @@ impl Orchestrator {
         self.degraded.remove(&id);
         self.manager.remove_cluster(deployed.cluster);
         alvc_telemetry::counter!("alvc_nfv.orchestrator.teardowns").incr();
-        alvc_telemetry::event!("alvc_nfv.orchestrator.chain_torn_down", "nfc" = id.index());
+        if !self.quiet {
+            alvc_telemetry::event!("alvc_nfv.orchestrator.chain_torn_down", "nfc" = id.index());
+        }
         Ok(deployed)
     }
 
@@ -607,7 +695,7 @@ impl Orchestrator {
         id: NfcId,
         new_spec: ChainSpec,
         placer: &dyn VnfPlacer,
-    ) -> Result<(), DeployError> {
+    ) -> Result<(), Error> {
         let deployed = self.chains.get(&id).ok_or(DeployError::UnknownChain(id))?;
         let cluster = deployed.cluster;
         let vms = self
@@ -617,12 +705,12 @@ impl Orchestrator {
             .vms()
             .to_vec();
         if !vms.contains(&new_spec.ingress) || !vms.contains(&new_spec.egress) {
-            return Err(DeployError::EndpointOutsideCluster);
+            return Err(DeployError::EndpointOutsideCluster.into());
         }
         if !self.health.server_up(dc.server_of_vm(new_spec.ingress))
             || !self.health.server_up(dc.server_of_vm(new_spec.egress))
         {
-            return Err(DeployError::EndpointFailed);
+            return Err(DeployError::EndpointFailed.into());
         }
 
         // Plan the new placement against a ledger *without* this chain's
@@ -707,7 +795,7 @@ impl Orchestrator {
         let old = self.chains.remove(&id).expect("checked above");
         if let Err(e) = self.sdn.try_install_path(id, &path) {
             self.chains.insert(id, old);
-            return Err(DeployError::RuleTableFull(e));
+            return Err(DeployError::RuleTableFull(e).into());
         }
         // The chain's VNF set changes: the old instances are
         // garbage-collected (their replicas go after the ledger swap, so
@@ -756,7 +844,9 @@ impl Orchestrator {
             },
         );
         alvc_telemetry::counter!("alvc_nfv.orchestrator.modifications").incr();
-        alvc_telemetry::event!("alvc_nfv.orchestrator.chain_modified", "nfc" = id.index());
+        if !self.quiet {
+            alvc_telemetry::event!("alvc_nfv.orchestrator.chain_modified", "nfc" = id.index());
+        }
         Ok(())
     }
 
@@ -764,9 +854,9 @@ impl Orchestrator {
     ///
     /// # Errors
     ///
-    /// [`DeployError::UnknownChain`] style lookup failures map to `None`
-    /// instance; lifecycle violations return the lifecycle error.
-    pub fn begin_scaling(&mut self, id: VnfInstanceId) -> Result<(), crate::LifecycleError> {
+    /// Unknown instances are a silent no-op; lifecycle violations return
+    /// [`Error::Lifecycle`].
+    pub fn begin_scaling(&mut self, id: VnfInstanceId) -> Result<(), Error> {
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.transition(VnfState::Scaling)?;
         }
@@ -777,8 +867,8 @@ impl Orchestrator {
     ///
     /// # Errors
     ///
-    /// Lifecycle violations return the lifecycle error.
-    pub fn begin_update(&mut self, id: VnfInstanceId) -> Result<(), crate::LifecycleError> {
+    /// Lifecycle violations return [`Error::Lifecycle`].
+    pub fn begin_update(&mut self, id: VnfInstanceId) -> Result<(), Error> {
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.transition(VnfState::Updating)?;
         }
@@ -789,8 +879,8 @@ impl Orchestrator {
     ///
     /// # Errors
     ///
-    /// Lifecycle violations return the lifecycle error.
-    pub fn complete_operation(&mut self, id: VnfInstanceId) -> Result<(), crate::LifecycleError> {
+    /// Lifecycle violations return [`Error::Lifecycle`].
+    pub fn complete_operation(&mut self, id: VnfInstanceId) -> Result<(), Error> {
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.transition(VnfState::Active)?;
         }
@@ -805,6 +895,12 @@ impl Orchestrator {
             .filter(|(_, &(c, _))| c == chain)
             .map(|(&iid, _)| iid)
             .collect()
+    }
+
+    /// The chain a live replica belongs to, `None` if `id` is not a
+    /// replica (chain members and terminated replicas do not count).
+    pub fn replica_chain(&self, id: VnfInstanceId) -> Option<NfcId> {
+        self.replicas.get(&id).map(|&(chain, _)| chain)
     }
 
     /// Scales a chain VNF out (§IV.B "scaling"): allocates a *replica* of
@@ -825,7 +921,7 @@ impl Orchestrator {
         dc: &DataCenter,
         chain: NfcId,
         chain_position: usize,
-    ) -> Result<VnfInstanceId, DeployError> {
+    ) -> Result<VnfInstanceId, Error> {
         let deployed = self
             .chains
             .get(&chain)
@@ -833,7 +929,8 @@ impl Orchestrator {
         let Some(&original_host) = deployed.hosts.get(chain_position) else {
             return Err(DeployError::Placement(crate::PlacementError::NoCapacity {
                 chain_position,
-            }));
+            })
+            .into());
         };
         let spec = deployed.nfc.vnfs()[chain_position];
         let cluster = deployed.cluster;
@@ -883,7 +980,8 @@ impl Orchestrator {
         let Some(host) = replica_host else {
             return Err(DeployError::Placement(crate::PlacementError::NoCapacity {
                 chain_position,
-            }));
+            })
+            .into());
         };
 
         // Commit capacity and lifecycle.
@@ -922,9 +1020,9 @@ impl Orchestrator {
     /// # Errors
     ///
     /// [`DeployError::UnknownChain`] if `replica` is not a live replica.
-    pub fn scale_in(&mut self, replica: VnfInstanceId) -> Result<(), DeployError> {
+    pub fn scale_in(&mut self, replica: VnfInstanceId) -> Result<(), Error> {
         let Some((chain, _)) = self.replicas.remove(&replica) else {
-            return Err(DeployError::UnknownChain(NfcId(usize::MAX)));
+            return Err(DeployError::UnknownChain(NfcId(usize::MAX)).into());
         };
         let _ = chain;
         let mut inst = self
@@ -1063,7 +1161,10 @@ mod tests {
             &PaperGreedy::new(),
             &ElectronicOnlyPlacer::new(),
         );
-        assert_eq!(err.unwrap_err(), DeployError::EndpointOutsideCluster);
+        assert_eq!(
+            err.unwrap_err(),
+            Error::Deploy(DeployError::EndpointOutsideCluster)
+        );
         assert_eq!(orch.chain_count(), 0);
         assert_eq!(orch.manager().cluster_count(), 0);
     }
@@ -1097,7 +1198,7 @@ mod tests {
         }
         assert!(matches!(
             orch.teardown_chain(id),
-            Err(DeployError::UnknownChain(_))
+            Err(Error::Deploy(DeployError::UnknownChain(_)))
         ));
     }
 
@@ -1122,7 +1223,7 @@ mod tests {
         }
         let spec = fig5::blue(vms[0], vms[1]);
         let err = orch.deploy_chain(&dc, "web", vms, spec, &PaperGreedy::new(), &FailingPlacer);
-        assert!(matches!(err, Err(DeployError::Placement(_))));
+        assert!(matches!(err, Err(Error::Deploy(DeployError::Placement(_)))));
         assert_eq!(orch.manager().cluster_count(), 0);
         assert_eq!(orch.manager().availability().blocked_count(), 0);
     }
@@ -1266,7 +1367,10 @@ mod batch_deploy_tests {
             &PaperGreedy::new(),
             &ElectronicOnlyPlacer::new(),
         );
-        assert_eq!(results[0], Err(DeployError::EndpointOutsideCluster));
+        assert_eq!(
+            results[0],
+            Err(Error::Deploy(DeployError::EndpointOutsideCluster))
+        );
         assert!(results[1].is_ok());
         assert_eq!(orch.chain_count(), 1);
         assert!(orch.manager().cluster_by_label("bad").is_none());
@@ -1386,7 +1490,7 @@ mod modify_tests {
             fig5::black(alvc_topology::VmId(0), alvc_topology::VmId(1)),
             &ElectronicOnlyPlacer::new(),
         );
-        assert_eq!(err, Err(DeployError::UnknownChain(NfcId(9))));
+        assert_eq!(err, Err(Error::Deploy(DeployError::UnknownChain(NfcId(9)))));
     }
 
     #[test]
@@ -1413,7 +1517,7 @@ mod modify_tests {
             fig5::blue(vms[0], foreign),
             &ElectronicOnlyPlacer::new(),
         );
-        assert_eq!(err, Err(DeployError::EndpointOutsideCluster));
+        assert_eq!(err, Err(Error::Deploy(DeployError::EndpointOutsideCluster)));
         assert_eq!(orch.chain(id).unwrap(), &before, "old deployment intact");
     }
 
@@ -1519,7 +1623,10 @@ mod bandwidth_tests {
             &ElectronicOnlyPlacer::new(),
         );
         assert!(
-            matches!(err, Err(DeployError::InsufficientBandwidth { .. })),
+            matches!(
+                err,
+                Err(Error::Deploy(DeployError::InsufficientBandwidth { .. }))
+            ),
             "{err:?}"
         );
         // Rollback complete: no cluster, no rules, no commitments.
@@ -1557,8 +1664,8 @@ mod bandwidth_tests {
                 &ElectronicOnlyPlacer::new(),
             ) {
                 Ok(_) => admitted += 1,
-                Err(DeployError::Cluster(_)) => break, // OPS pool exhausted first
-                Err(DeployError::InsufficientBandwidth { .. }) => break,
+                Err(Error::Deploy(DeployError::Cluster(_))) => break, // OPS pool exhausted first
+                Err(Error::Deploy(DeployError::InsufficientBandwidth { .. })) => break,
                 Err(e) => panic!("unexpected {e}"),
             }
         }
@@ -1594,7 +1701,7 @@ mod bandwidth_tests {
         let err = orch.modify_chain(&dc, id, spec3, &ElectronicOnlyPlacer::new());
         assert!(matches!(
             err,
-            Err(DeployError::InsufficientBandwidth { .. })
+            Err(Error::Deploy(DeployError::InsufficientBandwidth { .. }))
         ));
         assert_eq!(orch.chain(id).unwrap().nfc().spec().bandwidth_gbps, 8.0);
     }
@@ -1695,11 +1802,11 @@ mod scaling_tests {
         let (dc, mut orch, id) = setup();
         assert!(matches!(
             orch.scale_out(&dc, id, 99),
-            Err(DeployError::Placement(_))
+            Err(Error::Deploy(DeployError::Placement(_)))
         ));
         assert!(matches!(
             orch.scale_out(&dc, NfcId(77), 0),
-            Err(DeployError::UnknownChain(_))
+            Err(Error::Deploy(DeployError::UnknownChain(_)))
         ));
     }
 
@@ -1776,7 +1883,10 @@ mod latency_tests {
             &ElectronicOnlyPlacer::new(),
         );
         assert!(
-            matches!(err, Err(DeployError::LatencyBudgetExceeded { .. })),
+            matches!(
+                err,
+                Err(Error::Deploy(DeployError::LatencyBudgetExceeded { .. }))
+            ),
             "{err:?}"
         );
         assert_eq!(orch.chain_count(), 0);
@@ -1823,7 +1933,7 @@ mod latency_tests {
         );
         assert!(matches!(
             err,
-            Err(DeployError::LatencyBudgetExceeded { .. })
+            Err(Error::Deploy(DeployError::LatencyBudgetExceeded { .. }))
         ));
     }
 
@@ -1847,7 +1957,7 @@ mod latency_tests {
         let err = orch.modify_chain(&dc, id, tight, &ElectronicOnlyPlacer::new());
         assert!(matches!(
             err,
-            Err(DeployError::LatencyBudgetExceeded { .. })
+            Err(Error::Deploy(DeployError::LatencyBudgetExceeded { .. }))
         ));
         // Old chain intact.
         assert_eq!(orch.chain(id).unwrap().nfc().spec().name, "fig5-black");
@@ -1878,6 +1988,7 @@ mod tcam_tests {
     fn tight_table_limit_rejects_and_rolls_back() {
         let dc = dc();
         // One rule per switch: any multi-visit path overflows instantly.
+        #[allow(deprecated)] // the deprecated constructor must keep working
         let mut orch = Orchestrator::with_sdn_table_limit(1);
         let vms: Vec<_> = dc.vm_ids().collect();
         let spec = fig5::green(vms[0], *vms.last().unwrap());
@@ -1890,7 +2001,7 @@ mod tcam_tests {
             &ElectronicOnlyPlacer::new(),
         );
         match err {
-            Err(DeployError::RuleTableFull(_)) => {
+            Err(Error::Deploy(DeployError::RuleTableFull(_))) => {
                 assert_eq!(orch.chain_count(), 0);
                 assert_eq!(orch.sdn().total_rules(), 0);
                 assert_eq!(orch.manager().cluster_count(), 0);
@@ -1911,7 +2022,7 @@ mod tcam_tests {
     #[test]
     fn generous_table_limit_admits() {
         let dc = dc();
-        let mut orch = Orchestrator::with_sdn_table_limit(1024);
+        let mut orch = Orchestrator::builder().sdn_table_limit(1024).build();
         let vms: Vec<_> = dc.vm_ids().collect();
         let spec = fig5::black(vms[0], *vms.last().unwrap());
         assert!(orch
@@ -1930,7 +2041,7 @@ mod tcam_tests {
     fn modify_failure_under_table_limit_preserves_old_chain() {
         let dc = dc();
         // Enough slots for a short chain but not a long one.
-        let mut orch = Orchestrator::with_sdn_table_limit(2);
+        let mut orch = Orchestrator::builder().sdn_table_limit(2).build();
         let vms: Vec<_> = dc.vm_ids().collect();
         let short = crate::chain::ChainSpec::new("fwd", vec![], vms[0], vms[1], 1.0);
         let Ok(id) = orch.deploy_chain(
@@ -1946,7 +2057,10 @@ mod tcam_tests {
         let long = fig5::green(vms[0], *vms.last().unwrap());
         let err = orch.modify_chain(&dc, id, long, &ElectronicOnlyPlacer::new());
         if err.is_err() {
-            assert!(matches!(err, Err(DeployError::RuleTableFull(_))));
+            assert!(matches!(
+                err,
+                Err(Error::Deploy(DeployError::RuleTableFull(_)))
+            ));
             let chain = orch.chain(id).unwrap();
             assert_eq!(chain.nfc().spec().name, "fwd", "old chain preserved");
             assert_eq!(

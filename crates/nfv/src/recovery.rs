@@ -282,10 +282,12 @@ impl Orchestrator {
         }
         let _span = alvc_telemetry::span!("alvc_nfv.recovery.repair_latency_us");
         alvc_telemetry::counter!("alvc_nfv.recovery.element_failures").incr();
-        alvc_telemetry::event!(
-            "alvc_nfv.recovery.element_failed",
-            "element" = element.to_string().as_str(),
-        );
+        if !self.quiet {
+            alvc_telemetry::event!(
+                "alvc_nfv.recovery.element_failed",
+                "element" = element.to_string().as_str(),
+            );
+        }
 
         // Mirror into the AL layer; it repairs slices where it can.
         let mut repaired: Vec<ClusterId> = Vec::new();
@@ -349,11 +351,13 @@ impl Orchestrator {
         for id in affected {
             let outcome = self.recover_chain(dc, id, placer);
             alvc_telemetry::counter_with("alvc_nfv.recovery.outcomes", outcome.label()).incr();
-            alvc_telemetry::event!(
-                "alvc_nfv.recovery.chain_recovered",
-                "nfc" = id.index(),
-                "outcome" = outcome.label(),
-            );
+            if !self.quiet {
+                alvc_telemetry::event!(
+                    "alvc_nfv.recovery.chain_recovered",
+                    "nfc" = id.index(),
+                    "outcome" = outcome.label(),
+                );
+            }
             outcomes.insert(id, outcome);
         }
         alvc_telemetry::gauge!("alvc_nfv.recovery.degraded_chains").set(self.degraded.len() as f64);
@@ -668,7 +672,9 @@ impl Orchestrator {
         self.degraded.remove(&id);
         self.manager.remove_cluster(chain.cluster);
         alvc_telemetry::counter!("alvc_nfv.recovery.chains_lost").incr();
-        alvc_telemetry::event!("alvc_nfv.recovery.chain_lost", "nfc" = id.index());
+        if !self.quiet {
+            alvc_telemetry::event!("alvc_nfv.recovery.chain_lost", "nfc" = id.index());
+        }
     }
 }
 

@@ -1,0 +1,250 @@
+//! Seeded multi-tenant intent streams for control-plane experiments.
+//!
+//! The control plane (in `alvc-nfv`) accepts typed lifecycle intents;
+//! this module generates the *abstract* operation stream each simulated
+//! tenant submits — deploy/teardown/modify/scale draws with configurable
+//! weights, plus chain blueprints from [`ChainWorkload`]. The crate
+//! cannot name `alvc-nfv`'s intent types itself (it sits below it in the
+//! dependency order), so the driver maps each [`IntentOp`] onto a real
+//! intent against its own live chains.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use alvc_topology::VmId;
+
+use crate::workload::{ChainBlueprint, ChainWorkload};
+
+/// One abstract control-plane operation. Target selection (which of the
+/// tenant's live chains or replicas) is left to the driver: the generator
+/// cannot know which earlier operations were admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntentOp {
+    /// Deploy a new chain built from this blueprint.
+    Deploy(ChainBlueprint),
+    /// Tear down one of the tenant's live chains.
+    Teardown,
+    /// Re-specify one of the tenant's live chains with this blueprint.
+    Modify(ChainBlueprint),
+    /// Add a replica to one of the tenant's live chains.
+    ScaleOut,
+    /// Remove one of the tenant's live replicas.
+    ScaleIn,
+}
+
+impl IntentOp {
+    /// A stable snake_case label for reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IntentOp::Deploy(_) => "deploy",
+            IntentOp::Teardown => "teardown",
+            IntentOp::Modify(_) => "modify",
+            IntentOp::ScaleOut => "scale_out",
+            IntentOp::ScaleIn => "scale_in",
+        }
+    }
+}
+
+/// Relative draw weights for the five operation families. Only ratios
+/// matter; weights need not sum to one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixWeights {
+    /// Weight of [`IntentOp::Deploy`].
+    pub deploy: f64,
+    /// Weight of [`IntentOp::Teardown`].
+    pub teardown: f64,
+    /// Weight of [`IntentOp::Modify`].
+    pub modify: f64,
+    /// Weight of [`IntentOp::ScaleOut`].
+    pub scale_out: f64,
+    /// Weight of [`IntentOp::ScaleIn`].
+    pub scale_in: f64,
+}
+
+impl Default for MixWeights {
+    /// A deploy-heavy steady-state mix: deployments dominate, with a
+    /// trickle of churn (teardown/modify) and elasticity (scaling).
+    fn default() -> Self {
+        MixWeights {
+            deploy: 4.0,
+            teardown: 1.0,
+            modify: 1.0,
+            scale_out: 1.0,
+            scale_in: 0.5,
+        }
+    }
+}
+
+impl MixWeights {
+    /// A pure-deployment mix (capacity fill experiments).
+    pub fn deploy_only() -> Self {
+        MixWeights {
+            deploy: 1.0,
+            teardown: 0.0,
+            modify: 0.0,
+            scale_out: 0.0,
+            scale_in: 0.0,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.deploy + self.teardown + self.modify + self.scale_out + self.scale_in
+    }
+}
+
+/// Seeded generator of weighted [`IntentOp`] streams.
+///
+/// # Example
+///
+/// ```
+/// use alvc_sim::{ChainWorkload, IntentMix, MixWeights};
+/// use alvc_topology::VmId;
+///
+/// let vms: Vec<VmId> = (0..8).map(VmId).collect();
+/// let mut mix = IntentMix::new(MixWeights::default(), ChainWorkload::new(1, 3, 0.3, 7), 7);
+/// let ops = mix.generate(&vms, 100);
+/// assert_eq!(ops.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct IntentMix {
+    weights: MixWeights,
+    chains: ChainWorkload,
+    rng: StdRng,
+}
+
+impl IntentMix {
+    /// Creates a generator drawing operations per `weights`, with deploy
+    /// and modify blueprints from `chains`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every weight is zero or any weight is negative or
+    /// non-finite.
+    pub fn new(weights: MixWeights, chains: ChainWorkload, seed: u64) -> Self {
+        let all = [
+            weights.deploy,
+            weights.teardown,
+            weights.modify,
+            weights.scale_out,
+            weights.scale_in,
+        ];
+        assert!(
+            all.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        assert!(
+            weights.total() > 0.0,
+            "at least one weight must be positive"
+        );
+        IntentMix {
+            weights,
+            chains,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next operation, taking endpoints from `vms` when a
+    /// blueprint is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vms` has fewer than two entries (blueprints need
+    /// distinct endpoints).
+    pub fn next(&mut self, vms: &[VmId]) -> IntentOp {
+        let mut x = self.rng.random::<f64>() * self.weights.total();
+        x -= self.weights.deploy;
+        if x < 0.0 {
+            let bp = self.chains.generate(vms, 1).pop().expect("one blueprint");
+            return IntentOp::Deploy(bp);
+        }
+        x -= self.weights.teardown;
+        if x < 0.0 {
+            return IntentOp::Teardown;
+        }
+        x -= self.weights.modify;
+        if x < 0.0 {
+            let bp = self.chains.generate(vms, 1).pop().expect("one blueprint");
+            return IntentOp::Modify(bp);
+        }
+        x -= self.weights.scale_out;
+        if x < 0.0 {
+            return IntentOp::ScaleOut;
+        }
+        IntentOp::ScaleIn
+    }
+
+    /// Generates a stream of `n` operations.
+    pub fn generate(&mut self, vms: &[VmId], n: usize) -> Vec<IntentOp> {
+        (0..n).map(|_| self.next(vms)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vms() -> Vec<VmId> {
+        (0..12).map(VmId).collect()
+    }
+
+    fn mix(weights: MixWeights, seed: u64) -> IntentMix {
+        IntentMix::new(weights, ChainWorkload::new(1, 3, 0.25, seed), seed)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = mix(MixWeights::default(), 11).generate(&vms(), 50);
+        let b = mix(MixWeights::default(), 11).generate(&vms(), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weights_shape_the_stream() {
+        let ops = mix(MixWeights::default(), 3).generate(&vms(), 2000);
+        let deploys = ops
+            .iter()
+            .filter(|o| matches!(o, IntentOp::Deploy(_)))
+            .count() as f64
+            / ops.len() as f64;
+        // deploy weight 4 of 7.5 total ≈ 0.53.
+        assert!((0.45..=0.62).contains(&deploys), "deploy share {deploys}");
+        for op in &ops {
+            if let IntentOp::Deploy(bp) | IntentOp::Modify(bp) = op {
+                assert_ne!(bp.ingress, bp.egress);
+                assert!((1..=3).contains(&bp.heavy.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn deploy_only_mix_never_churns() {
+        let ops = mix(MixWeights::deploy_only(), 5).generate(&vms(), 200);
+        assert!(ops.iter().all(|o| matches!(o, IntentOp::Deploy(_))));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let bp = ChainWorkload::new(1, 1, 0.0, 0)
+            .generate(&vms(), 1)
+            .pop()
+            .unwrap();
+        assert_eq!(IntentOp::Deploy(bp.clone()).label(), "deploy");
+        assert_eq!(IntentOp::Teardown.label(), "teardown");
+        assert_eq!(IntentOp::Modify(bp).label(), "modify");
+        assert_eq!(IntentOp::ScaleOut.label(), "scale_out");
+        assert_eq!(IntentOp::ScaleIn.label(), "scale_in");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_weights_rejected() {
+        let w = MixWeights {
+            deploy: 0.0,
+            teardown: 0.0,
+            modify: 0.0,
+            scale_out: 0.0,
+            scale_in: 0.0,
+        };
+        mix(w, 0);
+    }
+}

@@ -21,7 +21,9 @@
 //!   [`FlowSim::run_with_outages`](flowsim::FlowSim::run_with_outages)
 //!   (experiment E9);
 //! * [`linkload`] — per-link byte accounting and hotspot reports;
-//! * [`metrics`] — counters and sample summaries (mean/percentiles).
+//! * [`metrics`] — counters and sample summaries (mean/percentiles);
+//! * [`intents`] — weighted multi-tenant intent streams for the
+//!   control-plane experiment (E10).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +35,7 @@ pub mod event;
 pub mod failure;
 pub mod fairshare;
 pub mod flowsim;
+pub mod intents;
 pub mod linkload;
 pub mod metrics;
 pub mod traffic;
@@ -42,6 +45,7 @@ pub use event::EventQueue;
 pub use failure::{chain_outages, FailureSchedule, OutageEvent};
 pub use fairshare::{simulate_fair_share, FairFlow, FairShareReport};
 pub use flowsim::{ChainLoad, FlowSim, SimReport};
+pub use intents::{IntentMix, IntentOp, MixWeights};
 pub use linkload::LinkLoad;
 pub use metrics::{Counter, Summary};
 pub use traffic::{LocalityReport, TrafficMatrix};

@@ -329,7 +329,7 @@ mod tests {
     }
 }
 
-/// Generates randomized [`ChainSpec`]-shaped data: VNF type sequences for
+/// Generates randomized `ChainSpec`-shaped data: VNF type sequences for
 /// stress experiments. (The `alvc-sim` crate cannot name `ChainSpec`
 /// itself — `alvc-nfv` sits above it — so this produces the raw sequence
 /// plus endpoints and the caller assembles the spec.)

@@ -484,7 +484,7 @@ pub fn events_enabled() -> bool {
 }
 
 /// Records a structured event into the calling thread's buffer (spilling to
-/// the global sink every [`FLUSH_AT`] events). No-op while recording is
+/// the global sink every `FLUSH_AT` events). No-op while recording is
 /// disabled; prefer the [`event!`](crate::event) macro, which also skips
 /// building `fields`.
 pub fn emit(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {

@@ -28,7 +28,7 @@
 //!
 //! # Hot-path usage
 //!
-//! The free functions ([`counter`], [`histogram`], …) take a registry lock
+//! The free functions ([`counter`](fn@counter), [`histogram`](fn@histogram), …) take a registry lock
 //! per call; the macros cache the handle in a per-call-site `OnceLock`, so
 //! steady-state cost is one atomic load plus the atomic update:
 //!

@@ -7,9 +7,8 @@
 //!
 //! Run with: `cargo run --example churn_update_cost`
 
-use alvc::core::construction::PaperGreedy;
-use alvc::core::{service_clusters, ChurnEvent, ClusterManager, UpdateCostModel};
-use alvc::topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceMix, ServiceType};
+use alvc::core::{ChurnEvent, UpdateCostModel};
+use alvc::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::SeedableRng;

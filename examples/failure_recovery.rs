@@ -6,12 +6,9 @@
 //!
 //! Run with: `cargo run --example failure_recovery`
 
-use alvc::core::construction::{PaperGreedy, RedundantGreedy};
-use alvc::core::{service_clusters, ClusterManager};
-use alvc::nfv::chain::fig5;
-use alvc::nfv::{HostLocation, Orchestrator};
-use alvc::placement::OpticalFirstPlacer;
-use alvc::topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceMix, ServiceType};
+use alvc::core::construction::RedundantGreedy;
+use alvc::nfv::HostLocation;
+use alvc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dc = AlvcTopologyBuilder::new()

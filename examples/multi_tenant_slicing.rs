@@ -4,12 +4,7 @@
 //!
 //! Run with: `cargo run --example multi_tenant_slicing`
 
-use alvc::core::clustering::tenant_clusters;
-use alvc::core::construction::PaperGreedy;
-use alvc::nfv::chain::fig5;
-use alvc::nfv::{DeployError, Orchestrator};
-use alvc::placement::OpticalFirstPlacer;
-use alvc::topology::{AlvcTopologyBuilder, OpsInterconnect};
+use alvc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dc = AlvcTopologyBuilder::new()
@@ -60,10 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
             Err(e) => {
-                let reason = match &e {
-                    DeployError::Cluster(_) => "no disjoint AL available",
-                    DeployError::InsufficientBandwidth { .. } => "bandwidth exhausted",
-                    DeployError::LatencyBudgetExceeded { .. } => "latency budget unmeetable",
+                let reason = match e.as_deploy() {
+                    Some(DeployError::Cluster(_)) => "no disjoint AL available",
+                    Some(DeployError::InsufficientBandwidth { .. }) => "bandwidth exhausted",
+                    Some(DeployError::LatencyBudgetExceeded { .. }) => "latency budget unmeetable",
                     _ => "other",
                 };
                 println!("{}: rejected ({reason}: {e})", tenant.label);

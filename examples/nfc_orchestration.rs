@@ -6,14 +6,9 @@
 //!
 //! Run with: `cargo run --example nfc_orchestration`
 
-use alvc::core::clustering::tenant_clusters;
-use alvc::core::construction::PaperGreedy;
-use alvc::nfv::chain::fig5;
-use alvc::nfv::Orchestrator;
 use alvc::optical::EnergyModel;
-use alvc::placement::OpticalFirstPlacer;
+use alvc::prelude::*;
 use alvc::sim::{ChainLoad, FlowSim, FlowSizeDistribution};
-use alvc::topology::{AlvcTopologyBuilder, OpsInterconnect};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dc = AlvcTopologyBuilder::new()

@@ -3,12 +3,9 @@
 //!
 //! Run with: `cargo run --example oeo_savings`
 
-use alvc::core::construction::PaperGreedy;
-use alvc::nfv::chain::fig5;
-use alvc::nfv::{ElectronicOnlyPlacer, Orchestrator, VnfPlacer};
-use alvc::optical::{EnergyModel, OeoCostModel};
-use alvc::placement::{CostDrivenPlacer, OpticalFirstPlacer};
-use alvc::topology::{AlvcTopologyBuilder, OpsInterconnect};
+use alvc::optical::EnergyModel;
+use alvc::placement::CostDrivenPlacer;
+use alvc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dc = AlvcTopologyBuilder::new()

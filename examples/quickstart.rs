@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use alvc::core::construction::{AlConstruct, PaperGreedy, RandomSelection};
-use alvc::core::{service_clusters, ClusterManager, OpsAvailability};
-use alvc::topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceMix, ServiceType};
+use alvc::core::construction::RandomSelection;
+use alvc::core::OpsAvailability;
+use alvc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small data center: 8 racks × 4 servers × 2 VMs behind a

@@ -7,3 +7,39 @@ pub use alvc_placement as placement;
 pub use alvc_sim as sim;
 pub use alvc_telemetry as telemetry;
 pub use alvc_topology as topology;
+
+/// The one-stop import for AL-VC applications:
+/// `use alvc::prelude::*;` brings in everything a typical program needs —
+/// topology building, abstraction-layer construction, the orchestrator and
+/// its builder, the intent-based control plane, placement strategies, and
+/// the unified error type.
+///
+/// ```
+/// use alvc::prelude::*;
+///
+/// let dc = AlvcTopologyBuilder::new().racks(4).ops_count(12).seed(7).build();
+/// let mut orch = Orchestrator::builder().quiet(true).build();
+/// let vms: Vec<_> = dc.vm_ids().take(8).collect();
+/// let spec = fig5::black(vms[0], vms[7]);
+/// let id = orch.deploy_chain(&dc, "tenant-a", vms, spec,
+///     &PaperGreedy::new(), &ElectronicOnlyPlacer::new())?;
+/// assert!(orch.chain(id).is_some());
+/// # Ok::<(), Error>(())
+/// ```
+pub mod prelude {
+    pub use alvc_core::clustering::{service_clusters, tenant_clusters};
+    pub use alvc_core::construction::{AlConstruct, PaperGreedy};
+    pub use alvc_core::{AbstractionLayer, ClusterId, ClusterManager};
+    pub use alvc_nfv::chain::fig5;
+    pub use alvc_nfv::{
+        AdmissionError, ChainSpec, ControlPlane, ControlPlaneBuilder, DeployError, DeployedChain,
+        ElectronicOnlyPlacer, Error, ErrorKind, Intent, IntentEffect, IntentId, IntentLog,
+        IntentOutcome, NfcId, Orchestrator, OrchestratorBuilder, StateView, TenantQuota,
+        VnfInstanceId, VnfPlacer,
+    };
+    pub use alvc_optical::OeoCostModel;
+    pub use alvc_placement::OpticalFirstPlacer;
+    pub use alvc_topology::{
+        AlvcTopologyBuilder, DataCenter, Element, OpsInterconnect, ServiceMix, ServiceType, VmId,
+    };
+}
