@@ -1,0 +1,173 @@
+//! Property tests for the adaptive-clustering subsystem: on every random
+//! traffic trace the clusterer's proposal is a permutation-free partition
+//! of the current VM universe, planning is seed-deterministic, and
+//! applying an approved plan through the cluster manager never breaks the
+//! paper's OPS-disjointness invariant.
+
+use std::collections::BTreeSet;
+
+use alvc_affinity::{
+    AffinityClusterer, ClustererConfig, CollectorConfig, HysteresisPolicy, MigrationPlanner,
+    TrafficCollector,
+};
+use alvc_core::construction::PaperGreedy;
+use alvc_core::{service_clusters, ClusterManager, ClusterSpec};
+use alvc_topology::{AlvcTopologyBuilder, DataCenter, VmId};
+use proptest::prelude::*;
+
+/// A topology on which every built-in service cluster constructs (the
+/// same shape the planner's unit tests use).
+fn dc() -> DataCenter {
+    AlvcTopologyBuilder::new()
+        .racks(8)
+        .servers_per_rack(2)
+        .vms_per_server(2)
+        .ops_count(32)
+        .tor_ops_degree(8)
+        .opto_fraction(0.5)
+        .seed(31)
+        .build()
+}
+
+fn manager(dc: &DataCenter) -> ClusterManager {
+    let mut mgr = ClusterManager::new();
+    for spec in service_clusters(dc) {
+        mgr.create_cluster(dc, &spec.label, spec.vms, &PaperGreedy::new())
+            .expect("service clusters construct on the fixed topology");
+    }
+    mgr
+}
+
+/// Strategy: a random traffic trace as (src index, dst index, bytes,
+/// timestamp) tuples; indices are reduced modulo the VM count.
+fn trace_strategy() -> impl Strategy<Value = Vec<(usize, usize, u64, u64)>> {
+    proptest::collection::vec(
+        (
+            0usize..1000,
+            0usize..1000,
+            1u64..2_000_000,
+            0u64..30_000_000_000,
+        ),
+        0..200,
+    )
+}
+
+/// Feeds `trace` into a fresh collector over the topology's VM universe.
+fn collect(dc: &DataCenter, trace: &[(usize, usize, u64, u64)]) -> TrafficCollector {
+    let vms: Vec<VmId> = dc.vm_ids().collect();
+    let mut collector = TrafficCollector::new(CollectorConfig {
+        capacity: 256,
+        half_life_s: 30.0,
+    });
+    for &(a, b, bytes, at) in trace {
+        collector.observe(vms[a % vms.len()], vms[b % vms.len()], bytes, at);
+    }
+    collector
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The proposal is a partition of exactly the current VM universe:
+    /// same cluster count, every VM in exactly one cluster, nothing
+    /// invented, nothing dropped.
+    #[test]
+    fn proposal_partitions_the_universe(
+        trace in trace_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let dc = dc();
+        let mgr = manager(&dc);
+        let stats = collect(&dc, &trace).snapshot();
+        let current = MigrationPlanner::current_specs(&mgr);
+        let specs: Vec<ClusterSpec> = current.iter().map(|(_, s)| s.clone()).collect();
+        let clusterer = AffinityClusterer::new(ClustererConfig {
+            max_cluster_size: 0,
+            max_rounds: 8,
+            seed,
+        });
+        let proposed = clusterer.propose(&specs, &stats);
+        prop_assert_eq!(proposed.len(), specs.len());
+        let before: BTreeSet<VmId> = specs.iter().flat_map(|s| s.vms.iter().copied()).collect();
+        let mut seen: BTreeSet<VmId> = BTreeSet::new();
+        for spec in &proposed {
+            for &vm in &spec.vms {
+                prop_assert!(seen.insert(vm), "{vm:?} proposed into two clusters");
+            }
+        }
+        prop_assert_eq!(seen, before);
+    }
+
+    /// Proposing and planning from identical inputs (same trace, same
+    /// seed) is bit-deterministic, end to end.
+    #[test]
+    fn same_seed_yields_identical_plans(
+        trace in trace_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let dc = dc();
+        let mgr = manager(&dc);
+        let stats = collect(&dc, &trace).snapshot();
+        let current = MigrationPlanner::current_specs(&mgr);
+        let specs: Vec<ClusterSpec> = current.iter().map(|(_, s)| s.clone()).collect();
+        let run = || {
+            let clusterer = AffinityClusterer::new(ClustererConfig {
+                max_cluster_size: 0,
+                max_rounds: 8,
+                seed,
+            });
+            let proposed = clusterer.propose(&specs, &stats);
+            let plan = MigrationPlanner::new(HysteresisPolicy::default())
+                .plan(&dc, &mgr, &current, &proposed, &stats);
+            (proposed, plan)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Applying a plan's moves to the manager — membership first, then
+    /// rebuilding any AL the new membership invalidates, exactly the
+    /// orchestrator's phases 1–2 — keeps all abstraction layers
+    /// OPS-disjoint and covering their members.
+    #[test]
+    fn applied_plans_keep_als_disjoint(
+        trace in trace_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let dc = dc();
+        let mut mgr = manager(&dc);
+        let stats = collect(&dc, &trace).snapshot();
+        let current = MigrationPlanner::current_specs(&mgr);
+        let specs: Vec<ClusterSpec> = current.iter().map(|(_, s)| s.clone()).collect();
+        let clusterer = AffinityClusterer::new(ClustererConfig {
+            max_cluster_size: 0,
+            max_rounds: 8,
+            seed,
+        });
+        let proposed = clusterer.propose(&specs, &stats);
+        let plan = MigrationPlanner::new(HysteresisPolicy::default())
+            .plan(&dc, &mgr, &current, &proposed, &stats);
+        for mv in &plan.moves {
+            mgr.remove_vm(mv.from, mv.vm);
+            mgr.add_vm(mv.to, mv.vm);
+        }
+        let ids: Vec<_> = mgr.clusters().map(|vc| vc.id()).collect();
+        for cid in ids {
+            let vc = mgr.cluster(cid).expect("cluster exists");
+            if vc.vms().is_empty() || vc.al().validate(&dc, vc.vms()).is_ok() {
+                continue;
+            }
+            // A rebuild may legitimately fail (OPS pool exhausted); the old
+            // AL stays and must still be disjoint from the others.
+            let _ = mgr.rebuild_cluster(&dc, cid, &PaperGreedy::new());
+        }
+        prop_assert!(mgr.verify_disjoint(), "ALs must stay OPS-disjoint");
+        for vc in mgr.clusters() {
+            if !vc.vms().is_empty() && vc.al().validate(&dc, vc.vms()).is_ok() {
+                prop_assert!(
+                    vc.al().covers_vms(&dc, vc.vms()).is_ok(),
+                    "valid AL covers every member VM"
+                );
+            }
+        }
+    }
+}

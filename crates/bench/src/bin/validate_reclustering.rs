@@ -1,0 +1,99 @@
+//! Validates `results/BENCH_reclustering.json` (the e11 adaptive
+//! re-clustering result) against `schemas/reclustering.schema.json`, then
+//! enforces the DESIGN.md §12 acceptance invariants on the values:
+//!
+//! * a stationary workload produced **zero churn** (no approved plans, no
+//!   applied moves before the drift);
+//! * the adaptive plane recovered at least [`MIN_GAIN`] intra-AL traffic
+//!   share over the frozen static assignment under drift;
+//! * the adaptive control plane's intent log replayed to a bit-identical
+//!   state view.
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_reclustering <results-file> [schema-file]
+//! ```
+//!
+//! Exits nonzero with a diagnostic on the first violation; CI's e11 smoke
+//! job runs this after the bench.
+
+use std::process::ExitCode;
+
+use alvc_bench::schema::validate;
+use alvc_bench::Json;
+
+/// Minimum intra-share gain the adaptive plane must show over static under
+/// drift (the acceptance threshold, not the planner's hysteresis gate).
+const MIN_GAIN: f64 = 0.15;
+
+fn number(doc: &Json, path: &[&str]) -> Result<f64, String> {
+    let mut v = doc;
+    for key in path {
+        v = v
+            .get(key)
+            .ok_or_else(|| format!("missing field {}", path.join(".")))?;
+    }
+    v.as_f64()
+        .ok_or_else(|| format!("{} is not a number", path.join(".")))
+}
+
+fn check_invariants(doc: &Json) -> Result<(), String> {
+    let stationary_plans = number(doc, &["stationary", "plans_approved"])?;
+    let stationary_moves = number(doc, &["stationary", "moves_applied"])?;
+    if stationary_plans != 0.0 || stationary_moves != 0.0 {
+        return Err(format!(
+            "stationary workload churned: {stationary_plans} plans / {stationary_moves} moves (hysteresis gate must suppress them)"
+        ));
+    }
+    let gain = number(doc, &["drift", "adaptive_gain_over_static"])?;
+    if gain < MIN_GAIN {
+        return Err(format!(
+            "adaptive gain over static is {gain:.3}, below the {MIN_GAIN} acceptance threshold"
+        ));
+    }
+    match doc.get("replay_identical").and_then(Json::as_bool) {
+        Some(true) => Ok(()),
+        Some(false) => Err("intent-log replay diverged from the live view".to_string()),
+        None => Err("replay_identical missing".to_string()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let results_path = args
+        .next()
+        .ok_or("usage: validate_reclustering <results-file> [schema-file]")?;
+    let schema_path = args.next().unwrap_or_else(|| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/reclustering.schema.json"
+        )
+        .to_string()
+    });
+
+    let results_text =
+        std::fs::read_to_string(&results_path).map_err(|e| format!("read {results_path}: {e}"))?;
+    let schema_text =
+        std::fs::read_to_string(&schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let results = Json::parse(&results_text).map_err(|e| format!("{results_path}: {e}"))?;
+    let schema = Json::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+
+    validate(&results, &schema, "$")?;
+    check_invariants(&results)?;
+    let gain = number(&results, &["drift", "adaptive_gain_over_static"])?;
+    println!(
+        "{results_path}: valid; zero stationary churn, adaptive gain {gain:.3} ≥ {MIN_GAIN}, replay identical"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_reclustering: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 use std::process::ExitCode;
 
+use alvc_bench::schema::validate;
 use alvc_bench::Json;
 
 /// Probe-name prefixes that must show nonzero counters in an instrumented
@@ -23,56 +24,6 @@ const REQUIRED_PROBE_PREFIXES: [&str; 3] = [
     "alvc_core.construction.",
     "alvc_nfv.orchestrator.",
 ];
-
-/// Validates `value` against the JSON-Schema subset this repo uses:
-/// `type` (string form), `required`, `properties`, `items`, `minimum`.
-/// `path` names the location for diagnostics.
-fn validate(value: &Json, schema: &Json, path: &str) -> Result<(), String> {
-    if let Some(ty) = schema.get("type").and_then(Json::as_str) {
-        let ok = match ty {
-            "object" => matches!(value, Json::Object(_)),
-            "array" => matches!(value, Json::Array(_)),
-            "string" => matches!(value, Json::Str(_)),
-            "number" => matches!(value, Json::Num(_)),
-            "boolean" => matches!(value, Json::Bool(_)),
-            "null" => matches!(value, Json::Null),
-            other => return Err(format!("{path}: unsupported schema type {other:?}")),
-        };
-        if !ok {
-            return Err(format!("{path}: expected {ty}, got {value:?}"));
-        }
-    }
-    if let Some(min) = schema.get("minimum").and_then(Json::as_f64) {
-        if let Some(n) = value.as_f64() {
-            if n < min {
-                return Err(format!("{path}: {n} below minimum {min}"));
-            }
-        }
-    }
-    if let Some(required) = schema.get("required").and_then(Json::as_array) {
-        for key in required {
-            let key = key.as_str().expect("required entries are strings");
-            if value.get(key).is_none() {
-                return Err(format!("{path}: missing required field {key:?}"));
-            }
-        }
-    }
-    if let Some(props) = schema.get("properties").and_then(Json::as_object) {
-        for (key, sub) in props {
-            if let Some(v) = value.get(key) {
-                validate(v, sub, &format!("{path}.{key}"))?;
-            }
-        }
-    }
-    if let Some(items) = schema.get("items") {
-        if let Some(arr) = value.as_array() {
-            for (i, v) in arr.iter().enumerate() {
-                validate(v, items, &format!("{path}[{i}]"))?;
-            }
-        }
-    }
-    Ok(())
-}
 
 /// Checks that every required probe family has at least one counter with a
 /// nonzero value.

@@ -183,6 +183,7 @@ pub fn pct(x: f64) -> String {
 }
 
 pub mod json;
+pub mod schema;
 pub mod stats;
 pub mod telemetry_export;
 

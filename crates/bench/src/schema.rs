@@ -1,0 +1,94 @@
+//! The JSON-Schema-subset validator shared by the `validate_*` result
+//! gates (`validate_snapshot`, `validate_reclustering`).
+//!
+//! Supports exactly the subset the schemas under `schemas/` use: `type`
+//! (string form), `required`, `properties`, `items`, and `minimum`.
+//! Anything fancier should grow here, in one place, with both gates
+//! picking it up.
+
+use crate::json::Json;
+
+/// Validates `value` against the schema subset. `path` names the
+/// location for diagnostics (e.g. `"telemetry.counters[3]"`).
+///
+/// # Errors
+///
+/// A human-readable diagnostic naming the first violating path.
+pub fn validate(value: &Json, schema: &Json, path: &str) -> Result<(), String> {
+    if let Some(ty) = schema.get("type").and_then(Json::as_str) {
+        let ok = match ty {
+            "object" => matches!(value, Json::Object(_)),
+            "array" => matches!(value, Json::Array(_)),
+            "string" => matches!(value, Json::Str(_)),
+            "number" => matches!(value, Json::Num(_)),
+            "boolean" => matches!(value, Json::Bool(_)),
+            "null" => matches!(value, Json::Null),
+            other => return Err(format!("{path}: unsupported schema type {other:?}")),
+        };
+        if !ok {
+            return Err(format!("{path}: expected {ty}, got {value:?}"));
+        }
+    }
+    if let Some(min) = schema.get("minimum").and_then(Json::as_f64) {
+        if let Some(n) = value.as_f64() {
+            if n < min {
+                return Err(format!("{path}: {n} below minimum {min}"));
+            }
+        }
+    }
+    if let Some(required) = schema.get("required").and_then(Json::as_array) {
+        for key in required {
+            let key = key.as_str().expect("required entries are strings");
+            if value.get(key).is_none() {
+                return Err(format!("{path}: missing required field {key:?}"));
+            }
+        }
+    }
+    if let Some(props) = schema.get("properties").and_then(Json::as_object) {
+        for (key, sub) in props {
+            if let Some(v) = value.get(key) {
+                validate(v, sub, &format!("{path}.{key}"))?;
+            }
+        }
+    }
+    if let Some(items) = schema.get("items") {
+        if let Some(arr) = value.as_array() {
+            for (i, v) in arr.iter().enumerate() {
+                validate(v, items, &format!("{path}[{i}]"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn accepts_conforming_documents() {
+        let schema = parse(
+            r#"{"type": "object", "required": ["a"], "properties": {
+                "a": {"type": "number", "minimum": 0},
+                "b": {"type": "array", "items": {"type": "string"}}
+            }}"#,
+        );
+        let value = parse(r#"{"a": 3, "b": ["x", "y"]}"#);
+        assert!(validate(&value, &schema, "$").is_ok());
+    }
+
+    #[test]
+    fn reports_first_violation_with_path() {
+        let schema = parse(r#"{"type": "object", "required": ["a"]}"#);
+        let err = validate(&parse("{}"), &schema, "$").unwrap_err();
+        assert!(err.contains("missing required field"), "{err}");
+        let schema = parse(r#"{"properties": {"a": {"minimum": 10}}}"#);
+        let err = validate(&parse(r#"{"a": 3}"#), &schema, "$").unwrap_err();
+        assert!(err.contains("$.a"), "{err}");
+        assert!(err.contains("below minimum"), "{err}");
+    }
+}

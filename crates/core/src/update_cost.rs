@@ -108,6 +108,36 @@ impl UpdateCostModel {
         }
     }
 
+    /// Predicted cost of moving `vm` from cluster `from` to cluster `to`
+    /// *without* a server migration (adaptive re-clustering): the VM's ToR
+    /// is updated, both affected ALs refresh their entries, and if the
+    /// VM's ToR is not already covered by the target AL the move forces a
+    /// rebuild (`al_rebuilt`).
+    ///
+    /// Returns [`UpdateCost::default`] when either cluster is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` does not exist in `dc`.
+    pub fn recluster_cost(
+        &self,
+        dc: &DataCenter,
+        manager: &ClusterManager,
+        from: ClusterId,
+        to: ClusterId,
+        vm: VmId,
+    ) -> UpdateCost {
+        let (Some(src), Some(dst)) = (manager.cluster(from), manager.cluster(to)) else {
+            return UpdateCost::default();
+        };
+        let tor = dc.tor_of_vm(vm);
+        UpdateCost {
+            tors_updated: 1,
+            ops_updated: src.al().ops_count() + dst.al().ops_count(),
+            al_rebuilt: !dst.al().contains_tor(tor),
+        }
+    }
+
     /// Applies a migration and rebuilds the owning cluster's AL if the new
     /// ToR falls outside it; returns the realized cost.
     ///
@@ -269,6 +299,54 @@ mod tests {
         let vc = mgr.cluster(id).unwrap();
         assert!(vc.al().validate(&dc, vc.vms()).is_ok());
         assert!(mgr.verify_disjoint());
+    }
+
+    #[test]
+    fn recluster_cost_prices_both_als_and_flags_rebuilds() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(8)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(12)
+            .tor_ops_degree(3)
+            .seed(17)
+            .build();
+        let mut mgr = ClusterManager::new();
+        let web = mgr
+            .create_cluster(
+                &dc,
+                "web",
+                dc.vms_of_service(ServiceType::WebService),
+                &PaperGreedy::new(),
+            )
+            .unwrap();
+        let sns = mgr
+            .create_cluster(
+                &dc,
+                "sns",
+                dc.vms_of_service(ServiceType::Sns),
+                &PaperGreedy::new(),
+            )
+            .unwrap();
+        let model = UpdateCostModel::new();
+        let vm = mgr.cluster(web).unwrap().vms()[0];
+        let cost = model.recluster_cost(&dc, &mgr, web, sns, vm);
+        assert_eq!(cost.tors_updated, 1, "the VM stays on its server");
+        assert_eq!(
+            cost.ops_updated,
+            mgr.cluster(web).unwrap().al().ops_count() + mgr.cluster(sns).unwrap().al().ops_count()
+        );
+        let covered = mgr
+            .cluster(sns)
+            .unwrap()
+            .al()
+            .contains_tor(dc.tor_of_vm(vm));
+        assert_eq!(cost.al_rebuilt, !covered);
+        // Unknown clusters price to nothing.
+        assert_eq!(
+            model.recluster_cost(&dc, &mgr, web, ClusterId(99), vm),
+            UpdateCost::default()
+        );
     }
 
     #[test]

@@ -149,6 +149,9 @@ pub enum AdmissionError {
         /// The fattest link in the fabric.
         max_link_gbps: f64,
     },
+    /// A plan-carrying intent (re-clustering) arrived with no moves; a
+    /// no-op plan is rejected so the log never records phantom work.
+    EmptyPlan,
 }
 
 impl fmt::Display for AdmissionError {
@@ -194,6 +197,9 @@ impl fmt::Display for AdmissionError {
                 f,
                 "requested {requested_gbps} Gb/s exceeds the fattest link ({max_link_gbps} Gb/s)"
             ),
+            AdmissionError::EmptyPlan => {
+                write!(f, "a re-clustering plan with no moves is a no-op")
+            }
         }
     }
 }
@@ -246,6 +252,7 @@ mod tests {
                 requested_gbps: 1000.0,
                 max_link_gbps: 400.0,
             },
+            AdmissionError::EmptyPlan,
         ];
         for e in errs {
             let s = e.to_string();

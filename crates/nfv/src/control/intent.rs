@@ -6,6 +6,7 @@
 //! what happened ([`IntentOutcome`]) in a deterministic, replayable
 //! [`IntentLog`].
 
+use alvc_affinity::VmMove;
 use alvc_topology::{Element, VmId};
 
 use crate::chain::{ChainSpec, NfcId};
@@ -85,6 +86,16 @@ pub enum Intent {
     /// Operator-only: re-run recovery for degraded chains, pulling them
     /// back into their slices where possible.
     Reoptimize,
+    /// Operator-only: apply an approved adaptive re-clustering plan —
+    /// move VMs between virtual clusters, rebuild invalidated abstraction
+    /// layers, and reroute chains whose AL changed. The moves are carried
+    /// as data (not recomputed at execution time) so replaying the intent
+    /// log reproduces the exact same migration.
+    Recluster {
+        /// The planned VM migrations, typically from an approved
+        /// `alvc_affinity::ReclusterPlan`.
+        moves: Vec<VmMove>,
+    },
 }
 
 /// Coarse classification of an [`Intent`], used for telemetry labels and
@@ -108,6 +119,8 @@ pub enum IntentKind {
     RestoreElement,
     /// [`Intent::Reoptimize`].
     Reoptimize,
+    /// [`Intent::Recluster`].
+    Recluster,
 }
 
 impl IntentKind {
@@ -122,6 +135,7 @@ impl IntentKind {
             IntentKind::FailElement => "fail_element",
             IntentKind::RestoreElement => "restore_element",
             IntentKind::Reoptimize => "reoptimize",
+            IntentKind::Recluster => "recluster",
         }
     }
 
@@ -129,7 +143,10 @@ impl IntentKind {
     pub fn operator_only(self) -> bool {
         matches!(
             self,
-            IntentKind::FailElement | IntentKind::RestoreElement | IntentKind::Reoptimize
+            IntentKind::FailElement
+                | IntentKind::RestoreElement
+                | IntentKind::Reoptimize
+                | IntentKind::Recluster
         )
     }
 }
@@ -146,6 +163,7 @@ impl Intent {
             Intent::FailElement { .. } => IntentKind::FailElement,
             Intent::RestoreElement { .. } => IntentKind::RestoreElement,
             Intent::Reoptimize => IntentKind::Reoptimize,
+            Intent::Recluster { .. } => IntentKind::Recluster,
         }
     }
 
@@ -210,6 +228,18 @@ pub enum IntentEffect {
         examined: usize,
         /// Chains still degraded afterwards.
         still_degraded: usize,
+    },
+    /// An adaptive re-clustering plan was applied.
+    Reclustered {
+        /// VM moves actually applied.
+        applied: usize,
+        /// Planned moves skipped as stale or invalid (pinned endpoint,
+        /// VM no longer in the source cluster, unknown cluster).
+        skipped: usize,
+        /// Abstraction layers rebuilt for the affected clusters.
+        als_rebuilt: usize,
+        /// Chains rerouted because their cluster's AL changed.
+        chains_rerouted: usize,
     },
 }
 
@@ -369,6 +399,7 @@ mod tests {
                 true,
             ),
             (Intent::Reoptimize, "reoptimize", true),
+            (Intent::Recluster { moves: vec![] }, "recluster", true),
         ];
         for (intent, label, operator_only) in intents {
             assert_eq!(intent.kind().label(), label);

@@ -55,7 +55,7 @@ pub use admission::{AdmissionError, AdmissionPolicy, TenantQuota};
 pub use intent::{
     Intent, IntentEffect, IntentId, IntentKind, IntentLog, IntentOutcome, IntentRecord,
 };
-pub use view::{ChainView, InstanceView, StateView, TenantView};
+pub use view::{ChainView, ClusterSliceView, InstanceView, StateView, TenantView};
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -538,6 +538,11 @@ impl ControlPlane {
                 });
             }
         }
+        if let Intent::Recluster { moves } = intent {
+            if moves.is_empty() {
+                return Err(AdmissionError::EmptyPlan);
+            }
+        }
         if let Intent::ModifyChain { spec, .. } = intent {
             if !spec.bandwidth_gbps.is_finite() || spec.bandwidth_gbps <= 0.0 {
                 return Err(AdmissionError::InvalidBandwidth {
@@ -671,6 +676,18 @@ impl ControlPlane {
                 IntentOutcome::Completed(IntentEffect::Reoptimized {
                     examined: outcomes.len(),
                     still_degraded: inner.orch.degraded_chains().len(),
+                })
+            }
+            Intent::Recluster { moves } => {
+                let report =
+                    inner
+                        .orch
+                        .apply_recluster(&self.dc, moves, &*self.constructor, &*self.placer);
+                IntentOutcome::Completed(IntentEffect::Reclustered {
+                    applied: report.applied,
+                    skipped: report.skipped,
+                    als_rebuilt: report.als_rebuilt,
+                    chains_rerouted: report.chains_rerouted,
                 })
             }
         }
@@ -1046,6 +1063,66 @@ mod tests {
         let replayed = fresh.replay(&log);
         assert_eq!(*live_view, *replayed);
         assert_eq!(log, fresh.intent_log(), "outcomes replay identically too");
+    }
+
+    #[test]
+    fn recluster_intent_admission_execution_and_replay() {
+        let dc = dc();
+        let build = || ControlPlane::builder().batch_size(4).build(dc.clone());
+        let live = build();
+        live.submit("web", deploy_intent(&dc, ServiceType::WebService));
+        live.submit("sns", deploy_intent(&dc, ServiceType::Sns));
+        live.process_batch();
+        assert_eq!(live.view().chain_count(), 2);
+
+        // A valid move: a non-endpoint VM from web's cluster to sns's.
+        let mv = live.inspect(|orch| {
+            let chains: Vec<_> = orch.chains().collect();
+            let (from, to) = (chains[0].cluster(), chains[1].cluster());
+            let spec = chains[0].nfc().spec();
+            let vm = orch
+                .manager()
+                .cluster(from)
+                .unwrap()
+                .vms()
+                .iter()
+                .copied()
+                .find(|&v| v != spec.ingress && v != spec.egress)
+                .unwrap();
+            alvc_affinity::VmMove { vm, from, to }
+        });
+
+        // Ordinary tenants may not recluster; empty plans are no-ops.
+        let not_op = live.submit("web", Intent::Recluster { moves: vec![mv] });
+        let empty = live.submit("operator", Intent::Recluster { moves: vec![] });
+        let good = live.submit("operator", Intent::Recluster { moves: vec![mv] });
+        live.process_batch();
+        assert!(matches!(
+            live.outcome(not_op).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::NotAuthorized { .. })
+        ));
+        assert!(matches!(
+            live.outcome(empty).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::EmptyPlan)
+        ));
+        let IntentOutcome::Completed(IntentEffect::Reclustered {
+            applied, skipped, ..
+        }) = live.outcome(good).unwrap()
+        else {
+            panic!("recluster failed: {:?}", live.outcome(good));
+        };
+        assert_eq!((applied, skipped), (1, 0));
+        // The view exposes the new membership.
+        let view = live.view();
+        assert!(view.clusters[&mv.to].vms.contains(&mv.vm));
+        assert!(!view.clusters[&mv.from].vms.contains(&mv.vm));
+        live.inspect(|orch| assert!(orch.manager().verify_disjoint()));
+
+        // Replay (moves travel as data in the log) is bit-identical.
+        let fresh = build();
+        let replayed = fresh.replay(&live.intent_log());
+        assert_eq!(*live.view(), *replayed);
+        assert_eq!(live.intent_log(), fresh.intent_log());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use alvc_core::ClusterId;
-use alvc_topology::Element;
+use alvc_topology::{Element, OpsId, VmId};
 
 use crate::chain::NfcId;
 use crate::lifecycle::{HostLocation, VnfInstanceId, VnfState};
@@ -55,6 +55,20 @@ pub struct InstanceView {
     pub host: HostLocation,
 }
 
+/// One virtual cluster (and its abstraction layer) as seen by readers.
+/// Captured so that replay equality covers cluster membership — adaptive
+/// re-clustering moves VMs between clusters without touching any chain,
+/// and two runs only match if those moves match too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSliceView {
+    /// The cluster's human-readable label.
+    pub label: String,
+    /// Member VMs, sorted.
+    pub vms: Vec<VmId>,
+    /// The abstraction layer's OPS switches, sorted.
+    pub ops: Vec<OpsId>,
+}
+
 /// Per-tenant aggregate usage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantView {
@@ -79,6 +93,9 @@ pub struct StateView {
     pub chains: BTreeMap<NfcId, ChainView>,
     /// Live VNF instances (chain members and replicas) by id.
     pub instances: BTreeMap<VnfInstanceId, InstanceView>,
+    /// Virtual clusters (slices) by id, including their membership and
+    /// abstraction layers.
+    pub clusters: BTreeMap<ClusterId, ClusterSliceView>,
     /// Committed bandwidth per physical link, integer kb/s.
     pub link_committed_kbps: BTreeMap<alvc_graph::EdgeId, u64>,
     /// Per-tenant aggregates (only tenants with live chains appear).
@@ -146,6 +163,20 @@ impl StateView {
                 )
             })
             .collect();
+        let clusters = orch
+            .manager
+            .clusters()
+            .map(|vc| {
+                (
+                    vc.id(),
+                    ClusterSliceView {
+                        label: vc.label().to_string(),
+                        vms: vc.vms().to_vec(),
+                        ops: vc.al().ops().to_vec(),
+                    },
+                )
+            })
+            .collect();
         let link_committed_kbps: BTreeMap<_, _> =
             orch.link_committed.iter().map(|(&e, &b)| (e, b)).collect();
         let total_committed_kbps = link_committed_kbps.values().sum();
@@ -154,6 +185,7 @@ impl StateView {
             intents_processed,
             chains,
             instances,
+            clusters,
             link_committed_kbps,
             tenants,
             failed_elements: orch.health.failed().into_iter().collect(),

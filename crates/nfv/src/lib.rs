@@ -25,6 +25,9 @@
 //! * [`recovery`] — the failure-recovery subsystem: element failures enter
 //!   at the orchestrator, the AL layer repairs slices, and every affected
 //!   chain climbs the reroute → replace → degrade ladder;
+//! * [`recluster`] — adaptive re-clustering execution: applies an
+//!   `alvc_affinity` migration plan to live cluster membership, rebuilds
+//!   invalidated abstraction layers, and reroutes the chains they carried;
 //! * [`control`] — the intent-based control plane: a concurrent
 //!   multi-tenant frontend over the orchestrator with typed [`Intent`]s,
 //!   deterministic batch execution, admission control, lock-free
@@ -42,6 +45,7 @@ pub mod error;
 pub mod lifecycle;
 pub mod orchestrator;
 pub mod placement;
+pub mod recluster;
 pub mod recovery;
 pub mod sdn;
 pub mod slicing;
@@ -49,14 +53,15 @@ pub mod vnf;
 
 pub use chain::{ChainSpec, ForwardingGraph, Nfc, NfcId};
 pub use control::{
-    AdmissionError, AdmissionPolicy, ChainView, ControlPlane, ControlPlaneBuilder, InstanceView,
-    Intent, IntentEffect, IntentId, IntentKind, IntentLog, IntentOutcome, IntentRecord, StateView,
-    TenantQuota, TenantView,
+    AdmissionError, AdmissionPolicy, ChainView, ClusterSliceView, ControlPlane,
+    ControlPlaneBuilder, InstanceView, Intent, IntentEffect, IntentId, IntentKind, IntentLog,
+    IntentOutcome, IntentRecord, StateView, TenantQuota, TenantView,
 };
 pub use error::{DeployError, Error, ErrorKind, LifecycleError, PlacementError};
 pub use lifecycle::{HostLocation, VnfInstance, VnfInstanceId, VnfState};
 pub use orchestrator::{DeployedChain, Orchestrator, OrchestratorBuilder};
 pub use placement::{ElectronicOnlyPlacer, PlacementContext, VnfPlacer};
+pub use recluster::ReclusterReport;
 pub use recovery::{RecoveryOutcome, RecoveryReport};
 pub use sdn::{FlowRule, SdnController, TableFull};
 pub use slicing::{OpticalSlice, SliceRegistry};

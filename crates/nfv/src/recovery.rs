@@ -367,7 +367,9 @@ impl Orchestrator {
     /// Climbs the recovery ladder for one chain. The chain's flow rules
     /// and bandwidth commitments are released up front: no exit path —
     /// including failure — leaves state referencing a dead element.
-    fn recover_chain(
+    /// Shared with adaptive re-clustering, which reroutes chains whose
+    /// cluster's abstraction layer was rebuilt under them.
+    pub(crate) fn recover_chain(
         &mut self,
         dc: &DataCenter,
         id: NfcId,

@@ -137,6 +137,22 @@ impl FlowSim {
         seed: u64,
         down: &BTreeMap<usize, Vec<(u64, u64)>>,
     ) -> SimReport {
+        self.run_observed(horizon_s, seed, down, &mut |_, _, _| {})
+    }
+
+    /// Like [`FlowSim::run_with_outages`], but invokes `observer` with
+    /// `(chain, bytes, completed_at_ns)` for every flow completion, in
+    /// event order. This is the measurement tap of the adaptive
+    /// re-clustering loop: an `alvc_affinity::TrafficCollector` subscribes
+    /// here to build its decayed per-VM-pair statistics without the
+    /// simulator knowing anything about clustering.
+    pub fn run_observed(
+        &self,
+        horizon_s: f64,
+        seed: u64,
+        down: &BTreeMap<usize, Vec<(u64, u64)>>,
+        observer: &mut dyn FnMut(NfcId, u64, u64),
+    ) -> SimReport {
         let _span = alvc_telemetry::span!("alvc_sim.flowsim.run_us");
         let wall_start = std::time::Instant::now();
         let horizon_ns = (horizon_s * 1e9) as u64;
@@ -213,6 +229,7 @@ impl FlowSim {
                     entry.completion_us.record(completion_us);
                     alvc_telemetry::histogram!("alvc_sim.flowsim.completion_us")
                         .record(completion_us);
+                    observer(load.chain, bytes, now);
                 }
             }
         }
@@ -359,6 +376,26 @@ mod tests {
         let unaffected = mk().run_with_outages(0.01, 6, &other);
         assert_eq!(unaffected.dropped_flows, 0);
         assert_eq!(unaffected.total_flows, clean.total_flows);
+    }
+
+    #[test]
+    fn observer_sees_every_completion() {
+        let sim = FlowSim::new(
+            EnergyModel::default(),
+            vec![load(0, &[O, O], 3000.0), load(5, &[O, E, O], 3000.0)],
+        );
+        let mut seen: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+        let mut last_ns = 0u64;
+        let report = sim.run_observed(0.01, 8, &BTreeMap::new(), &mut |chain, bytes, now| {
+            let e = seen.entry(chain.index()).or_default();
+            e.0 += 1;
+            e.1 += bytes;
+            assert!(now >= last_ns, "completions observed in event order");
+            last_ns = now;
+        });
+        for (idx, chain) in &report.per_chain {
+            assert_eq!(seen[idx], (chain.flows, chain.bytes));
+        }
     }
 
     #[test]

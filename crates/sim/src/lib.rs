@@ -48,7 +48,7 @@ pub use flowsim::{ChainLoad, FlowSim, SimReport};
 pub use intents::{IntentMix, IntentOp, MixWeights};
 pub use linkload::LinkLoad;
 pub use metrics::{Counter, Summary};
-pub use traffic::{LocalityReport, TrafficMatrix};
+pub use traffic::{matrix_of_pairs, LocalityReport, PairDemand, TrafficMatrix};
 pub use workload::{
     ChainBlueprint, ChainWorkload, FlowSizeDistribution, PoissonArrivals, ServiceTraffic,
 };

@@ -1,15 +1,36 @@
 //! Traffic matrices and the cluster-locality report (experiment E1).
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use alvc_topology::{DataCenter, VmId};
 
 use crate::workload::GeneratedFlow;
 
-/// A set of VM-to-VM traffic demands.
+/// Aggregate demand between one ordered `(src, dst)` VM pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairDemand {
+    /// Total bytes from `src` to `dst`.
+    pub bytes: u64,
+    /// Number of individual flows aggregated into this entry.
+    pub flows: usize,
+}
+
+/// A set of VM-to-VM traffic demands, aggregated per ordered
+/// `(src, dst)` pair.
+///
+/// Workload generators emit individual [`GeneratedFlow`]s, but every
+/// consumer (locality reports, the affinity collector, cost models)
+/// only cares about the per-pair totals — so the matrix stores exactly
+/// those, in O(pairs) memory instead of O(flows), with an indexed
+/// accessor ([`demand_between`](TrafficMatrix::demand_between)) that a
+/// flat flow list cannot offer.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficMatrix {
-    entries: Vec<GeneratedFlow>,
+    demands: BTreeMap<(VmId, VmId), PairDemand>,
+    total_flows: usize,
+    total_bytes: u64,
 }
 
 impl TrafficMatrix {
@@ -18,43 +39,66 @@ impl TrafficMatrix {
         TrafficMatrix::default()
     }
 
-    /// Adds a demand.
+    /// Adds a demand, merging it into the `(src, dst)` aggregate.
     pub fn push(&mut self, flow: GeneratedFlow) {
-        self.entries.push(flow);
+        let d = self.demands.entry((flow.src, flow.dst)).or_default();
+        d.bytes += flow.bytes;
+        d.flows += 1;
+        self.total_flows += 1;
+        self.total_bytes += flow.bytes;
     }
 
-    /// Number of demands.
+    /// Number of individual flows pushed (not distinct pairs).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.total_flows
     }
 
     /// Whether the matrix is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.total_flows == 0
     }
 
-    /// Iterates over demands.
-    pub fn iter(&self) -> impl Iterator<Item = &GeneratedFlow> {
-        self.entries.iter()
+    /// Number of distinct `(src, dst)` pairs with demand.
+    pub fn pair_count(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// The aggregate demand from `src` to `dst`, if any. Directional:
+    /// `a→b` and `b→a` are distinct entries.
+    pub fn demand_between(&self, src: VmId, dst: VmId) -> Option<PairDemand> {
+        self.demands.get(&(src, dst)).copied()
+    }
+
+    /// Iterates over `(src, dst, demand)` aggregates in pair order.
+    pub fn pairs(&self) -> impl Iterator<Item = (VmId, VmId, PairDemand)> + '_ {
+        self.demands.iter().map(|(&(s, d), &p)| (s, d, p))
+    }
+
+    /// Iterates over `(src, dst, bytes)` triples — the shape
+    /// `alvc_affinity::TrafficCollector::observe_pairs` consumes.
+    pub fn pair_demands(&self) -> impl Iterator<Item = (VmId, VmId, u64)> + '_ {
+        self.demands.iter().map(|(&(s, d), p)| (s, d, p.bytes))
     }
 
     /// Total bytes across all demands.
     pub fn total_bytes(&self) -> u64 {
-        self.entries.iter().map(|f| f.bytes).sum()
+        self.total_bytes
     }
 }
 
 impl FromIterator<GeneratedFlow> for TrafficMatrix {
     fn from_iter<T: IntoIterator<Item = GeneratedFlow>>(iter: T) -> Self {
-        TrafficMatrix {
-            entries: iter.into_iter().collect(),
-        }
+        let mut m = TrafficMatrix::new();
+        m.extend(iter);
+        m
     }
 }
 
 impl Extend<GeneratedFlow> for TrafficMatrix {
     fn extend<T: IntoIterator<Item = GeneratedFlow>>(&mut self, iter: T) {
-        self.entries.extend(iter);
+        for f in iter {
+            self.push(f);
+        }
     }
 }
 
@@ -81,13 +125,13 @@ impl LocalityReport {
             intra_flows: 0,
             inter_flows: 0,
         };
-        for f in matrix.iter() {
-            if dc.service_of_vm(f.src) == dc.service_of_vm(f.dst) {
-                report.intra_bytes += f.bytes;
-                report.intra_flows += 1;
+        for (src, dst, demand) in matrix.pairs() {
+            if dc.service_of_vm(src) == dc.service_of_vm(dst) {
+                report.intra_bytes += demand.bytes;
+                report.intra_flows += demand.flows;
             } else {
-                report.inter_bytes += f.bytes;
-                report.inter_flows += 1;
+                report.inter_bytes += demand.bytes;
+                report.inter_flows += demand.flows;
             }
         }
         report
@@ -183,6 +227,41 @@ mod tests {
             bytes: 20,
         }]);
         assert_eq!(m.len(), 2);
-        assert_eq!(m.iter().map(|f| f.bytes).sum::<u64>(), 30);
+        assert_eq!(m.pairs().map(|(_, _, d)| d.bytes).sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn flows_aggregate_per_ordered_pair() {
+        let mut m = TrafficMatrix::new();
+        for bytes in [10, 15] {
+            m.push(GeneratedFlow {
+                src: VmId(0),
+                dst: VmId(1),
+                bytes,
+            });
+        }
+        m.push(GeneratedFlow {
+            src: VmId(1),
+            dst: VmId(0),
+            bytes: 7,
+        });
+        // Three flows, but only two directional pairs.
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.pair_count(), 2);
+        assert_eq!(
+            m.demand_between(VmId(0), VmId(1)),
+            Some(PairDemand {
+                bytes: 25,
+                flows: 2
+            })
+        );
+        assert_eq!(
+            m.demand_between(VmId(1), VmId(0)),
+            Some(PairDemand { bytes: 7, flows: 1 })
+        );
+        assert_eq!(m.demand_between(VmId(0), VmId(2)), None);
+        assert_eq!(m.total_bytes(), 32);
+        let triples: Vec<_> = m.pair_demands().collect();
+        assert_eq!(triples, vec![(VmId(0), VmId(1), 25), (VmId(1), VmId(0), 7)]);
     }
 }

@@ -164,11 +164,15 @@ impl ServiceTraffic {
 
     /// Generates `n` flows over the VMs of `dc`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `dc` has fewer than two VMs.
+    /// A data center with fewer than two VMs cannot host any flow, so the
+    /// result is empty rather than a panic. When the drawn intra/inter
+    /// relation is infeasible for the whole topology (e.g. every VM runs
+    /// the same service, so no inter-service pair exists), the generator
+    /// falls back to the feasible relation instead of redrawing forever.
     pub fn generate(&mut self, dc: &DataCenter, n: usize) -> Vec<GeneratedFlow> {
-        assert!(dc.vm_count() >= 2, "traffic needs at least two VMs");
+        if dc.vm_count() < 2 {
+            return Vec::new();
+        }
         let all: Vec<VmId> = dc.vm_ids().collect();
         // Pre-index VMs by service.
         let mut by_service: std::collections::HashMap<ServiceType, Vec<VmId>> =
@@ -176,11 +180,23 @@ impl ServiceTraffic {
         for &vm in &all {
             by_service.entry(dc.service_of_vm(vm)).or_default().push(vm);
         }
+        // Global feasibility of each relation kind.
+        let has_intra = by_service.values().any(|vms| vms.len() >= 2);
+        let has_inter = by_service.len() >= 2;
         let mut flows = Vec::with_capacity(n);
         while flows.len() < n {
-            let &src = all.choose(&mut self.rng).expect("vms non-empty");
+            let Some(&src) = all.choose(&mut self.rng) else {
+                break;
+            };
             let service = dc.service_of_vm(src);
-            let same = self.rng.random::<f64>() < self.intra_service_prob;
+            let mut same = self.rng.random::<f64>() < self.intra_service_prob;
+            // Fall back when the drawn relation has no candidate pair
+            // anywhere in the topology.
+            if same && !has_intra {
+                same = false;
+            } else if !same && !has_inter {
+                same = true;
+            }
             let pool: Vec<VmId> = if same {
                 by_service[&service]
                     .iter()
@@ -194,7 +210,7 @@ impl ServiceTraffic {
                     .collect()
             };
             let Some(&dst) = pool.choose(&mut self.rng) else {
-                continue; // no candidate with the requested relation; redraw
+                continue; // this src has no candidate; redraw the source
             };
             flows.push(GeneratedFlow {
                 src,
@@ -317,6 +333,39 @@ mod tests {
     }
 
     #[test]
+    fn single_vm_topology_yields_no_flows() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(1)
+            .servers_per_rack(1)
+            .vms_per_server(1)
+            .seed(0)
+            .build();
+        let mut gen = ServiceTraffic::new(0.5, FlowSizeDistribution::Constant(1), 0);
+        assert!(gen.generate(&dc, 100).is_empty(), "no pair, no flows");
+    }
+
+    #[test]
+    fn infeasible_relation_falls_back_instead_of_spinning() {
+        use alvc_topology::ServiceMix;
+        // Every VM runs the same service, so no inter-service pair exists
+        // anywhere; an inter-only generator must fall back to intra flows
+        // rather than redraw forever.
+        let dc = AlvcTopologyBuilder::new()
+            .racks(2)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .service_mix(ServiceMix::uniform(&[ServiceType::WebService]))
+            .seed(4)
+            .build();
+        let mut gen = ServiceTraffic::new(0.0, FlowSizeDistribution::Constant(1), 6);
+        let flows = gen.generate(&dc, 200);
+        assert_eq!(flows.len(), 200);
+        assert!(flows
+            .iter()
+            .all(|f| dc.service_of_vm(f.src) == dc.service_of_vm(f.dst)));
+    }
+
+    #[test]
     #[should_panic(expected = "probability")]
     fn bad_probability_rejected() {
         ServiceTraffic::new(1.5, FlowSizeDistribution::Constant(1), 0);
@@ -376,17 +425,27 @@ impl ChainWorkload {
 
     /// Generates `n` blueprints with endpoints drawn from `vms`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `vms` has fewer than two entries.
+    /// A chain needs two *distinct* endpoints, so a pool with fewer than
+    /// two distinct VMs yields no blueprints (an empty result, not a
+    /// panic). Duplicate entries in `vms` are tolerated — they only skew
+    /// the endpoint distribution, never the termination of the draw.
     pub fn generate(&mut self, vms: &[VmId], n: usize) -> Vec<ChainBlueprint> {
-        assert!(vms.len() >= 2, "blueprints need at least two VMs");
+        let mut distinct: Vec<VmId> = vms.to_vec();
+        distinct.sort();
+        distinct.dedup();
+        if distinct.len() < 2 {
+            return Vec::new();
+        }
         (0..n)
             .map(|_| {
-                let &ingress = vms.choose(&mut self.rng).expect("non-empty");
+                let &ingress = vms
+                    .choose(&mut self.rng)
+                    .expect("pool has two distinct VMs");
                 let mut egress = ingress;
                 while egress == ingress {
-                    egress = *vms.choose(&mut self.rng).expect("non-empty");
+                    egress = *vms
+                        .choose(&mut self.rng)
+                        .expect("pool has two distinct VMs");
                 }
                 let len = self.rng.random_range(self.min_len..=self.max_len);
                 let heavy = (0..len)
@@ -435,9 +494,23 @@ mod chain_workload_tests {
     }
 
     #[test]
-    #[should_panic(expected = "two VMs")]
-    fn single_vm_rejected() {
-        ChainWorkload::new(1, 2, 0.0, 0).generate(&[VmId(0)], 1);
+    fn single_vm_yields_no_blueprints() {
+        let chains = ChainWorkload::new(1, 2, 0.0, 0).generate(&[VmId(0)], 5);
+        assert!(chains.is_empty(), "one VM cannot host a chain");
+    }
+
+    #[test]
+    fn empty_pool_yields_no_blueprints() {
+        let chains = ChainWorkload::new(1, 2, 0.0, 0).generate(&[], 5);
+        assert!(chains.is_empty());
+    }
+
+    #[test]
+    fn duplicated_single_vm_yields_no_blueprints() {
+        // Duplicates of one VM are not two distinct endpoints; the old
+        // implementation span forever redrawing the egress here.
+        let chains = ChainWorkload::new(1, 2, 0.0, 0).generate(&[VmId(3); 4], 5);
+        assert!(chains.is_empty());
     }
 
     #[test]

@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the AL-VC workspace.
+pub use alvc_affinity as affinity;
 pub use alvc_core as core;
 pub use alvc_graph as graph;
 pub use alvc_nfv as nfv;
@@ -27,6 +28,10 @@ pub use alvc_topology as topology;
 /// # Ok::<(), Error>(())
 /// ```
 pub mod prelude {
+    pub use alvc_affinity::{
+        AffinityClusterer, HysteresisPolicy, MigrationPlanner, ReclusterPlan, TrafficCollector,
+        TrafficStats, VmMove,
+    };
     pub use alvc_core::clustering::{service_clusters, tenant_clusters};
     pub use alvc_core::construction::{AlConstruct, PaperGreedy};
     pub use alvc_core::{AbstractionLayer, ClusterId, ClusterManager};
