@@ -169,7 +169,7 @@ impl AffinityClusterer {
         current
             .iter()
             .zip(members)
-            .map(|(spec, vms)| ClusterSpec::new(spec.label.clone(), vms))
+            .map(|(spec, vms)| ClusterSpec::new(spec.label, vms))
             .collect()
     }
 }

@@ -239,7 +239,7 @@ mod tests {
             .build();
         let mut mgr = ClusterManager::new();
         for spec in alvc_core::service_clusters(&dc) {
-            mgr.create_cluster(&dc, &spec.label, spec.vms, &PaperGreedy::new())
+            mgr.create_cluster(&dc, spec.label, spec.vms, &PaperGreedy::new())
                 .unwrap();
         }
         (dc, mgr)

@@ -32,7 +32,7 @@ fn dc() -> DataCenter {
 fn manager(dc: &DataCenter) -> ClusterManager {
     let mut mgr = ClusterManager::new();
     for spec in service_clusters(dc) {
-        mgr.create_cluster(dc, &spec.label, spec.vms, &PaperGreedy::new())
+        mgr.create_cluster(dc, spec.label, spec.vms, &PaperGreedy::new())
             .expect("service clusters construct on the fixed topology");
     }
     mgr

@@ -49,7 +49,7 @@ fn bench_flow_sim(c: &mut Criterion) {
         let id = orch
             .deploy_chain(
                 &dc,
-                &t.label,
+                t.label,
                 t.vms.clone(),
                 spec,
                 &PaperGreedy::new(),

@@ -15,7 +15,7 @@ fn bench_update_cost(c: &mut Criterion) {
         let mut first_cluster = None;
         for spec in service_clusters(&dc) {
             let id = mgr
-                .create_cluster(&dc, &spec.label, spec.vms, &PaperGreedy::new())
+                .create_cluster(&dc, spec.label, spec.vms, &PaperGreedy::new())
                 .expect("construction feasible");
             first_cluster.get_or_insert(id);
         }

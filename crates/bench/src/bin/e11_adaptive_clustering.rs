@@ -69,6 +69,7 @@ impl Config {
                     vms_per_server: 2,
                     ops: 32,
                     degree: 8,
+                    pods: 1,
                 },
                 services: 3,
                 pre_drift_epochs: 3,
@@ -84,6 +85,7 @@ impl Config {
                     vms_per_server: 2,
                     ops: 48,
                     degree: 8,
+                    pods: 1,
                 },
                 services: 4,
                 pre_drift_epochs: 6,

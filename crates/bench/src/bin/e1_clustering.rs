@@ -23,7 +23,7 @@ fn main() {
     let mut al_sizes = Vec::new();
     for spec in service_clusters(&dc) {
         let id = mgr
-            .create_cluster(&dc, &spec.label, spec.vms, &PaperGreedy::new())
+            .create_cluster(&dc, spec.label, spec.vms, &PaperGreedy::new())
             .expect("cluster construction at small scale");
         al_sizes.push(mgr.cluster(id).unwrap().al().ops_count());
     }

@@ -50,7 +50,7 @@ fn orchestrate_chains() -> usize {
         if orch
             .deploy_chain(
                 &dc,
-                &tenant.label,
+                tenant.label,
                 tenant.vms.clone(),
                 spec,
                 &PaperGreedy::new(),
@@ -74,6 +74,7 @@ const KERNEL_SCALES: [(Scale, usize); 3] = [
             vms_per_server: 4,
             ops: 48,
             degree: 8,
+            pods: 1,
         },
         40,
     ),
@@ -86,6 +87,7 @@ const KERNEL_SCALES: [(Scale, usize); 3] = [
             vms_per_server: 4,
             ops: 936,
             degree: 8,
+            pods: 1,
         },
         3,
     ),
@@ -389,6 +391,7 @@ fn main() {
         vms_per_server: 4,
         ops: 2048,
         degree: 32,
+        pods: 1,
     };
     let batch_dc = batch_scale.build(23);
     let requests = batch_requests(&batch_dc, 24, 16);

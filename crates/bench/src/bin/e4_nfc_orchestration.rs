@@ -32,7 +32,7 @@ fn main() {
         let id = orch
             .deploy_chain(
                 &dc,
-                &tenant.label,
+                tenant.label,
                 tenant.vms.clone(),
                 spec,
                 &PaperGreedy::new(),

@@ -35,7 +35,7 @@ fn main() {
             if orch
                 .deploy_chain(
                     &dc,
-                    &group.label,
+                    group.label,
                     group.vms.clone(),
                     spec,
                     &PaperGreedy::new(),

@@ -80,7 +80,7 @@ fn main() {
                 let id = orch
                     .deploy_chain(
                         &dc,
-                        &group.label,
+                        group.label,
                         group.vms.clone(),
                         spec,
                         &PaperGreedy::new(),
@@ -180,7 +180,7 @@ fn main() {
             for (group, spec) in groups.iter().zip(chain_population(&vm_groups)) {
                 if let Ok(id) = orch.deploy_chain(
                     &dc,
-                    &group.label,
+                    group.label,
                     group.vms.clone(),
                     spec,
                     ctor,

@@ -22,7 +22,7 @@ fn main() {
         for spec in service_clusters(&dc) {
             let vms = spec.vms.clone();
             let id = mgr
-                .create_cluster(&dc, &spec.label, spec.vms, &PaperGreedy::new())
+                .create_cluster(&dc, spec.label, spec.vms, &PaperGreedy::new())
                 .expect("construction feasible");
             for vm in vms {
                 cluster_of_vm.insert(vm, id);

@@ -9,7 +9,7 @@ use std::time::Instant;
 use alvc_bench::{f2, print_table, telemetry_json, write_results, Json, Scale};
 use alvc_core::clustering::tenant_clusters;
 use alvc_core::construction::{AlConstruct, NaiveGreedy, PaperGreedy, RandomSelection};
-use alvc_core::{service_clusters, OpsAvailability};
+use alvc_core::{construct_layers_sharded, service_clusters, OpsAvailability};
 use alvc_nfv::chain::fig5;
 use alvc_nfv::Orchestrator;
 use alvc_placement::OpticalFirstPlacer;
@@ -31,7 +31,7 @@ fn orchestrate_chains() -> usize {
         if orch
             .deploy_chain(
                 &dc,
-                &tenant.label,
+                tenant.label,
                 tenant.vms.clone(),
                 spec,
                 &PaperGreedy::new(),
@@ -43,6 +43,97 @@ fn orchestrate_chains() -> usize {
         }
     }
     deployed
+}
+
+/// Runs the sharded construction path on one hyperscale DC tier and
+/// returns (table row, JSON row, construction wall-clock in ms).
+fn run_dc_tier(scale: &Scale) -> (Vec<String>, Json, f64) {
+    let build_start = Instant::now();
+    // Four services, as in the other disjointness-sensitive experiments:
+    // the sharded path constructs the clusters OPS-disjoint, and the
+    // all-service mix does not reliably fit the per-ToR uplink budget.
+    let dc = scale.build_four_services(19);
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let clusters = service_clusters(&dc);
+    let specs: Vec<_> = clusters.iter().map(|c| c.vms.clone()).collect();
+    let start = Instant::now();
+    let (results, report) =
+        construct_layers_sharded(&dc, &specs, &PaperGreedy::new(), &OpsAvailability::all());
+    let construct_ms = start.elapsed().as_secs_f64() * 1e3;
+    let failed: Vec<_> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().err().map(|e| (clusters[i].label, e)))
+        .collect();
+    assert!(
+        failed.is_empty(),
+        "all service clusters must construct at {}: {failed:?}",
+        scale.name
+    );
+    let row = vec![
+        scale.name.to_string(),
+        scale.vm_count().to_string(),
+        scale.pods.to_string(),
+        clusters.len().to_string(),
+        f2(construct_ms),
+        format!("{}", report.peak_shard_bytes()),
+        report.merged_clusters.to_string(),
+        report.fallbacks.to_string(),
+    ];
+    let json = Json::object()
+        .field("scale", scale.name)
+        .field("vms", scale.vm_count())
+        .field("pods", scale.pods)
+        .field("ops_total", scale.pods * scale.ops)
+        .field("clusters", clusters.len())
+        .field("constructor", "paper-greedy (sharded)")
+        .field("topo_build_ms", (build_ms * 1e3).round() / 1e3)
+        .field("construct_ms", (construct_ms * 1e3).round() / 1e3)
+        .field("peak_shard_bytes", report.peak_shard_bytes())
+        .field("mean_shard_bytes", report.mean_shard_bytes())
+        .field("merged_clusters", report.merged_clusters)
+        .field("fallbacks", report.fallbacks)
+        .field(
+            "per_shard",
+            Json::Array(
+                report
+                    .per_shard
+                    .iter()
+                    .map(|&(subs, bytes)| {
+                        Json::object()
+                            .field("sub_clusters", subs)
+                            .field("bytes", bytes)
+                    })
+                    .collect(),
+            ),
+        );
+    (row, json, construct_ms)
+}
+
+/// The DC-ladder tiers selected by `E8_DC_TIERS` (comma-separated names;
+/// unset runs the whole ladder, empty string disables the section).
+fn selected_dc_tiers() -> Vec<Scale> {
+    match std::env::var("E8_DC_TIERS") {
+        Err(_) => Scale::DC_LADDER.to_vec(),
+        Ok(list) => {
+            let wanted: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            for name in &wanted {
+                assert!(
+                    Scale::DC_LADDER.iter().any(|s| s.name == *name),
+                    "E8_DC_TIERS: unknown tier {name:?}"
+                );
+            }
+            Scale::DC_LADDER
+                .iter()
+                .filter(|s| wanted.contains(&s.name))
+                .copied()
+                .collect()
+        }
+    }
 }
 
 fn main() {
@@ -104,6 +195,49 @@ fn main() {
          (the greedy is near-linear in the bipartite graph size), and the greedy's AL\n\
          size advantage over random selection persists at every scale."
     );
+    // Hyperscale tiers: the pod-10k shape replicated across pods, built
+    // once per tier and constructed through the sharded (pod-parallel)
+    // path. `E8_DC_TIERS` selects tiers (CI runs dc-100k only);
+    // `E8_SCALE_BUDGET_MS` turns the dc-100k wall clock into a hard gate.
+    let mut dc_rows = Vec::new();
+    let mut dc_table = Vec::new();
+    for scale in selected_dc_tiers() {
+        let (row, json, construct_ms) = run_dc_tier(&scale);
+        if scale.name == "dc-100k" {
+            if let Ok(budget) = std::env::var("E8_SCALE_BUDGET_MS") {
+                let budget: f64 = budget.parse().expect("E8_SCALE_BUDGET_MS must be a number");
+                assert!(
+                    construct_ms <= budget,
+                    "dc-100k construction took {construct_ms:.1} ms, budget {budget} ms"
+                );
+            }
+        }
+        dc_rows.push(json);
+        dc_table.push(row);
+    }
+    if !dc_table.is_empty() {
+        println!("\nsharded full-DC construction (pod-parallel, merge at boundary):\n");
+        print_table(
+            &[
+                "scale",
+                "VMs",
+                "pods",
+                "clusters",
+                "construct ms",
+                "peak shard B",
+                "merged",
+                "fallbacks",
+            ],
+            &dc_table,
+        );
+    }
+    // The hot paths intern labels once; any subsequent String round-trip
+    // would bump this counter. Keep it at zero.
+    assert_eq!(
+        alvc_telemetry::counter!("core.label_clones").value(),
+        0,
+        "hot paths must not re-intern label strings"
+    );
     let chains_deployed = orchestrate_chains();
     println!("\norchestration pass: deployed {chains_deployed}/3 Fig. 5 chains");
     let json = Json::object()
@@ -113,6 +247,7 @@ fn main() {
             "AL construction time and size across the scale ladder",
         )
         .field("rows", Json::Array(json_rows))
+        .field("dc_rows", Json::Array(dc_rows))
         .field("chains_deployed", chains_deployed)
         .field("telemetry_enabled", alvc_telemetry::telemetry_compiled())
         .field("telemetry", telemetry_json());

@@ -34,7 +34,7 @@ fn run(
     let dc = scale.build_with_services(13, services);
     let mut mgr = ClusterManager::new();
     for spec in service_clusters(&dc) {
-        mgr.create_cluster(&dc, &spec.label, spec.vms, ctor)
+        mgr.create_cluster(&dc, spec.label, spec.vms, ctor)
             .expect("construction feasible");
     }
 
@@ -105,7 +105,7 @@ fn run_chain_recovery(scale: &Scale, seed: u64, rows: &mut Vec<Vec<String>>) {
     let mut deployed = Vec::new();
     for spec in service_clusters(&dc) {
         let chain = fig5::black(spec.vms[0], *spec.vms.last().unwrap());
-        if let Ok(id) = orch.deploy_chain(&dc, &spec.label, spec.vms, chain, &ctor, &placer) {
+        if let Ok(id) = orch.deploy_chain(&dc, spec.label, spec.vms, chain, &ctor, &placer) {
             deployed.push(id);
         }
     }

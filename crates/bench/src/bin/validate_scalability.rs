@@ -1,0 +1,134 @@
+//! Validates `results/BENCH_scalability.json` against
+//! `schemas/scalability.schema.json` and enforces the E8 acceptance
+//! invariants on top of the shape check:
+//!
+//! - every flat-ladder row stays sub-second per cluster (the paper's §I
+//!   scalability claim),
+//! - every sharded DC row reports per-shard peak memory consistent with
+//!   its `per_shard` breakdown and has at least one shard per pod,
+//! - the sharded path never degrades into a whole-DC serial rebuild for
+//!   every cluster (`fallbacks < clusters`).
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_scalability <results-file> [schema-file]
+//! ```
+//!
+//! Exits nonzero with a diagnostic on the first violation; CI's telemetry
+//! smoke and scale-smoke jobs run this after regenerating the file.
+
+use std::process::ExitCode;
+
+use alvc_bench::schema::validate;
+use alvc_bench::Json;
+
+/// Flat-ladder acceptance: sub-second construction per cluster at every
+/// scale, for every constructor.
+fn check_flat_rows(results: &Json) -> Result<(), String> {
+    let rows = results
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or("rows missing")?;
+    if rows.is_empty() {
+        return Err("rows is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ms = row
+            .get("ms_per_cluster")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("rows[{i}].ms_per_cluster missing"))?;
+        if ms >= 1000.0 {
+            return Err(format!(
+                "rows[{i}]: {ms} ms per cluster breaks the sub-second claim"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Sharded-DC acceptance: per-shard memory adds up, one shard per pod, and
+/// the pod-parallel path actually carried the construction.
+fn check_dc_rows(results: &Json) -> Result<(), String> {
+    let rows = results
+        .get("dc_rows")
+        .and_then(Json::as_array)
+        .ok_or("dc_rows missing")?;
+    for (i, row) in rows.iter().enumerate() {
+        let num = |key: &str| -> Result<f64, String> {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("dc_rows[{i}].{key} missing"))
+        };
+        let pods = num("pods")?;
+        let peak = num("peak_shard_bytes")?;
+        let per_shard = row
+            .get("per_shard")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("dc_rows[{i}].per_shard missing"))?;
+        if per_shard.len() != pods as usize {
+            return Err(format!(
+                "dc_rows[{i}]: {} per_shard entries for {pods} pods",
+                per_shard.len()
+            ));
+        }
+        let max_bytes = per_shard
+            .iter()
+            .filter_map(|s| s.get("bytes").and_then(Json::as_f64))
+            .fold(0.0_f64, f64::max);
+        if (max_bytes - peak).abs() > 0.5 {
+            return Err(format!(
+                "dc_rows[{i}]: peak_shard_bytes {peak} disagrees with per_shard max {max_bytes}"
+            ));
+        }
+        if num("fallbacks")? >= num("clusters")? {
+            return Err(format!(
+                "dc_rows[{i}]: every cluster fell back to whole-DC construction"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let results_path = args
+        .next()
+        .ok_or("usage: validate_scalability <results-file> [schema-file]")?;
+    let schema_path = args.next().unwrap_or_else(|| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/scalability.schema.json"
+        )
+        .to_string()
+    });
+
+    let results_text =
+        std::fs::read_to_string(&results_path).map_err(|e| format!("read {results_path}: {e}"))?;
+    let schema_text =
+        std::fs::read_to_string(&schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let results = Json::parse(&results_text).map_err(|e| format!("{results_path}: {e}"))?;
+    let schema = Json::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+
+    validate(&results, &schema, "scalability")?;
+    check_flat_rows(&results)?;
+    check_dc_rows(&results)?;
+    let dc_count = results
+        .get("dc_rows")
+        .and_then(Json::as_array)
+        .map_or(0, |rows| rows.len());
+    println!(
+        "{results_path}: scalability result valid ({dc_count} sharded DC tier(s), flat ladder sub-second)"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_scalability: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

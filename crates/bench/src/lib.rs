@@ -21,10 +21,13 @@ pub struct Scale {
     pub servers_per_rack: usize,
     /// VMs per server.
     pub vms_per_server: usize,
-    /// OPS core size.
+    /// OPS core size (per pod).
     pub ops: usize,
     /// ToR→OPS uplink degree.
     pub degree: usize,
+    /// Pods: the shape above is replicated per pod (pod-local core,
+    /// boundary ring between pods). 1 = the historical single-pod scales.
+    pub pods: usize,
 }
 
 impl Scale {
@@ -43,6 +46,7 @@ impl Scale {
             vms_per_server: 2,
             ops: 12,
             degree: 4,
+            pods: 1,
         },
         Scale {
             name: "small",
@@ -51,6 +55,7 @@ impl Scale {
             vms_per_server: 4,
             ops: 48,
             degree: 8,
+            pods: 1,
         },
         Scale {
             name: "medium",
@@ -59,6 +64,7 @@ impl Scale {
             vms_per_server: 4,
             ops: 96,
             degree: 8,
+            pods: 1,
         },
         Scale {
             name: "large",
@@ -67,6 +73,7 @@ impl Scale {
             vms_per_server: 4,
             ops: 192,
             degree: 8,
+            pods: 1,
         },
         Scale {
             name: "pod-10k",
@@ -75,12 +82,38 @@ impl Scale {
             vms_per_server: 4,
             ops: 288,
             degree: 8,
+            pods: 1,
         },
     ];
 
-    /// Total VMs at this scale.
+    /// The hyperscale data-center ladder for the sharded construction
+    /// path: the pod-10k shape replicated across pods (pod-local cores
+    /// joined by a boundary ring), reaching ~100k and ~1M VMs. Used by E8's
+    /// sharded section and the CI scale-smoke job.
+    pub const DC_LADDER: [Scale; 2] = [
+        Scale {
+            name: "dc-100k",
+            racks: 96,
+            servers_per_rack: 28,
+            vms_per_server: 4,
+            ops: 288,
+            degree: 12,
+            pods: 10,
+        },
+        Scale {
+            name: "dc-1m",
+            racks: 96,
+            servers_per_rack: 28,
+            vms_per_server: 4,
+            ops: 288,
+            degree: 12,
+            pods: 96,
+        },
+    ];
+
+    /// Total VMs at this scale (all pods).
     pub fn vm_count(&self) -> usize {
-        self.racks * self.servers_per_rack * self.vms_per_server
+        self.pods * self.racks * self.servers_per_rack * self.vms_per_server
     }
 
     /// A pre-configured builder for this scale (full-mesh optical core as
@@ -97,6 +130,8 @@ impl Scale {
             .tor_ops_degree(self.degree)
             .opto_fraction(0.5)
             .interconnect(OpsInterconnect::FullMesh)
+            .pods(self.pods)
+            .boundary_gateways(if self.pods > 1 { 8 } else { 0 })
             .seed(seed)
     }
 

@@ -7,18 +7,21 @@
 use alvc_topology::{DataCenter, ServiceType, VmId};
 use serde::{Deserialize, Serialize};
 
+use crate::label::LabelId;
+
 /// A named group of VMs destined to become one virtual cluster.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClusterSpec {
-    /// Human-readable label (service name or tenant id).
-    pub label: String,
+    /// Interned label (service name or tenant id).
+    pub label: LabelId,
     /// The member VMs.
     pub vms: Vec<VmId>,
 }
 
 impl ClusterSpec {
-    /// Creates a spec; VMs are deduplicated and sorted.
-    pub fn new(label: impl Into<String>, mut vms: Vec<VmId>) -> Self {
+    /// Creates a spec; VMs are deduplicated and sorted. Accepts `&str`,
+    /// `String`, or an already-interned [`LabelId`].
+    pub fn new(label: impl Into<LabelId>, mut vms: Vec<VmId>) -> Self {
         vms.sort();
         vms.dedup();
         ClusterSpec {
@@ -89,7 +92,7 @@ pub fn tenant_clusters(vms: &[VmId], n: usize) -> Vec<ClusterSpec> {
     groups
         .into_iter()
         .enumerate()
-        .map(|(i, vms)| ClusterSpec::new(format!("tenant-{i}"), vms))
+        .map(|(i, vms)| ClusterSpec::new(LabelId::intern(&format!("tenant-{i}")), vms))
         .collect()
 }
 

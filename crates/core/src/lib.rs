@@ -48,12 +48,16 @@ pub mod abstraction_layer;
 pub mod clustering;
 pub mod construction;
 pub mod error;
+pub mod label;
 pub mod manager;
+pub mod shard;
 pub mod update_cost;
 
 pub use abstraction_layer::AbstractionLayer;
 pub use clustering::{service_clusters, ClusterSpec};
 pub use construction::{construct_layers, OpsAvailability};
 pub use error::{AlValidationError, ConstructionError};
+pub use label::LabelId;
 pub use manager::{ClusterId, ClusterManager, VirtualCluster};
+pub use shard::{construct_layers_sharded, ShardReport, ShardedState};
 pub use update_cost::{ChurnEvent, UpdateCost, UpdateCostModel};

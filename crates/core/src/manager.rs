@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use crate::abstraction_layer::AbstractionLayer;
 use crate::construction::{construct_layers, AlConstruct, OpsAvailability};
 use crate::error::ConstructionError;
+use crate::label::LabelId;
 
 /// Identifier of a virtual cluster issued by a [`ClusterManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -32,7 +33,7 @@ impl std::fmt::Display for ClusterId {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VirtualCluster {
     id: ClusterId,
-    label: String,
+    label: LabelId,
     vms: Vec<VmId>,
     al: AbstractionLayer,
 }
@@ -44,8 +45,13 @@ impl VirtualCluster {
     }
 
     /// The human-readable label (service name or tenant).
-    pub fn label(&self) -> &str {
-        &self.label
+    pub fn label(&self) -> &'static str {
+        self.label.as_str()
+    }
+
+    /// The interned label id (integer compare, no string walk).
+    pub fn label_id(&self) -> LabelId {
+        self.label
     }
 
     /// The member VMs, sorted.
@@ -126,9 +132,12 @@ impl ClusterManager {
             .map(|vc| vc.id)
     }
 
-    /// Finds a cluster by label.
+    /// Finds a cluster by label. Resolves the text through the intern
+    /// table once, then scans on integer ids — no per-cluster string
+    /// compare, and an unknown label never grows the table.
     pub fn cluster_by_label(&self, label: &str) -> Option<&VirtualCluster> {
-        self.clusters.values().find(|vc| vc.label() == label)
+        let id = LabelId::lookup(label)?;
+        self.clusters.values().find(|vc| vc.label == id)
     }
 
     /// Builds an abstraction layer for `vms` with `constructor` and
@@ -141,7 +150,7 @@ impl ClusterManager {
     pub fn create_cluster(
         &mut self,
         dc: &DataCenter,
-        label: impl Into<String>,
+        label: impl Into<LabelId>,
         mut vms: Vec<VmId>,
         constructor: &dyn AlConstruct,
     ) -> Result<ClusterId, ConstructionError> {
@@ -185,6 +194,24 @@ impl ClusterManager {
         requests: Vec<(String, Vec<VmId>)>,
         constructor: &(dyn AlConstruct + Sync),
     ) -> Vec<Result<ClusterId, ConstructionError>> {
+        self.construct_all_labeled(
+            dc,
+            requests
+                .into_iter()
+                .map(|(label, vms)| (LabelId::from(label), vms))
+                .collect(),
+            constructor,
+        )
+    }
+
+    /// [`ClusterManager::construct_all`] with pre-interned labels — the
+    /// zero-allocation native form used by the hot batch paths.
+    pub fn construct_all_labeled(
+        &mut self,
+        dc: &DataCenter,
+        requests: Vec<(LabelId, Vec<VmId>)>,
+        constructor: &(dyn AlConstruct + Sync),
+    ) -> Vec<Result<ClusterId, ConstructionError>> {
         let clusters: Vec<Vec<VmId>> = requests
             .iter()
             .map(|(_, vms)| {
@@ -205,9 +232,9 @@ impl ClusterManager {
     /// Registers an already-constructed cluster, claiming its OPSs. The
     /// caller must guarantee the layer's OPSs are currently available
     /// (checked in debug builds).
-    fn register_cluster(
+    pub(crate) fn register_cluster(
         &mut self,
-        label: String,
+        label: LabelId,
         vms: Vec<VmId>,
         al: AbstractionLayer,
     ) -> ClusterId {
@@ -238,7 +265,7 @@ impl ClusterManager {
     pub fn try_adopt_cluster(
         &mut self,
         dc: &DataCenter,
-        label: impl Into<String>,
+        label: impl Into<LabelId>,
         mut vms: Vec<VmId>,
         al: AbstractionLayer,
     ) -> Option<ClusterId> {
@@ -307,6 +334,92 @@ impl ClusterManager {
                 Err(e)
             }
         }
+    }
+
+    /// Rebuilds a batch of clusters. On a single-pod data center this is
+    /// exactly a [`ClusterManager::rebuild_cluster`] loop in the given
+    /// order (bit-identical results); on a multi-pod topology replacement
+    /// layers are first built **speculatively** shard-parallel via
+    /// [`construct_layers_sharded`](crate::shard::construct_layers_sharded)
+    /// (against a view with the whole batch's OPSs released), then
+    /// committed serially in the given order — a speculative layer is
+    /// adopted when its OPSs are still free, and conflicting or failed
+    /// clusters fall back to the serial rebuild path. Failed rebuilds roll
+    /// back to the old layer either way. Deterministic in both modes.
+    pub fn rebuild_clusters(
+        &mut self,
+        dc: &DataCenter,
+        ids: &[ClusterId],
+        constructor: &(dyn AlConstruct + Sync),
+    ) -> Vec<(ClusterId, Result<(), ConstructionError>)> {
+        if dc.pod_count() <= 1 || ids.len() <= 1 {
+            return ids
+                .iter()
+                .map(|&id| (id, self.rebuild_cluster(dc, id, constructor)))
+                .collect();
+        }
+        let _span = alvc_telemetry::span!("alvc_core.manager.rebuild_batch_us");
+        // Speculative phase: construct every replacement layer in parallel
+        // against a view in which the whole batch's (non-failed) OPSs are
+        // released. Unknown ids get no layer and stay no-op successes,
+        // matching rebuild_cluster.
+        let live: Vec<(ClusterId, Vec<VmId>)> = ids
+            .iter()
+            .filter_map(|&id| self.clusters.get(&id).map(|vc| (id, vc.vms.clone())))
+            .collect();
+        let mut speculative_avail = self.availability.clone();
+        for (id, _) in &live {
+            for &o in self.clusters[id].al.ops() {
+                if !self.failed.contains(&o) {
+                    speculative_avail.release(o);
+                }
+            }
+        }
+        let batch: Vec<Vec<VmId>> = live.iter().map(|(_, vms)| vms.clone()).collect();
+        let (layers, _report) =
+            crate::shard::construct_layers_sharded(dc, &batch, constructor, &speculative_avail);
+
+        // Commit phase: serial, in the given order, with rebuild_cluster's
+        // exact release/commit/rollback semantics per cluster. A
+        // speculative layer is adopted only when every one of its OPSs is
+        // still free after this cluster's own holdings are released;
+        // otherwise the serial constructor runs against the true
+        // availability.
+        let mut by_id: BTreeMap<ClusterId, Result<(), ConstructionError>> = BTreeMap::new();
+        for ((id, vms), speculative) in live.into_iter().zip(layers) {
+            let old_al = self.clusters[&id].al.clone();
+            for &o in old_al.ops() {
+                if !self.failed.contains(&o) {
+                    self.availability.release(o);
+                }
+            }
+            let built = match speculative {
+                Ok(al) if al.ops().iter().all(|&o| self.availability.is_available(o)) => Ok(al),
+                _ => constructor.construct(dc, &vms, &self.availability),
+            };
+            match built {
+                Ok(new_al) => {
+                    alvc_telemetry::counter!("alvc_core.manager.rebuilds").incr();
+                    for &o in new_al.ops() {
+                        self.availability.block(o);
+                    }
+                    self.clusters.get_mut(&id).expect("cluster exists").al = new_al;
+                    by_id.insert(id, Ok(()));
+                }
+                Err(e) => {
+                    // Only this cluster's holdings were released this
+                    // iteration, so the old layer is always restorable.
+                    for &o in old_al.ops() {
+                        self.availability.block(o);
+                    }
+                    by_id.insert(id, Err(e));
+                }
+            }
+        }
+        debug_assert!(self.verify_disjoint(), "batch rebuild broke disjointness");
+        ids.iter()
+            .map(|id| (*id, by_id.get(id).cloned().unwrap_or(Ok(()))))
+            .collect()
     }
 
     /// Marks `ops` as failed (hardware outage): it becomes permanently
@@ -704,11 +817,25 @@ mod batch_tests {
             .build()
     }
 
-    fn requests(dc: &DataCenter, chunk: usize) -> Vec<(String, Vec<VmId>)> {
+    /// `batch-{i}` labels interned once per process — repeated calls hand
+    /// out copies of the same `LabelId`s instead of formatting a fresh
+    /// `String` per cluster per call.
+    fn batch_label(i: usize) -> LabelId {
+        use std::sync::OnceLock;
+        static LABELS: OnceLock<Vec<LabelId>> = OnceLock::new();
+        let labels = LABELS.get_or_init(|| {
+            (0..64)
+                .map(|i| LabelId::intern(&format!("batch-{i}")))
+                .collect()
+        });
+        labels[i]
+    }
+
+    fn requests(dc: &DataCenter, chunk: usize) -> Vec<(LabelId, Vec<VmId>)> {
         let vms: Vec<_> = dc.vm_ids().collect();
         vms.chunks(chunk)
             .enumerate()
-            .map(|(i, c)| (format!("batch-{i}"), c.to_vec()))
+            .map(|(i, c)| (batch_label(i), c.to_vec()))
             .collect()
     }
 
@@ -716,7 +843,7 @@ mod batch_tests {
     fn construct_all_registers_disjoint_clusters() {
         let dc = dc();
         let mut mgr = ClusterManager::new();
-        let results = mgr.construct_all(&dc, requests(&dc, 8), &PaperGreedy::new());
+        let results = mgr.construct_all_labeled(&dc, requests(&dc, 8), &PaperGreedy::new());
         assert_eq!(results.len(), 6);
         for res in &results {
             let id = res.as_ref().expect("24 OPSs fit 6 small ALs");
@@ -733,8 +860,8 @@ mod batch_tests {
         let dc = dc();
         let mut a = ClusterManager::new();
         let mut b = ClusterManager::new();
-        let ra = a.construct_all(&dc, requests(&dc, 10), &PaperGreedy::new());
-        let rb = b.construct_all(&dc, requests(&dc, 10), &PaperGreedy::new());
+        let ra = a.construct_all_labeled(&dc, requests(&dc, 10), &PaperGreedy::new());
+        let rb = b.construct_all_labeled(&dc, requests(&dc, 10), &PaperGreedy::new());
         assert_eq!(ra, rb);
         let als_a: Vec<_> = a.clusters().map(|vc| vc.al().clone()).collect();
         let als_b: Vec<_> = b.clusters().map(|vc| vc.al().clone()).collect();
@@ -747,7 +874,7 @@ mod batch_tests {
         let mut mgr = ClusterManager::new();
         let mut reqs = requests(&dc, 12);
         reqs.insert(1, ("empty".into(), vec![]));
-        let results = mgr.construct_all(&dc, reqs, &PaperGreedy::new());
+        let results = mgr.construct_all_labeled(&dc, reqs, &PaperGreedy::new());
         assert_eq!(results[1], Err(ConstructionError::EmptyCluster));
         assert!(results.iter().filter(|r| r.is_ok()).count() >= 1);
         assert!(mgr.verify_disjoint());
@@ -782,7 +909,7 @@ mod batch_tests {
         let mut mgr = ClusterManager::new();
         let mut reqs = requests(&dc, 8);
         let last = reqs.split_off(4);
-        let batch = mgr.construct_all(&dc, reqs, &PaperGreedy::new());
+        let batch = mgr.construct_all_labeled(&dc, reqs, &PaperGreedy::new());
         assert!(batch.iter().all(Result::is_ok));
         for (label, vms) in last {
             if let Ok(id) = mgr.create_cluster(&dc, label, vms, &PaperGreedy::new()) {

@@ -1,0 +1,510 @@
+//! Pod-sharded abstraction-layer construction.
+//!
+//! The flat batch engine ([`crate::construction::construct_layers`]) treats
+//! the whole data center as one OPS pool. At hyperscale (100k–1M VMs) that
+//! single pool becomes the bottleneck: every cluster's candidate scan walks
+//! the full core, and the serial commit loop touches global state per
+//! cluster. This module partitions the problem by **pod** (see
+//! [`alvc_topology::PodId`]):
+//!
+//! * each pod gets its own [`PodShard`] — the pod's OPS list plus an
+//!   availability template in which every *foreign* OPS is blocked, so a
+//!   constructor running inside the shard can never select (or absorb, via
+//!   connectivity augmentation) a switch from another pod;
+//! * clusters are split into pod-local sub-clusters, each pod's
+//!   sub-batch runs the existing flat engine **in parallel across pods**
+//!   (rayon, with the `parallel` feature), and results are collected in
+//!   pod-id order so the outcome is independent of thread schedule;
+//! * sub-layers are then **merged at the boundary**, serially in cluster
+//!   order: a cluster spanning several pods gets the union of its pod-local
+//!   layers, re-connected through the remaining global availability (the
+//!   per-pod gateway OPSs of the boundary ring). Conflicts or merge
+//!   failures fall back to a serial whole-DC construction for that cluster,
+//!   so the sharded path never returns worse answers than the flat one —
+//!   only faster ones.
+//!
+//! Determinism: pod fan-out order, per-pod sub-batches, and the merge loop
+//! are all fixed by (pod id, cluster index); no step depends on thread
+//! timing. On a single-pod data center the sharded path degenerates to the
+//! flat engine exactly.
+
+use std::mem::size_of;
+
+use alvc_topology::{DataCenter, OpsId, PodId, VmId};
+
+use crate::abstraction_layer::AbstractionLayer;
+use crate::construction::{construct_layers, ensure_connected, AlConstruct, OpsAvailability};
+use crate::error::ConstructionError;
+use crate::label::LabelId;
+use crate::manager::{ClusterId, ClusterManager};
+
+/// One pod's slice of the sharded state: its OPS roster and the
+/// availability template blocking everything outside the pod.
+#[derive(Debug, Clone)]
+pub struct PodShard {
+    pod: PodId,
+    ops: Vec<OpsId>,
+    foreign_blocked: OpsAvailability,
+}
+
+impl PodShard {
+    /// The pod this shard covers.
+    pub fn pod(&self) -> PodId {
+        self.pod
+    }
+
+    /// The pod's OPSs, in id order.
+    pub fn ops(&self) -> &[OpsId] {
+        &self.ops
+    }
+
+    /// An availability view for constructing inside this shard: every OPS
+    /// outside the pod is blocked, plus everything `global` blocks.
+    pub fn availability(&self, global: &OpsAvailability) -> OpsAvailability {
+        let mut avail = self.foreign_blocked.clone();
+        for &o in &self.ops {
+            if !global.is_available(o) {
+                avail.block(o);
+            }
+        }
+        avail
+    }
+
+    /// Estimated resident bytes of this shard's bookkeeping (OPS roster +
+    /// foreign-block set, counting hash-set slots at ~2× entry size).
+    pub fn memory_bytes(&self) -> usize {
+        self.ops.len() * size_of::<OpsId>()
+            + self.foreign_blocked.blocked_count() * size_of::<OpsId>() * 2
+    }
+}
+
+/// The pod partition of a data center: one [`PodShard`] per pod.
+///
+/// # Example
+///
+/// ```
+/// use alvc_core::ShardedState;
+/// use alvc_topology::AlvcTopologyBuilder;
+///
+/// let dc = AlvcTopologyBuilder::new().racks(2).ops_count(3).pods(4).seed(1).build();
+/// let state = ShardedState::new(&dc);
+/// assert_eq!(state.shard_count(), 4);
+/// assert_eq!(state.shards().map(|s| s.ops().len()).sum::<usize>(), dc.ops_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedState {
+    shards: Vec<PodShard>,
+}
+
+impl ShardedState {
+    /// Builds the pod partition of `dc`.
+    pub fn new(dc: &DataCenter) -> Self {
+        let n = dc.pod_count();
+        let mut per_pod: Vec<Vec<OpsId>> = vec![Vec::new(); n];
+        for ops in dc.ops_ids() {
+            per_pod[dc.pod_of_ops(ops).index()].push(ops);
+        }
+        let shards = per_pod
+            .into_iter()
+            .enumerate()
+            .map(|(p, ops)| {
+                let foreign_blocked = OpsAvailability::with_blocked(
+                    dc.ops_ids().filter(|o| dc.pod_of_ops(*o).index() != p),
+                );
+                PodShard {
+                    pod: PodId(p),
+                    ops,
+                    foreign_blocked,
+                }
+            })
+            .collect();
+        ShardedState { shards }
+    }
+
+    /// Number of shards (= pods).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard of `pod`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pod` is out of range.
+    pub fn shard(&self, pod: PodId) -> &PodShard {
+        &self.shards[pod.index()]
+    }
+
+    /// Iterates over shards in pod order.
+    pub fn shards(&self) -> impl Iterator<Item = &PodShard> {
+        self.shards.iter()
+    }
+
+    /// Splits `vms` into pod-local groups, in pod order; empty pods are
+    /// omitted. Order within a group follows the input order.
+    pub fn split_by_pod(dc: &DataCenter, vms: &[VmId]) -> Vec<(PodId, Vec<VmId>)> {
+        let mut per_pod: Vec<Vec<VmId>> = vec![Vec::new(); dc.pod_count()];
+        for &vm in vms {
+            per_pod[dc.pod_of_vm(vm).index()].push(vm);
+        }
+        per_pod
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(p, g)| (PodId(p), g))
+            .collect()
+    }
+}
+
+/// Per-shard construction statistics reported by
+/// [`construct_layers_sharded`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Per pod: (sub-clusters constructed, estimated shard bytes).
+    pub per_shard: Vec<(usize, usize)>,
+    /// Clusters whose sub-layers spanned more than one pod and were merged
+    /// at the boundary.
+    pub merged_clusters: usize,
+    /// Clusters re-constructed serially against the whole DC (sub-layer
+    /// failure or merge conflict).
+    pub fallbacks: usize,
+}
+
+impl ShardReport {
+    /// Largest estimated shard footprint in bytes.
+    pub fn peak_shard_bytes(&self) -> usize {
+        self.per_shard.iter().map(|&(_, b)| b).max().unwrap_or(0)
+    }
+
+    /// Mean estimated shard footprint in bytes.
+    pub fn mean_shard_bytes(&self) -> usize {
+        if self.per_shard.is_empty() {
+            return 0;
+        }
+        self.per_shard.iter().map(|&(_, b)| b).sum::<usize>() / self.per_shard.len()
+    }
+}
+
+/// Pod-sharded batch construction: like
+/// [`construct_layers`] but
+/// partitioned by pod and fanned out shard-parallel, with
+/// merge-at-boundary for clusters spanning pods.
+///
+/// Guarantees, matching the flat engine: deterministic (independent of
+/// thread schedule), committed layers pairwise OPS-disjoint and disjoint
+/// from `available`'s blocked set, and every `Ok` layer valid for its
+/// cluster.
+pub fn construct_layers_sharded(
+    dc: &DataCenter,
+    clusters: &[Vec<VmId>],
+    ctor: &(dyn AlConstruct + Sync),
+    available: &OpsAvailability,
+) -> (
+    Vec<Result<AbstractionLayer, ConstructionError>>,
+    ShardReport,
+) {
+    let mut report = ShardReport::default();
+    if clusters.is_empty() {
+        return (Vec::new(), report);
+    }
+    let _span = alvc_telemetry::span!("alvc_core.shard.construct_layers_sharded_us");
+    let state = ShardedState::new(dc);
+    let n_pods = state.shard_count();
+
+    // Split every cluster into pod-local sub-clusters and bucket them by
+    // pod, preserving cluster order inside each bucket.
+    // sub_of_cluster[c] lists (pod, index into that pod's sub-batch).
+    let mut pod_batches: Vec<Vec<Vec<VmId>>> = vec![Vec::new(); n_pods];
+    let mut sub_of_cluster: Vec<Vec<(usize, usize)>> = Vec::with_capacity(clusters.len());
+    for vms in clusters {
+        let mut subs = Vec::new();
+        for (pod, group) in ShardedState::split_by_pod(dc, vms) {
+            let p = pod.index();
+            subs.push((p, pod_batches[p].len()));
+            pod_batches[p].push(group);
+        }
+        sub_of_cluster.push(subs);
+    }
+
+    // Shard-parallel construction: each pod runs the flat batch engine
+    // against its foreign-blocked availability. Results are collected in
+    // pod order, so the fan-out is deterministic.
+    let pod_results = construct_pods(dc, &state, &pod_batches, ctor, available);
+    for (p, shard) in state.shards().enumerate() {
+        report.per_shard.push((
+            pod_batches[p].len(),
+            shard.memory_bytes()
+                + pod_batches[p]
+                    .iter()
+                    .map(|g| g.len() * size_of::<VmId>())
+                    .sum::<usize>(),
+        ));
+    }
+
+    // Serial merge in cluster order against the running global pool.
+    let mut pool = available.clone();
+    let mut results = Vec::with_capacity(clusters.len());
+    for (c, subs) in sub_of_cluster.iter().enumerate() {
+        let merged = merge_cluster(dc, subs, &pod_results, &pool, &mut report);
+        let resolved = match merged {
+            Ok(al) => Ok(al),
+            Err(_) => {
+                // Merge-at-boundary failed (sub-layer error, OPS conflict,
+                // or un-connectable union): rebuild this cluster serially
+                // against the true remaining availability.
+                report.fallbacks += 1;
+                ctor.construct(dc, &clusters[c], &pool)
+            }
+        };
+        if let Ok(al) = &resolved {
+            for &o in al.ops() {
+                pool.block(o);
+            }
+        }
+        results.push(resolved);
+    }
+    alvc_telemetry::counter!("alvc_core.shard.merged_clusters").add(report.merged_clusters as u64);
+    alvc_telemetry::counter!("alvc_core.shard.fallbacks").add(report.fallbacks as u64);
+    (results, report)
+}
+
+/// Merges a cluster's pod-local sub-layers: single-pod clusters pass
+/// through; multi-pod unions are re-connected through the remaining global
+/// availability. Errors if any sub-layer failed or a sub-layer OPS was
+/// already claimed during the merge loop.
+fn merge_cluster(
+    dc: &DataCenter,
+    subs: &[(usize, usize)],
+    pod_results: &[Vec<Result<AbstractionLayer, ConstructionError>>],
+    pool: &OpsAvailability,
+    report: &mut ShardReport,
+) -> Result<AbstractionLayer, ConstructionError> {
+    if subs.is_empty() {
+        return Err(ConstructionError::EmptyCluster);
+    }
+    let mut tors = Vec::new();
+    let mut ops = Vec::new();
+    for &(p, i) in subs {
+        let al = pod_results[p][i].as_ref().map_err(Clone::clone)?;
+        if al.ops().iter().any(|&o| !pool.is_available(o)) {
+            // An earlier cluster's boundary bridge absorbed one of our
+            // switches; the conflict fallback rebuilds us serially.
+            return Err(ConstructionError::Disconnected);
+        }
+        tors.extend_from_slice(al.tors());
+        ops.extend_from_slice(al.ops());
+    }
+    tors.sort();
+    tors.dedup();
+    ops.sort();
+    ops.dedup();
+    let union = AbstractionLayer::new(tors, ops);
+    if subs.len() == 1 {
+        return Ok(union);
+    }
+    report.merged_clusters += 1;
+    ensure_connected(dc, union, pool)
+}
+
+#[cfg(feature = "parallel")]
+fn construct_pods(
+    dc: &DataCenter,
+    state: &ShardedState,
+    pod_batches: &[Vec<Vec<VmId>>],
+    ctor: &(dyn AlConstruct + Sync),
+    available: &OpsAvailability,
+) -> Vec<Vec<Result<AbstractionLayer, ConstructionError>>> {
+    use rayon::prelude::*;
+    (0..pod_batches.len())
+        .into_par_iter()
+        .map(|p| {
+            let avail = state.shard(PodId(p)).availability(available);
+            construct_layers(dc, &pod_batches[p], ctor, &avail)
+        })
+        .collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn construct_pods(
+    dc: &DataCenter,
+    state: &ShardedState,
+    pod_batches: &[Vec<Vec<VmId>>],
+    ctor: &(dyn AlConstruct + Sync),
+    available: &OpsAvailability,
+) -> Vec<Vec<Result<AbstractionLayer, ConstructionError>>> {
+    (0..pod_batches.len())
+        .map(|p| {
+            let avail = state.shard(PodId(p)).availability(available);
+            construct_layers(dc, &pod_batches[p], ctor, &avail)
+        })
+        .collect()
+}
+
+impl ClusterManager {
+    /// Pod-sharded batch construction and registration: the sharded
+    /// counterpart of [`ClusterManager::construct_all_labeled`], fanning
+    /// out per pod via [`construct_layers_sharded`]. Returns per-request
+    /// results plus the per-shard report (sub-cluster counts, estimated
+    /// shard bytes, merge/fallback counts).
+    pub fn construct_all_sharded(
+        &mut self,
+        dc: &DataCenter,
+        requests: Vec<(LabelId, Vec<VmId>)>,
+        constructor: &(dyn AlConstruct + Sync),
+    ) -> (Vec<Result<ClusterId, ConstructionError>>, ShardReport) {
+        let clusters: Vec<Vec<VmId>> = requests
+            .iter()
+            .map(|(_, vms)| {
+                let mut vms = vms.clone();
+                vms.sort();
+                vms.dedup();
+                vms
+            })
+            .collect();
+        let (layers, report) =
+            construct_layers_sharded(dc, &clusters, constructor, self.availability());
+        let results = layers
+            .into_iter()
+            .zip(requests.into_iter().zip(clusters))
+            .map(|(layer, ((label, _), vms))| layer.map(|al| self.register_cluster(label, vms, al)))
+            .collect();
+        (results, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::PaperGreedy;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect};
+    use std::collections::HashSet;
+
+    fn pod_dc(pods: usize, seed: u64) -> DataCenter {
+        AlvcTopologyBuilder::new()
+            .racks(6)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(12)
+            .tor_ops_degree(3)
+            .interconnect(OpsInterconnect::FullMesh)
+            .pods(pods)
+            .seed(seed)
+            .build()
+    }
+
+    fn pod_local_clusters(dc: &DataCenter, chunk: usize) -> Vec<Vec<VmId>> {
+        // Chunked VM groups per pod, so every cluster is pod-local.
+        let mut out = Vec::new();
+        for pod in dc.pod_ids() {
+            let vms: Vec<VmId> = dc.vm_ids().filter(|&vm| dc.pod_of_vm(vm) == pod).collect();
+            out.extend(vms.chunks(chunk).map(<[_]>::to_vec));
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_state_partitions_ops() {
+        let dc = pod_dc(3, 1);
+        let state = ShardedState::new(&dc);
+        assert_eq!(state.shard_count(), 3);
+        let mut seen = HashSet::new();
+        for shard in state.shards() {
+            for &o in shard.ops() {
+                assert_eq!(dc.pod_of_ops(o), shard.pod());
+                assert!(seen.insert(o));
+            }
+            assert!(shard.memory_bytes() > 0);
+        }
+        assert_eq!(seen.len(), dc.ops_count());
+    }
+
+    #[test]
+    fn shard_availability_blocks_foreign_and_global() {
+        let dc = pod_dc(2, 2);
+        let state = ShardedState::new(&dc);
+        let shard = state.shard(PodId(0));
+        let own = shard.ops()[0];
+        let foreign = state.shard(PodId(1)).ops()[0];
+        let mut global = OpsAvailability::all();
+        global.block(own);
+        let avail = shard.availability(&global);
+        assert!(!avail.is_available(foreign), "foreign OPS blocked");
+        assert!(!avail.is_available(own), "globally blocked OPS blocked");
+        assert!(avail.is_available(shard.ops()[1]));
+    }
+
+    #[test]
+    fn sharded_construction_is_disjoint_valid_and_deterministic() {
+        let dc = pod_dc(4, 7);
+        let clusters = pod_local_clusters(&dc, 8);
+        let (a, report) =
+            construct_layers_sharded(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        let (b, _) =
+            construct_layers_sharded(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        assert_eq!(a, b, "sharded construction must be deterministic");
+        assert_eq!(report.per_shard.len(), 4);
+        let mut seen: HashSet<OpsId> = HashSet::new();
+        for (c, res) in a.iter().enumerate() {
+            let al = res.as_ref().expect("per-pod full mesh fits these ALs");
+            assert!(al.validate(&dc, &clusters[c]).is_ok());
+            for &o in al.ops() {
+                assert!(seen.insert(o), "OPS {o} claimed by two layers");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_pod_cluster_merges_at_boundary() {
+        let dc = pod_dc(2, 9);
+        // One cluster spanning both pods.
+        let clusters = vec![dc.vm_ids().collect::<Vec<_>>()];
+        let (results, report) =
+            construct_layers_sharded(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        let al = results[0].as_ref().expect("boundary ring connects pods");
+        assert!(al.validate(&dc, &clusters[0]).is_ok());
+        assert!(al.is_connected(&dc));
+        let pods: HashSet<_> = al.ops().iter().map(|&o| dc.pod_of_ops(o)).collect();
+        assert!(pods.len() >= 2, "layer spans pods");
+        assert_eq!(report.merged_clusters + report.fallbacks, 1);
+    }
+
+    #[test]
+    fn single_pod_sharded_matches_flat() {
+        let dc = pod_dc(1, 21);
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let clusters: Vec<Vec<_>> = vms.chunks(8).map(<[_]>::to_vec).collect();
+        let flat = construct_layers(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        let (sharded, report) =
+            construct_layers_sharded(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        assert_eq!(flat, sharded);
+        assert_eq!(report.merged_clusters, 0);
+    }
+
+    #[test]
+    fn manager_construct_all_sharded_registers_disjoint() {
+        let dc = pod_dc(3, 13);
+        let mut mgr = ClusterManager::new();
+        let requests: Vec<(LabelId, Vec<VmId>)> = pod_local_clusters(&dc, 10)
+            .into_iter()
+            .enumerate()
+            .map(|(i, vms)| (LabelId::intern(&format!("shard-test-{i}")), vms))
+            .collect();
+        let n = requests.len();
+        let (results, report) = mgr.construct_all_sharded(&dc, requests, &PaperGreedy::new());
+        assert_eq!(results.len(), n);
+        assert!(results.iter().all(Result::is_ok));
+        assert!(mgr.verify_disjoint());
+        assert_eq!(mgr.availability().blocked_count(), mgr.owned_ops_count());
+        assert!(report.peak_shard_bytes() >= report.mean_shard_bytes());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let dc = pod_dc(2, 3);
+        let (results, report) =
+            construct_layers_sharded(&dc, &[], &PaperGreedy::new(), &OpsAvailability::all());
+        assert!(results.is_empty());
+        assert_eq!(report.peak_shard_bytes(), 0);
+        assert_eq!(report.mean_shard_bytes(), 0);
+    }
+}

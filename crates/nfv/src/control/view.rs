@@ -177,8 +177,7 @@ impl StateView {
                 )
             })
             .collect();
-        let link_committed_kbps: BTreeMap<_, _> =
-            orch.link_committed.iter().map(|(&e, &b)| (e, b)).collect();
+        let link_committed_kbps: BTreeMap<_, _> = orch.link_committed.iter().collect();
         let total_committed_kbps = link_committed_kbps.values().sum();
         StateView {
             version,

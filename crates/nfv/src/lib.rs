@@ -42,6 +42,7 @@
 pub mod chain;
 pub mod control;
 pub mod error;
+pub mod ledger;
 pub mod lifecycle;
 pub mod orchestrator;
 pub mod placement;
@@ -58,6 +59,7 @@ pub use control::{
     IntentOutcome, IntentRecord, StateView, TenantQuota, TenantView,
 };
 pub use error::{DeployError, Error, ErrorKind, LifecycleError, PlacementError};
+pub use ledger::ShardedLedger;
 pub use lifecycle::{HostLocation, VnfInstance, VnfInstanceId, VnfState};
 pub use orchestrator::{DeployedChain, Orchestrator, OrchestratorBuilder};
 pub use placement::{ElectronicOnlyPlacer, PlacementContext, VnfPlacer};

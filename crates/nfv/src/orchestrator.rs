@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use alvc_core::construction::{construct_layers, AlConstruct};
-use alvc_core::{ClusterId, ClusterManager};
+use alvc_core::{ClusterId, ClusterManager, LabelId};
 use alvc_graph::NodeId;
 use alvc_optical::routing::try_path_edges;
 use alvc_optical::{route_flow_within, HybridPath, OeoCostModel, RoutingError};
@@ -23,6 +23,7 @@ use alvc_topology::{DataCenter, ElementHealth, OpsId, ServerId, VmId};
 
 use crate::chain::{ChainSpec, Nfc, NfcId};
 use crate::error::{DeployError, Error};
+use crate::ledger::ShardedLedger;
 use crate::lifecycle::{HostLocation, VnfInstance, VnfInstanceId, VnfState};
 use crate::placement::{PlacementContext, VnfPlacer};
 use crate::sdn::SdnController;
@@ -110,8 +111,9 @@ pub struct Orchestrator {
     pub(crate) server_used: HashMap<ServerId, ResourceDemand>,
     /// Committed bandwidth per physical link, in integer kb/s: float Gb/s
     /// release math drifts around removal thresholds under churn, integer
-    /// arithmetic round-trips exactly.
-    pub(crate) link_committed: HashMap<alvc_graph::EdgeId, u64>,
+    /// arithmetic round-trips exactly. Pod-sharded on multi-pod topologies
+    /// (see [`ShardedLedger`]); unbound it behaves as one flat map.
+    pub(crate) link_committed: ShardedLedger,
     pub(crate) replicas: BTreeMap<VnfInstanceId, (NfcId, usize)>,
     pub(crate) health: ElementHealth,
     pub(crate) degraded: BTreeSet<NfcId>,
@@ -274,7 +276,7 @@ impl Orchestrator {
 
     /// Bandwidth (Gb/s) currently committed on a physical link.
     pub fn committed_bandwidth_gbps(&self, edge: alvc_graph::EdgeId) -> f64 {
-        self.link_committed.get(&edge).copied().unwrap_or(0) as f64 / 1e6
+        self.link_committed.committed(edge) as f64 / 1e6
     }
 
     /// Number of VNF instances the orchestrator tracks (chain members plus
@@ -325,7 +327,7 @@ impl Orchestrator {
     /// surfaces as [`DeployError::MissingEdge`], never a panic.
     pub(crate) fn check_bandwidth(
         dc: &DataCenter,
-        ledger: &HashMap<alvc_graph::EdgeId, u64>,
+        ledger: &ShardedLedger,
         path: &HybridPath,
         bandwidth_gbps: f64,
     ) -> Result<Vec<alvc_graph::EdgeId>, DeployError> {
@@ -341,7 +343,7 @@ impl Orchestrator {
                     .expect("edge from try_path_edges exists")
                     .bandwidth_gbps,
             );
-            let committed = ledger.get(&e).copied().unwrap_or(0);
+            let committed = ledger.committed(e);
             if committed + requested > capacity {
                 return Err(DeployError::InsufficientBandwidth {
                     requested_gbps: bandwidth_gbps,
@@ -363,13 +365,14 @@ impl Orchestrator {
     pub fn deploy_chain(
         &mut self,
         dc: &DataCenter,
-        tenant: &str,
+        tenant: impl Into<LabelId>,
         vms: Vec<VmId>,
         spec: ChainSpec,
         constructor: &dyn AlConstruct,
         placer: &dyn VnfPlacer,
     ) -> Result<NfcId, Error> {
         let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.deploy_latency_us");
+        let tenant: LabelId = tenant.into();
         if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
             alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
             return Err(DeployError::EndpointOutsideCluster.into());
@@ -394,7 +397,7 @@ impl Orchestrator {
                     alvc_telemetry::event!(
                         "alvc_nfv.orchestrator.chain_deployed",
                         "nfc" = id.index(),
-                        "tenant" = tenant,
+                        "tenant" = tenant.as_str(),
                     );
                 }
                 Ok(id)
@@ -419,10 +422,10 @@ impl Orchestrator {
     /// Returns one result per request, in request order. Deterministic;
     /// failed requests roll back completely, exactly as in
     /// [`Orchestrator::deploy_chain`].
-    pub fn deploy_chains(
+    pub fn deploy_chains<T: Into<LabelId>>(
         &mut self,
         dc: &DataCenter,
-        requests: Vec<(String, Vec<VmId>, ChainSpec)>,
+        requests: Vec<(T, Vec<VmId>, ChainSpec)>,
         constructor: &(dyn AlConstruct + Sync),
         placer: &dyn VnfPlacer,
     ) -> Vec<Result<NfcId, Error>> {
@@ -443,18 +446,19 @@ impl Orchestrator {
             .zip(layers)
             .map(|((tenant, vms, spec), layer)| {
                 let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.deploy_latency_us");
+                let tenant: LabelId = tenant.into();
                 let result = (|| -> Result<NfcId, Error> {
                     if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
                         return Err(DeployError::EndpointOutsideCluster.into());
                     }
-                    let adopted = layer.ok().and_then(|al| {
-                        self.manager.try_adopt_cluster(dc, &tenant, vms.clone(), al)
-                    });
+                    let adopted = layer
+                        .ok()
+                        .and_then(|al| self.manager.try_adopt_cluster(dc, tenant, vms.clone(), al));
                     let cluster = match adopted {
                         Some(id) => id,
                         None => {
                             self.manager
-                                .create_cluster(dc, &tenant, vms.clone(), constructor)?
+                                .create_cluster(dc, tenant, vms.clone(), constructor)?
                         }
                     };
                     match self.deploy_into_cluster(dc, cluster, &vms, spec, placer) {
@@ -493,6 +497,9 @@ impl Orchestrator {
         spec: ChainSpec,
         placer: &dyn VnfPlacer,
     ) -> Result<NfcId, DeployError> {
+        // Idempotent: partitions the bandwidth ledger by pod the first time
+        // a multi-pod topology is seen (a cheap no-op afterwards).
+        self.link_committed.bind_pods(dc);
         let al = self
             .manager
             .cluster(cluster)
@@ -561,7 +568,7 @@ impl Orchestrator {
             .map_err(DeployError::RuleTableFull)?;
         self.next_chain += 1;
         for &e in &edges {
-            *self.link_committed.entry(e).or_insert(0) += kbps(spec.bandwidth_gbps);
+            self.link_committed.commit(e, kbps(spec.bandwidth_gbps));
         }
         for (h, v) in hosts.iter().zip(&spec.vnfs) {
             match h {
@@ -667,13 +674,8 @@ impl Orchestrator {
     /// bit-for-bit.
     pub(crate) fn release_edges(&mut self, edges: &[alvc_graph::EdgeId], bandwidth_gbps: f64) {
         let bw = kbps(bandwidth_gbps);
-        for e in edges {
-            if let Some(b) = self.link_committed.get_mut(e) {
-                *b = b.saturating_sub(bw);
-                if *b == 0 {
-                    self.link_committed.remove(e);
-                }
-            }
+        for &e in edges {
+            self.link_committed.release(e, bw);
         }
     }
 
@@ -776,17 +778,14 @@ impl Orchestrator {
         // commitment.
         let mut link_committed = self.link_committed.clone();
         let old_bw = kbps(deployed.nfc.spec().bandwidth_gbps);
-        for e in &deployed.edges {
-            if let Some(b) = link_committed.get_mut(e) {
-                *b = b.saturating_sub(old_bw);
-            }
+        for &e in &deployed.edges {
+            link_committed.release(e, old_bw);
         }
         let new_edges = Self::check_bandwidth(dc, &link_committed, &path, new_spec.bandwidth_gbps)?;
         self.check_latency(&new_spec, &path)?;
         for &e in &new_edges {
-            *link_committed.entry(e).or_insert(0) += kbps(new_spec.bandwidth_gbps);
+            link_committed.commit(e, kbps(new_spec.bandwidth_gbps));
         }
-        link_committed.retain(|_, b| *b > 0);
 
         // Commit: swap rules first (the last fallible step — the
         // controller frees this chain's own slots during the check and the
@@ -1361,8 +1360,8 @@ mod batch_deploy_tests {
         let results = orch.deploy_chains(
             &dc,
             vec![
-                ("bad".into(), web.clone(), bad_spec),
-                ("good".into(), web, good_spec),
+                (LabelId::intern("bad"), web.clone(), bad_spec),
+                (LabelId::intern("good"), web, good_spec),
             ],
             &PaperGreedy::new(),
             &ElectronicOnlyPlacer::new(),
@@ -1657,7 +1656,7 @@ mod bandwidth_tests {
             let group: Vec<_> = vms.clone();
             match orch.deploy_chain(
                 &dc,
-                &format!("t{i}"),
+                format!("t{i}"),
                 group,
                 spec,
                 &PaperGreedy::new(),

@@ -252,7 +252,7 @@ impl Orchestrator {
                     return false;
                 }
             }
-            for &e in self.link_committed.keys() {
+            for e in self.link_committed.edges() {
                 if let Some((a, b)) = dc.graph().edge_endpoints(e) {
                     if a == node || b == node {
                         return false;
@@ -336,16 +336,7 @@ impl Orchestrator {
         // or the chain's slice was repaired out from under its route.
         let node = element_node(dc, element);
         let repaired: HashSet<ClusterId> = repaired.into_iter().collect();
-        let affected: Vec<NfcId> = self
-            .chains
-            .iter()
-            .filter(|(_, c)| {
-                c.path.nodes().contains(&node)
-                    || c.hosts.iter().any(|&h| !self.host_up(h))
-                    || repaired.contains(&c.cluster)
-            })
-            .map(|(&id, _)| id)
-            .collect();
+        let affected = self.affected_chains(dc, node, &repaired);
 
         let mut outcomes = BTreeMap::new();
         for id in affected {
@@ -362,6 +353,41 @@ impl Orchestrator {
         }
         alvc_telemetry::gauge!("alvc_nfv.recovery.degraded_chains").set(self.degraded.len() as f64);
         RecoveryReport { element, outcomes }
+    }
+
+    /// The chains a failure at `node` touches: path crosses the node, a
+    /// VNF host died, or the chain's slice is in `repaired`. The scan is
+    /// read-only, so on multi-pod topologies it fans out over the rayon
+    /// pool; output is in chain-id order either way, keeping the recovery
+    /// ladder (and hence intent-log replay) deterministic.
+    fn affected_chains(
+        &self,
+        dc: &DataCenter,
+        node: NodeId,
+        repaired: &HashSet<ClusterId>,
+    ) -> Vec<NfcId> {
+        let hit = |c: &crate::orchestrator::DeployedChain| {
+            c.path.nodes().contains(&node)
+                || c.hosts.iter().any(|&h| !self.host_up(h))
+                || repaired.contains(&c.cluster)
+        };
+        #[cfg(feature = "parallel")]
+        if dc.pod_count() > 1 {
+            use rayon::prelude::*;
+            let entries: Vec<_> = self.chains.iter().map(|(&id, c)| (id, c)).collect();
+            let hits: Vec<Option<NfcId>> = entries
+                .par_iter()
+                .map(|&(id, c)| if hit(c) { Some(id) } else { None })
+                .collect();
+            return hits.into_iter().flatten().collect();
+        }
+        #[cfg(not(feature = "parallel"))]
+        let _ = dc;
+        self.chains
+            .iter()
+            .filter(|(_, c)| hit(c))
+            .map(|(&id, _)| id)
+            .collect()
     }
 
     /// Climbs the recovery ladder for one chain. The chain's flow rules
@@ -512,7 +538,7 @@ impl Orchestrator {
             .try_install_path(id, &path)
             .map_err(DeployError::RuleTableFull)?;
         for &e in &edges {
-            *self.link_committed.entry(e).or_insert(0) += kbps(spec.bandwidth_gbps);
+            self.link_committed.commit(e, kbps(spec.bandwidth_gbps));
         }
         let chain = self.chains.get_mut(&id).expect("chain exists");
         chain.path = path;
@@ -607,7 +633,7 @@ impl Orchestrator {
 
         // Commit: bandwidth, host capacity, fresh instances.
         for &e in &edges {
-            *self.link_committed.entry(e).or_insert(0) += kbps(spec.bandwidth_gbps);
+            self.link_committed.commit(e, kbps(spec.bandwidth_gbps));
         }
         for (h, v) in hosts.iter().zip(spec.vnfs.iter()) {
             match h {

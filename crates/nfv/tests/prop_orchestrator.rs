@@ -83,7 +83,7 @@ proptest! {
                     let spec = spec_for(kind, group[0], *group.last().unwrap());
                     if let Ok(id) = orch.deploy_chain(
                         &dc,
-                        &format!("tenant-{idx}"),
+                        format!("tenant-{idx}"),
                         group.clone(),
                         spec,
                         &PaperGreedy::new(),

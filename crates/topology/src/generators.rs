@@ -10,7 +10,7 @@ use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
 use crate::element::OptoCapacity;
-use crate::ids::TorId;
+use crate::ids::{PodId, TorId};
 use crate::service::ServiceMix;
 use crate::topology::DataCenter;
 
@@ -63,6 +63,8 @@ pub struct AlvcTopologyBuilder {
     interconnect: OpsInterconnect,
     service_mix: ServiceMix,
     dual_home_prob: f64,
+    pods: usize,
+    boundary_gateways: usize,
     seed: u64,
 }
 
@@ -79,6 +81,8 @@ impl Default for AlvcTopologyBuilder {
             interconnect: OpsInterconnect::Ring,
             service_mix: ServiceMix::default(),
             dual_home_prob: 0.0,
+            pods: 1,
+            boundary_gateways: 0,
             seed: 0,
         }
     }
@@ -157,6 +161,35 @@ impl AlvcTopologyBuilder {
         self
     }
 
+    /// Number of pods. With `n > 1` the builder replicates the configured
+    /// shape *per pod*: each pod gets `racks` racks and `ops_count` OPSs,
+    /// ToR uplinks and the OPS interconnect stay pod-local, and a boundary
+    /// ring over the first OPS of each pod keeps the core connected.
+    ///
+    /// `pods(1)` (the default) is exactly the historical single-pod
+    /// generator: identical RNG stream, identical topology.
+    pub fn pods(mut self, n: usize) -> Self {
+        self.pods = n.max(1);
+        self
+    }
+
+    /// Number of dedicated boundary-gateway OPSs per pod (multi-pod
+    /// topologies only; ignored at `pods(1)`).
+    ///
+    /// With `n == 0` (the default) the cross-pod boundary is a single ring
+    /// over the *first ordinary OPS* of each pod — the historical layout,
+    /// where at most one abstraction layer can span pods at a time under
+    /// the one-OPS-one-AL rule. With `n > 0` each pod instead gets `n`
+    /// extra pure-optical gateway OPSs carrying no ToR uplinks, each meshed
+    /// into its pod's core and ring-connected to the same-lane gateway of
+    /// the neighbouring pods. Gateways cover no VMs, so greedy construction
+    /// never selects them; they are absorbed only as connectivity bridges,
+    /// which lets up to `n` OPS-disjoint cross-pod ALs coexist.
+    pub fn boundary_gateways(mut self, n: usize) -> Self {
+        self.boundary_gateways = n;
+        self
+    }
+
     /// Generates the data center.
     ///
     /// # Panics
@@ -169,6 +202,9 @@ impl AlvcTopologyBuilder {
             "need at least one server per rack"
         );
         assert!(self.ops_count > 0, "need at least one OPS");
+        if self.pods > 1 {
+            return self.build_pods();
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut dc = DataCenter::new();
 
@@ -256,6 +292,145 @@ impl AlvcTopologyBuilder {
             }
         }
 
+        dc
+    }
+
+    /// The multi-pod generator behind [`AlvcTopologyBuilder::pods`]: the
+    /// configured shape is instantiated once per pod (pod-major element
+    /// ids), every random choice stays pod-local, and a boundary ring over
+    /// the first OPS of each pod joins the per-pod cores.
+    fn build_pods(&self) -> DataCenter {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dc = DataCenter::new();
+        let degree = self.tor_ops_degree.clamp(1, self.ops_count);
+        let n_opto = (self.opto_fraction * self.ops_count as f64).round() as usize;
+        let mut pod_first_ops = Vec::with_capacity(self.pods);
+        let mut pod_gateways: Vec<Vec<crate::OpsId>> = Vec::with_capacity(self.pods);
+
+        for pod in 0..self.pods {
+            let pod_id = PodId(pod);
+            // Racks, servers, VMs of this pod.
+            let mut tor_ids = Vec::with_capacity(self.racks);
+            for _ in 0..self.racks {
+                let (rack, tor) = dc.add_rack_in_pod(pod_id);
+                tor_ids.push(tor);
+                for _ in 0..self.servers_per_rack {
+                    let server = dc.add_server(rack);
+                    for _ in 0..self.vms_per_server {
+                        let service = self.service_mix.sample(rng.random());
+                        dc.add_vm(server, service);
+                    }
+                }
+            }
+
+            // This pod's OPS slice, opto flags shuffled pod-locally.
+            let mut opto_flags: Vec<bool> = (0..self.ops_count).map(|i| i < n_opto).collect();
+            opto_flags.shuffle(&mut rng);
+            let ops_ids: Vec<_> = opto_flags
+                .iter()
+                .map(|&is_opto| dc.add_ops_in_pod(is_opto.then_some(self.opto_capacity), pod_id))
+                .collect();
+            pod_first_ops.push(ops_ids[0]);
+
+            // Pod-local uplinks: round-robin first, random extras.
+            for (t, &tor) in tor_ids.iter().enumerate() {
+                let mut picks: Vec<usize> = Vec::with_capacity(degree);
+                picks.push(t % self.ops_count);
+                let mut candidates: Vec<usize> = (0..self.ops_count)
+                    .filter(|&o| o != t % self.ops_count)
+                    .collect();
+                candidates.shuffle(&mut rng);
+                picks.extend(candidates.into_iter().take(degree - 1));
+                for o in picks {
+                    dc.connect_tor_ops(tor, ops_ids[o]);
+                }
+            }
+
+            // Pod-local dual-homing.
+            if self.dual_home_prob > 0.0 && self.racks > 1 {
+                let first_rack = pod * self.racks;
+                let first_server = pod * self.racks * self.servers_per_rack;
+                let n_servers = self.racks * self.servers_per_rack;
+                for s in first_server..first_server + n_servers {
+                    if rng.random::<f64>() < self.dual_home_prob {
+                        let server = crate::ServerId(s);
+                        let home = dc.rack_of_server(server);
+                        let mut other = rng.random_range(0..self.racks);
+                        if first_rack + other == home.index() {
+                            other = (other + 1) % self.racks;
+                        }
+                        dc.add_access_link(server, tor_ids[other]);
+                    }
+                }
+            }
+
+            // Pod-local OPS interconnect.
+            match self.interconnect {
+                OpsInterconnect::None => {}
+                OpsInterconnect::Ring => {
+                    if self.ops_count > 1 {
+                        for i in 0..self.ops_count {
+                            dc.connect_ops_ops(ops_ids[i], ops_ids[(i + 1) % self.ops_count]);
+                        }
+                    }
+                }
+                OpsInterconnect::FullMesh => {
+                    for i in 0..self.ops_count {
+                        for j in (i + 1)..self.ops_count {
+                            dc.connect_ops_ops(ops_ids[i], ops_ids[j]);
+                        }
+                    }
+                }
+                OpsInterconnect::Random(d) => {
+                    for i in 0..self.ops_count {
+                        let mut others: Vec<usize> =
+                            (0..self.ops_count).filter(|&j| j != i).collect();
+                        others.shuffle(&mut rng);
+                        for &j in others.iter().take(d) {
+                            dc.connect_ops_ops(ops_ids[i], ops_ids[j]);
+                        }
+                    }
+                }
+            }
+
+            // Dedicated boundary gateways: pure-optical, no ToR uplinks
+            // (zero VM coverage — greedy never selects them), meshed into
+            // the pod-local core so any intra-pod layer reaches them in
+            // one hop.
+            let gws: Vec<crate::OpsId> = (0..self.boundary_gateways)
+                .map(|_| dc.add_ops_in_pod(None, pod_id))
+                .collect();
+            for &g in &gws {
+                for &o in &ops_ids {
+                    dc.connect_ops_ops(g, o);
+                }
+            }
+            pod_gateways.push(gws);
+        }
+
+        if self.boundary_gateways > 0 {
+            // One boundary ring per gateway lane: lane i of pod p connects
+            // to lane i of pod p+1, so up to `boundary_gateways` mutually
+            // OPS-disjoint abstraction layers can each claim a lane.
+            for p in 0..self.pods {
+                let next = (p + 1) % self.pods;
+                let lanes: Vec<(crate::OpsId, crate::OpsId)> = pod_gateways[p]
+                    .iter()
+                    .zip(&pod_gateways[next])
+                    .map(|(&a, &b)| (a, b))
+                    .collect();
+                for (a, b) in lanes {
+                    dc.connect_ops_ops(a, b);
+                }
+            }
+        } else {
+            // Boundary ring over the pods' first OPSs keeps the core
+            // connected while crossing pods through exactly one well-known
+            // gateway pair.
+            for p in 0..self.pods {
+                dc.connect_ops_ops(pod_first_ops[p], pod_first_ops[(p + 1) % self.pods]);
+            }
+        }
         dc
     }
 }
@@ -516,6 +691,102 @@ mod tests {
     #[should_panic(expected = "at least one rack")]
     fn zero_racks_rejected() {
         AlvcTopologyBuilder::new().racks(0).build();
+    }
+
+    #[test]
+    fn pods_replicate_shape_per_pod() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(4)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(6)
+            .tor_ops_degree(2)
+            .pods(3)
+            .seed(11)
+            .build();
+        assert_eq!(dc.pod_count(), 3);
+        assert_eq!(dc.rack_count(), 12);
+        assert_eq!(dc.ops_count(), 18);
+        assert_eq!(dc.vm_count(), 3 * 4 * 2 * 2);
+        for p in dc.pod_ids() {
+            assert_eq!(dc.tors_of_pod(p).len(), 4, "pod {p} ToRs");
+            assert_eq!(dc.ops_of_pod(p).len(), 6, "pod {p} OPSs");
+        }
+    }
+
+    #[test]
+    fn pod_uplinks_stay_pod_local() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(3)
+            .ops_count(4)
+            .tor_ops_degree(2)
+            .pods(4)
+            .seed(5)
+            .build();
+        for t in dc.tor_ids() {
+            let pod = dc.pod_of_tor(t);
+            for o in dc.ops_of_tor(t) {
+                assert_eq!(dc.pod_of_ops(o), pod, "uplink of {t} crosses pods");
+            }
+        }
+        for vm in dc.vm_ids() {
+            assert_eq!(dc.pod_of_vm(vm), dc.pod_of_tor(dc.tor_of_vm(vm)));
+        }
+    }
+
+    #[test]
+    fn pod_boundary_ring_connects_core() {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(2)
+            .ops_count(3)
+            .interconnect(OpsInterconnect::Ring)
+            .pods(5)
+            .seed(7)
+            .build();
+        assert!(dc.is_core_connected());
+        // ToR attachments never cross pods; only the gateway ring does.
+        for a in dc.ops_ids() {
+            for t in dc.tors_of_ops(a) {
+                assert_eq!(dc.pod_of_tor(t), dc.pod_of_ops(a));
+            }
+        }
+    }
+
+    #[test]
+    fn pods_one_is_byte_identical_to_legacy_path() {
+        let legacy = AlvcTopologyBuilder::new()
+            .racks(6)
+            .ops_count(8)
+            .tor_ops_degree(3)
+            .dual_home_prob(0.3)
+            .seed(42)
+            .build();
+        let pods1 = AlvcTopologyBuilder::new()
+            .racks(6)
+            .ops_count(8)
+            .tor_ops_degree(3)
+            .dual_home_prob(0.3)
+            .pods(1)
+            .seed(42)
+            .build();
+        assert_eq!(legacy.graph().edge_count(), pods1.graph().edge_count());
+        for t in legacy.tor_ids() {
+            assert_eq!(legacy.ops_of_tor(t), pods1.ops_of_tor(t));
+        }
+        for vm in legacy.vm_ids() {
+            assert_eq!(legacy.service_of_vm(vm), pods1.service_of_vm(vm));
+        }
+        assert_eq!(legacy.pod_count(), 1);
+    }
+
+    #[test]
+    fn pods_same_seed_is_deterministic() {
+        let a = AlvcTopologyBuilder::new().pods(3).seed(9).build();
+        let b = AlvcTopologyBuilder::new().pods(3).seed(9).build();
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        for t in a.tor_ids() {
+            assert_eq!(a.ops_of_tor(t), b.ops_of_tor(t));
+        }
     }
 
     #[test]

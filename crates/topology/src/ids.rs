@@ -60,6 +60,16 @@ define_id!(
     OpsId,
     "ops-"
 );
+define_id!(
+    /// Identifier of a pod: a locality domain grouping racks and OPSs.
+    ///
+    /// Pods shard the data center for hyperscale state management: every
+    /// ToR and OPS belongs to exactly one pod (default `pod-0`), and the
+    /// sharded construction/ledger layers in `alvc-core`/`alvc-nfv`
+    /// partition their state by pod.
+    PodId,
+    "pod-"
+);
 
 #[cfg(test)]
 mod tests {

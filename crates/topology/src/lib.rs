@@ -55,7 +55,7 @@ pub use generators::{
     fat_tree, leaf_spine, AlvcTopologyBuilder, FatTreeParams, LeafSpineParams, OpsInterconnect,
 };
 pub use health::{Element, ElementHealth};
-pub use ids::{OpsId, RackId, ServerId, TorId, VmId};
+pub use ids::{OpsId, PodId, RackId, ServerId, TorId, VmId};
 pub use service::{ServiceMix, ServiceType};
 pub use stats::TopologyStats;
 pub use topology::DataCenter;

@@ -39,18 +39,36 @@ impl ServiceType {
         ServiceType::Streaming,
     ];
 
-    /// A short label for reports.
-    pub fn label(&self) -> String {
+    /// A short label for reports. Allocation-free: built-in labels are
+    /// static, custom labels are formatted once per distinct id and cached
+    /// for the process lifetime (labels flow into the `LabelId` interner and
+    /// per-call `String`s would be redundant clones on hot paths).
+    pub fn label(&self) -> &'static str {
         match self {
-            ServiceType::WebService => "web".to_string(),
-            ServiceType::MapReduce => "mapreduce".to_string(),
-            ServiceType::Sns => "sns".to_string(),
-            ServiceType::Storage => "storage".to_string(),
-            ServiceType::Backup => "backup".to_string(),
-            ServiceType::Streaming => "streaming".to_string(),
-            ServiceType::Custom(n) => format!("custom-{n}"),
+            ServiceType::WebService => "web",
+            ServiceType::MapReduce => "mapreduce",
+            ServiceType::Sns => "sns",
+            ServiceType::Storage => "storage",
+            ServiceType::Backup => "backup",
+            ServiceType::Streaming => "streaming",
+            ServiceType::Custom(n) => custom_label(*n),
         }
     }
+}
+
+/// Process-lifetime cache of `custom-<n>` labels: one leaked allocation per
+/// distinct custom id ever labelled, instead of one per call.
+fn custom_label(n: u16) -> &'static str {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<u16, &'static str>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("custom-label cache poisoned");
+    cache
+        .entry(n)
+        .or_insert_with(|| Box::leak(format!("custom-{n}").into_boxed_str()))
 }
 
 impl std::fmt::Display for ServiceType {

@@ -5,7 +5,7 @@ use alvc_graph::{Bipartite, Graph, NodeId};
 use serde::{Deserialize, Serialize};
 
 use crate::element::{Domain, LinkAttrs, OptoCapacity, PhysNode};
-use crate::ids::{OpsId, RackId, ServerId, TorId, VmId};
+use crate::ids::{OpsId, PodId, RackId, ServerId, TorId, VmId};
 use crate::service::ServiceType;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,12 +34,14 @@ struct VmRecord {
 struct TorRecord {
     rack: RackId,
     node: NodeId,
+    pod: PodId,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct OpsRecord {
     node: NodeId,
     opto: Option<OptoCapacity>,
+    pod: PodId,
 }
 
 /// A data center: racks of servers behind ToR switches, an OPS core, and
@@ -76,6 +78,10 @@ pub struct DataCenter {
     vms: Vec<VmRecord>,
     tors: Vec<TorRecord>,
     opss: Vec<OpsRecord>,
+    /// Number of pods (locality shards); `0` in legacy serialized form
+    /// means the single default pod.
+    #[serde(default)]
+    pods: usize,
 }
 
 impl DataCenter {
@@ -86,16 +92,27 @@ impl DataCenter {
 
     // ----- construction -----------------------------------------------
 
-    /// Adds a rack with its ToR switch; returns `(rack, tor)`.
+    /// Adds a rack with its ToR switch to the default pod; returns
+    /// `(rack, tor)`.
     pub fn add_rack(&mut self) -> (RackId, TorId) {
+        self.add_rack_in_pod(PodId(0))
+    }
+
+    /// Adds a rack with its ToR switch to `pod`; returns `(rack, tor)`.
+    ///
+    /// Pods are locality shards: sharded state layers partition their
+    /// bookkeeping by the pod of each ToR/OPS. Pod ids may be issued in
+    /// any order; the pod count grows to cover the largest id seen.
+    pub fn add_rack_in_pod(&mut self, pod: PodId) -> (RackId, TorId) {
         let rack = RackId(self.racks.len());
         let tor = TorId(self.tors.len());
         let node = self.graph.add_node(PhysNode::Tor(tor));
-        self.tors.push(TorRecord { rack, node });
+        self.tors.push(TorRecord { rack, node, pod });
         self.racks.push(RackRecord {
             tor,
             servers: Vec::new(),
         });
+        self.pods = self.pods.max(pod.0 + 1);
         (rack, tor)
     }
 
@@ -151,12 +168,19 @@ impl DataCenter {
         vm
     }
 
-    /// Adds an OPS to the core; `opto` gives it optoelectronic (VNF-hosting)
-    /// capacity.
+    /// Adds an OPS to the core (default pod); `opto` gives it
+    /// optoelectronic (VNF-hosting) capacity.
     pub fn add_ops(&mut self, opto: Option<OptoCapacity>) -> OpsId {
+        self.add_ops_in_pod(opto, PodId(0))
+    }
+
+    /// Adds an OPS to the core inside `pod`; `opto` gives it
+    /// optoelectronic (VNF-hosting) capacity.
+    pub fn add_ops_in_pod(&mut self, opto: Option<OptoCapacity>, pod: PodId) -> OpsId {
         let ops = OpsId(self.opss.len());
         let node = self.graph.add_node(PhysNode::Ops { id: ops, opto });
-        self.opss.push(OpsRecord { node, opto });
+        self.opss.push(OpsRecord { node, opto, pod });
+        self.pods = self.pods.max(pod.0 + 1);
         ops
     }
 
@@ -262,6 +286,88 @@ impl DataCenter {
     /// Number of OPSs.
     pub fn ops_count(&self) -> usize {
         self.opss.len()
+    }
+
+    // ----- pods -----------------------------------------------------------
+
+    /// Number of pods (≥ 1). A data center built without explicit pod
+    /// assignments has exactly one pod containing everything.
+    pub fn pod_count(&self) -> usize {
+        self.pods.max(1)
+    }
+
+    /// The pod of `tor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tor` does not exist.
+    pub fn pod_of_tor(&self, tor: TorId) -> PodId {
+        self.tors[tor.0].pod
+    }
+
+    /// The pod of `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` does not exist.
+    pub fn pod_of_ops(&self, ops: OpsId) -> PodId {
+        self.opss[ops.0].pod
+    }
+
+    /// The pod of `server` (its rack ToR's pod).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` does not exist.
+    pub fn pod_of_server(&self, server: ServerId) -> PodId {
+        self.pod_of_tor(self.tor_of_server(server))
+    }
+
+    /// The pod of `vm` (its server's pod).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` does not exist.
+    pub fn pod_of_vm(&self, vm: VmId) -> PodId {
+        self.pod_of_tor(self.tor_of_vm(vm))
+    }
+
+    /// ToRs belonging to `pod`, in id order.
+    pub fn tors_of_pod(&self, pod: PodId) -> Vec<TorId> {
+        self.tors
+            .iter()
+            .enumerate()
+            .filter(|(_, rec)| rec.pod == pod)
+            .map(|(i, _)| TorId(i))
+            .collect()
+    }
+
+    /// OPSs belonging to `pod`, in id order.
+    pub fn ops_of_pod(&self, pod: PodId) -> Vec<OpsId> {
+        self.opss
+            .iter()
+            .enumerate()
+            .filter(|(_, rec)| rec.pod == pod)
+            .map(|(i, _)| OpsId(i))
+            .collect()
+    }
+
+    /// Iterates over all pod ids.
+    pub fn pod_ids(&self) -> impl Iterator<Item = PodId> {
+        (0..self.pod_count()).map(PodId)
+    }
+
+    /// The pod of a physical-graph node (server, ToR, or OPS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the physical graph.
+    pub fn pod_of_node(&self, node: alvc_graph::NodeId) -> PodId {
+        match self.graph.node_weight(node).expect("node exists") {
+            PhysNode::Server(s) => self.pod_of_server(*s),
+            PhysNode::Tor(t) => self.pod_of_tor(*t),
+            PhysNode::Ops { id, .. } => self.pod_of_ops(*id),
+        }
     }
 
     // ----- id iteration ---------------------------------------------------

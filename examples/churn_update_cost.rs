@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cluster_of_vm = std::collections::HashMap::new();
     for spec in service_clusters(&dc) {
         let members = spec.vms.clone();
-        let id = mgr.create_cluster(&dc, &spec.label, spec.vms, &PaperGreedy::new())?;
+        let id = mgr.create_cluster(&dc, spec.label, spec.vms, &PaperGreedy::new())?;
         for vm in members {
             cluster_of_vm.insert(vm, id);
         }

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut mgr = ClusterManager::new();
     for spec in service_clusters(&dc) {
-        let id = mgr.create_cluster(&dc, &spec.label, spec.vms, &PaperGreedy::new())?;
+        let id = mgr.create_cluster(&dc, spec.label, spec.vms, &PaperGreedy::new())?;
         let vc = mgr.cluster(id).unwrap();
         println!(
             "cluster '{}' AL: {:?}",

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         match orch.deploy_chain(
             &dc,
-            &tenant.label,
+            tenant.label,
             tenant.vms.clone(),
             spec,
             &PaperGreedy::new(),
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     _ => "other",
                 };
                 println!("{}: rejected ({reason}: {e})", tenant.label);
-                rejected.push(tenant.label.clone());
+                rejected.push(tenant.label);
             }
         }
     }

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (tenant, spec) in tenants.iter().zip(specs) {
         let id = orch.deploy_chain(
             &dc,
-            &tenant.label,
+            tenant.label,
             tenant.vms.clone(),
             spec,
             &PaperGreedy::new(),

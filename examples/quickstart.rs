@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    enforcing the one-OPS-per-AL rule via the cluster manager.
     let mut mgr = ClusterManager::new();
     for c in &clusters {
-        let id = mgr.create_cluster(&dc, &c.label, c.vms.clone(), &PaperGreedy::new())?;
+        let id = mgr.create_cluster(&dc, c.label, c.vms.clone(), &PaperGreedy::new())?;
         let vc = mgr.cluster(id).unwrap();
         println!(
             "VC {} ('{}'): AL = {:?} ({} OPSs, {} ToRs) — valid: {}",

@@ -34,8 +34,12 @@ pub mod prelude {
     };
     pub use alvc_core::clustering::{service_clusters, tenant_clusters};
     pub use alvc_core::construction::{AlConstruct, PaperGreedy};
-    pub use alvc_core::{AbstractionLayer, ClusterId, ClusterManager};
+    pub use alvc_core::{
+        construct_layers_sharded, AbstractionLayer, ClusterId, ClusterManager, LabelId,
+        ShardReport, ShardedState,
+    };
     pub use alvc_nfv::chain::fig5;
+    pub use alvc_nfv::ledger::ShardedLedger;
     pub use alvc_nfv::{
         AdmissionError, ChainSpec, ControlPlane, ControlPlaneBuilder, DeployError, DeployedChain,
         ElectronicOnlyPlacer, Error, ErrorKind, Intent, IntentEffect, IntentId, IntentLog,

@@ -60,7 +60,7 @@ fn orchestrator_survives_chaotic_operation_mix() {
                     };
                     if let Ok(id) = orch.deploy_chain(
                         &dc,
-                        &group.label,
+                        group.label,
                         group.vms.clone(),
                         spec,
                         &PaperGreedy::new(),
@@ -211,7 +211,7 @@ fn cluster_manager_survives_failure_storm_with_redundancy() {
     let mut ids = Vec::new();
     for g in &groups {
         ids.push(
-            mgr.create_cluster(&dc, &g.label, g.vms.clone(), &ctor)
+            mgr.create_cluster(&dc, g.label, g.vms.clone(), &ctor)
                 .expect("roomy topology"),
         );
     }

@@ -53,7 +53,7 @@ fn chains_deploy_on_electronic_fabrics_without_conversions() {
             let id = orch
                 .deploy_chain(
                     &dc,
-                    &tenant.label,
+                    tenant.label,
                     tenant.vms.clone(),
                     spec,
                     &PaperGreedy::new(),

@@ -43,7 +43,7 @@ fn full_pipeline_respects_all_invariants() {
         ids.push(
             orch.deploy_chain(
                 &dc,
-                &t.label,
+                t.label,
                 t.vms.clone(),
                 spec,
                 &PaperGreedy::new(),
@@ -155,7 +155,7 @@ fn repeated_deploy_teardown_cycles_do_not_leak() {
         let id = orch
             .deploy_chain(
                 &dc,
-                &format!("round-{round}"),
+                format!("round-{round}"),
                 vms.clone(),
                 spec,
                 &PaperGreedy::new(),

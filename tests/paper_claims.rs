@@ -121,7 +121,7 @@ fn claim_one_nfc_per_vc_with_disjoint_slices() {
         if orch
             .deploy_chain(
                 &dc,
-                &cluster.label,
+                cluster.label,
                 cluster.vms.clone(),
                 spec,
                 &PaperGreedy::new(),
@@ -167,7 +167,7 @@ fn claim_update_cost_below_flat() {
     for spec in service_clusters(&dc) {
         let vms = spec.vms.clone();
         let id = mgr
-            .create_cluster(&dc, &spec.label, spec.vms, &PaperGreedy::new())
+            .create_cluster(&dc, spec.label, spec.vms, &PaperGreedy::new())
             .unwrap();
         for vm in vms {
             cluster_of_vm.insert(vm, id);

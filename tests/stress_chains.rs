@@ -58,7 +58,7 @@ fn three_hundred_random_chains_deploy_cleanly() {
         let result = if placer_choice {
             orch.deploy_chain(
                 &dc,
-                &format!("t{i}"),
+                format!("t{i}"),
                 vms.clone(),
                 spec,
                 &nfv_aware,
@@ -67,7 +67,7 @@ fn three_hundred_random_chains_deploy_cleanly() {
         } else {
             orch.deploy_chain(
                 &dc,
-                &format!("t{i}"),
+                format!("t{i}"),
                 vms.clone(),
                 spec,
                 &nfv_aware,
