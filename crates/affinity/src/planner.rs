@@ -202,6 +202,8 @@ impl MigrationPlanner {
 
         alvc_telemetry::counter!("alvc_affinity.planner.plans").incr();
         alvc_telemetry::gauge!("alvc_affinity.planner.predicted_gain").set(gain);
+        // Probes-off builds expand both counters to the same no-op.
+        #[allow(clippy::if_same_then_else)]
         if approved {
             alvc_telemetry::counter!("alvc_affinity.planner.moves_proposed")
                 .add(moves.len() as u64);

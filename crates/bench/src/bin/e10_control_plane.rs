@@ -9,24 +9,52 @@
 //! [`alvc_nfv::StateView`]s are compared — the determinism claim, checked
 //! at bench scale.
 //!
-//! Emits `results/BENCH_control_plane.json`.
+//! A second, single-threaded **trace phase** (DESIGN.md §14) then runs the
+//! same intent mix twice — tracing off, tracing on with the flight
+//! recorder and an SLO monitor (including one deliberately unmeetable p99
+//! objective) — and checks that causal trace trees are complete for ≥99%
+//! of intents and that the runtime tracing overhead stays within budget.
+//! Shrink it with `E10_TRACE_INTENTS=<n>`.
+//!
+//! Emits `results/BENCH_control_plane.json`,
+//! `results/BENCH_trace_overhead.json`, and the flight-recorder dump
+//! `results/trace_dump.jsonl` (rendered by `alvc-trace`).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use alvc_bench::{f2, print_table, write_results, Json};
 use alvc_nfv::{
-    ChainSpec, ControlPlane, Intent, IntentEffect, IntentId, IntentOutcome, TenantQuota, VnfSpec,
-    VnfType,
+    ChainSpec, ControlPlane, Intent, IntentEffect, IntentId, IntentOutcome, TenantQuota,
+    VnfInstanceId, VnfSpec, VnfType,
 };
 use alvc_sim::workload::ChainBlueprint;
 use alvc_sim::{ChainWorkload, IntentMix, IntentOp, MixWeights};
+use alvc_telemetry::recorder::{
+    clear_recorder, configure_recorder, recorder_entries, RecorderEntry,
+};
+use alvc_telemetry::trace::set_tracing_enabled;
+use alvc_telemetry::{SloMonitor, SloReport, SloSpec, SpanRecord, TraceId};
 use alvc_topology::{AlvcTopologyBuilder, DataCenter, Element, OpsId, OpsInterconnect, VmId};
 
 const TENANT_COUNTS: [usize; 4] = [2, 4, 8, 16];
 const INTENTS_PER_TENANT: usize = 40;
 const BATCH_SIZE: usize = 16;
+
+/// Tenants driven round-robin by the single-threaded trace phase.
+const TRACE_TENANTS: usize = 4;
+/// Intents per trace-phase pass (override with `E10_TRACE_INTENTS`).
+const DEFAULT_TRACE_INTENTS: usize = 10_000;
+/// SLO windows close every this many rounds during the traced pass.
+const OBSERVE_EVERY: u64 = 64;
+/// Recorder capacity for the traced pass: comfortably above the ~8 spans
+/// an accepted deploy produces times the intent count, so the
+/// completeness check never races the drop-oldest policy.
+const TRACE_RECORDER_CAPACITY: usize = 1 << 18;
+/// Acceptance budget for tracing-on vs tracing-off wall time.
+const TRACE_OVERHEAD_BUDGET: f64 = 0.02;
 
 fn topology() -> Arc<DataCenter> {
     Arc::new(
@@ -269,6 +297,333 @@ fn pctl(sorted: &[f64], q: f64) -> f64 {
     sorted[(((sorted.len() as f64) * q).ceil() as usize).clamp(1, sorted.len()) - 1]
 }
 
+/// One tenant of the trace phase: the same mix/targeting logic as
+/// [`run_tenant`], minus threads — the phase is single-threaded so the
+/// tracing-on/off wall-time comparison measures tracing, not scheduling.
+struct TraceTenant {
+    name: String,
+    group: Vec<VmId>,
+    mix: IntentMix,
+    scale_outs: Vec<IntentId>,
+    replicas: Vec<VnfInstanceId>,
+}
+
+impl TraceTenant {
+    /// The tenant's next resolvable intent, or `None` when the drawn op
+    /// has no target yet (no live chain / no harvested replica).
+    fn next(&mut self, cp: &ControlPlane) -> Option<Intent> {
+        let view = cp.view();
+        let own = view.chains_of(&self.name);
+        Some(match self.mix.next(&self.group) {
+            IntentOp::Deploy(bp) => Intent::DeployChain {
+                vms: self.group.clone(),
+                spec: spec_of(&bp),
+            },
+            IntentOp::Teardown => Intent::TeardownChain {
+                chain: *own.first()?,
+            },
+            IntentOp::Modify(bp) => Intent::ModifyChain {
+                chain: *own.last()?,
+                spec: spec_of(&bp),
+            },
+            IntentOp::ScaleOut => Intent::ScaleOut {
+                chain: *own.first()?,
+                position: 0,
+            },
+            IntentOp::ScaleIn => {
+                self.scale_outs.retain(|&t| match cp.outcome(t) {
+                    Some(IntentOutcome::Completed(IntentEffect::ScaledOut { replica, .. })) => {
+                        self.replicas.push(replica);
+                        false
+                    }
+                    Some(_) => false,
+                    None => true,
+                });
+                Intent::ScaleIn {
+                    replica: self.replicas.pop()?,
+                }
+            }
+        })
+    }
+}
+
+/// The traced pass's objectives: one deliberately unmeetable p99 ceiling
+/// (every window with samples breaches — the induced-violation check), a
+/// per-tenant rejection-rate ceiling that cannot breach (a met objective
+/// for the report), and a per-pod construction p99.
+fn slo_specs() -> Vec<SloSpec> {
+    vec![
+        SloSpec::parse("induced_p99: p99_us(alvc_nfv.control.intent_latency_us) <= 0.001")
+            .expect("spec grammar"),
+        SloSpec::rejection_rate(
+            "tenant_reject_rate",
+            "alvc_nfv.control.tenant_rejections",
+            "alvc_nfv.control.tenant_intents",
+            1.0,
+        ),
+        SloSpec::p99_latency_us(
+            "pod_construct_p99",
+            "alvc_core.shard.pod_construct_us",
+            "*",
+            5e6,
+        ),
+    ]
+}
+
+/// The trace phase's own topology: the ladder's rack scale with a much
+/// deeper OPS pool, so the steady state is dominated by *successful*
+/// construction/placement/routing work — the representative regime for an
+/// overhead measurement — instead of fast-failing on OPS exhaustion.
+fn trace_topology() -> Arc<DataCenter> {
+    Arc::new(
+        AlvcTopologyBuilder::new()
+            .racks(16)
+            .servers_per_rack(4)
+            .vms_per_server(2)
+            .ops_count(160)
+            .tor_ops_degree(8)
+            .opto_fraction(0.5)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(11)
+            .build(),
+    )
+}
+
+/// A churn-balanced mix for the trace phase: modify-heavy (a modify is a
+/// full redeploy without changing the live-chain count) with deploys and
+/// teardowns near parity, so accepted real work stays the common case at
+/// steady state rather than draining into quota/capacity failures.
+fn trace_mix_weights() -> MixWeights {
+    MixWeights {
+        deploy: 2.0,
+        teardown: 1.5,
+        modify: 3.0,
+        scale_out: 1.0,
+        scale_in: 0.5,
+    }
+}
+
+struct TracePass {
+    wall_ms: f64,
+    cp: ControlPlane,
+    ids: Vec<IntentId>,
+    report: Option<SloReport>,
+    /// Time spent inside `SloMonitor::observe`, excluded from `wall_ms`:
+    /// window evaluation is monitoring-plane work on an amortized cadence,
+    /// not per-intent tracing overhead.
+    observe_ms: f64,
+}
+
+/// Runs `target` intents through a fresh control plane, single-threaded,
+/// round-robin across [`TRACE_TENANTS`] tenants with periodic operator
+/// fail/restore churn. With `traced`, tracing + flight recorder + SLO
+/// monitor are on for the duration.
+fn run_trace_pass(dc: &Arc<DataCenter>, target: usize, traced: bool) -> TracePass {
+    if traced {
+        configure_recorder(TRACE_RECORDER_CAPACITY);
+        clear_recorder();
+        set_tracing_enabled(true);
+    }
+    let cp = ControlPlane::builder()
+        .batch_size(BATCH_SIZE)
+        .default_quota(TenantQuota::new(12, 16))
+        .tenant_quota("operator", TenantQuota::unlimited())
+        .build(dc.clone());
+    let vms: Vec<VmId> = dc.vm_ids().collect();
+    let per = vms.len() / TRACE_TENANTS;
+    let mut tenants: Vec<TraceTenant> = (0..TRACE_TENANTS)
+        .map(|t| TraceTenant {
+            name: format!("tenant-{t}"),
+            group: vms[t * per..(t + 1) * per].to_vec(),
+            mix: IntentMix::new(
+                trace_mix_weights(),
+                ChainWorkload::new(5, 9, 0.4, 2000 + t as u64),
+                2000 + t as u64,
+            ),
+            scale_outs: Vec::new(),
+            replicas: Vec::new(),
+        })
+        .collect();
+    let mut monitor = traced.then(|| SloMonitor::new(slo_specs()));
+
+    let started = Instant::now();
+    let mut observing = std::time::Duration::ZERO;
+    let mut ids: Vec<IntentId> = Vec::with_capacity(target + 2);
+    let mut round = 0u64;
+    while ids.len() < target {
+        for tenant in &mut tenants {
+            if let Some(intent) = tenant.next(&cp) {
+                ids.push(cp.submit(&tenant.name, intent));
+            }
+        }
+        if round.is_multiple_of(64) {
+            let element = Element::Ops(OpsId((round as usize / 64) % 3));
+            ids.push(cp.submit("operator", Intent::FailElement { element }));
+            ids.push(cp.submit("operator", Intent::RestoreElement { element }));
+        }
+        cp.process_all();
+        round += 1;
+        if round.is_multiple_of(OBSERVE_EVERY) {
+            if let Some(m) = monitor.as_mut() {
+                let at = Instant::now();
+                m.observe();
+                observing += at.elapsed();
+            }
+        }
+    }
+    cp.process_all();
+    let report = monitor.map(|mut m| {
+        let at = Instant::now();
+        m.observe();
+        observing += at.elapsed();
+        m.report()
+    });
+    let wall_ms = (started.elapsed() - observing).as_secs_f64() * 1e3;
+    if traced {
+        set_tracing_enabled(false);
+    }
+    TracePass {
+        wall_ms,
+        cp,
+        ids,
+        report,
+        observe_ms: observing.as_secs_f64() * 1e3,
+    }
+}
+
+/// Counts intents whose recorded trace tree is complete: a root `intent`
+/// span, exactly one admission span, and — unless rejected — exactly one
+/// execute span (the tentpole's ≥99% reconstruction acceptance).
+fn trace_coverage(cp: &ControlPlane, ids: &[IntentId]) -> (usize, usize) {
+    let mut by_trace: BTreeMap<TraceId, Vec<SpanRecord>> = BTreeMap::new();
+    for entry in recorder_entries() {
+        if let RecorderEntry::Span(s) = entry {
+            by_trace.entry(s.trace).or_default().push(s);
+        }
+    }
+    let mut complete = 0;
+    for &id in ids {
+        let spans = match cp.trace_of(id).and_then(|t| by_trace.get(&t)) {
+            Some(spans) => spans,
+            None => continue,
+        };
+        let rooted = spans
+            .iter()
+            .any(|s| s.parent.is_none() && s.name == "intent");
+        let admissions = spans
+            .iter()
+            .filter(|s| s.name == "intent.admission")
+            .count();
+        let executes = spans.iter().filter(|s| s.name == "intent.execute").count();
+        let rejected = matches!(cp.outcome(id), Some(IntentOutcome::Rejected(_)));
+        if rooted && admissions == 1 && executes == usize::from(!rejected) {
+            complete += 1;
+        }
+    }
+    (complete, ids.len())
+}
+
+/// The trace phase proper: warm up, interleave three tracing-off and
+/// three tracing-on passes (min-of-3 each side — interleaving cancels
+/// clock/thermal drift, the min sheds scheduler noise), check tree
+/// completeness and the induced SLO breach, dump the recorder, and write
+/// `BENCH_trace_overhead.json`.
+fn trace_phase() {
+    let target: usize = std::env::var("E10_TRACE_INTENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TRACE_INTENTS);
+    println!("\nE10 trace phase: causal tracing, flight recorder, SLO monitor ({target} intents)");
+    let dc = trace_topology();
+    run_trace_pass(&dc, target / 10 + 1, false); // warm-up
+
+    let mut wall_off = f64::INFINITY;
+    let mut wall_on = f64::INFINITY;
+    let mut traced = None;
+    for _ in 0..3 {
+        wall_off = wall_off.min(run_trace_pass(&dc, target, false).wall_ms);
+        let pass = run_trace_pass(&dc, target, true);
+        wall_on = wall_on.min(pass.wall_ms);
+        // Keep the last pass: its spans are the recorder's live contents.
+        traced = Some(pass);
+    }
+    let mut traced = traced.expect("at least one traced pass ran");
+
+    let (complete, total) = trace_coverage(&traced.cp, &traced.ids);
+    let coverage = complete as f64 / total as f64;
+    let overhead = (wall_on - wall_off) / wall_off;
+    println!(
+        "trace trees complete: {complete}/{total}; tracing overhead {:.2}% \
+         (off {:.1} ms, on {:.1} ms, budget {:.0}%)",
+        overhead * 100.0,
+        wall_off,
+        wall_on,
+        TRACE_OVERHEAD_BUDGET * 100.0
+    );
+    assert!(
+        coverage >= 0.99,
+        "causal trees must be complete for >=99% of intents, got {complete}/{total}"
+    );
+    let report = traced.report.take().expect("traced pass produced a report");
+    assert!(
+        report.breaches.iter().any(|b| b.slo == "induced_p99"),
+        "the deliberately unmeetable p99 objective must breach"
+    );
+    let dump = traced.cp.dump_flight_recorder();
+    assert!(
+        dump.contains("\"kind\":\"breach\""),
+        "SLO breaches must appear in the flight-recorder dump"
+    );
+    let dump_path = write_results("trace_dump.jsonl", &dump);
+
+    let slo_results: Vec<Json> = report
+        .results
+        .iter()
+        .map(|r| {
+            Json::object()
+                .field("slo", r.slo.clone())
+                .field("windows", r.windows)
+                .field("breaches", r.breaches)
+                .field("worst", (r.worst * 1e3).round() / 1e3)
+                .field("threshold", r.threshold)
+        })
+        .collect();
+    let doc = Json::object()
+        .field("bench", "trace_overhead")
+        .field("intents", total)
+        .field("wall_ms_off", (wall_off * 1e3).round() / 1e3)
+        .field("wall_ms_on", (wall_on * 1e3).round() / 1e3)
+        .field("slo_observe_ms", (traced.observe_ms * 1e3).round() / 1e3)
+        .field("overhead_frac", (overhead * 1e4).round() / 1e4)
+        .field("budget_frac", TRACE_OVERHEAD_BUDGET)
+        .field("within_budget", overhead <= TRACE_OVERHEAD_BUDGET)
+        .field("traces_complete", complete)
+        .field("traces_total", total)
+        .field("trace_coverage", (coverage * 1e4).round() / 1e4)
+        .field(
+            "slo",
+            Json::object()
+                .field("windows", report.windows)
+                .field("breaches", report.breaches.len())
+                .field("results", Json::Array(slo_results)),
+        )
+        .field("dump", "trace_dump.jsonl");
+    let path = write_results("BENCH_trace_overhead.json", &doc.pretty());
+    println!(
+        "SLO windows: {}, breaches: {} (induced_p99 deliberately unmeetable)",
+        report.windows,
+        report.breaches.len()
+    );
+    if overhead > TRACE_OVERHEAD_BUDGET {
+        eprintln!(
+            "warning: tracing overhead {:.2}% exceeds the {:.0}% budget on this host",
+            overhead * 100.0,
+            TRACE_OVERHEAD_BUDGET * 100.0
+        );
+    }
+    println!("wrote {} and {}", path.display(), dump_path.display());
+}
+
 fn main() {
     println!("E10: intent-based control plane — throughput and latency\n");
     let dc = topology();
@@ -349,4 +704,10 @@ fn main() {
         "\nLatency is submit→batch-completion as observed by the driver; every run's\n\
          intent log replays to a bit-identical StateView on a fresh control plane."
     );
+
+    if alvc_telemetry::telemetry_compiled() {
+        trace_phase();
+    } else {
+        println!("\ntrace phase skipped: probes compiled out (--no-default-features)");
+    }
 }

@@ -234,7 +234,7 @@ fn main() {
     // The hot paths intern labels once; any subsequent String round-trip
     // would bump this counter. Keep it at zero.
     assert_eq!(
-        alvc_telemetry::counter!("core.label_clones").value(),
+        alvc_telemetry::counter!("alvc_core.label.clones").value(),
         0,
         "hot paths must not re-intern label strings"
     );

@@ -1,7 +1,11 @@
 //! Validates the telemetry snapshot embedded in a `results/BENCH_*.json`
 //! against `schemas/telemetry_snapshot.schema.json`, and — when the file
-//! comes from a probes-on build — checks that the selector, construction,
-//! and orchestrator probe families all recorded nonzero activity.
+//! comes from a probes-on build — checks that every probe family the
+//! emitting experiment exercises recorded activity. The experiment is
+//! read from the results file's top-level `experiment` field, so e8 runs
+//! are additionally checked for the shard/label probes and e11 runs for
+//! the adaptive-clustering (affinity) probes instead of being silently
+//! passed through the generic three-family check.
 //!
 //! Usage:
 //!
@@ -17,30 +21,109 @@ use std::process::ExitCode;
 use alvc_bench::schema::validate;
 use alvc_bench::Json;
 
-/// Probe-name prefixes that must show nonzero counters in an instrumented
-/// e3/e8 run (DESIGN.md §9 acceptance).
-const REQUIRED_PROBE_PREFIXES: [&str; 3] = [
-    "alvc_graph.selector.",
-    "alvc_core.construction.",
-    "alvc_nfv.orchestrator.",
-];
+/// One probe-family requirement: at least one probe under `prefix` must
+/// exist in the snapshot; when `nonzero`, the family must also show
+/// recorded activity (a counter above zero, a histogram with samples, or
+/// any gauge).
+struct Family {
+    prefix: &'static str,
+    nonzero: bool,
+}
 
-/// Checks that every required probe family has at least one counter with a
-/// nonzero value.
-fn check_probe_coverage(snapshot: &Json) -> Result<(), String> {
-    let counters = snapshot
-        .get("counters")
+const fn active(prefix: &'static str) -> Family {
+    Family {
+        prefix,
+        nonzero: true,
+    }
+}
+
+const fn present(prefix: &'static str) -> Family {
+    Family {
+        prefix,
+        nonzero: false,
+    }
+}
+
+/// The probe families an instrumented run of `experiment` must cover
+/// (DESIGN.md §9 acceptance). The base selector/construction/orchestrator
+/// trio applies to every chain-deploying experiment; e8 additionally
+/// proves the label-interning counter exists (the binary itself asserts
+/// it is zero) plus, when sharded DC tiers ran (non-empty `dc_rows`), the
+/// pod-sharded construction probes; e11 (`bench: "reclustering"`) must
+/// light up all three affinity subsystems.
+fn required_families(experiment: &str, results: &Json) -> Vec<Family> {
+    let mut families = vec![
+        active("alvc_graph.selector."),
+        active("alvc_core.construction."),
+        active("alvc_nfv.orchestrator."),
+    ];
+    match experiment {
+        "e8_scalability" => {
+            families.push(present("alvc_core.label."));
+            let ran_sharded = results
+                .get("dc_rows")
+                .and_then(Json::as_array)
+                .is_some_and(|rows| !rows.is_empty());
+            if ran_sharded {
+                families.push(active("alvc_core.shard."));
+            }
+        }
+        "reclustering" => {
+            families.push(active("alvc_affinity.collector."));
+            families.push(active("alvc_affinity.clusterer."));
+            families.push(active("alvc_affinity.planner."));
+        }
+        _ => {}
+    }
+    families
+}
+
+fn entries<'a>(snapshot: &'a Json, section: &str) -> Result<&'a [Json], String> {
+    snapshot
+        .get(section)
         .and_then(Json::as_array)
-        .ok_or("telemetry.counters missing")?;
-    for prefix in REQUIRED_PROBE_PREFIXES {
-        let hit = counters.iter().any(|c| {
-            c.get("name")
-                .and_then(Json::as_str)
-                .is_some_and(|n| n.starts_with(prefix))
-                && c.get("value").and_then(Json::as_f64).unwrap_or(0.0) > 0.0
-        });
+        .ok_or_else(|| format!("telemetry.{section} missing"))
+}
+
+fn named(entry: &Json, prefix: &str) -> bool {
+    entry
+        .get("name")
+        .and_then(Json::as_str)
+        .is_some_and(|n| n.starts_with(prefix))
+}
+
+fn field(entry: &Json, key: &str) -> f64 {
+    entry.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Checks that every required probe family is present and, where
+/// demanded, shows nonzero activity in one of the three metric kinds.
+fn check_probe_coverage(experiment: &str, results: &Json, snapshot: &Json) -> Result<(), String> {
+    let counters = entries(snapshot, "counters")?;
+    let gauges = entries(snapshot, "gauges")?;
+    let histograms = entries(snapshot, "histograms")?;
+    for family in required_families(experiment, results) {
+        let prefix = family.prefix;
+        let seen = counters.iter().any(|c| named(c, prefix))
+            || gauges.iter().any(|g| named(g, prefix))
+            || histograms.iter().any(|h| named(h, prefix));
+        if !seen {
+            return Err(format!("{experiment}: no probe under {prefix:?}"));
+        }
+        if !family.nonzero {
+            continue;
+        }
+        let hit = counters
+            .iter()
+            .any(|c| named(c, prefix) && field(c, "value") > 0.0)
+            || gauges.iter().any(|g| named(g, prefix))
+            || histograms
+                .iter()
+                .any(|h| named(h, prefix) && field(h, "count") > 0.0);
         if !hit {
-            return Err(format!("no nonzero counter under {prefix:?}"));
+            return Err(format!(
+                "{experiment}: no nonzero activity under {prefix:?}"
+            ));
         }
     }
     Ok(())
@@ -66,6 +149,14 @@ fn run() -> Result<(), String> {
     let results = Json::parse(&results_text).map_err(|e| format!("{results_path}: {e}"))?;
     let schema = Json::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
 
+    // e* binaries stamp `experiment`; e11's re-clustering bench stamps
+    // `bench` instead. Either identifies the probe families to demand.
+    let experiment = results
+        .get("experiment")
+        .or_else(|| results.get("bench"))
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
     let snapshot = results
         .get("telemetry")
         .ok_or_else(|| format!("{results_path}: no `telemetry` section"))?;
@@ -76,8 +167,8 @@ fn run() -> Result<(), String> {
         .and_then(Json::as_bool)
         .ok_or("telemetry.enabled missing")?;
     if enabled {
-        check_probe_coverage(snapshot)?;
-        println!("{results_path}: telemetry snapshot valid, all probe families nonzero");
+        check_probe_coverage(&experiment, &results, snapshot)?;
+        println!("{results_path}: telemetry snapshot valid, all probe families covered");
     } else {
         println!("{results_path}: telemetry snapshot valid (probes compiled out)");
     }

@@ -1,0 +1,108 @@
+//! Validates a flight-recorder JSON-lines dump (from
+//! `ControlPlane::dump_flight_recorder()`, a post-mortem, or the e10
+//! trace phase) against `schemas/trace_dump.schema.json`: every line must
+//! parse as a JSON object whose `kind` selects one of the schema's
+//! `definitions` (`span`, `event`, `breach`), and the line must satisfy
+//! that definition. Structural checks on top of the schema: the dump must
+//! contain at least one span, every span's `trace` must have a root span
+//! (`parent == 0`) unless the ring overwrote it, and with
+//! `--expect-breach` at least one SLO breach record must be present.
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_trace <dump.jsonl> [schema-file] [--expect-breach]
+//! ```
+//!
+//! Exits nonzero with a diagnostic on the first violation; CI's telemetry
+//! smoke job runs this on e10's trace-phase dump.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+use alvc_bench::schema::validate;
+use alvc_bench::Json;
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let expect_breach = args.iter().any(|a| a == "--expect-breach");
+    args.retain(|a| a != "--expect-breach");
+    let dump_path = args
+        .first()
+        .ok_or("usage: validate_trace <dump.jsonl> [schema-file] [--expect-breach]")?;
+    let schema_path = args.get(1).cloned().unwrap_or_else(|| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/trace_dump.schema.json"
+        )
+        .to_string()
+    });
+
+    let dump = std::fs::read_to_string(dump_path).map_err(|e| format!("read {dump_path}: {e}"))?;
+    let schema_text =
+        std::fs::read_to_string(&schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let schema = Json::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+    let definitions = schema
+        .get("definitions")
+        .ok_or_else(|| format!("{schema_path}: no `definitions` section"))?;
+
+    let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+    // Traces that have a root span / any span, for the orphan check.
+    let mut rooted: BTreeSet<u64> = BTreeSet::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    for (i, line) in dump.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let record = Json::parse(line).map_err(|e| format!("{dump_path}:{n}: {e}"))?;
+        let kind = record
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{dump_path}:{n}: no string `kind`"))?
+            .to_string();
+        let definition = definitions
+            .get(&kind)
+            .ok_or_else(|| format!("{dump_path}:{n}: unknown record kind {kind:?}"))?;
+        validate(&record, definition, &format!("{dump_path}:{n}"))?;
+        if kind == "span" {
+            let num = |key: &str| record.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            seen.insert(num("trace"));
+            if num("parent") == 0 {
+                rooted.insert(num("trace"));
+            }
+        }
+        *by_kind.entry(kind).or_default() += 1;
+    }
+
+    let spans = by_kind.get("span").copied().unwrap_or(0);
+    if spans == 0 {
+        return Err(format!("{dump_path}: no span records"));
+    }
+    let breaches = by_kind.get("breach").copied().unwrap_or(0);
+    if expect_breach && breaches == 0 {
+        return Err(format!(
+            "{dump_path}: --expect-breach, but no breach records"
+        ));
+    }
+    let orphaned = seen.difference(&rooted).count();
+    println!(
+        "{dump_path}: {spans} spans across {} traces ({} rootless — ring overwrites), \
+         {} events, {breaches} breaches; all records valid",
+        seen.len(),
+        orphaned,
+        by_kind.get("event").copied().unwrap_or(0),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -2,9 +2,10 @@
 //! gates (`validate_snapshot`, `validate_reclustering`).
 //!
 //! Supports exactly the subset the schemas under `schemas/` use: `type`
-//! (string form), `required`, `properties`, `items`, and `minimum`.
-//! Anything fancier should grow here, in one place, with both gates
-//! picking it up.
+//! (string form), `required`, `properties`, `items`, `minimum`, and the
+//! custom `format: "probe-name"` (the `alvc_<crate>.<subsystem>.<metric>`
+//! probe naming convention from DESIGN.md §9). Anything fancier should
+//! grow here, in one place, with every gate picking it up.
 
 use crate::json::Json;
 
@@ -36,6 +37,20 @@ pub fn validate(value: &Json, schema: &Json, path: &str) -> Result<(), String> {
             }
         }
     }
+    if let Some(format) = schema.get("format").and_then(Json::as_str) {
+        match format {
+            "probe-name" => {
+                if let Some(s) = value.as_str() {
+                    if !is_probe_name(s) {
+                        return Err(format!(
+                            "{path}: {s:?} is not an alvc_<crate>.<subsystem>.<metric> probe name"
+                        ));
+                    }
+                }
+            }
+            other => return Err(format!("{path}: unsupported schema format {other:?}")),
+        }
+    }
     if let Some(required) = schema.get("required").and_then(Json::as_array) {
         for key in required {
             let key = key.as_str().expect("required entries are strings");
@@ -59,6 +74,21 @@ pub fn validate(value: &Json, schema: &Json, path: &str) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `true` for `alvc_<crate>.<subsystem>.<metric>` probe names: at least
+/// three non-empty dot-separated segments of `[a-z0-9_]`, the first
+/// starting with `alvc_`.
+fn is_probe_name(s: &str) -> bool {
+    let segments: Vec<&str> = s.split('.').collect();
+    segments.len() >= 3
+        && segments[0].starts_with("alvc_")
+        && segments.iter().all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
 }
 
 #[cfg(test)]
@@ -90,5 +120,31 @@ mod tests {
         let err = validate(&parse(r#"{"a": 3}"#), &schema, "$").unwrap_err();
         assert!(err.contains("$.a"), "{err}");
         assert!(err.contains("below minimum"), "{err}");
+    }
+
+    #[test]
+    fn probe_name_format_enforces_convention() {
+        let schema = parse(r#"{"type": "string", "format": "probe-name"}"#);
+        for good in [
+            "alvc_core.shard.pod_construct_us",
+            "alvc_nfv.control.reject_latency_us",
+            "alvc_core.label.clones",
+        ] {
+            assert!(
+                validate(&parse(&format!("{good:?}")), &schema, "$").is_ok(),
+                "{good}"
+            );
+        }
+        for bad in [
+            "core.label_clones",
+            "alvc_core.clones",
+            "alvc_core..clones",
+            "Alvc_Core.label.clones",
+        ] {
+            assert!(
+                validate(&parse(&format!("{bad:?}")), &schema, "$").is_err(),
+                "{bad}"
+            );
+        }
     }
 }

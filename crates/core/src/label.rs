@@ -11,7 +11,7 @@
 //! `label: impl Into<String>` now takes `impl Into<LabelId>` and keeps
 //! accepting the same call sites unchanged. Converting an *owned* `String`
 //! whose text is already interned is counted on the
-//! `core.label_clones` telemetry counter: that allocation was redundant,
+//! `alvc_core.label.clones` telemetry counter: that allocation was redundant,
 //! and hot paths are expected to keep the counter at zero by passing
 //! `LabelId`s (or `&str`) instead.
 
@@ -104,7 +104,7 @@ impl From<String> for LabelId {
         // An owned String for an already-interned label is a redundant
         // allocation — the clone the arena exists to eliminate.
         if let Some(id) = LabelId::lookup(&text) {
-            alvc_telemetry::counter!("core.label_clones").incr();
+            alvc_telemetry::counter!("alvc_core.label.clones").incr();
             return id;
         }
         LabelId::intern(&text)

@@ -208,6 +208,8 @@ pub fn construct_layers_sharded(
         return (Vec::new(), report);
     }
     let _span = alvc_telemetry::span!("alvc_core.shard.construct_layers_sharded_us");
+    let mut _trace_span = alvc_telemetry::trace::child_span("core.construct_sharded");
+    _trace_span.add_field("clusters", clusters.len());
     let state = ShardedState::new(dc);
     let n_pods = state.shard_count();
 
@@ -315,12 +317,12 @@ fn construct_pods(
     available: &OpsAvailability,
 ) -> Vec<Vec<Result<AbstractionLayer, ConstructionError>>> {
     use rayon::prelude::*;
+    // Rayon workers have no ambient trace context: capture the caller's
+    // before the fan-out so per-pod spans parent under it.
+    let ctx = alvc_telemetry::trace::current_ctx();
     (0..pod_batches.len())
         .into_par_iter()
-        .map(|p| {
-            let avail = state.shard(PodId(p)).availability(available);
-            construct_layers(dc, &pod_batches[p], ctor, &avail)
-        })
+        .map(|p| construct_one_pod(dc, state, pod_batches, ctor, available, p, ctx))
         .collect()
 }
 
@@ -332,12 +334,34 @@ fn construct_pods(
     ctor: &(dyn AlConstruct + Sync),
     available: &OpsAvailability,
 ) -> Vec<Vec<Result<AbstractionLayer, ConstructionError>>> {
+    let ctx = alvc_telemetry::trace::current_ctx();
     (0..pod_batches.len())
-        .map(|p| {
-            let avail = state.shard(PodId(p)).availability(available);
-            construct_layers(dc, &pod_batches[p], ctor, &avail)
-        })
+        .map(|p| construct_one_pod(dc, state, pod_batches, ctor, available, p, ctx))
         .collect()
+}
+
+/// One pod's shard-local construction, timed into the per-pod
+/// `alvc_core.shard.pod_construct_us` histogram (the per-pod SLO base) and
+/// traced as a `core.construct_pod` child span of `ctx`.
+fn construct_one_pod(
+    dc: &DataCenter,
+    state: &ShardedState,
+    pod_batches: &[Vec<Vec<VmId>>],
+    ctor: &(dyn AlConstruct + Sync),
+    available: &OpsAvailability,
+    p: usize,
+    ctx: alvc_telemetry::TraceCtx,
+) -> Vec<Result<AbstractionLayer, ConstructionError>> {
+    let _g = alvc_telemetry::trace::enter(ctx);
+    let mut sp = alvc_telemetry::trace::child_span("core.construct_pod");
+    sp.add_field("pod", p);
+    sp.add_field("sub_clusters", pod_batches[p].len());
+    let start = std::time::Instant::now();
+    let avail = state.shard(PodId(p)).availability(available);
+    let out = construct_layers(dc, &pod_batches[p], ctor, &avail);
+    alvc_telemetry::histogram_with("alvc_core.shard.pod_construct_us", &format!("pod{p}"))
+        .record(start.elapsed().as_secs_f64() * 1e6);
+    out
 }
 
 impl ClusterManager {

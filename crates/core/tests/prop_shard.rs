@@ -171,3 +171,63 @@ proptest! {
         }
     }
 }
+
+/// The sharded engine's causal-trace shape (DESIGN.md §14): one
+/// `core.construct_sharded` span under the ambient context, with one
+/// `core.construct_pod` child per pod that had sub-batches to build.
+/// Probes-off builds compile tracing to no-ops, so there is nothing to
+/// observe without the feature.
+#[cfg(feature = "telemetry")]
+#[test]
+fn sharded_construction_emits_per_pod_spans() {
+    let dc = AlvcTopologyBuilder::new()
+        .racks(2)
+        .servers_per_rack(2)
+        .vms_per_server(2)
+        .ops_count(6)
+        .tor_ops_degree(3)
+        .opto_fraction(0.5)
+        .interconnect(OpsInterconnect::FullMesh)
+        .pods(3)
+        .boundary_gateways(2)
+        .seed(5)
+        .build();
+    let clusters = round_robin_clusters(&dc, 4);
+
+    alvc_telemetry::trace::set_tracing_enabled(true);
+    let trace = {
+        let root = alvc_telemetry::trace::root_span("test.shard_root");
+        let ctx = root.ctx();
+        construct_layers_sharded(&dc, &clusters, &PaperGreedy::new(), &OpsAvailability::all());
+        ctx.trace
+    };
+    alvc_telemetry::trace::set_tracing_enabled(false);
+
+    let spans: Vec<_> = alvc_telemetry::recorder::recorder_entries()
+        .into_iter()
+        .filter_map(|e| match e {
+            alvc_telemetry::RecorderEntry::Span(s) if s.trace == trace => Some(s),
+            _ => None,
+        })
+        .collect();
+    let sharded: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "core.construct_sharded")
+        .collect();
+    assert_eq!(sharded.len(), 1, "one sharded-construction span");
+    let pod_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "core.construct_pod")
+        .collect();
+    assert!(
+        (1..=dc.pod_count()).contains(&pod_spans.len()),
+        "per-pod spans recorded: {}",
+        pod_spans.len()
+    );
+    for p in &pod_spans {
+        assert_eq!(
+            p.parent, sharded[0].span,
+            "pod spans parent to the sharded-construction span"
+        );
+    }
+}

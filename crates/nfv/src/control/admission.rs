@@ -154,6 +154,25 @@ pub enum AdmissionError {
     EmptyPlan,
 }
 
+impl AdmissionError {
+    /// A stable machine-readable reason code, used as the `code` field of
+    /// rejection trace spans and flight-recorder dumps.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AdmissionError::QuotaExceeded { .. } => "quota_exceeded",
+            AdmissionError::RateLimited { .. } => "rate_limited",
+            AdmissionError::NotAuthorized { .. } => "not_authorized",
+            AdmissionError::NotOwner { .. } => "not_owner",
+            AdmissionError::UnknownReplica { .. } => "unknown_replica",
+            AdmissionError::EmptyVmGroup => "empty_vm_group",
+            AdmissionError::EndpointOutsideGroup => "endpoint_outside_group",
+            AdmissionError::InvalidBandwidth { .. } => "invalid_bandwidth",
+            AdmissionError::BandwidthUnservable { .. } => "bandwidth_unservable",
+            AdmissionError::EmptyPlan => "empty_plan",
+        }
+    }
+}
+
 impl fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

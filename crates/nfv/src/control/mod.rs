@@ -57,7 +57,7 @@ pub use intent::{
 };
 pub use view::{ChainView, ClusterSliceView, InstanceView, StateView, TenantView};
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,6 +65,7 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use alvc_core::construction::{AlConstruct, PaperGreedy};
+use alvc_telemetry::{FieldValue, TraceCtx, TraceId};
 use alvc_topology::{DataCenter, Element, VmId};
 
 use crate::chain::{ChainSpec, NfcId};
@@ -201,6 +202,7 @@ impl ControlPlaneBuilder {
             inner: Mutex::new(inner),
             completed: Mutex::new(BTreeMap::new()),
             view: RwLock::new(Arc::new(view)),
+            traces: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -226,6 +228,11 @@ pub struct ControlPlane {
     inner: Mutex<Inner>,
     completed: Mutex<BTreeMap<IntentId, IntentOutcome>>,
     view: RwLock<Arc<StateView>>,
+    /// Root trace context and submission timestamp per intent, populated
+    /// only while causal tracing is enabled (see
+    /// [`alvc_telemetry::trace::set_tracing_enabled`]). Kept out of the
+    /// [`IntentLog`] so replayed logs stay bit-identical to live runs.
+    traces: Mutex<HashMap<IntentId, (TraceCtx, u64)>>,
 }
 
 impl ControlPlane {
@@ -260,6 +267,12 @@ impl ControlPlane {
     /// call; poll [`ControlPlane::outcome`] with the ticket.
     pub fn submit(&self, tenant: &str, intent: Intent) -> IntentId {
         let id = IntentId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        if alvc_telemetry::trace::tracing_enabled() {
+            let ctx = alvc_telemetry::trace::new_root_ctx();
+            self.traces
+                .lock()
+                .insert(id, (ctx, alvc_telemetry::now_monotonic_us()));
+        }
         let depth = {
             let mut queue = self.queue.lock();
             queue.push_back(Submission {
@@ -272,6 +285,26 @@ impl ControlPlane {
         alvc_telemetry::counter!("alvc_nfv.control.intents_submitted").incr();
         alvc_telemetry::gauge!("alvc_nfv.control.queue_depth").set(depth as f64);
         id
+    }
+
+    /// The causal trace stamped on intent `id` at submission; `None` when
+    /// the intent is unknown or tracing was off when it was submitted.
+    pub fn trace_of(&self, id: IntentId) -> Option<TraceId> {
+        self.traces.lock().get(&id).map(|(ctx, _)| ctx.trace)
+    }
+
+    /// Serializes the flight recorder's current contents as JSON lines
+    /// (oldest surviving entry first) — an explicit post-mortem dump for
+    /// offline analysis with `alvc-trace`. Empty when tracing never ran.
+    pub fn dump_flight_recorder(&self) -> String {
+        alvc_telemetry::recorder::recorder_dump_jsonl()
+    }
+
+    fn trace_ctx_of(&self, id: IntentId) -> TraceCtx {
+        self.traces
+            .lock()
+            .get(&id)
+            .map_or(TraceCtx::NONE, |(ctx, _)| *ctx)
     }
 
     /// Intents queued but not yet executed.
@@ -388,23 +421,30 @@ impl ControlPlane {
         let mut pending_chains: BTreeMap<&str, usize> = BTreeMap::new();
 
         for (slot, sub) in batch.iter().enumerate() {
+            let admit_start = Instant::now();
             let quota = self.policy.quota_for(&sub.tenant);
             let used = rate_used.entry(sub.tenant.as_str()).or_insert(0);
             *used += 1;
             if let Some(cap) = quota.max_intents_per_batch {
                 if *used > cap {
-                    outcomes[slot] = Some(IntentOutcome::Rejected(AdmissionError::RateLimited {
+                    let rej = AdmissionError::RateLimited {
                         tenant: sub.tenant.clone(),
                         limit: cap,
-                    }));
+                    };
+                    self.note_admission(sub, admit_start, Some(&rej));
+                    outcomes[slot] = Some(IntentOutcome::Rejected(rej));
                     continue;
                 }
             }
             match &sub.intent {
                 Intent::DeployChain { vms, spec } => {
                     match self.admit_deploy(inner, &sub.tenant, vms, spec, &pending_chains) {
-                        Err(rej) => outcomes[slot] = Some(IntentOutcome::Rejected(rej)),
+                        Err(rej) => {
+                            self.note_admission(sub, admit_start, Some(&rej));
+                            outcomes[slot] = Some(IntentOutcome::Rejected(rej));
+                        }
                         Ok(()) => {
+                            self.note_admission(sub, admit_start, None);
                             *pending_chains.entry(sub.tenant.as_str()).or_insert(0) += 1;
                             run.push((slot, sub.tenant.clone(), vms.clone(), spec.clone()));
                         }
@@ -415,27 +455,41 @@ impl ControlPlane {
                         Err(rej) => {
                             // Rejections have no side effects, so the
                             // pending deployment run stays intact.
+                            self.note_admission(sub, admit_start, Some(&rej));
                             outcomes[slot] = Some(IntentOutcome::Rejected(rej));
                         }
                         Ok(()) => {
                             // A mutating intent: everything admitted
                             // before it must be committed first.
-                            self.flush_deploys(inner, &mut run, &mut outcomes);
+                            self.note_admission(sub, admit_start, None);
+                            self.flush_deploys(inner, &batch, &mut run, &mut outcomes);
+                            let _g = alvc_telemetry::trace::enter(self.trace_ctx_of(sub.id));
+                            let mut exec_span = alvc_telemetry::trace::child_span("intent.execute");
                             let start = Instant::now();
                             let outcome = self.execute_other(inner, &sub.tenant, other);
                             record_latency(start.elapsed().as_secs_f64() * 1e6);
+                            exec_span.set_status(outcome.label());
+                            if let IntentOutcome::Failed(e) = &outcome {
+                                exec_span.set_code(e.code());
+                            }
                             outcomes[slot] = Some(outcome);
                         }
                     }
                 }
             }
         }
-        self.flush_deploys(inner, &mut run, &mut outcomes);
+        self.flush_deploys(inner, &batch, &mut run, &mut outcomes);
 
         // Log, publish outcomes, bump counters, swap the snapshot.
         let mut completed = self.completed.lock();
         for (sub, outcome) in batch.iter().zip(outcomes) {
+            if outcome.is_none() {
+                // Admission-invariant breach: snapshot the causal history
+                // before the panic below destroys the evidence.
+                alvc_telemetry::recorder::postmortem("admission_invariant");
+            }
             let outcome = outcome.expect("every slot decided");
+            self.close_intent_root(sub, &outcome);
             alvc_telemetry::counter_with("alvc_nfv.control.intents", sub.intent.kind().label())
                 .incr();
             alvc_telemetry::counter_with("alvc_nfv.control.outcomes", outcome.label()).incr();
@@ -461,6 +515,62 @@ impl ControlPlane {
         );
         *self.view.write() = Arc::new(view);
         batch.len()
+    }
+
+    /// Bumps per-tenant admission counters and records the synthetic
+    /// `intent.admission` span (and, on rejection, the admission-path
+    /// latency) for one decided slot.
+    fn note_admission(
+        &self,
+        sub: &Submission,
+        started: Instant,
+        rejected: Option<&AdmissionError>,
+    ) {
+        let us = started.elapsed().as_secs_f64() * 1e6;
+        alvc_telemetry::counter_with("alvc_nfv.control.tenant_intents", &sub.tenant).incr();
+        if rejected.is_some() {
+            // Rejections never reach the execution path, so the shared
+            // intent-latency histogram misses them; this one does not.
+            alvc_telemetry::histogram!("alvc_nfv.control.reject_latency_us").record(us);
+            alvc_telemetry::counter_with("alvc_nfv.control.tenant_rejections", &sub.tenant).incr();
+        }
+        alvc_telemetry::trace::record_span(
+            self.trace_ctx_of(sub.id),
+            "intent.admission",
+            us,
+            if rejected.is_some() { "rejected" } else { "ok" },
+            rejected.map_or("", |r| r.code()),
+            Vec::new(),
+        );
+    }
+
+    /// Closes intent `sub`'s root span with its final outcome, measuring
+    /// submission → outcome publication. A no-op when tracing was off at
+    /// submission time.
+    fn close_intent_root(&self, sub: &Submission, outcome: &IntentOutcome) {
+        let Some((ctx, start_us)) = self.traces.lock().get(&sub.id).copied() else {
+            return;
+        };
+        let code = match outcome {
+            IntentOutcome::Completed(_) => "",
+            IntentOutcome::Rejected(e) => e.code(),
+            IntentOutcome::Failed(e) => e.code(),
+        };
+        let duration_us = alvc_telemetry::now_monotonic_us().saturating_sub(start_us) as f64;
+        alvc_telemetry::trace::record_root(
+            ctx,
+            "intent",
+            start_us,
+            duration_us,
+            outcome.label(),
+            code,
+            vec![
+                ("tenant", FieldValue::from(sub.tenant.as_str())),
+                // Not "kind": that key is the record tag in JSON dumps.
+                ("intent_kind", FieldValue::from(sub.intent.kind().label())),
+                ("intent_id", FieldValue::from(sub.id.0)),
+            ],
+        );
     }
 
     /// Pre-checks a deployment without touching any state.
@@ -565,6 +675,7 @@ impl ControlPlane {
     fn flush_deploys(
         &self,
         inner: &mut Inner,
+        batch: &[Submission],
         run: &mut Vec<(usize, String, Vec<VmId>, ChainSpec)>,
         outcomes: &mut [Option<IntentOutcome>],
     ) {
@@ -573,6 +684,14 @@ impl ControlPlane {
         }
         let start = Instant::now();
         let drained = std::mem::take(run);
+        let coalesced = drained.len();
+        // Bulk construction work (cluster building, placement, routing)
+        // is attributed to the first coalesced intent's trace; every
+        // intent then gets its own synthetic `intent.execute` span
+        // carrying its amortized share of the run.
+        let _g = alvc_telemetry::trace::enter(self.trace_ctx_of(batch[drained[0].0].id));
+        let mut bulk_span = alvc_telemetry::trace::child_span("intent.execute_bulk");
+        bulk_span.add_field("coalesced", coalesced);
         let results: Vec<(usize, &str, Result<NfcId, Error>)> = if drained.len() == 1 {
             let (slot, tenant, vms, spec) = &drained[0];
             let result = inner.orch.deploy_chain(
@@ -602,6 +721,18 @@ impl ControlPlane {
         let per_intent_us = start.elapsed().as_secs_f64() * 1e6 / drained.len() as f64;
         for (slot, tenant, result) in results {
             record_latency(per_intent_us);
+            let (status, code) = match &result {
+                Ok(_) => ("completed", ""),
+                Err(e) => ("failed", e.code()),
+            };
+            alvc_telemetry::trace::record_span(
+                self.trace_ctx_of(batch[slot].id),
+                "intent.execute",
+                per_intent_us,
+                status,
+                code,
+                vec![("coalesced", FieldValue::from(coalesced))],
+            );
             outcomes[slot] = Some(match result {
                 Ok(chain) => {
                     inner.owners.insert(chain, tenant.to_string());

@@ -118,6 +118,25 @@ pub enum DeployError {
     EndpointFailed,
 }
 
+impl DeployError {
+    /// A stable machine-readable reason code, used as the `code` field of
+    /// trace spans and flight-recorder dumps.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DeployError::Cluster(_) => "cluster",
+            DeployError::Placement(_) => "placement",
+            DeployError::Routing(_) => "routing",
+            DeployError::UnknownChain(_) => "unknown_chain",
+            DeployError::EndpointOutsideCluster => "endpoint_outside_cluster",
+            DeployError::InsufficientBandwidth { .. } => "insufficient_bandwidth",
+            DeployError::RuleTableFull(_) => "rule_table_full",
+            DeployError::LatencyBudgetExceeded { .. } => "latency_budget_exceeded",
+            DeployError::MissingEdge { .. } => "missing_edge",
+            DeployError::EndpointFailed => "endpoint_failed",
+        }
+    }
+}
+
 impl fmt::Display for DeployError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -243,7 +262,39 @@ pub enum ErrorKind {
     Admission,
 }
 
+impl ErrorKind {
+    /// A stable machine-readable reason code, used as the `code` field of
+    /// trace spans and flight-recorder dumps.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::Cluster => "cluster",
+            ErrorKind::Placement => "placement",
+            ErrorKind::Routing => "routing",
+            ErrorKind::UnknownChain => "unknown_chain",
+            ErrorKind::EndpointOutsideCluster => "endpoint_outside_cluster",
+            ErrorKind::InsufficientBandwidth => "insufficient_bandwidth",
+            ErrorKind::RuleTableFull => "rule_table_full",
+            ErrorKind::LatencyBudgetExceeded => "latency_budget_exceeded",
+            ErrorKind::MissingEdge => "missing_edge",
+            ErrorKind::EndpointFailed => "endpoint_failed",
+            ErrorKind::Lifecycle => "lifecycle",
+            ErrorKind::Admission => "admission",
+        }
+    }
+}
+
 impl Error {
+    /// A stable machine-readable reason code: admission rejections and
+    /// deploy failures report their specific variant's code, everything
+    /// else the [`ErrorKind::code`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Admission(e) => e.code(),
+            Error::Deploy(e) => e.code(),
+            other => other.kind().code(),
+        }
+    }
+
     /// The coarse, stable classification of this error.
     pub fn kind(&self) -> ErrorKind {
         match self {

@@ -372,21 +372,28 @@ impl Orchestrator {
         placer: &dyn VnfPlacer,
     ) -> Result<NfcId, Error> {
         let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.deploy_latency_us");
+        let mut trace_span = alvc_telemetry::trace::child_span("nfv.deploy");
         let tenant: LabelId = tenant.into();
         if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
             alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
+            trace_span.fail(DeployError::EndpointOutsideCluster.code());
             return Err(DeployError::EndpointOutsideCluster.into());
         }
 
         // 1. One NFC ↔ one VC: build the cluster / slice.
-        let cluster = match self
-            .manager
-            .create_cluster(dc, tenant, vms.clone(), constructor)
-        {
-            Ok(c) => c,
-            Err(e) => {
-                alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
-                return Err(e.into());
+        let cluster = {
+            let mut construct_span = alvc_telemetry::trace::child_span("core.construct");
+            match self
+                .manager
+                .create_cluster(dc, tenant, vms.clone(), constructor)
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
+                    construct_span.fail("cluster");
+                    trace_span.fail("cluster");
+                    return Err(e.into());
+                }
             }
         };
         let result = self.deploy_into_cluster(dc, cluster, &vms, spec, placer);
@@ -405,6 +412,7 @@ impl Orchestrator {
             Err(e) => {
                 self.manager.remove_cluster(cluster);
                 alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
+                trace_span.fail(e.code());
                 Err(e.into())
             }
         }
@@ -440,12 +448,17 @@ impl Orchestrator {
                 vms
             })
             .collect();
-        let layers = construct_layers(dc, &clusters, constructor, self.manager.availability());
+        let layers = {
+            let mut construct_span = alvc_telemetry::trace::child_span("core.construct_bulk");
+            construct_span.add_field("clusters", clusters.len());
+            construct_layers(dc, &clusters, constructor, self.manager.availability())
+        };
         requests
             .into_iter()
             .zip(layers)
             .map(|((tenant, vms, spec), layer)| {
                 let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.deploy_latency_us");
+                let mut trace_span = alvc_telemetry::trace::child_span("nfv.deploy");
                 let tenant: LabelId = tenant.into();
                 let result = (|| -> Result<NfcId, Error> {
                     if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
@@ -480,8 +493,9 @@ impl Orchestrator {
                             );
                         }
                     }
-                    Err(_) => {
+                    Err(e) => {
                         alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
+                        trace_span.fail(e.code());
                     }
                 }
                 result
@@ -521,6 +535,7 @@ impl Orchestrator {
         servers.dedup();
         servers.retain(|&s| self.health.server_up(s));
         let hosts = {
+            let mut place_span = alvc_telemetry::trace::child_span("nfv.place");
             let ctx = PlacementContext {
                 dc,
                 al: &al,
@@ -528,7 +543,13 @@ impl Orchestrator {
                 server_used: &self.server_used,
                 servers: &servers,
             };
-            placer.place(&ctx, &spec)?
+            match placer.place(&ctx, &spec) {
+                Ok(h) => h,
+                Err(e) => {
+                    place_span.fail("placement");
+                    return Err(e.into());
+                }
+            }
         };
         debug_assert_eq!(hosts.len(), spec.vnfs.len());
 
@@ -553,19 +574,46 @@ impl Orchestrator {
             waypoints.push(node);
         }
         waypoints.push(dc.node_of_server(dc.server_of_vm(spec.egress)));
-        let path = route_flow_within(dc, &allowed, &waypoints)?;
+        let path = {
+            let mut route_span = alvc_telemetry::trace::child_span("nfv.route");
+            match route_flow_within(dc, &allowed, &waypoints) {
+                Ok(p) => p,
+                Err(e) => {
+                    route_span.fail("routing");
+                    return Err(e.into());
+                }
+            }
+        };
 
         // 4. Admission ("network resource requirements (node and links)",
         //    §IV.A): per-link bandwidth and the chain's latency budget.
-        let edges = Self::check_bandwidth(dc, &self.link_committed, &path, spec.bandwidth_gbps)?;
-        self.check_latency(&spec, &path)?;
+        let edges = {
+            let mut admit_span = alvc_telemetry::trace::child_span("nfv.admit_bandwidth");
+            let edges =
+                match Self::check_bandwidth(dc, &self.link_committed, &path, spec.bandwidth_gbps) {
+                    Ok(edges) => edges,
+                    Err(e) => {
+                        admit_span.fail(e.code());
+                        return Err(e);
+                    }
+                };
+            if let Err(e) = self.check_latency(&spec, &path) {
+                admit_span.fail(e.code());
+                return Err(e);
+            }
+            edges
+        };
 
         // 5. Flow-rule installation is the last fallible step (TCAM
         //    limits); everything after it is infallible commitment.
         let id = NfcId(self.next_chain);
-        self.sdn
-            .try_install_path(id, &path)
-            .map_err(DeployError::RuleTableFull)?;
+        {
+            let mut install_span = alvc_telemetry::trace::child_span("nfv.install_rules");
+            if let Err(e) = self.sdn.try_install_path(id, &path) {
+                install_span.fail("rule_table_full");
+                return Err(DeployError::RuleTableFull(e));
+            }
+        }
         self.next_chain += 1;
         for &e in &edges {
             self.link_committed.commit(e, kbps(spec.bandwidth_gbps));

@@ -75,6 +75,8 @@ impl Orchestrator {
         placer: &dyn VnfPlacer,
     ) -> ReclusterReport {
         let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.recluster_us");
+        let mut trace_span = alvc_telemetry::trace::child_span("nfv.recluster");
+        trace_span.add_field("moves", moves.len());
         let mut report = ReclusterReport::default();
 
         // Chain endpoints are pinned: moving one out of its cluster would
@@ -172,6 +174,11 @@ impl Orchestrator {
             }
         }
 
+        trace_span.add_field("applied", report.applied);
+        trace_span.add_field("skipped", report.skipped);
+        trace_span.add_field("chains_rerouted", report.chains_rerouted);
+        trace_span.add_field("chains_degraded", report.chains_degraded);
+        trace_span.add_field("chains_lost", report.chains_lost);
         alvc_telemetry::counter!("alvc_nfv.orchestrator.recluster_moves_applied")
             .add(report.applied as u64);
         alvc_telemetry::counter!("alvc_nfv.orchestrator.recluster_moves_skipped")

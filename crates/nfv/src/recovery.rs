@@ -238,7 +238,19 @@ impl Orchestrator {
     /// Global invariant: no chain path, flow rule, bandwidth-ledger entry,
     /// VNF host, or replica references a currently-failed element. The
     /// chaos test asserts this after every step.
+    ///
+    /// A violation snapshots the flight recorder (post-mortem reason
+    /// `verify_no_failed_references`) before returning `false`, so the
+    /// causal history leading up to the breach survives for diagnosis.
     pub fn verify_no_failed_references(&self, dc: &DataCenter) -> bool {
+        let ok = self.no_failed_references(dc);
+        if !ok {
+            alvc_telemetry::recorder::postmortem("verify_no_failed_references");
+        }
+        ok
+    }
+
+    fn no_failed_references(&self, dc: &DataCenter) -> bool {
         for element in self.health.failed() {
             let node = element_node(dc, element);
             if self.sdn.rules_on_switch(node) > 0 {
@@ -396,6 +408,22 @@ impl Orchestrator {
     /// Shared with adaptive re-clustering, which reroutes chains whose
     /// cluster's abstraction layer was rebuilt under them.
     pub(crate) fn recover_chain(
+        &mut self,
+        dc: &DataCenter,
+        id: NfcId,
+        placer: &dyn VnfPlacer,
+    ) -> RecoveryOutcome {
+        let mut trace_span = alvc_telemetry::trace::child_span("nfv.recover_chain");
+        trace_span.add_field("nfc", id.index());
+        let outcome = self.recover_chain_inner(dc, id, placer);
+        trace_span.set_status(outcome.label());
+        if let RecoveryOutcome::Unrecoverable(e) = &outcome {
+            trace_span.set_code(e.code());
+        }
+        outcome
+    }
+
+    fn recover_chain_inner(
         &mut self,
         dc: &DataCenter,
         id: NfcId,

@@ -116,6 +116,18 @@ pub fn snapshot() -> Snapshot {
 }
 
 /// Always empty.
+#[inline(always)]
+pub fn histograms_raw() -> Vec<(String, String, crate::hist::LogHistogram)> {
+    Vec::new()
+}
+
+/// Always 0.
+#[inline(always)]
+pub fn now_monotonic_us() -> u64 {
+    0
+}
+
+/// Always empty.
 pub fn prometheus_text() -> String {
     String::new()
 }

@@ -96,6 +96,23 @@ impl HistCell {
         self.rejected.store(0, Ordering::Relaxed);
     }
 
+    fn raw(&self) -> LogHistogram {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let (min, max) = if min.is_finite() {
+            (Some(min), Some(max))
+        } else {
+            (None, None)
+        };
+        LogHistogram::from_bucket_counts(counts, sum, min, max)
+    }
+
     fn snapshot(&self, name: &str, label: &str) -> HistogramSnapshot {
         let counts: Vec<u64> = self
             .counts
@@ -321,6 +338,20 @@ impl Registry {
         snap
     }
 
+    /// Captures every registered histogram as a raw [`LogHistogram`]
+    /// (full bucket counts, not just summary percentiles), keyed by
+    /// `(name, label)`. The SLO monitor diffs successive captures to get
+    /// per-window bucket counts.
+    pub fn histograms_raw(&self) -> Vec<(String, String, LogHistogram)> {
+        let map = self.map.read().expect("telemetry registry poisoned");
+        map.iter()
+            .filter_map(|((name, label), metric)| match metric {
+                Metric::Hist(h) => Some(((*name).to_owned(), label.clone(), h.raw())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Zeroes every metric in place. Cached handles stay valid (cells keep
     /// their identity), which is what lets benches reset between phases.
     pub fn reset(&self) {
@@ -376,6 +407,12 @@ pub fn snapshot() -> Snapshot {
     global().snapshot()
 }
 
+/// Raw log-bucket histograms of the global registry (see
+/// [`Registry::histograms_raw`]).
+pub fn histograms_raw() -> Vec<(String, String, LogHistogram)> {
+    global().histograms_raw()
+}
+
 /// Prometheus-style text rendering of the global registry.
 pub fn prometheus_text() -> String {
     global().snapshot().to_prometheus_text()
@@ -395,6 +432,12 @@ fn epoch() -> Instant {
 
 fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
+}
+
+/// Microseconds since the process-wide telemetry epoch (monotonic). The
+/// timestamp base used by events, spans, and flight-recorder entries.
+pub fn now_monotonic_us() -> u64 {
+    now_us()
 }
 
 /// An RAII timing guard: on drop, records the elapsed microseconds into the
@@ -496,6 +539,11 @@ pub fn emit(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
         name,
         fields,
     };
+    // Mirror events into the flight recorder while tracing is on, so a
+    // post-mortem interleaves spans with the events around them.
+    if crate::trace::tracing_enabled() {
+        crate::recorder::recorder_record(crate::recorder::RecorderEntry::Event(ev.clone()));
+    }
     LOCAL.with(|l| {
         let mut buf = l.buf.borrow_mut();
         buf.push(ev);

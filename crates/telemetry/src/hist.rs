@@ -139,6 +139,7 @@ impl LogHistogram {
 
     /// Reconstructs a histogram from raw bucket counts (registry snapshots);
     /// `sumsq` is unknown there, so [`stddev`](Self::stddev) reports 0.
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
     pub(crate) fn from_bucket_counts(
         counts: Vec<u64>,
         sum: f64,
@@ -201,7 +202,10 @@ impl LogHistogram {
     /// `p = 0` returns the exact minimum and `p = 100` the exact maximum;
     /// interior ranks return the geometric midpoint of the rank's bucket
     /// (clamped to `[min, max]`), within ~9% of the true sample. Returns 0
-    /// for an empty histogram.
+    /// for an empty histogram. Histograms rebuilt from raw bucket counts
+    /// (`from_bucket_counts` — registry
+    /// snapshots and SLO window deltas) have no exact extrema; the
+    /// occupied buckets' representatives stand in for them.
     ///
     /// # Panics
     ///
@@ -211,8 +215,22 @@ impl LogHistogram {
         if self.count == 0 {
             return 0.0;
         }
-        let min = self.min.expect("non-empty histogram has a min");
-        let max = self.max.expect("non-empty histogram has a max");
+        let lowest = self.counts.iter().position(|&c| c > 0).map_or(0.0, |i| {
+            if i == 0 {
+                0.0
+            } else {
+                bucket_rep(i)
+            }
+        });
+        let highest = self.counts.iter().rposition(|&c| c > 0).map_or(0.0, |i| {
+            if i == 0 {
+                0.0
+            } else {
+                bucket_rep(i)
+            }
+        });
+        let min = self.min.unwrap_or(lowest);
+        let max = self.max.unwrap_or(highest);
         if p == 0.0 {
             return min;
         }
@@ -255,6 +273,25 @@ mod tests {
         assert_eq!(h.stddev(), 0.0);
         assert_eq!(h.percentile(50.0), 0.0);
         assert_eq!(h.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_survive_missing_extrema() {
+        // Registry snapshots and SLO window deltas rebuild histograms via
+        // `from_bucket_counts` with `min`/`max` unknown; quantiles must
+        // fall back to bucket representatives instead of panicking.
+        let mut h = LogHistogram::new();
+        h.record(10.0);
+        h.record(100.0);
+        let rebuilt =
+            LogHistogram::from_bucket_counts(h.bucket_counts().to_vec(), h.sum(), None, None);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let v = rebuilt.percentile(p);
+            assert!(v > 0.0 && v.is_finite(), "p{p} = {v}");
+        }
+        // Bucket representatives stay within the ~9% quantile error bound.
+        assert!((rebuilt.percentile(99.0) / 100.0 - 1.0).abs() < 0.09);
+        assert!((rebuilt.percentile(0.0) / 10.0 - 1.0).abs() < 0.09);
     }
 
     #[test]

@@ -44,7 +44,10 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod hist;
+pub mod recorder;
+pub mod slo;
 mod snapshot;
+pub mod trace;
 mod types;
 
 #[cfg(feature = "telemetry")]
@@ -58,7 +61,10 @@ mod disabled;
 pub use disabled::*;
 
 pub use hist::LogHistogram;
+pub use recorder::{FlightRecorder, Postmortem, RecorderEntry};
+pub use slo::{SloBreach, SloKind, SloMonitor, SloReport, SloResult, SloSpec};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+pub use trace::{ActiveSpan, SpanId, SpanRecord, TraceCtx, TraceId};
 pub use types::{Event, FieldValue};
 
 /// Returns a `&'static Counter` for `name`, cached per call site.

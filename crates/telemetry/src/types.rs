@@ -65,7 +65,7 @@ impl From<String> for FieldValue {
 }
 
 impl FieldValue {
-    fn render_json(&self, out: &mut String) {
+    pub(crate) fn render_json(&self, out: &mut String) {
         match self {
             FieldValue::U64(v) => {
                 let _ = write!(out, "{v}");
@@ -116,7 +116,7 @@ impl Event {
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
