@@ -1,0 +1,150 @@
+//! Validates `results/BENCH_online_control.json` (the e12 online
+//! control-plane result) against `schemas/online_control.schema.json`,
+//! then enforces the DESIGN.md §15 acceptance invariants on the values:
+//!
+//! * the deficit-round-robin run covered ≥ 1M intents at full scale
+//!   (smoke runs are exempt from the volume floor, not the rest);
+//! * per-tenant Jain fairness under the 10:1 asymmetric load is at
+//!   least [`MIN_JAIN`] for DRR, with the FIFO baseline recorded in the
+//!   same file for comparison;
+//! * the bookkeeping maps stayed bounded: the outcome map never
+//!   exceeded the configured retention window, and the trace-context
+//!   map never exceeded the queue backlog plus one batch (the leak
+//!   fixes' invariants);
+//! * every run's intent log replayed to a bit-identical state view.
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_online_control <results-file> [schema-file]
+//! ```
+//!
+//! Exits nonzero with a diagnostic on the first violation; CI's
+//! telemetry-smoke job runs this after the e12 smoke.
+
+use std::process::ExitCode;
+
+use alvc_bench::schema::validate;
+use alvc_bench::Json;
+
+/// Minimum Jain fairness index the DRR run must reach.
+const MIN_JAIN: f64 = 0.9;
+/// Full-scale intent floor for the DRR run when `smoke` is false.
+const FULL_SCALE_INTENTS: f64 = 1_000_000.0;
+
+fn number(doc: &Json, path: &[&str]) -> Result<f64, String> {
+    let mut v = doc;
+    for key in path {
+        v = v
+            .get(key)
+            .ok_or_else(|| format!("missing field {}", path.join(".")))?;
+    }
+    v.as_f64()
+        .ok_or_else(|| format!("{} is not a number", path.join(".")))
+}
+
+fn run_named<'a>(doc: &'a Json, name: &str) -> Result<&'a Json, String> {
+    let runs = match doc.get("runs") {
+        Some(Json::Array(runs)) => runs,
+        _ => return Err("runs is not an array".to_string()),
+    };
+    runs.iter()
+        .find(|r| {
+            r.get("scheduler")
+                .and_then(|s| s.as_str())
+                .is_some_and(|s| s == name)
+        })
+        .ok_or_else(|| format!("no run with scheduler '{name}'"))
+}
+
+fn check_run(run: &Json, name: &str, retention: f64) -> Result<(), String> {
+    match run.get("replay_identical").and_then(Json::as_bool) {
+        Some(true) => {}
+        Some(false) => return Err(format!("{name}: intent-log replay diverged")),
+        None => return Err(format!("{name}: replay_identical missing")),
+    }
+    let outcome_peak = number(run, &["peak_outcome_map"])?;
+    if outcome_peak > retention {
+        return Err(format!(
+            "{name}: outcome map peaked at {outcome_peak}, above the retention window {retention}"
+        ));
+    }
+    let trace_peak = number(run, &["peak_trace_map"])?;
+    let queue_peak = number(run, &["peak_queue_depth"])?;
+    let batch = number(run, &["batches"])?; // bound slack: one batch in flight
+    if trace_peak > queue_peak + batch.max(1.0) {
+        return Err(format!(
+            "{name}: trace map peaked at {trace_peak}, above the queue backlog {queue_peak} — the leak is back"
+        ));
+    }
+    number(run, &["latency_ms", "p99"])?;
+    Ok(())
+}
+
+fn check_invariants(doc: &Json) -> Result<(), String> {
+    let retention = number(doc, &["config", "outcome_retention"])?;
+    let fifo = run_named(doc, "fifo")?;
+    let drr = run_named(doc, "drr")?;
+    check_run(fifo, "fifo", retention)?;
+    check_run(drr, "drr", retention)?;
+
+    let smoke = doc
+        .get("smoke")
+        .and_then(Json::as_bool)
+        .ok_or("smoke missing")?;
+    let drr_intents = number(drr, &["intents"])?;
+    if !smoke && drr_intents < FULL_SCALE_INTENTS {
+        return Err(format!(
+            "full-scale run executed only {drr_intents} intents, below the {FULL_SCALE_INTENTS} floor"
+        ));
+    }
+    let drr_jain = number(drr, &["fairness", "jain"])?;
+    if drr_jain < MIN_JAIN {
+        return Err(format!(
+            "DRR Jain fairness is {drr_jain:.3}, below the {MIN_JAIN} acceptance threshold"
+        ));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let results_path = args
+        .next()
+        .ok_or("usage: validate_online_control <results-file> [schema-file]")?;
+    let schema_path = args.next().unwrap_or_else(|| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/online_control.schema.json"
+        )
+        .to_string()
+    });
+
+    let results_text =
+        std::fs::read_to_string(&results_path).map_err(|e| format!("read {results_path}: {e}"))?;
+    let schema_text =
+        std::fs::read_to_string(&schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let results = Json::parse(&results_text).map_err(|e| format!("{results_path}: {e}"))?;
+    let schema = Json::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+
+    validate(&results, &schema, "$")?;
+    check_invariants(&results)?;
+    let drr = run_named(&results, "drr")?;
+    let jain = number(drr, &["fairness", "jain"])?;
+    let fifo_jain = number(run_named(&results, "fifo")?, &["fairness", "jain"])?;
+    println!(
+        "{results_path}: valid; DRR Jain {jain:.3} ≥ {MIN_JAIN} (FIFO baseline {fifo_jain:.3}), \
+         bookkeeping bounded, both replays identical"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_online_control: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

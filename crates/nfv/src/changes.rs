@@ -1,0 +1,81 @@
+//! Batch-scoped dirty tracking for incremental [`StateView`] publication.
+//!
+//! Every orchestrator mutation marks the entities it touched; after each
+//! batch the control plane takes the accumulated [`ChangeSet`] and patches
+//! only those entries into the previous snapshot instead of re-capturing
+//! the whole world (see `StateView::apply_delta`). Operations whose blast
+//! radius is not cheaply enumerable — element failures, restores,
+//! re-optimization, re-clustering — set [`ChangeSet::full`] and fall back
+//! to a full `StateView::capture` for that batch.
+//!
+//! [`StateView`]: crate::control::StateView
+
+use std::collections::BTreeSet;
+
+use alvc_core::ClusterId;
+
+use crate::chain::NfcId;
+use crate::lifecycle::VnfInstanceId;
+
+/// The entities mutated since the last snapshot was published.
+///
+/// Once [`ChangeSet::full`] is set, fine-grained marks stop accumulating:
+/// the next publication rebuilds everything anyway.
+#[derive(Debug, Default)]
+pub(crate) struct ChangeSet {
+    /// A global operation ran; the next snapshot must be a full capture.
+    pub(crate) full: bool,
+    /// Chains deployed, modified, scaled, or torn down.
+    pub(crate) chains: BTreeSet<NfcId>,
+    /// Virtual clusters created or destroyed.
+    pub(crate) clusters: BTreeSet<ClusterId>,
+    /// VNF instances created, transitioned, or garbage-collected.
+    pub(crate) instances: BTreeSet<VnfInstanceId>,
+    /// Physical links whose committed bandwidth changed.
+    pub(crate) edges: BTreeSet<alvc_graph::EdgeId>,
+}
+
+impl ChangeSet {
+    /// Marks the whole world dirty (global operations: failure recovery,
+    /// re-optimization, re-clustering).
+    pub(crate) fn mark_full(&mut self) {
+        self.full = true;
+        self.chains.clear();
+        self.clusters.clear();
+        self.instances.clear();
+        self.edges.clear();
+    }
+
+    /// Marks one chain dirty (present, changed, or removed).
+    pub(crate) fn chain(&mut self, id: NfcId) {
+        if !self.full {
+            self.chains.insert(id);
+        }
+    }
+
+    /// Marks one virtual cluster dirty.
+    pub(crate) fn cluster(&mut self, id: ClusterId) {
+        if !self.full {
+            self.clusters.insert(id);
+        }
+    }
+
+    /// Marks one VNF instance dirty.
+    pub(crate) fn instance(&mut self, id: VnfInstanceId) {
+        if !self.full {
+            self.instances.insert(id);
+        }
+    }
+
+    /// Marks a set of physical links dirty.
+    pub(crate) fn edges(&mut self, edges: &[alvc_graph::EdgeId]) {
+        if !self.full {
+            self.edges.extend(edges.iter().copied());
+        }
+    }
+
+    /// Takes the accumulated changes, leaving an empty set behind.
+    pub(crate) fn take(&mut self) -> ChangeSet {
+        std::mem::take(self)
+    }
+}

@@ -8,12 +8,26 @@
 //!
 //! 1. **Rate limits** — at most `max_intents_per_batch` intents per tenant
 //!    per executed batch (batch boundaries are recorded in the log).
+//!    **Only admitted intents consume budget**: a rejection — including the
+//!    `RateLimited` rejection itself — never decrements the tenant's
+//!    remaining allowance, so garbage submissions cannot crowd a tenant's
+//!    valid intents out of its own budget. Rejections still occupy the
+//!    batch slot the scheduler granted them; the budget is about executed
+//!    work, the slot is about drain order.
 //! 2. **Quotas** — at most `max_live_chains` deployed chains per tenant,
-//!    counting chains admitted earlier in the same batch.
+//!    counting chains admitted earlier in the same batch. The live count
+//!    is maintained incrementally (per-tenant counters bumped on deploy
+//!    and teardown), so the check is O(1) rather than a scan of every
+//!    deployed chain.
 //! 3. **Capacity & authority pre-checks** — structurally unservable
 //!    requests (empty VM group, endpoints outside the group, non-finite or
 //!    unservable bandwidth), intents against chains the tenant does not
 //!    own, and operator-only intents from ordinary tenants.
+//!
+//! Quotas also carry the tenant's scheduling [`TenantQuota::weight`],
+//! consumed by the control plane's deficit-round-robin scheduler (see
+//! `control::scheduler`): a tenant with weight *w* receives *w* batch
+//! slots per scheduling round relative to weight-1 tenants.
 
 use std::collections::BTreeMap;
 use std::error::Error as StdError;
@@ -30,20 +44,37 @@ pub struct TenantQuota {
     /// Maximum intents executed per batch (a deterministic rate limit:
     /// the batch is the control plane's clock tick).
     pub max_intents_per_batch: Option<usize>,
+    /// Deficit-round-robin scheduling weight: batch slots granted per
+    /// scheduling round relative to weight-1 tenants. `0` (the `Default`)
+    /// is treated as `1`.
+    pub weight: u32,
 }
 
 impl TenantQuota {
-    /// No limits at all.
+    /// No limits at all (scheduling weight 1).
     pub fn unlimited() -> Self {
         TenantQuota::default()
     }
 
-    /// Limits both live chains and per-batch intent rate.
+    /// Limits both live chains and per-batch intent rate, at scheduling
+    /// weight 1.
     pub fn new(max_live_chains: usize, max_intents_per_batch: usize) -> Self {
         TenantQuota {
             max_live_chains: Some(max_live_chains),
             max_intents_per_batch: Some(max_intents_per_batch),
+            weight: 1,
         }
+    }
+
+    /// Sets the deficit-round-robin scheduling weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// The weight the scheduler actually uses (`0` reads as `1`).
+    pub(crate) fn effective_weight(&self) -> u64 {
+        u64::from(self.weight.max(1))
     }
 }
 

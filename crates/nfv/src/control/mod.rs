@@ -10,22 +10,35 @@
 //! * **Intents, not method calls.** Tenants [`ControlPlane::submit`]
 //!   typed [`Intent`]s (deploy, teardown, modify, scale, fail, restore,
 //!   reoptimize) and get an [`IntentId`] ticket back immediately.
-//! * **Deterministic batches.** A driver calls
-//!   [`ControlPlane::process_batch`]; queued intents execute in strict
-//!   submission order, with maximal runs of consecutive deployments
-//!   coalesced into [`Orchestrator::deploy_chains`] bulk construction
-//!   (rayon-parallel under the `parallel` feature).
+//! * **Fair deterministic batches.** A driver calls
+//!   [`ControlPlane::process_batch`]; queued intents are drained from
+//!   per-tenant queues by a deterministic deficit-round-robin scheduler
+//!   ([`SchedulerMode`], weights from [`TenantQuota::weight`]), so one
+//!   tenant's burst cannot starve everyone else's queue slots. Within a
+//!   batch, maximal runs of consecutive deployments coalesce into
+//!   [`Orchestrator::deploy_chains`] bulk construction (rayon-parallel
+//!   under the `parallel` feature).
 //! * **Admission control.** Per-tenant rate and quota limits plus
 //!   capacity pre-checks reject hopeless or over-budget intents *before*
 //!   any state is touched ([`AdmissionError`]); a rejected intent leaves
-//!   zero residual SDN or ledger state.
+//!   zero residual SDN or ledger state and consumes none of the tenant's
+//!   per-batch rate budget.
 //! * **Lock-free snapshot reads.** [`ControlPlane::view`] hands out an
-//!   `Arc<StateView>` captured at the last batch boundary; readers never
-//!   block the write path and always see a consistent world.
+//!   `Arc<StateView>` published at the last batch boundary; readers never
+//!   block the write path and always see a consistent world. Publication
+//!   is incremental: each batch patches only the entities it touched into
+//!   the previous snapshot (global operations fall back to a full
+//!   capture).
 //! * **Replayable log.** Every executed intent lands in the
-//!   [`IntentLog`] with its batch index and outcome;
-//!   [`ControlPlane::replay`] re-executes a log on a fresh control plane
-//!   and reproduces the live run's [`StateView`] bit-for-bit.
+//!   [`IntentLog`] with its batch index and outcome — the scheduler's
+//!   drain order *is* the recorded batch order, so
+//!   [`ControlPlane::replay`] re-executes the recorded batches directly
+//!   on a fresh control plane and reproduces the live run's
+//!   [`StateView`] bit-for-bit.
+//! * **Bounded bookkeeping.** Trace contexts are dropped when an
+//!   intent's root span closes, and the outcome map can be bounded with
+//!   [`ControlPlaneBuilder::outcome_retention`], so a sustained
+//!   million-intent stream runs in bounded memory.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -49,15 +62,19 @@
 
 mod admission;
 mod intent;
+mod scheduler;
 mod view;
 
 pub use admission::{AdmissionError, AdmissionPolicy, TenantQuota};
 pub use intent::{
     Intent, IntentEffect, IntentId, IntentKind, IntentLog, IntentOutcome, IntentRecord,
 };
+pub use scheduler::SchedulerMode;
 pub use view::{ChainView, ClusterSliceView, InstanceView, StateView, TenantView};
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use scheduler::SubmissionQueues;
+
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -88,9 +105,19 @@ struct Inner {
     /// Live chain → owning tenant; maintained here because the control
     /// plane executes every mutation.
     owners: BTreeMap<NfcId, String>,
+    /// Live chains per tenant — the `owners` multiset inverted, so the
+    /// quota check is O(1) instead of a scan over every deployed chain.
+    live_chains: BTreeMap<String, usize>,
     log: IntentLog,
     batches: u64,
     intents_processed: u64,
+}
+
+/// An executed intent's published record: its outcome plus the causal
+/// trace it was stamped with at submission (when tracing was on).
+struct CompletedIntent {
+    outcome: IntentOutcome,
+    trace: Option<TraceId>,
 }
 
 /// Configures and builds a [`ControlPlane`].
@@ -104,6 +131,8 @@ pub struct ControlPlaneBuilder {
     orchestrator: Orchestrator,
     constructor: Box<dyn AlConstruct + Send + Sync>,
     placer: Box<dyn VnfPlacer + Send + Sync>,
+    scheduler: SchedulerMode,
+    outcome_retention: Option<usize>,
 }
 
 impl Default for ControlPlaneBuilder {
@@ -114,6 +143,8 @@ impl Default for ControlPlaneBuilder {
             orchestrator: Orchestrator::new(),
             constructor: Box::new(PaperGreedy::new()),
             placer: Box::new(ElectronicOnlyPlacer::new()),
+            scheduler: SchedulerMode::default(),
+            outcome_retention: None,
         }
     }
 }
@@ -174,6 +205,28 @@ impl ControlPlaneBuilder {
         self
     }
 
+    /// How queued submissions are drained into batches (default:
+    /// [`SchedulerMode::DeficitRoundRobin`]).
+    pub fn scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.scheduler = mode;
+        self
+    }
+
+    /// Keeps at most `n` executed-intent outcomes; older tickets are
+    /// evicted (their [`ControlPlane::outcome`] returns `None`). The
+    /// default retains every outcome, which matches the historical
+    /// behavior but grows without bound on sustained streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a batch's own outcomes must survive its
+    /// publication.
+    pub fn outcome_retention(mut self, n: usize) -> Self {
+        assert!(n > 0, "outcome retention must be positive");
+        self.outcome_retention = Some(n);
+        self
+    }
+
     /// Builds the control plane over `dc`.
     pub fn build(self, dc: Arc<DataCenter>) -> ControlPlane {
         let max_link_kbps = dc
@@ -185,6 +238,7 @@ impl ControlPlaneBuilder {
         let inner = Inner {
             orch: self.orchestrator,
             owners: BTreeMap::new(),
+            live_chains: BTreeMap::new(),
             log: IntentLog::new(),
             batches: 0,
             intents_processed: 0,
@@ -197,8 +251,9 @@ impl ControlPlaneBuilder {
             constructor: self.constructor,
             placer: self.placer,
             max_link_kbps,
+            outcome_retention: self.outcome_retention,
             next_id: AtomicU64::new(0),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(SubmissionQueues::new(self.scheduler)),
             inner: Mutex::new(inner),
             completed: Mutex::new(BTreeMap::new()),
             view: RwLock::new(Arc::new(view)),
@@ -223,15 +278,19 @@ pub struct ControlPlane {
     /// Capacity of the fattest link, for the unservable-bandwidth
     /// pre-check.
     max_link_kbps: u64,
+    /// Maximum retained outcomes; `None` keeps everything.
+    outcome_retention: Option<usize>,
     next_id: AtomicU64,
-    queue: Mutex<VecDeque<Submission>>,
+    queue: Mutex<SubmissionQueues>,
     inner: Mutex<Inner>,
-    completed: Mutex<BTreeMap<IntentId, IntentOutcome>>,
+    completed: Mutex<BTreeMap<IntentId, CompletedIntent>>,
     view: RwLock<Arc<StateView>>,
-    /// Root trace context and submission timestamp per intent, populated
-    /// only while causal tracing is enabled (see
-    /// [`alvc_telemetry::trace::set_tracing_enabled`]). Kept out of the
-    /// [`IntentLog`] so replayed logs stay bit-identical to live runs.
+    /// Root trace context and submission timestamp per *pending* intent,
+    /// populated only while causal tracing is enabled (see
+    /// [`alvc_telemetry::trace::set_tracing_enabled`]). Entries move into
+    /// the `completed` store when the intent's root span closes, so this
+    /// map is bounded by the queue depth. Kept out of the [`IntentLog`]
+    /// so replayed logs stay bit-identical to live runs.
     traces: Mutex<HashMap<IntentId, (TraceCtx, u64)>>,
 }
 
@@ -273,13 +332,17 @@ impl ControlPlane {
                 .lock()
                 .insert(id, (ctx, alvc_telemetry::now_monotonic_us()));
         }
+        let weight = self.policy.quota_for(tenant).effective_weight();
         let depth = {
             let mut queue = self.queue.lock();
-            queue.push_back(Submission {
-                id,
-                tenant: tenant.to_string(),
-                intent,
-            });
+            queue.push(
+                Submission {
+                    id,
+                    tenant: tenant.to_string(),
+                    intent,
+                },
+                weight,
+            );
             queue.len()
         };
         alvc_telemetry::counter!("alvc_nfv.control.intents_submitted").incr();
@@ -288,9 +351,13 @@ impl ControlPlane {
     }
 
     /// The causal trace stamped on intent `id` at submission; `None` when
-    /// the intent is unknown or tracing was off when it was submitted.
+    /// the intent is unknown (or evicted) or tracing was off when it was
+    /// submitted.
     pub fn trace_of(&self, id: IntentId) -> Option<TraceId> {
-        self.traces.lock().get(&id).map(|(ctx, _)| ctx.trace)
+        if let Some(trace) = self.traces.lock().get(&id).map(|(ctx, _)| ctx.trace) {
+            return Some(trace);
+        }
+        self.completed.lock().get(&id).and_then(|c| c.trace)
     }
 
     /// Serializes the flight recorder's current contents as JSON lines
@@ -313,9 +380,23 @@ impl ControlPlane {
     }
 
     /// The outcome of an executed intent, `None` while it is still
-    /// queued (or was never submitted).
+    /// queued, after it was evicted by the retention window (see
+    /// [`ControlPlaneBuilder::outcome_retention`]), or if it was never
+    /// submitted.
     pub fn outcome(&self, id: IntentId) -> Option<IntentOutcome> {
-        self.completed.lock().get(&id).cloned()
+        self.completed.lock().get(&id).map(|c| c.outcome.clone())
+    }
+
+    /// Number of pending trace contexts (bounded by the queue depth —
+    /// entries move into the outcome store when an intent completes).
+    pub fn trace_map_len(&self) -> usize {
+        self.traces.lock().len()
+    }
+
+    /// Number of retained outcomes (bounded by
+    /// [`ControlPlaneBuilder::outcome_retention`] when set).
+    pub fn outcome_map_len(&self) -> usize {
+        self.completed.lock().len()
     }
 
     /// The current snapshot. A cheap `Arc` clone: readers never block
@@ -360,7 +441,11 @@ impl ControlPlane {
 
     /// Re-executes `log` on this control plane, preserving the recorded
     /// batch boundaries (admission is batch-scoped, so they are part of
-    /// the run's identity). Because every stage — admission, construction,
+    /// the run's identity). The scheduler is bypassed: the recorded drain
+    /// order *is* the batch order, with the live run's intent ids
+    /// reassigned verbatim — DRR deficit state depends on queue contents
+    /// that no longer exist at replay time, so re-scheduling would
+    /// diverge. Because every execution stage — admission, construction,
     /// placement, routing, id assignment — is deterministic, the final
     /// [`StateView`] and the regenerated log are bit-identical to the
     /// live run's.
@@ -382,31 +467,47 @@ impl ControlPlane {
             "replay requires an empty submission queue"
         );
         let records = log.records();
+        let mut next_id = 0u64;
         let mut i = 0;
         while i < records.len() {
-            let batch = records[i].batch;
-            let mut n = 0;
-            while i + n < records.len() && records[i + n].batch == batch {
-                let r = &records[i + n];
-                self.submit(&r.tenant, r.intent.clone());
-                n += 1;
+            let batch_index = records[i].batch;
+            let mut batch = Vec::new();
+            while i < records.len() && records[i].batch == batch_index {
+                let r = &records[i];
+                next_id = next_id.max(r.id.0 + 1);
+                if alvc_telemetry::trace::tracing_enabled() {
+                    let ctx = alvc_telemetry::trace::new_root_ctx();
+                    self.traces
+                        .lock()
+                        .insert(r.id, (ctx, alvc_telemetry::now_monotonic_us()));
+                }
+                batch.push(Submission {
+                    id: r.id,
+                    tenant: r.tenant.clone(),
+                    intent: r.intent.clone(),
+                });
+                i += 1;
             }
-            self.process_n(n);
-            i += n;
+            self.execute_batch(&batch);
         }
+        // Fresh submissions after a replay continue the id sequence.
+        self.next_id.store(next_id, Ordering::Relaxed);
         self.view()
     }
 
-    /// Executes up to `limit` queued intents as one batch.
+    /// Executes up to `limit` queued intents as one batch, in scheduler
+    /// drain order.
     fn process_n(&self, limit: usize) -> usize {
-        let batch: Vec<Submission> = {
-            let mut queue = self.queue.lock();
-            let n = limit.min(queue.len());
-            queue.drain(..n).collect()
-        };
+        let batch: Vec<Submission> = self.queue.lock().drain(limit);
         if batch.is_empty() {
             return 0;
         }
+        self.execute_batch(&batch)
+    }
+
+    /// Executes `batch` as one batch: admission, coalesced execution,
+    /// logging, and snapshot publication.
+    fn execute_batch(&self, batch: &[Submission]) -> usize {
         let _span = alvc_telemetry::span!("alvc_nfv.control.batch_latency_us");
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
@@ -423,10 +524,13 @@ impl ControlPlane {
         for (slot, sub) in batch.iter().enumerate() {
             let admit_start = Instant::now();
             let quota = self.policy.quota_for(&sub.tenant);
-            let used = rate_used.entry(sub.tenant.as_str()).or_insert(0);
-            *used += 1;
+            // The rate budget counts *admitted* intents only — rejections
+            // (including this one) never consume it, so garbage cannot
+            // crowd a tenant's valid intents out of its own budget (see
+            // the `admission` module docs).
             if let Some(cap) = quota.max_intents_per_batch {
-                if *used > cap {
+                let used = rate_used.get(sub.tenant.as_str()).copied().unwrap_or(0);
+                if used >= cap {
                     let rej = AdmissionError::RateLimited {
                         tenant: sub.tenant.clone(),
                         limit: cap,
@@ -445,6 +549,7 @@ impl ControlPlane {
                         }
                         Ok(()) => {
                             self.note_admission(sub, admit_start, None);
+                            *rate_used.entry(sub.tenant.as_str()).or_insert(0) += 1;
                             *pending_chains.entry(sub.tenant.as_str()).or_insert(0) += 1;
                             run.push((slot, sub.tenant.clone(), vms.clone(), spec.clone()));
                         }
@@ -462,7 +567,8 @@ impl ControlPlane {
                             // A mutating intent: everything admitted
                             // before it must be committed first.
                             self.note_admission(sub, admit_start, None);
-                            self.flush_deploys(inner, &batch, &mut run, &mut outcomes);
+                            *rate_used.entry(sub.tenant.as_str()).or_insert(0) += 1;
+                            self.flush_deploys(inner, batch, &mut run, &mut outcomes);
                             let _g = alvc_telemetry::trace::enter(self.trace_ctx_of(sub.id));
                             let mut exec_span = alvc_telemetry::trace::child_span("intent.execute");
                             let start = Instant::now();
@@ -478,7 +584,7 @@ impl ControlPlane {
                 }
             }
         }
-        self.flush_deploys(inner, &batch, &mut run, &mut outcomes);
+        self.flush_deploys(inner, batch, &mut run, &mut outcomes);
 
         // Log, publish outcomes, bump counters, swap the snapshot.
         let mut completed = self.completed.lock();
@@ -489,7 +595,7 @@ impl ControlPlane {
                 alvc_telemetry::recorder::postmortem("admission_invariant");
             }
             let outcome = outcome.expect("every slot decided");
-            self.close_intent_root(sub, &outcome);
+            let trace = self.close_intent_root(sub, &outcome);
             alvc_telemetry::counter_with("alvc_nfv.control.intents", sub.intent.kind().label())
                 .incr();
             alvc_telemetry::counter_with("alvc_nfv.control.outcomes", outcome.label()).incr();
@@ -500,21 +606,56 @@ impl ControlPlane {
                 intent: sub.intent.clone(),
                 outcome: outcome.clone(),
             });
-            completed.insert(sub.id, outcome);
+            completed.insert(sub.id, CompletedIntent { outcome, trace });
+        }
+        if let Some(cap) = self.outcome_retention {
+            while completed.len() > cap {
+                completed.pop_first();
+            }
         }
         drop(completed);
         inner.batches += 1;
         inner.intents_processed += batch.len() as u64;
         alvc_telemetry::counter!("alvc_nfv.control.batches").incr();
         alvc_telemetry::gauge!("alvc_nfv.control.queue_depth").set(self.queue.lock().len() as f64);
-        let view = StateView::capture(
+        // Publish incrementally: patch the entities this batch touched
+        // into the previous snapshot; global operations marked the whole
+        // world dirty and fall back to a full capture.
+        let changes = inner.orch.changes.take();
+        let view = if changes.full {
+            StateView::capture(
+                inner.batches,
+                inner.intents_processed,
+                &inner.orch,
+                &inner.owners,
+            )
+        } else {
+            let prev = self.view.read().clone();
+            StateView::apply_delta(
+                &prev,
+                inner.batches,
+                inner.intents_processed,
+                &inner.orch,
+                &inner.owners,
+                &changes,
+            )
+        };
+        *self.view.write() = Arc::new(view);
+        batch.len()
+    }
+
+    /// Recomputes a full [`StateView`] capture of the live orchestrator,
+    /// without publishing it. Meant for tests and invariant checks — the
+    /// incremental-publication property test asserts this equals
+    /// [`ControlPlane::view`] after every batch.
+    pub fn recompute_view(&self) -> Arc<StateView> {
+        let inner = self.inner.lock();
+        Arc::new(StateView::capture(
             inner.batches,
             inner.intents_processed,
             &inner.orch,
             &inner.owners,
-        );
-        *self.view.write() = Arc::new(view);
-        batch.len()
+        ))
     }
 
     /// Bumps per-tenant admission counters and records the synthetic
@@ -545,12 +686,11 @@ impl ControlPlane {
     }
 
     /// Closes intent `sub`'s root span with its final outcome, measuring
-    /// submission → outcome publication. A no-op when tracing was off at
-    /// submission time.
-    fn close_intent_root(&self, sub: &Submission, outcome: &IntentOutcome) {
-        let Some((ctx, start_us)) = self.traces.lock().get(&sub.id).copied() else {
-            return;
-        };
+    /// submission → outcome publication, and retires the pending trace
+    /// entry (the id lives on in the outcome store). Returns the trace id
+    /// for that store; `None` when tracing was off at submission time.
+    fn close_intent_root(&self, sub: &Submission, outcome: &IntentOutcome) -> Option<TraceId> {
+        let (ctx, start_us) = self.traces.lock().remove(&sub.id)?;
         let code = match outcome {
             IntentOutcome::Completed(_) => "",
             IntentOutcome::Rejected(e) => e.code(),
@@ -571,6 +711,7 @@ impl ControlPlane {
                 ("intent_id", FieldValue::from(sub.id.0)),
             ],
         );
+        Some(ctx.trace)
     }
 
     /// Pre-checks a deployment without touching any state.
@@ -601,8 +742,9 @@ impl ControlPlane {
         }
         if let Some(limit) = self.policy.quota_for(tenant).max_live_chains {
             // Chains admitted earlier in this batch count even though they
-            // have not executed yet (optimistic, deterministic).
-            let live = inner.owners.values().filter(|t| *t == tenant).count()
+            // have not executed yet (optimistic, deterministic). O(1):
+            // the per-tenant counter is maintained on deploy/teardown.
+            let live = inner.live_chains.get(tenant).copied().unwrap_or(0)
                 + pending_chains.get(tenant).copied().unwrap_or(0);
             if live >= limit {
                 return Err(AdmissionError::QuotaExceeded {
@@ -736,6 +878,7 @@ impl ControlPlane {
             outcomes[slot] = Some(match result {
                 Ok(chain) => {
                     inner.owners.insert(chain, tenant.to_string());
+                    *inner.live_chains.entry(tenant.to_string()).or_insert(0) += 1;
                     IntentOutcome::Completed(IntentEffect::Deployed { chain })
                 }
                 Err(e) => IntentOutcome::Failed(e),
@@ -750,7 +893,14 @@ impl ControlPlane {
             Intent::DeployChain { .. } => unreachable!("deployments go through flush_deploys"),
             Intent::TeardownChain { chain } => match inner.orch.teardown_chain(*chain) {
                 Ok(_) => {
-                    inner.owners.remove(chain);
+                    if let Some(owner) = inner.owners.remove(chain) {
+                        if let Some(count) = inner.live_chains.get_mut(&owner) {
+                            *count -= 1;
+                            if *count == 0 {
+                                inner.live_chains.remove(&owner);
+                            }
+                        }
+                    }
                     IntentOutcome::Completed(IntentEffect::TornDown { chain: *chain })
                 }
                 Err(e) => IntentOutcome::Failed(e),
@@ -955,6 +1105,7 @@ mod tests {
             .default_quota(TenantQuota {
                 max_live_chains: Some(1),
                 max_intents_per_batch: None,
+                weight: 1,
             })
             .build(dc.clone());
         let a = cp.submit("web", deploy_intent(&dc, ServiceType::WebService));
@@ -986,6 +1137,7 @@ mod tests {
             .default_quota(TenantQuota {
                 max_live_chains: None,
                 max_intents_per_batch: Some(1),
+                weight: 1,
             })
             .operator("ops-team")
             .build(dc.clone());
@@ -1265,5 +1417,126 @@ mod tests {
         cp.process_all();
         let log = cp.intent_log();
         cp.replay(&log);
+    }
+
+    /// Satellite regression: a rejected intent must not consume the
+    /// tenant's per-batch rate budget — garbage submissions ahead of a
+    /// valid one cannot crowd it out.
+    #[test]
+    fn rejected_intents_consume_no_rate_budget() {
+        let dc = dc();
+        let cp = ControlPlane::builder()
+            .batch_size(8)
+            .default_quota(TenantQuota {
+                max_live_chains: None,
+                max_intents_per_batch: Some(1),
+                weight: 1,
+            })
+            .build(dc.clone());
+        // Two structurally hopeless deploys ahead of one valid deploy,
+        // all from the same tenant, all in one batch.
+        let vms = dc.vms_of_service(ServiceType::WebService);
+        let garbage1 = cp.submit(
+            "web",
+            Intent::DeployChain {
+                vms: vec![],
+                spec: fig5::black(vms[0], vms[1]),
+            },
+        );
+        let garbage2 = cp.submit(
+            "web",
+            Intent::DeployChain {
+                vms: vec![],
+                spec: fig5::black(vms[0], vms[1]),
+            },
+        );
+        let valid = cp.submit("web", deploy_intent(&dc, ServiceType::WebService));
+        assert_eq!(cp.process_batch(), 3);
+        assert!(matches!(
+            cp.outcome(garbage1).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::EmptyVmGroup)
+        ));
+        assert!(matches!(
+            cp.outcome(garbage2).unwrap(),
+            IntentOutcome::Rejected(AdmissionError::EmptyVmGroup)
+        ));
+        assert!(
+            cp.outcome(valid).unwrap().is_completed(),
+            "the budget of 1 belongs to the valid intent: {:?}",
+            cp.outcome(valid)
+        );
+
+        // And replay reproduces the same decisions bit-for-bit.
+        let fresh = ControlPlane::builder()
+            .batch_size(8)
+            .default_quota(TenantQuota {
+                max_live_chains: None,
+                max_intents_per_batch: Some(1),
+                weight: 1,
+            })
+            .build(dc.clone());
+        let replayed = fresh.replay(&cp.intent_log());
+        assert_eq!(*cp.view(), *replayed);
+        assert_eq!(cp.intent_log(), fresh.intent_log());
+    }
+
+    /// Satellite regression: outcomes beyond the retention window are
+    /// evicted and poll as `None`.
+    #[test]
+    fn outcome_retention_evicts_old_tickets() {
+        let dc = dc();
+        let cp = ControlPlane::builder()
+            .batch_size(2)
+            .outcome_retention(2)
+            .build(dc.clone());
+        let tickets: Vec<IntentId> = (0..6)
+            .map(|_| cp.submit("operator", Intent::Reoptimize))
+            .collect();
+        cp.process_all();
+        assert_eq!(cp.outcome_map_len(), 2);
+        for &old in &tickets[..4] {
+            assert!(cp.outcome(old).is_none(), "{old} evicted");
+        }
+        for &recent in &tickets[4..] {
+            assert!(cp.outcome(recent).unwrap().is_completed());
+        }
+        // The log still remembers everything: retention bounds the poll
+        // window, not the run's replayable identity.
+        assert_eq!(cp.intent_log().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outcome retention must be positive")]
+    fn zero_outcome_retention_is_refused() {
+        let _ = ControlPlane::builder().outcome_retention(0);
+    }
+
+    /// Tentpole: under DRR a tenant that floods the queue first no longer
+    /// owns every slot of the next batch; under FIFO it does.
+    #[test]
+    fn drr_shares_batch_slots_under_asymmetric_load() {
+        let dc = dc();
+        for (mode, expect_quiet_in_first_batch) in [
+            (SchedulerMode::DeficitRoundRobin, true),
+            (SchedulerMode::Fifo, false),
+        ] {
+            let cp = ControlPlane::builder()
+                .batch_size(4)
+                .scheduler(mode)
+                .operator("op")
+                .build(dc.clone());
+            for _ in 0..8 {
+                cp.submit("noisy", Intent::Reoptimize); // rejected: not operator
+            }
+            let quiet = cp.submit("op", Intent::Reoptimize);
+            assert_eq!(cp.process_batch(), 4);
+            assert_eq!(
+                cp.outcome(quiet).is_some(),
+                expect_quiet_in_first_batch,
+                "{mode:?}"
+            );
+            cp.process_all();
+            assert!(cp.outcome(quiet).unwrap().is_completed());
+        }
     }
 }

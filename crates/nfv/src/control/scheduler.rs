@@ -1,0 +1,274 @@
+//! Fair submission scheduling: per-tenant queues drained by a
+//! deterministic deficit-round-robin (DRR) scheduler.
+//!
+//! The original control plane kept one global FIFO, so a tenant
+//! submitting a large burst ahead of everyone else owned every slot of
+//! every batch until its burst drained — first-come-first-starved. Here
+//! each tenant gets its own queue, and batch slots are granted by DRR:
+//! tenants sit in a round-robin ring, each visit tops the tenant's
+//! deficit counter up by its [`TenantQuota::weight`], and the tenant
+//! dequeues one intent per deficit unit until the deficit or its queue
+//! runs out. A tenant with weight *w* therefore receives *w* slots per
+//! round relative to weight-1 tenants, independent of arrival order.
+//!
+//! Everything is deterministic — ring order is arrival order of the
+//! first queued intent per tenant, costs are integral — so the drain
+//! order is a pure function of the submission sequence. The control
+//! plane records that drain order in the [`IntentLog`] as the batch
+//! order, which is what keeps replay bit-identical without re-running
+//! the scheduler (replay executes recorded batches directly).
+//!
+//! [`TenantQuota::weight`]: super::TenantQuota
+//! [`IntentLog`]: super::IntentLog
+
+use std::collections::{BTreeMap, VecDeque};
+
+use super::Submission;
+
+/// How queued submissions are drained into batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SchedulerMode {
+    /// One global queue, strict submission order (the legacy behavior;
+    /// susceptible to starvation under asymmetric load).
+    Fifo,
+    /// Per-tenant queues drained by deficit round-robin with weights
+    /// from [`TenantQuota::weight`](super::TenantQuota::weight).
+    #[default]
+    DeficitRoundRobin,
+}
+
+/// One tenant's submission queue plus its DRR bookkeeping.
+#[derive(Debug, Default)]
+struct TenantQueue {
+    queue: VecDeque<Submission>,
+    /// Unspent batch slots carried into the tenant's next ring visit.
+    deficit: u64,
+    /// Slots granted per ring visit (cached from the tenant's quota at
+    /// submission time, so scheduling never needs the policy).
+    weight: u64,
+    /// Whether the tenant currently sits in the ring.
+    in_ring: bool,
+    /// The tenant was cut off mid-quantum by the batch limit and pushed
+    /// back to the ring front: its next visit spends the remaining
+    /// deficit instead of refilling.
+    resumed: bool,
+}
+
+/// The control plane's submission buffer: a FIFO or a set of per-tenant
+/// queues, depending on [`SchedulerMode`].
+#[derive(Debug)]
+pub(crate) struct SubmissionQueues {
+    mode: SchedulerMode,
+    /// [`SchedulerMode::Fifo`] storage.
+    fifo: VecDeque<Submission>,
+    /// [`SchedulerMode::DeficitRoundRobin`] storage.
+    tenants: BTreeMap<String, TenantQueue>,
+    /// Round-robin ring of tenants with queued submissions.
+    ring: VecDeque<String>,
+    /// Total queued submissions across all queues.
+    len: usize,
+}
+
+impl SubmissionQueues {
+    pub(crate) fn new(mode: SchedulerMode) -> Self {
+        SubmissionQueues {
+            mode,
+            fifo: VecDeque::new(),
+            tenants: BTreeMap::new(),
+            ring: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Total queued submissions.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Enqueues a submission; `weight` is the tenant's current quota
+    /// weight (re-read on every push, so policy changes apply to the
+    /// tenant's next ring visit).
+    pub(crate) fn push(&mut self, sub: Submission, weight: u64) {
+        self.len += 1;
+        match self.mode {
+            SchedulerMode::Fifo => self.fifo.push_back(sub),
+            SchedulerMode::DeficitRoundRobin => {
+                let tenant = sub.tenant.clone();
+                let t = self.tenants.entry(tenant.clone()).or_default();
+                t.queue.push_back(sub);
+                t.weight = weight.max(1);
+                if !t.in_ring {
+                    t.in_ring = true;
+                    self.ring.push_back(tenant);
+                }
+            }
+        }
+    }
+
+    /// Drains up to `limit` submissions in scheduling order.
+    pub(crate) fn drain(&mut self, limit: usize) -> Vec<Submission> {
+        let mut out = Vec::with_capacity(limit.min(self.len));
+        match self.mode {
+            SchedulerMode::Fifo => {
+                while out.len() < limit {
+                    let Some(sub) = self.fifo.pop_front() else {
+                        break;
+                    };
+                    out.push(sub);
+                }
+            }
+            SchedulerMode::DeficitRoundRobin => {
+                while out.len() < limit {
+                    let Some(tenant) = self.ring.pop_front() else {
+                        break;
+                    };
+                    let t = self
+                        .tenants
+                        .get_mut(&tenant)
+                        .expect("ring members have queues");
+                    if t.resumed {
+                        t.resumed = false;
+                    } else {
+                        t.deficit += t.weight;
+                    }
+                    while t.deficit > 0 && out.len() < limit {
+                        let Some(sub) = t.queue.pop_front() else {
+                            break;
+                        };
+                        t.deficit -= 1;
+                        out.push(sub);
+                    }
+                    if t.queue.is_empty() {
+                        // Idle tenants leave the ring and forfeit their
+                        // deficit: DRR credit never accumulates while a
+                        // tenant has nothing queued.
+                        t.deficit = 0;
+                        t.in_ring = false;
+                    } else if t.deficit > 0 {
+                        // Cut off mid-quantum by the batch limit: resume
+                        // this tenant first next batch, without a refill.
+                        t.resumed = true;
+                        self.ring.push_front(tenant);
+                    } else {
+                        self.ring.push_back(tenant);
+                    }
+                }
+            }
+        }
+        self.len -= out.len();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Intent, IntentId};
+    use super::*;
+
+    fn sub(id: u64, tenant: &str) -> Submission {
+        Submission {
+            id: IntentId(id),
+            tenant: tenant.to_string(),
+            intent: Intent::Reoptimize,
+        }
+    }
+
+    fn order(subs: &[Submission]) -> Vec<(u64, &str)> {
+        subs.iter().map(|s| (s.id.0, s.tenant.as_str())).collect()
+    }
+
+    #[test]
+    fn fifo_preserves_submission_order() {
+        let mut q = SubmissionQueues::new(SchedulerMode::Fifo);
+        for (i, t) in ["a", "a", "b", "a"].iter().enumerate() {
+            q.push(sub(i as u64, t), 1);
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(
+            order(&q.drain(10)),
+            vec![(0, "a"), (1, "a"), (2, "b"), (3, "a")]
+        );
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn drr_interleaves_a_burst_with_later_arrivals() {
+        let mut q = SubmissionQueues::new(SchedulerMode::DeficitRoundRobin);
+        // Tenant "noisy" floods first; "quiet" arrives after.
+        for i in 0..6 {
+            q.push(sub(i, "noisy"), 1);
+        }
+        q.push(sub(6, "quiet"), 1);
+        q.push(sub(7, "quiet"), 1);
+        // One slot each per round: noisy, quiet, noisy, quiet, ...
+        assert_eq!(
+            order(&q.drain(4)),
+            vec![(0, "noisy"), (6, "quiet"), (1, "noisy"), (7, "quiet")]
+        );
+        // Quiet drained; noisy gets the whole batch again.
+        assert_eq!(
+            order(&q.drain(4)),
+            vec![(2, "noisy"), (3, "noisy"), (4, "noisy"), (5, "noisy")]
+        );
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn drr_weights_scale_slots_per_round() {
+        let mut q = SubmissionQueues::new(SchedulerMode::DeficitRoundRobin);
+        for i in 0..4 {
+            q.push(sub(i, "heavy"), 2);
+        }
+        for i in 4..8 {
+            q.push(sub(i, "light"), 1);
+        }
+        // heavy spends 2 slots per visit, light 1.
+        assert_eq!(
+            order(&q.drain(6)),
+            vec![
+                (0, "heavy"),
+                (1, "heavy"),
+                (4, "light"),
+                (2, "heavy"),
+                (3, "heavy"),
+                (5, "light"),
+            ]
+        );
+    }
+
+    #[test]
+    fn drr_resumes_a_cut_off_quantum_without_refill() {
+        let mut q = SubmissionQueues::new(SchedulerMode::DeficitRoundRobin);
+        for i in 0..4 {
+            q.push(sub(i, "w3"), 3);
+        }
+        for i in 4..8 {
+            q.push(sub(i, "w1"), 1);
+        }
+        // Batch of 2 cuts w3 off mid-quantum (deficit 1 left).
+        assert_eq!(order(&q.drain(2)), vec![(0, "w3"), (1, "w3")]);
+        // Next batch: w3 resumes its remaining 1 slot (no refill), then w1.
+        assert_eq!(order(&q.drain(2)), vec![(2, "w3"), (4, "w1")]);
+        // Fresh round: w3 refills to 3 but only one intent remains; its
+        // leftover deficit is forfeited when it leaves the ring.
+        assert_eq!(
+            order(&q.drain(4)),
+            vec![(3, "w3"), (5, "w1"), (6, "w1"), (7, "w1")]
+        );
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn idle_tenants_accumulate_no_credit() {
+        let mut q = SubmissionQueues::new(SchedulerMode::DeficitRoundRobin);
+        q.push(sub(0, "a"), 1);
+        assert_eq!(order(&q.drain(8)), vec![(0, "a")]);
+        // "a" was idle for a while; on return it gets exactly one fresh
+        // quantum, not banked credit from the idle rounds.
+        q.push(sub(1, "a"), 1);
+        q.push(sub(2, "a"), 1);
+        q.push(sub(3, "b"), 1);
+        assert_eq!(order(&q.drain(3)), vec![(1, "a"), (3, "b"), (2, "a")]);
+    }
+}

@@ -1,26 +1,38 @@
 //! Lock-free snapshot reads: the immutable [`StateView`].
 //!
-//! After every executed batch the control plane captures the entire
-//! observable orchestrator state into one immutable [`StateView`] and
-//! swaps it behind an `Arc`. Readers clone the `Arc` (a reference-count
-//! bump) and then read freely — chain status, slice usage, committed
-//! bandwidth — while the write path executes the next batch on the live
-//! orchestrator. Read traffic therefore never blocks intent execution,
-//! and a reader always sees a *consistent* state: exactly the world as of
-//! some batch boundary, never a half-applied intent.
+//! After every executed batch the control plane publishes an immutable
+//! [`StateView`] behind an `Arc`. Readers clone the `Arc` (a
+//! reference-count bump) and then read freely — chain status, slice
+//! usage, committed bandwidth — while the write path executes the next
+//! batch on the live orchestrator. Read traffic therefore never blocks
+//! intent execution, and a reader always sees a *consistent* state:
+//! exactly the world as of some batch boundary, never a half-applied
+//! intent.
+//!
+//! Publication is **incremental**: the orchestrator marks every entity a
+//! batch mutated (see [`crate::changes`]), and
+//! [`StateView::apply_delta`] patches only those entries into a clone of
+//! the previous snapshot — per-entry `Arc`s make the clone a pile of
+//! reference-count bumps, so publication cost tracks the batch's blast
+//! radius, not the size of the data center. Global operations (failure
+//! recovery, re-optimization, re-clustering) fall back to a full
+//! [`StateView::capture`]. A property test pins `apply_delta` ≡
+//! `capture` after every batch.
 //!
 //! Every collection is a `BTreeMap`/`BTreeSet` so two views compare
 //! field-for-field deterministically; the replay property test leans on
 //! this (`replay(log)` must produce a `StateView` equal to the live one).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use alvc_core::ClusterId;
 use alvc_topology::{Element, OpsId, VmId};
 
 use crate::chain::NfcId;
+use crate::changes::ChangeSet;
 use crate::lifecycle::{HostLocation, VnfInstanceId, VnfState};
-use crate::orchestrator::Orchestrator;
+use crate::orchestrator::{DeployedChain, Orchestrator};
 
 /// One deployed chain as seen by readers.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +94,11 @@ pub struct TenantView {
 
 /// An immutable, internally consistent snapshot of everything the control
 /// plane exposes to readers.
+///
+/// Chain and cluster entries sit behind per-entry `Arc`s so incremental
+/// publication can clone the previous snapshot cheaply; `Arc`
+/// dereferences transparently, so field access reads the same as before
+/// (`view.chains[&id].vnf_count`).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StateView {
     /// Number of batches executed when the snapshot was taken (the
@@ -90,12 +107,12 @@ pub struct StateView {
     /// Total intents executed (completed, rejected, or failed).
     pub intents_processed: u64,
     /// Deployed chains by id.
-    pub chains: BTreeMap<NfcId, ChainView>,
+    pub chains: BTreeMap<NfcId, Arc<ChainView>>,
     /// Live VNF instances (chain members and replicas) by id.
     pub instances: BTreeMap<VnfInstanceId, InstanceView>,
     /// Virtual clusters (slices) by id, including their membership and
     /// abstraction layers.
-    pub clusters: BTreeMap<ClusterId, ClusterSliceView>,
+    pub clusters: BTreeMap<ClusterId, Arc<ClusterSliceView>>,
     /// Committed bandwidth per physical link, integer kb/s.
     pub link_committed_kbps: BTreeMap<alvc_graph::EdgeId, u64>,
     /// Per-tenant aggregates (only tenants with live chains appear).
@@ -110,6 +127,49 @@ pub struct StateView {
     pub total_committed_kbps: u64,
 }
 
+/// Builds the reader-facing view of one deployed chain.
+fn chain_view(
+    orch: &Orchestrator,
+    owners: &BTreeMap<NfcId, String>,
+    id: NfcId,
+    deployed: &DeployedChain,
+) -> ChainView {
+    ChainView {
+        tenant: owners.get(&id).cloned().unwrap_or_default(),
+        cluster: deployed.cluster(),
+        name: deployed.nfc().spec().name.clone(),
+        vnf_count: deployed.nfc().vnfs().len(),
+        bandwidth_kbps: crate::orchestrator::kbps(deployed.nfc().spec().bandwidth_gbps),
+        hop_count: deployed.path().hop_count(),
+        oeo_conversions: deployed.oeo_conversions(),
+        instances: deployed.instances().to_vec(),
+        degraded: orch.degraded.contains(&id),
+    }
+}
+
+/// Rebuilds the per-tenant aggregates from a (possibly patched) chain
+/// map. O(live chains + replicas) — independent of topology size.
+fn tenant_aggregates(
+    chains: &BTreeMap<NfcId, Arc<ChainView>>,
+    orch: &Orchestrator,
+    owners: &BTreeMap<NfcId, String>,
+) -> BTreeMap<String, TenantView> {
+    let mut tenants: BTreeMap<String, TenantView> = BTreeMap::new();
+    for chain in chains.values() {
+        let entry = tenants.entry(chain.tenant.clone()).or_default();
+        entry.live_chains += 1;
+        entry.committed_kbps += chain.bandwidth_kbps;
+    }
+    for (chain, _) in orch.replicas.values() {
+        if let Some(tenant) = owners.get(chain) {
+            if let Some(entry) = tenants.get_mut(tenant) {
+                entry.replicas += 1;
+            }
+        }
+    }
+    tenants
+}
+
 impl StateView {
     /// Captures the orchestrator's observable state. `owners` maps each
     /// live chain to its tenant (maintained by the control plane, which
@@ -120,36 +180,12 @@ impl StateView {
         orch: &Orchestrator,
         owners: &BTreeMap<NfcId, String>,
     ) -> StateView {
-        let mut chains = BTreeMap::new();
-        let mut tenants: BTreeMap<String, TenantView> = BTreeMap::new();
-        for (&id, deployed) in &orch.chains {
-            let tenant = owners.get(&id).cloned().unwrap_or_default();
-            let bandwidth_kbps = crate::orchestrator::kbps(deployed.nfc().spec().bandwidth_gbps);
-            let entry = tenants.entry(tenant.clone()).or_default();
-            entry.live_chains += 1;
-            entry.committed_kbps += bandwidth_kbps;
-            chains.insert(
-                id,
-                ChainView {
-                    tenant,
-                    cluster: deployed.cluster(),
-                    name: deployed.nfc().spec().name.clone(),
-                    vnf_count: deployed.nfc().vnfs().len(),
-                    bandwidth_kbps,
-                    hop_count: deployed.path().hop_count(),
-                    oeo_conversions: deployed.oeo_conversions(),
-                    instances: deployed.instances().to_vec(),
-                    degraded: orch.degraded.contains(&id),
-                },
-            );
-        }
-        for (chain, _) in orch.replicas.values() {
-            if let Some(tenant) = owners.get(chain) {
-                if let Some(entry) = tenants.get_mut(tenant) {
-                    entry.replicas += 1;
-                }
-            }
-        }
+        let chains: BTreeMap<NfcId, Arc<ChainView>> = orch
+            .chains
+            .iter()
+            .map(|(&id, deployed)| (id, Arc::new(chain_view(orch, owners, id, deployed))))
+            .collect();
+        let tenants = tenant_aggregates(&chains, orch, owners);
         let instances = orch
             .instances
             .iter()
@@ -169,11 +205,11 @@ impl StateView {
             .map(|vc| {
                 (
                     vc.id(),
-                    ClusterSliceView {
+                    Arc::new(ClusterSliceView {
                         label: vc.label().to_string(),
                         vms: vc.vms().to_vec(),
                         ops: vc.al().ops().to_vec(),
-                    },
+                    }),
                 )
             })
             .collect();
@@ -192,6 +228,89 @@ impl StateView {
             sdn_rules: orch.sdn.total_rules(),
             total_committed_kbps,
         }
+    }
+
+    /// Builds the next snapshot by patching `changes` into a clone of
+    /// `prev` — the incremental twin of [`StateView::capture`], used for
+    /// every batch whose blast radius the orchestrator could enumerate.
+    ///
+    /// The caller must hand in a `ChangeSet` with
+    /// [`full`](ChangeSet::full) unset; global operations go through
+    /// `capture` instead.
+    pub(crate) fn apply_delta(
+        prev: &StateView,
+        version: u64,
+        intents_processed: u64,
+        orch: &Orchestrator,
+        owners: &BTreeMap<NfcId, String>,
+        changes: &ChangeSet,
+    ) -> StateView {
+        debug_assert!(!changes.full, "full change sets go through capture");
+        let mut view = prev.clone();
+        view.version = version;
+        view.intents_processed = intents_processed;
+
+        for &id in &changes.chains {
+            match orch.chains.get(&id) {
+                Some(deployed) => {
+                    view.chains
+                        .insert(id, Arc::new(chain_view(orch, owners, id, deployed)));
+                }
+                None => {
+                    view.chains.remove(&id);
+                }
+            }
+        }
+        for &iid in &changes.instances {
+            match orch.instances.get(&iid) {
+                Some(inst) => {
+                    view.instances.insert(
+                        iid,
+                        InstanceView {
+                            state: inst.state(),
+                            host: inst.host(),
+                        },
+                    );
+                }
+                None => {
+                    view.instances.remove(&iid);
+                }
+            }
+        }
+        for &cid in &changes.clusters {
+            match orch.manager.cluster(cid) {
+                Some(vc) => {
+                    view.clusters.insert(
+                        cid,
+                        Arc::new(ClusterSliceView {
+                            label: vc.label().to_string(),
+                            vms: vc.vms().to_vec(),
+                            ops: vc.al().ops().to_vec(),
+                        }),
+                    );
+                }
+                None => {
+                    view.clusters.remove(&cid);
+                }
+            }
+        }
+        for &edge in &changes.edges {
+            let now = orch.link_committed.committed(edge);
+            let before = if now == 0 {
+                view.link_committed_kbps.remove(&edge).unwrap_or(0)
+            } else {
+                view.link_committed_kbps.insert(edge, now).unwrap_or(0)
+            };
+            view.total_committed_kbps = view.total_committed_kbps - before + now;
+        }
+        // Cheap wholesale rebuilds: aggregates over live chains/replicas
+        // and the (small) global sets. Everything here is O(live state),
+        // not O(topology).
+        view.tenants = tenant_aggregates(&view.chains, orch, owners);
+        view.failed_elements = orch.health.failed().into_iter().collect();
+        view.degraded_chains = orch.degraded.iter().copied().collect();
+        view.sdn_rules = orch.sdn.total_rules();
+        view
     }
 
     /// Number of deployed chains.

@@ -40,6 +40,7 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod chain;
+mod changes;
 pub mod control;
 pub mod error;
 pub mod ledger;
@@ -56,7 +57,7 @@ pub use chain::{ChainSpec, ForwardingGraph, Nfc, NfcId};
 pub use control::{
     AdmissionError, AdmissionPolicy, ChainView, ClusterSliceView, ControlPlane,
     ControlPlaneBuilder, InstanceView, Intent, IntentEffect, IntentId, IntentKind, IntentLog,
-    IntentOutcome, IntentRecord, StateView, TenantQuota, TenantView,
+    IntentOutcome, IntentRecord, SchedulerMode, StateView, TenantQuota, TenantView,
 };
 pub use error::{DeployError, Error, ErrorKind, LifecycleError, PlacementError};
 pub use ledger::ShardedLedger;

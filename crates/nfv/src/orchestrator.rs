@@ -22,6 +22,7 @@ use alvc_optical::{route_flow_within, HybridPath, OeoCostModel, RoutingError};
 use alvc_topology::{DataCenter, ElementHealth, OpsId, ServerId, VmId};
 
 use crate::chain::{ChainSpec, Nfc, NfcId};
+use crate::changes::ChangeSet;
 use crate::error::{DeployError, Error};
 use crate::ledger::ShardedLedger;
 use crate::lifecycle::{HostLocation, VnfInstance, VnfInstanceId, VnfState};
@@ -117,6 +118,9 @@ pub struct Orchestrator {
     pub(crate) replicas: BTreeMap<VnfInstanceId, (NfcId, usize)>,
     pub(crate) health: ElementHealth,
     pub(crate) degraded: BTreeSet<NfcId>,
+    /// Entities mutated since the control plane last published a snapshot;
+    /// drives incremental `StateView` publication (see [`crate::changes`]).
+    pub(crate) changes: ChangeSet,
     oeo: OeoCostModel,
     /// Suppresses per-operation telemetry events (counters and spans still
     /// fire); set via [`OrchestratorBuilder::quiet`].
@@ -640,8 +644,12 @@ impl Orchestrator {
             let mut inst = VnfInstance::new(iid, *v, *h);
             inst.activate().expect("fresh instance activates");
             self.instances.insert(iid, inst);
+            self.changes.instance(iid);
             instance_ids.push(iid);
         }
+        self.changes.chain(id);
+        self.changes.cluster(cluster);
+        self.changes.edges(&edges);
         self.chains.insert(
             id,
             DeployedChain {
@@ -697,6 +705,12 @@ impl Orchestrator {
         self.slices.unbind(id);
         self.degraded.remove(&id);
         self.manager.remove_cluster(deployed.cluster);
+        self.changes.chain(id);
+        self.changes.cluster(deployed.cluster);
+        for &iid in &deployed.instances {
+            self.changes.instance(iid);
+        }
+        self.changes.edges(&deployed.edges);
         alvc_telemetry::counter!("alvc_nfv.orchestrator.teardowns").incr();
         if !self.quiet {
             alvc_telemetry::event!("alvc_nfv.orchestrator.chain_torn_down", "nfc" = id.index());
@@ -849,6 +863,7 @@ impl Orchestrator {
         // the release lands on the live ledgers).
         for &iid in &old.instances {
             self.terminate_and_collect(iid);
+            self.changes.instance(iid);
         }
         for (h, v) in hosts.iter().zip(&new_spec.vnfs) {
             match h {
@@ -877,8 +892,12 @@ impl Orchestrator {
             let mut inst = VnfInstance::new(iid, *v, *h);
             inst.activate().expect("fresh instance activates");
             self.instances.insert(iid, inst);
+            self.changes.instance(iid);
             instance_ids.push(iid);
         }
+        self.changes.chain(id);
+        self.changes.edges(&old.edges);
+        self.changes.edges(&new_edges);
         self.chains.insert(
             id,
             DeployedChain {
@@ -906,6 +925,7 @@ impl Orchestrator {
     pub fn begin_scaling(&mut self, id: VnfInstanceId) -> Result<(), Error> {
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.transition(VnfState::Scaling)?;
+            self.changes.instance(id);
         }
         Ok(())
     }
@@ -918,6 +938,7 @@ impl Orchestrator {
     pub fn begin_update(&mut self, id: VnfInstanceId) -> Result<(), Error> {
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.transition(VnfState::Updating)?;
+            self.changes.instance(id);
         }
         Ok(())
     }
@@ -930,6 +951,7 @@ impl Orchestrator {
     pub fn complete_operation(&mut self, id: VnfInstanceId) -> Result<(), Error> {
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.transition(VnfState::Active)?;
+            self.changes.instance(id);
         }
         Ok(())
     }
@@ -1054,6 +1076,9 @@ impl Orchestrator {
         inst.activate().expect("fresh instance activates");
         self.instances.insert(iid, inst);
         self.replicas.insert(iid, (chain, chain_position));
+        self.changes.chain(chain);
+        self.changes.instance(original_iid);
+        self.changes.instance(iid);
         alvc_telemetry::counter!("alvc_nfv.orchestrator.scale_outs").incr();
         Ok(iid)
     }
@@ -1071,7 +1096,8 @@ impl Orchestrator {
         let Some((chain, _)) = self.replicas.remove(&replica) else {
             return Err(DeployError::UnknownChain(NfcId(usize::MAX)).into());
         };
-        let _ = chain;
+        self.changes.chain(chain);
+        self.changes.instance(replica);
         let mut inst = self
             .instances
             .remove(&replica)

@@ -77,6 +77,7 @@ impl Orchestrator {
         let _span = alvc_telemetry::span!("alvc_nfv.orchestrator.recluster_us");
         let mut trace_span = alvc_telemetry::trace::child_span("nfv.recluster");
         trace_span.add_field("moves", moves.len());
+        self.changes.mark_full();
         let mut report = ReclusterReport::default();
 
         // Chain endpoints are pinned: moving one out of its cluster would

@@ -157,6 +157,7 @@ impl Orchestrator {
         constructor: &dyn AlConstruct,
         placer: &dyn VnfPlacer,
     ) -> RecoveryReport {
+        self.changes.mark_full();
         self.fail_element(dc, Element::Ops(ops), Some(constructor), placer)
     }
 
@@ -169,6 +170,7 @@ impl Orchestrator {
         server: ServerId,
         placer: &dyn VnfPlacer,
     ) -> RecoveryReport {
+        self.changes.mark_full();
         self.fail_element(dc, Element::Server(server), None, placer)
     }
 
@@ -182,6 +184,7 @@ impl Orchestrator {
         tor: TorId,
         placer: &dyn VnfPlacer,
     ) -> RecoveryReport {
+        self.changes.mark_full();
         self.fail_element(dc, Element::Tor(tor), None, placer)
     }
 
@@ -191,6 +194,7 @@ impl Orchestrator {
         let was_failed = self.health.restore(Element::Ops(ops));
         if was_failed {
             self.manager.restore_ops(ops);
+            self.changes.mark_full();
             alvc_telemetry::counter!("alvc_nfv.recovery.element_restores").incr();
         }
         was_failed
@@ -200,6 +204,7 @@ impl Orchestrator {
     pub fn restore_server(&mut self, server: ServerId) -> bool {
         let was_failed = self.health.restore(Element::Server(server));
         if was_failed {
+            self.changes.mark_full();
             alvc_telemetry::counter!("alvc_nfv.recovery.element_restores").incr();
         }
         was_failed
@@ -211,6 +216,7 @@ impl Orchestrator {
         let was_failed = self.health.restore(Element::Tor(tor));
         if was_failed {
             self.manager.restore_tor(tor);
+            self.changes.mark_full();
             alvc_telemetry::counter!("alvc_nfv.recovery.element_restores").incr();
         }
         was_failed
@@ -225,6 +231,9 @@ impl Orchestrator {
         placer: &dyn VnfPlacer,
     ) -> BTreeMap<NfcId, RecoveryOutcome> {
         let ids: Vec<NfcId> = self.degraded.iter().copied().collect();
+        if !ids.is_empty() {
+            self.changes.mark_full();
+        }
         let mut outcomes = BTreeMap::new();
         for id in ids {
             let outcome = self.recover_chain(dc, id, placer);

@@ -1,15 +1,17 @@
 //! Control-plane properties: intent-log replay reproduces the live
 //! [`StateView`] bit-for-bit, admission rejections leave zero residual
-//! state, and concurrent submission is safe.
+//! state, the deficit-round-robin scheduler starves no tenant,
+//! incremental snapshot publication matches a full capture after every
+//! batch, and concurrent submission is safe.
 
 use std::sync::Arc;
 
 use alvc_nfv::chain::fig5;
 use alvc_nfv::{
-    AdmissionError, ChainSpec, ControlPlane, Intent, IntentEffect, IntentOutcome, NfcId, StateView,
-    TenantQuota, VnfInstanceId, VnfSpec, VnfType,
+    AdmissionError, ChainSpec, ControlPlane, Intent, IntentEffect, IntentOutcome, NfcId,
+    SchedulerMode, StateView, TenantQuota, VnfInstanceId, VnfSpec, VnfType,
 };
-use alvc_topology::{AlvcTopologyBuilder, DataCenter, OpsInterconnect, VmId};
+use alvc_topology::{AlvcTopologyBuilder, DataCenter, Element, OpsInterconnect, VmId};
 use proptest::prelude::*;
 
 fn dc_for(seed: u64) -> Arc<DataCenter> {
@@ -138,6 +140,188 @@ proptest! {
         prop_assert_eq!(&live_view.link_committed_kbps, &replayed.link_committed_kbps);
         prop_assert_eq!(log, fresh.intent_log());
     }
+
+    /// Scheduler property (no starvation): with weight-1 tenants and a
+    /// batch size of at least the tenant count, DRR grants every tenant
+    /// with queued work at least one slot per batch — so a light tenant's
+    /// queue drains within `light_count` batches no matter how large the
+    /// heavy tenant's backlog ahead of it is.
+    #[test]
+    fn drr_never_starves_a_light_tenant(
+        heavy_count in 20usize..120,
+        light_tenants in 2usize..5,
+        light_count in 1usize..6,
+    ) {
+        let dc = dc_for(1);
+        let batch_size = light_tenants + 1;
+        let cp = ControlPlane::builder()
+            .batch_size(batch_size)
+            .scheduler(SchedulerMode::DeficitRoundRobin)
+            .operator("nobody")
+            .build(dc.clone());
+        // All intents are operator-only reoptimizes from non-operator
+        // tenants: deterministic, rejected, zero orchestrator work — the
+        // property under test is purely about slot allocation.
+        for _ in 0..heavy_count {
+            cp.submit("heavy", Intent::Reoptimize);
+        }
+        let light_tickets: Vec<_> = (0..light_count)
+            .flat_map(|_| {
+                (0..light_tenants).map(|t| cp.submit(&format!("light-{t}"), Intent::Reoptimize))
+            })
+            .collect();
+        for batch in 0.. {
+            prop_assert!(
+                batch <= light_count,
+                "light tenants starved past {light_count} batches"
+            );
+            cp.process_batch();
+            if light_tickets.iter().all(|&t| cp.outcome(t).is_some()) {
+                break;
+            }
+        }
+        // The heavy backlog still drains to completion afterwards.
+        cp.process_all();
+        prop_assert_eq!(
+            cp.intent_log().len(),
+            heavy_count + light_count * light_tenants
+        );
+    }
+
+    /// Scheduler property (replay determinism): an asymmetric multi-tenant
+    /// burst drained by DRR — where batch order differs wildly from
+    /// submission order — still replays bit-identically from its log on a
+    /// fresh control plane.
+    #[test]
+    fn sharded_queues_replay_bit_identically(
+        seed in 0u64..50,
+        batch_size in 1usize..6,
+        bursts in proptest::collection::vec((0u8..3, 1usize..5), 1..8),
+    ) {
+        let dc = dc_for(seed);
+        let vms: Vec<VmId> = dc.vm_ids().collect();
+        let third = vms.len() / 3;
+        let groups = [
+            vms[..third].to_vec(),
+            vms[third..2 * third].to_vec(),
+            vms[2 * third..].to_vec(),
+        ];
+        let build = || {
+            ControlPlane::builder()
+                .batch_size(batch_size)
+                .default_quota(TenantQuota::new(2, 3))
+                .build(dc.clone())
+        };
+        let live = build();
+        for &(tenant, count) in &bursts {
+            let group = &groups[tenant as usize];
+            for i in 0..count {
+                let chain = live.view().chains_of(&format!("t{tenant}")).first().copied();
+                let intent = match (i + count) % 3 {
+                    0 => Intent::DeployChain {
+                        vms: group.clone(),
+                        spec: spec_for(tenant + i as u8, group[0], *group.last().unwrap()),
+                    },
+                    1 => match chain {
+                        Some(chain) => Intent::TeardownChain { chain },
+                        None => Intent::DeployChain {
+                            vms: group.clone(),
+                            spec: spec_for(tenant, group[0], *group.last().unwrap()),
+                        },
+                    },
+                    _ => match chain {
+                        Some(chain) => Intent::ScaleOut { chain, position: 0 },
+                        None => Intent::DeployChain {
+                            vms: group.clone(),
+                            spec: spec_for(tenant + 1, group[0], *group.last().unwrap()),
+                        },
+                    },
+                };
+                live.submit(&format!("t{tenant}"), intent);
+            }
+            // Partial drains leave residual per-tenant queues (and DRR
+            // deficit state) across submission waves.
+            live.process_batch();
+        }
+        live.process_all();
+
+        let fresh = build();
+        let replayed = fresh.replay(&live.intent_log());
+        prop_assert_eq!(&*live.view(), &*replayed);
+        prop_assert_eq!(live.intent_log(), fresh.intent_log());
+    }
+
+    /// Incremental-publication property: after every batch — including
+    /// batches with failures, restores, and reoptimizes that force a full
+    /// capture — the published snapshot equals a from-scratch
+    /// `StateView::capture` of the live orchestrator.
+    #[test]
+    fn incremental_view_equals_full_capture_after_every_batch(
+        seed in 0u64..50,
+        batch_size in 1usize..5,
+        script in proptest::collection::vec((0u8..8, 0u8..4), 1..16),
+    ) {
+        let dc = dc_for(seed);
+        let vms: Vec<VmId> = dc.vm_ids().collect();
+        let half = vms.len() / 2;
+        let groups = [vms[..half].to_vec(), vms[half..].to_vec()];
+        let cp = control_plane(&dc, batch_size);
+        let mut replicas: Vec<VnfInstanceId> = Vec::new();
+        for (op, kind) in script {
+            let tenant = format!("t{}", kind % 2);
+            let group = &groups[(kind % 2) as usize];
+            let first_chain: Option<NfcId> = cp.view().chains_of(&tenant).first().copied();
+            let (tenant, intent) = match op {
+                0 | 1 => (tenant, Intent::DeployChain {
+                    vms: group.clone(),
+                    spec: spec_for(kind, group[0], *group.last().unwrap()),
+                }),
+                2 => match first_chain {
+                    Some(chain) => (tenant, Intent::TeardownChain { chain }),
+                    None => ("operator".to_string(), Intent::Reoptimize),
+                },
+                3 => match first_chain {
+                    Some(chain) => (tenant, Intent::ModifyChain {
+                        chain,
+                        spec: spec_for(kind + 1, group[0], *group.last().unwrap()),
+                    }),
+                    None => ("operator".to_string(), Intent::Reoptimize),
+                },
+                4 => match first_chain {
+                    Some(chain) => (tenant, Intent::ScaleOut { chain, position: 0 }),
+                    None => ("operator".to_string(), Intent::Reoptimize),
+                },
+                5 => match replicas.pop() {
+                    Some(replica) => (tenant, Intent::ScaleIn { replica }),
+                    None => ("operator".to_string(), Intent::Reoptimize),
+                },
+                6 => (
+                    "operator".to_string(),
+                    Intent::FailElement {
+                        element: Element::Server(dc.server_of_vm(groups[(kind % 2) as usize][0])),
+                    },
+                ),
+                _ => (
+                    "operator".to_string(),
+                    Intent::RestoreElement {
+                        element: Element::Server(dc.server_of_vm(groups[(kind % 2) as usize][0])),
+                    },
+                ),
+            };
+            let id = cp.submit(&tenant, intent);
+            cp.process_batch();
+            if let Some(IntentOutcome::Completed(IntentEffect::ScaledOut { replica, .. })) =
+                cp.outcome(id)
+            {
+                replicas.push(replica);
+            }
+            // The invariant under test: what was published incrementally
+            // is exactly what a full capture of the live world yields.
+            prop_assert_eq!(&*cp.view(), &*cp.recompute_view());
+        }
+        cp.process_all();
+        prop_assert_eq!(&*cp.view(), &*cp.recompute_view());
+    }
 }
 
 /// Satellite regression: an admission-rejected intent must leave zero
@@ -232,6 +416,7 @@ fn rate_limited_burst_executes_exactly_the_budget() {
         .default_quota(TenantQuota {
             max_live_chains: None,
             max_intents_per_batch: Some(1),
+            weight: 1,
         })
         .build(dc.clone());
     let groups = [vms[..half].to_vec(), vms[half..].to_vec()];

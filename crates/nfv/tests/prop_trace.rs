@@ -224,6 +224,25 @@ proptest! {
     }
 }
 
+/// Regression for the traces-map leak: the per-intent trace-context map
+/// must drain back to empty once every submitted intent has executed —
+/// the trace id moves into the completed-intent record, so `trace_of`
+/// still resolves for finished work.
+#[test]
+fn trace_map_drains_after_process_all() {
+    let _tracing = TracingOn::acquire();
+    let dc = dc_for(11);
+    let cp = control_plane(&dc, 3);
+    let ids = run_script(&cp, &dc, &[0, 1, 2, 3, 4, 5, 0, 1]);
+    assert_eq!(cp.trace_map_len(), 0, "trace contexts must not leak");
+    for id in ids {
+        assert!(
+            cp.trace_of(id).is_some(),
+            "finished intents keep a trace id"
+        );
+    }
+}
+
 /// Deployments coalesced into one bulk construction still attribute a
 /// per-intent `intent.execute` span to every member, and the bulk span
 /// lands under the first member's trace.

@@ -179,6 +179,97 @@ impl IntentMix {
     }
 }
 
+/// A deliberately unfair multi-tenant arrival process: tenant `0` (the
+/// *heavy* tenant) offers a fixed multiple of every other tenant's
+/// per-round burst, and each round emits the heavy burst **first** — the
+/// worst case for a FIFO control plane, whose batch slots then go to
+/// whoever flooded earliest. Fairness experiments (e12) drive both the
+/// FIFO baseline and the deficit-round-robin scheduler with this stream
+/// and compare per-tenant service.
+///
+/// Each tenant draws from its own seeded [`IntentMix`], so the op streams
+/// are independent and a run is reproducible from the seed alone.
+#[derive(Debug)]
+pub struct AsymmetricLoad {
+    mixes: Vec<IntentMix>,
+    bursts: Vec<usize>,
+    offered: Vec<usize>,
+}
+
+impl AsymmetricLoad {
+    /// `light_tenants` weight-1 tenants offering `light_burst` ops per
+    /// round, plus the heavy tenant (index `0`) offering `heavy_burst`.
+    /// All tenants share `weights` and the blueprint shape of `chains`
+    /// (re-seeded per tenant from `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either burst is zero or there are no light tenants.
+    pub fn new(
+        heavy_burst: usize,
+        light_burst: usize,
+        light_tenants: usize,
+        weights: MixWeights,
+        chains: &ChainWorkload,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            heavy_burst > 0 && light_burst > 0,
+            "bursts must be positive"
+        );
+        assert!(light_tenants > 0, "at least one light tenant");
+        let tenants = light_tenants + 1;
+        let mixes = (0..tenants)
+            .map(|t| {
+                let s = seed.wrapping_add(1 + t as u64);
+                IntentMix::new(weights, chains.reseeded(s), s)
+            })
+            .collect();
+        let mut bursts = vec![light_burst; tenants];
+        bursts[0] = heavy_burst;
+        AsymmetricLoad {
+            mixes,
+            bursts,
+            offered: vec![0; tenants],
+        }
+    }
+
+    /// Number of tenants (heavy tenant included).
+    pub fn tenants(&self) -> usize {
+        self.bursts.len()
+    }
+
+    /// Ops offered per round by tenant `t`.
+    pub fn burst(&self, t: usize) -> usize {
+        self.bursts[t]
+    }
+
+    /// Total arrivals per round across all tenants.
+    pub fn arrivals_per_round(&self) -> usize {
+        self.bursts.iter().sum()
+    }
+
+    /// Cumulative ops tenant `t` has offered so far.
+    pub fn offered(&self, t: usize) -> usize {
+        self.offered[t]
+    }
+
+    /// One arrival round: `(tenant, op)` pairs, the heavy tenant's entire
+    /// burst first, then each light tenant's in index order. `groups[t]`
+    /// supplies tenant `t`'s VM endpoints for blueprint-carrying ops.
+    pub fn round(&mut self, groups: &[Vec<VmId>]) -> Vec<(usize, IntentOp)> {
+        assert_eq!(groups.len(), self.tenants(), "one VM group per tenant");
+        let mut out = Vec::with_capacity(self.arrivals_per_round());
+        for (t, group) in groups.iter().enumerate() {
+            for _ in 0..self.bursts[t] {
+                out.push((t, self.mixes[t].next(group)));
+            }
+            self.offered[t] += self.bursts[t];
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +324,38 @@ mod tests {
         assert_eq!(IntentOp::Modify(bp).label(), "modify");
         assert_eq!(IntentOp::ScaleOut.label(), "scale_out");
         assert_eq!(IntentOp::ScaleIn.label(), "scale_in");
+    }
+
+    #[test]
+    fn asymmetric_load_emits_heavy_first_at_the_configured_ratio() {
+        let chains = ChainWorkload::new(1, 3, 0.25, 9);
+        let mut load = AsymmetricLoad::new(50, 5, 8, MixWeights::default(), &chains, 9);
+        assert_eq!(load.tenants(), 9);
+        assert_eq!(load.arrivals_per_round(), 50 + 8 * 5);
+        let groups: Vec<Vec<VmId>> = (0..9).map(|_| vms()).collect();
+        let round = load.round(&groups);
+        assert_eq!(round.len(), 90);
+        // The heavy tenant's burst leads, then light tenants in order.
+        assert!(round[..50].iter().all(|&(t, _)| t == 0));
+        for light in 1..9 {
+            let at = 50 + (light - 1) * 5;
+            assert!(round[at..at + 5].iter().all(|&(t, _)| t == light));
+        }
+        for t in 0..9 {
+            assert_eq!(load.offered(t), load.burst(t));
+        }
+    }
+
+    #[test]
+    fn asymmetric_load_is_deterministic_per_seed() {
+        let chains = ChainWorkload::new(1, 3, 0.25, 4);
+        let groups: Vec<Vec<VmId>> = (0..3).map(|_| vms()).collect();
+        let run = |seed| {
+            let mut load = AsymmetricLoad::new(10, 1, 2, MixWeights::default(), &chains, seed);
+            (0..4).flat_map(|_| load.round(&groups)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
     }
 
     #[test]

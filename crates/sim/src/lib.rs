@@ -45,7 +45,7 @@ pub use event::EventQueue;
 pub use failure::{chain_outages, FailureSchedule, OutageEvent};
 pub use fairshare::{simulate_fair_share, FairFlow, FairShareReport};
 pub use flowsim::{ChainLoad, FlowSim, SimReport};
-pub use intents::{IntentMix, IntentOp, MixWeights};
+pub use intents::{AsymmetricLoad, IntentMix, IntentOp, MixWeights};
 pub use linkload::LinkLoad;
 pub use metrics::{Counter, Summary};
 pub use traffic::{matrix_of_pairs, LocalityReport, PairDemand, TrafficMatrix};

@@ -423,6 +423,13 @@ impl ChainWorkload {
         }
     }
 
+    /// A fresh generator with the same shape parameters (length range,
+    /// heavy probability) but an independent seed — one per tenant in
+    /// multi-tenant load generators.
+    pub fn reseeded(&self, seed: u64) -> Self {
+        ChainWorkload::new(self.min_len, self.max_len, self.heavy_prob, seed)
+    }
+
     /// Generates `n` blueprints with endpoints drawn from `vms`.
     ///
     /// A chain needs two *distinct* endpoints, so a pool with fewer than
