@@ -87,7 +87,15 @@ fn spec_of(bp: &ChainBlueprint) -> ChainSpec {
         .iter()
         .map(|&h| VnfSpec::of(if h { VnfType::Dpi } else { VnfType::Firewall }))
         .collect();
-    ChainSpec::new("gen", vnfs, bp.ingress, bp.egress, 1.0)
+    let b = ChainSpec::builder("gen")
+        .ingress(bp.ingress)
+        .egress(bp.egress);
+    let b = if vnfs.is_empty() {
+        b.passthrough()
+    } else {
+        b.linear(vnfs)
+    };
+    b.build().expect("blueprint specs are valid")
 }
 
 /// One tenant's submission loop: draw ops from the mix, resolve targets

@@ -27,17 +27,19 @@ fn chain_population(vms: &[Vec<VmId>]) -> Vec<ChainSpec> {
     let (c0, c1) = pick(2);
     specs.push(fig5::green(c0, c1)); // nat, secgw, lb light + ids heavy
     let (d0, d1) = pick(3);
-    specs.push(ChainSpec::new(
-        "heavy-analytics",
-        vec![
-            VnfSpec::of(VnfType::Dpi),
-            VnfSpec::of(VnfType::WanOptimizer),
-            VnfSpec::of(VnfType::VideoTranscoder),
-        ],
-        d0,
-        d1,
-        2.0,
-    ));
+    specs.push(
+        ChainSpec::builder("heavy-analytics")
+            .linear([
+                VnfSpec::of(VnfType::Dpi),
+                VnfSpec::of(VnfType::WanOptimizer),
+                VnfSpec::of(VnfType::VideoTranscoder),
+            ])
+            .ingress(d0)
+            .egress(d1)
+            .bandwidth_gbps(2.0)
+            .build()
+            .expect("static bench chain is valid"),
+    );
     // Per-user rates: a chain that visits k server-hosted VNFs crosses the
     // hosts' access links twice per visit, so admission charges each
     // traversal. 1 Gb/s keeps even the all-electronic placement admissible

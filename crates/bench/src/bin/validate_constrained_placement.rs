@@ -1,0 +1,173 @@
+//! Validates `results/BENCH_constrained_placement.json` (the e13
+//! constrained-placement result) against
+//! `schemas/constrained_placement.schema.json`, then enforces the
+//! DESIGN.md §16 acceptance invariants on the values:
+//!
+//! * the constraint-aware placer admitted **zero** rule violations on
+//!   every tier and width (that is the whole point of the placer);
+//! * refinement never worsened the greedy: the refined mean cost is at
+//!   most the greedy mean cost and the optimality gap is non-negative;
+//! * solve times are reported for at least two distinct chain widths
+//!   (the solve-time-vs-width trend the experiment exists to measure);
+//! * every deployed chain re-checked rule-clean and the control-plane
+//!   intent log replayed to a bit-identical state view;
+//! * full-scale runs (smoke = false) include the sharded dc-100k tier.
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_constrained_placement <results-file> [schema-file]
+//! ```
+//!
+//! Exits nonzero with a diagnostic on the first violation; CI's
+//! telemetry-smoke job runs this after the e13 smoke.
+
+use std::process::ExitCode;
+
+use alvc_bench::schema::validate;
+use alvc_bench::Json;
+
+/// Tolerance for comparing mean costs rounded to 3 decimals on write.
+const COST_EPS: f64 = 1e-3;
+
+fn number(doc: &Json, path: &[&str]) -> Result<f64, String> {
+    let mut v = doc;
+    for key in path {
+        v = v
+            .get(key)
+            .ok_or_else(|| format!("missing field {}", path.join(".")))?;
+    }
+    v.as_f64()
+        .ok_or_else(|| format!("{} is not a number", path.join(".")))
+}
+
+fn check_row(tier: &str, row: &Json) -> Result<usize, String> {
+    let width = number(row, &["width"])? as usize;
+    let at = |field: &str| format!("{tier} width {width}: {field}");
+    let violations = number(row, &["rule_violations"])?;
+    if violations != 0.0 {
+        return Err(format!(
+            "{} is {violations}, expected 0 — the constraint-aware placer admitted a rule-violating assignment",
+            at("rule_violations")
+        ));
+    }
+    let greedy = number(row, &["greedy_cost_mean"])?;
+    let refined = number(row, &["refined_cost_mean"])?;
+    if refined > greedy + COST_EPS {
+        return Err(format!(
+            "{}: refined mean cost {refined} exceeds greedy mean cost {greedy} — refinement worsened the placement",
+            at("refined_cost_mean")
+        ));
+    }
+    for gap_field in ["gap_mean", "gap_max"] {
+        let gap = number(row, &[gap_field])?;
+        if gap < 0.0 {
+            return Err(format!("{}: negative optimality gap {gap}", at(gap_field)));
+        }
+    }
+    let placed = number(row, &["placed"])?;
+    if placed < 1.0 {
+        return Err(format!("{}: no chain placed at this width", at("placed")));
+    }
+    number(row, &["solve_us_mean"])?;
+    Ok(width)
+}
+
+fn check_invariants(doc: &Json) -> Result<(), String> {
+    let tiers = match doc.get("tiers") {
+        Some(Json::Array(tiers)) if !tiers.is_empty() => tiers,
+        _ => return Err("tiers is missing or empty".to_string()),
+    };
+    let mut widths: Vec<usize> = Vec::new();
+    let mut tier_names: Vec<String> = Vec::new();
+    for tier in tiers {
+        let name = tier
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("tier name missing")?
+            .to_string();
+        let rows = match tier.get("rows") {
+            Some(Json::Array(rows)) if !rows.is_empty() => rows,
+            _ => return Err(format!("{name}: rows missing or empty")),
+        };
+        for row in rows {
+            widths.push(check_row(&name, row)?);
+        }
+        tier_names.push(name);
+    }
+    widths.sort_unstable();
+    widths.dedup();
+    if widths.len() < 2 {
+        return Err(format!(
+            "only {} distinct chain width(s) measured; need at least 2 for the solve-time-vs-width trend",
+            widths.len()
+        ));
+    }
+
+    let smoke = doc
+        .get("smoke")
+        .and_then(Json::as_bool)
+        .ok_or("smoke missing")?;
+    if !smoke && !tier_names.iter().any(|n| n == "dc-100k") {
+        return Err("full-scale run is missing the dc-100k tier".to_string());
+    }
+
+    let deployed_violations = number(doc, &["deployment", "rule_violations"])?;
+    if deployed_violations != 0.0 {
+        return Err(format!(
+            "deployment.rule_violations is {deployed_violations}, expected 0"
+        ));
+    }
+    if number(doc, &["deployment", "deployed"])? < 1.0 {
+        return Err("no chain survived deployment".to_string());
+    }
+    match doc
+        .get("deployment")
+        .and_then(|d| d.get("replay_identical"))
+        .and_then(Json::as_bool)
+    {
+        Some(true) => {}
+        Some(false) => return Err("deployment intent-log replay diverged".to_string()),
+        None => return Err("deployment.replay_identical missing".to_string()),
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let results_path = args
+        .next()
+        .ok_or("usage: validate_constrained_placement <results-file> [schema-file]")?;
+    let schema_path = args.next().unwrap_or_else(|| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/constrained_placement.schema.json"
+        )
+        .to_string()
+    });
+
+    let results_text =
+        std::fs::read_to_string(&results_path).map_err(|e| format!("read {results_path}: {e}"))?;
+    let schema_text =
+        std::fs::read_to_string(&schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let results = Json::parse(&results_text).map_err(|e| format!("{results_path}: {e}"))?;
+    let schema = Json::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+
+    validate(&results, &schema, "$")?;
+    check_invariants(&results)?;
+    println!(
+        "{results_path}: valid; zero rule violations on every tier, refinement never \
+         worsened the greedy, deployment rule-clean with a bit-identical replay"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_constrained_placement: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -202,6 +202,33 @@ impl<N, E> DiGraph<N, E> {
         (order.len() == n).then_some(order)
     }
 
+    /// Returns the unique topological order in which ties are broken by
+    /// smallest [`NodeId`], or `None` if the graph has a cycle.
+    ///
+    /// Unlike [`DiGraph::topological_order`], whose tie ordering depends on
+    /// traversal internals, this order is a pure function of the graph's
+    /// structure: two graphs with the same nodes and arcs linearize
+    /// identically regardless of how the adjacency lists were populated.
+    pub fn stable_topological_order(&self) -> Option<Vec<NodeId>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.in_adj[i].len()).collect();
+        let mut ready: BinaryHeap<Reverse<usize>> =
+            (0..n).filter(|&i| indeg[i] == 0).map(Reverse).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(Reverse(u)) = ready.pop() {
+            order.push(NodeId(u));
+            for &(_, v) in &self.out_adj[u] {
+                indeg[v.0] -= 1;
+                if indeg[v.0] == 0 {
+                    ready.push(Reverse(v.0));
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
     /// Returns `true` if the graph contains a directed cycle.
     pub fn has_cycle(&self) -> bool {
         self.topological_order().is_none()
@@ -318,5 +345,33 @@ mod tests {
     fn empty_digraph_topological_order_is_empty() {
         let g: DiGraph<(), ()> = DiGraph::new();
         assert_eq!(g.topological_order().unwrap(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn stable_topological_order_breaks_ties_by_node_id() {
+        // Diamond with the branch edges inserted in reverse order: the
+        // unstable Kahn traversal visits c before b here, the stable one
+        // must not.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, c, ());
+        g.add_edge(a, b, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        assert_eq!(g.stable_topological_order().unwrap(), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn stable_topological_order_detects_cycles() {
+        let mut g = chain(3);
+        assert_eq!(
+            g.stable_topological_order().unwrap(),
+            (0..3).map(NodeId).collect::<Vec<_>>()
+        );
+        g.add_edge(NodeId(2), NodeId(0), ());
+        assert!(g.stable_topological_order().is_none());
     }
 }

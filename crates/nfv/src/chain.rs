@@ -6,11 +6,19 @@
 //! per-user/per-application chains, which are linear paths; the
 //! [`ForwardingGraph`] type additionally supports the "complex" (branching)
 //! processing order and linearizes it for deployment.
+//!
+//! Chains are built through [`ChainSpec::builder`], which accepts either a
+//! linear stage list ([`ChainSpecBuilder::linear`]) or a partial-order DAG
+//! ([`ChainSpecBuilder::stage`] + [`ChainSpecBuilder::dependency`]),
+//! attaches typed [`PlacementRule`]s, and validates the whole specification
+//! at build time — malformed chains are a [`ChainSpecError`], not a
+//! deployment-time surprise.
 
 use alvc_graph::{DiGraph, NodeId};
-use alvc_topology::VmId;
+use alvc_topology::{DataCenter, PodId, VmId};
 use serde::{Deserialize, Serialize};
 
+use crate::lifecycle::HostLocation;
 use crate::vnf::VnfSpec;
 
 /// Identifier of a deployed chain, issued by the orchestrator.
@@ -30,6 +38,240 @@ impl std::fmt::Display for NfcId {
     }
 }
 
+/// Handle to a stage added to a [`ChainSpecBuilder`], used to declare
+/// dependencies and attach [`PlacementRule`]s before the builder decides
+/// the final linear order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(usize);
+
+impl StageId {
+    /// Returns the raw insertion index within the builder.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A placement constraint attached to a [`ChainSpec`].
+///
+/// Stage indices refer to positions in the chain's final linear VNF order
+/// (`ChainSpec::vnfs`); [`ChainSpecBuilder`] translates [`StageId`] handles
+/// into those positions when it linearizes the forwarding DAG. Rules are
+/// enforced at admission: a placement that violates any rule is rejected
+/// with a typed error before any state is committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PlacementRule {
+    /// Stages `a` and `b` must run on distinct hosts (fault isolation).
+    AntiAffinity {
+        /// First stage position.
+        a: usize,
+        /// Second stage position.
+        b: usize,
+    },
+    /// Stages `a` and `b` must run in the same pod (latency locality),
+    /// though not necessarily on the same host.
+    Affinity {
+        /// First stage position.
+        a: usize,
+        /// Second stage position.
+        b: usize,
+    },
+    /// Stages `a` and `b` must share one host (zero-hop hand-off).
+    Colocate {
+        /// First stage position.
+        a: usize,
+        /// Second stage position.
+        b: usize,
+    },
+    /// Stage `stage` must be hosted inside pod `pod` (data residency /
+    /// hardware locality).
+    PinToPod {
+        /// Constrained stage position.
+        stage: usize,
+        /// Required pod.
+        pod: PodId,
+    },
+}
+
+/// The pod a host belongs to.
+pub(crate) fn host_pod(dc: &DataCenter, host: HostLocation) -> PodId {
+    match host {
+        HostLocation::Server(s) => dc.pod_of_server(s),
+        HostLocation::OptoRouter(o) => dc.pod_of_ops(o),
+    }
+}
+
+impl PlacementRule {
+    /// Short machine-readable label for reports and error payloads.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PlacementRule::AntiAffinity { .. } => "anti_affinity",
+            PlacementRule::Affinity { .. } => "affinity",
+            PlacementRule::Colocate { .. } => "colocate",
+            PlacementRule::PinToPod { .. } => "pin_to_pod",
+        }
+    }
+
+    /// Returns `true` if `hosts` (one per chain position) satisfies this
+    /// rule. Positions beyond `hosts` count as unsatisfied.
+    pub fn satisfied_by(&self, dc: &DataCenter, hosts: &[HostLocation]) -> bool {
+        let host = |i: usize| hosts.get(i).copied();
+        match *self {
+            PlacementRule::AntiAffinity { a, b } => match (host(a), host(b)) {
+                (Some(ha), Some(hb)) => ha != hb,
+                _ => false,
+            },
+            PlacementRule::Affinity { a, b } => match (host(a), host(b)) {
+                (Some(ha), Some(hb)) => host_pod(dc, ha) == host_pod(dc, hb),
+                _ => false,
+            },
+            PlacementRule::Colocate { a, b } => match (host(a), host(b)) {
+                (Some(ha), Some(hb)) => ha == hb,
+                _ => false,
+            },
+            PlacementRule::PinToPod { stage, pod } => {
+                host(stage).is_some_and(|h| host_pod(dc, h) == pod)
+            }
+        }
+    }
+
+    /// The stage positions this rule mentions.
+    pub fn stages(&self) -> (usize, Option<usize>) {
+        match *self {
+            PlacementRule::AntiAffinity { a, b }
+            | PlacementRule::Affinity { a, b }
+            | PlacementRule::Colocate { a, b } => (a, Some(b)),
+            PlacementRule::PinToPod { stage, .. } => (stage, None),
+        }
+    }
+}
+
+impl std::fmt::Display for PlacementRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PlacementRule::AntiAffinity { a, b } => write!(f, "anti-affinity({a}, {b})"),
+            PlacementRule::Affinity { a, b } => write!(f, "affinity({a}, {b})"),
+            PlacementRule::Colocate { a, b } => write!(f, "colocate({a}, {b})"),
+            PlacementRule::PinToPod { stage, pod } => write!(f, "pin({stage} -> {pod})"),
+        }
+    }
+}
+
+/// Why a chain specification failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ChainSpecError {
+    /// The chain name is empty.
+    EmptyName,
+    /// The chain has no stages and was not declared a pure-forwarding
+    /// passthrough ([`ChainSpecBuilder::passthrough`]).
+    EmptyChain,
+    /// Ingress and egress are the same VM but the chain has no stage to
+    /// hairpin through — the flow would be a zero-length loop.
+    LoopWithoutStage,
+    /// No ingress VM was set.
+    MissingIngress,
+    /// No egress VM was set.
+    MissingEgress,
+    /// The requested bandwidth is not a finite positive number.
+    InvalidBandwidth {
+        /// The offending value.
+        requested_gbps: f64,
+    },
+    /// The latency budget is not a finite positive number.
+    InvalidLatencyBudget {
+        /// The offending value.
+        budget_us: f64,
+    },
+    /// The forwarding DAG has a dependency cycle and cannot linearize.
+    CyclicDag,
+    /// A placement rule names a stage the chain does not have.
+    UnknownStage {
+        /// The out-of-range stage position.
+        stage: usize,
+        /// How many stages the chain has.
+        stages: usize,
+    },
+    /// A two-stage placement rule names the same stage twice.
+    SelfReferentialRule {
+        /// The repeated stage position.
+        stage: usize,
+    },
+    /// The same stage pair is both anti-affine and colocated — no
+    /// placement can satisfy both.
+    ConflictingRules {
+        /// First stage position.
+        a: usize,
+        /// Second stage position.
+        b: usize,
+    },
+}
+
+impl ChainSpecError {
+    /// Stable machine-readable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ChainSpecError::EmptyName => "empty_name",
+            ChainSpecError::EmptyChain => "empty_chain",
+            ChainSpecError::LoopWithoutStage => "loop_without_stage",
+            ChainSpecError::MissingIngress => "missing_ingress",
+            ChainSpecError::MissingEgress => "missing_egress",
+            ChainSpecError::InvalidBandwidth { .. } => "invalid_bandwidth",
+            ChainSpecError::InvalidLatencyBudget { .. } => "invalid_latency_budget",
+            ChainSpecError::CyclicDag => "cyclic_dag",
+            ChainSpecError::UnknownStage { .. } => "unknown_stage",
+            ChainSpecError::SelfReferentialRule { .. } => "self_referential_rule",
+            ChainSpecError::ConflictingRules { .. } => "conflicting_rules",
+        }
+    }
+}
+
+impl std::fmt::Display for ChainSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ChainSpecError::EmptyName => write!(f, "chain name is empty"),
+            ChainSpecError::EmptyChain => {
+                write!(
+                    f,
+                    "chain has no stages (use passthrough() for pure forwarding)"
+                )
+            }
+            ChainSpecError::LoopWithoutStage => {
+                write!(f, "ingress equals egress but the chain has no stage")
+            }
+            ChainSpecError::MissingIngress => write!(f, "no ingress VM set"),
+            ChainSpecError::MissingEgress => write!(f, "no egress VM set"),
+            ChainSpecError::InvalidBandwidth { requested_gbps } => {
+                write!(
+                    f,
+                    "bandwidth {requested_gbps} Gb/s is not finite and positive"
+                )
+            }
+            ChainSpecError::InvalidLatencyBudget { budget_us } => {
+                write!(
+                    f,
+                    "latency budget {budget_us} us is not finite and positive"
+                )
+            }
+            ChainSpecError::CyclicDag => write!(f, "forwarding DAG has a cycle"),
+            ChainSpecError::UnknownStage { stage, stages } => {
+                write!(
+                    f,
+                    "rule names stage {stage} but the chain has {stages} stages"
+                )
+            }
+            ChainSpecError::SelfReferentialRule { stage } => {
+                write!(f, "rule names stage {stage} on both sides")
+            }
+            ChainSpecError::ConflictingRules { a, b } => {
+                write!(f, "stages {a} and {b} are both anti-affine and colocated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainSpecError {}
+
 /// A chain to deploy: what the tenant hands the orchestrator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChainSpec {
@@ -47,10 +289,43 @@ pub struct ChainSpec {
     /// switching + O/E/O conversion latency), in microseconds. Admission
     /// rejects deployments whose routed path exceeds it.
     pub max_latency_us: Option<f64>,
+    /// Placement constraints over stage positions, enforced at admission.
+    #[serde(default)]
+    pub rules: Vec<PlacementRule>,
 }
 
 impl ChainSpec {
+    /// Starts a validating builder — the primary way to construct a spec.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alvc_nfv::{ChainSpec, VnfSpec, VnfType};
+    /// use alvc_topology::VmId;
+    ///
+    /// let spec = ChainSpec::builder("edge")
+    ///     .linear([
+    ///         VnfSpec::of(VnfType::Firewall),
+    ///         VnfSpec::of(VnfType::Dpi),
+    ///     ])
+    ///     .ingress(VmId(0))
+    ///     .egress(VmId(1))
+    ///     .bandwidth_gbps(2.0)
+    ///     .anti_affine(0, 1)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(spec.len(), 2);
+    /// assert_eq!(spec.rules.len(), 1);
+    /// ```
+    pub fn builder(name: impl Into<String>) -> ChainSpecBuilder {
+        ChainSpecBuilder::new(name)
+    }
+
     /// Creates a chain spec without a latency budget.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `ChainSpec::builder(..)`, which validates the spec and supports DAGs and placement rules"
+    )]
     pub fn new(
         name: impl Into<String>,
         vnfs: Vec<VnfSpec>,
@@ -65,10 +340,15 @@ impl ChainSpec {
             egress,
             bandwidth_gbps,
             max_latency_us: None,
+            rules: Vec::new(),
         }
     }
 
     /// Sets a one-way latency budget (builder style).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `ChainSpecBuilder::max_latency_us` on `ChainSpec::builder(..)`"
+    )]
     pub fn with_max_latency_us(mut self, budget: f64) -> Self {
         self.max_latency_us = Some(budget);
         self
@@ -82,6 +362,316 @@ impl ChainSpec {
     /// A chain with no VNFs is pure forwarding.
     pub fn is_empty(&self) -> bool {
         self.vnfs.is_empty()
+    }
+
+    /// Re-checks the invariants [`ChainSpecBuilder::build`] establishes, on
+    /// an already-constructed spec (e.g. one that arrived through the
+    /// deprecated constructor, deserialization, or hand-mutation).
+    ///
+    /// Pure-forwarding chains (no stages) are accepted here — they were
+    /// always a legal input to the orchestrator — but a stage-less loop
+    /// (ingress == egress) is not.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ChainSpecError`] found.
+    pub fn validate(&self) -> Result<(), ChainSpecError> {
+        if self.name.is_empty() {
+            return Err(ChainSpecError::EmptyName);
+        }
+        if !self.bandwidth_gbps.is_finite() || self.bandwidth_gbps <= 0.0 {
+            return Err(ChainSpecError::InvalidBandwidth {
+                requested_gbps: self.bandwidth_gbps,
+            });
+        }
+        if let Some(budget) = self.max_latency_us {
+            if !budget.is_finite() || budget <= 0.0 {
+                return Err(ChainSpecError::InvalidLatencyBudget { budget_us: budget });
+            }
+        }
+        if self.ingress == self.egress && self.vnfs.is_empty() {
+            return Err(ChainSpecError::LoopWithoutStage);
+        }
+        validate_rules(&self.rules, self.vnfs.len())?;
+        Ok(())
+    }
+
+    /// The first rule `hosts` violates, if any (one host per stage).
+    pub fn violated_rule(&self, dc: &DataCenter, hosts: &[HostLocation]) -> Option<PlacementRule> {
+        self.rules
+            .iter()
+            .copied()
+            .find(|r| !r.satisfied_by(dc, hosts))
+    }
+}
+
+/// Checks rule positions against the stage count: bounds, self-references,
+/// and anti-affinity/colocation conflicts.
+fn validate_rules(rules: &[PlacementRule], stages: usize) -> Result<(), ChainSpecError> {
+    let check = |stage: usize| {
+        if stage >= stages {
+            Err(ChainSpecError::UnknownStage { stage, stages })
+        } else {
+            Ok(())
+        }
+    };
+    for rule in rules {
+        let (a, b) = rule.stages();
+        check(a)?;
+        if let Some(b) = b {
+            check(b)?;
+            if a == b {
+                return Err(ChainSpecError::SelfReferentialRule { stage: a });
+            }
+        }
+    }
+    let pair = |a: usize, b: usize| (a.min(b), a.max(b));
+    for (i, ri) in rules.iter().enumerate() {
+        for rj in &rules[i + 1..] {
+            let conflict = match (*ri, *rj) {
+                (PlacementRule::AntiAffinity { a, b }, PlacementRule::Colocate { a: c, b: d })
+                | (PlacementRule::Colocate { a, b }, PlacementRule::AntiAffinity { a: c, b: d }) => {
+                    pair(a, b) == pair(c, d)
+                }
+                _ => false,
+            };
+            if conflict {
+                let (a, b) = ri.stages();
+                return Err(ChainSpecError::ConflictingRules {
+                    a,
+                    b: b.expect("pair rule"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rule drafted against builder [`StageId`]s, remapped to linear positions
+/// at build time.
+#[derive(Debug, Clone, Copy)]
+enum DraftRule {
+    AntiAffinity(StageId, StageId),
+    Affinity(StageId, StageId),
+    Colocate(StageId, StageId),
+    PinToPod(StageId, PodId),
+}
+
+/// Validating builder for [`ChainSpec`]: linear stage lists or partial-order
+/// DAGs, typed placement rules, and build-time error reporting.
+///
+/// Stages are added with [`ChainSpecBuilder::linear`] (each stage depends on
+/// the previous one in the list) or [`ChainSpecBuilder::stage`] +
+/// [`ChainSpecBuilder::dependency`] for branching ("complex") processing
+/// orders; the two compose. [`ChainSpecBuilder::build`] linearizes the DAG
+/// with a stable topological sort (ties broken by insertion order), so the
+/// resulting spec is a pure function of the declared structure.
+#[derive(Debug, Clone, Default)]
+pub struct ChainSpecBuilder {
+    name: String,
+    graph: ForwardingGraph,
+    ingress: Option<VmId>,
+    egress: Option<VmId>,
+    bandwidth_gbps: f64,
+    max_latency_us: Option<f64>,
+    rules: Vec<DraftRule>,
+    passthrough: bool,
+}
+
+impl ChainSpecBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        ChainSpecBuilder {
+            name: name.into(),
+            bandwidth_gbps: 1.0,
+            ..ChainSpecBuilder::default()
+        }
+    }
+
+    /// Adds one unordered stage and returns its handle.
+    pub fn stage(&mut self, spec: VnfSpec) -> StageId {
+        StageId(self.graph.add_vnf(spec).index())
+    }
+
+    /// Declares that `before` must process packets before `after`.
+    pub fn dependency(&mut self, before: StageId, after: StageId) -> &mut Self {
+        self.graph.add_dependency(NodeId(before.0), NodeId(after.0));
+        self
+    }
+
+    /// Appends `stages` as a linear run: each depends on its predecessor in
+    /// the list. Composes with [`ChainSpecBuilder::stage`]-built structure.
+    pub fn linear(mut self, stages: impl IntoIterator<Item = VnfSpec>) -> Self {
+        let mut prev: Option<StageId> = None;
+        for spec in stages {
+            let id = self.stage(spec);
+            if let Some(p) = prev {
+                self.dependency(p, id);
+            }
+            prev = Some(id);
+        }
+        self
+    }
+
+    /// Absorbs a prebuilt [`ForwardingGraph`]; its [`NodeId`]s become
+    /// [`StageId`]s offset by the number of stages already added.
+    pub fn graph(mut self, graph: &ForwardingGraph) -> Self {
+        let offset = self.graph.len();
+        for n in graph.graph.node_ids() {
+            self.graph
+                .add_vnf(*graph.graph.node_weight(n).expect("node exists"));
+        }
+        for (_, from, to, ()) in graph.graph.edges() {
+            self.graph
+                .add_dependency(NodeId(from.index() + offset), NodeId(to.index() + offset));
+        }
+        self
+    }
+
+    /// Sets the VM originating the chain's traffic.
+    pub fn ingress(mut self, vm: VmId) -> Self {
+        self.ingress = Some(vm);
+        self
+    }
+
+    /// Sets the VM terminating the chain's traffic.
+    pub fn egress(mut self, vm: VmId) -> Self {
+        self.egress = Some(vm);
+        self
+    }
+
+    /// Sets the requested bandwidth (default 1 Gb/s).
+    pub fn bandwidth_gbps(mut self, gbps: f64) -> Self {
+        self.bandwidth_gbps = gbps;
+        self
+    }
+
+    /// Sets the one-way latency budget in microseconds.
+    pub fn max_latency_us(mut self, budget: f64) -> Self {
+        self.max_latency_us = Some(budget);
+        self
+    }
+
+    /// Declares an intentionally stage-less, pure-forwarding chain.
+    pub fn passthrough(mut self) -> Self {
+        self.passthrough = true;
+        self
+    }
+
+    /// Requires stages `a` and `b` on distinct hosts.
+    pub fn anti_affine(mut self, a: impl Into<StageId>, b: impl Into<StageId>) -> Self {
+        self.rules.push(DraftRule::AntiAffinity(a.into(), b.into()));
+        self
+    }
+
+    /// Requires stages `a` and `b` in the same pod.
+    pub fn affine(mut self, a: impl Into<StageId>, b: impl Into<StageId>) -> Self {
+        self.rules.push(DraftRule::Affinity(a.into(), b.into()));
+        self
+    }
+
+    /// Requires stages `a` and `b` on one shared host.
+    pub fn colocate(mut self, a: impl Into<StageId>, b: impl Into<StageId>) -> Self {
+        self.rules.push(DraftRule::Colocate(a.into(), b.into()));
+        self
+    }
+
+    /// Pins `stage` into pod `pod`.
+    pub fn pin_to_pod(mut self, stage: impl Into<StageId>, pod: PodId) -> Self {
+        self.rules.push(DraftRule::PinToPod(stage.into(), pod));
+        self
+    }
+
+    /// Validates and produces the [`ChainSpec`].
+    ///
+    /// # Errors
+    ///
+    /// The first [`ChainSpecError`] found — nothing is partially built.
+    pub fn build(self) -> Result<ChainSpec, ChainSpecError> {
+        if self.name.is_empty() {
+            return Err(ChainSpecError::EmptyName);
+        }
+        let ingress = self.ingress.ok_or(ChainSpecError::MissingIngress)?;
+        let egress = self.egress.ok_or(ChainSpecError::MissingEgress)?;
+        if self.graph.is_empty() {
+            if ingress == egress {
+                return Err(ChainSpecError::LoopWithoutStage);
+            }
+            if !self.passthrough {
+                return Err(ChainSpecError::EmptyChain);
+            }
+        }
+        let order = self
+            .graph
+            .linearized_ids()
+            .ok_or(ChainSpecError::CyclicDag)?;
+        let mut position = vec![0usize; order.len()];
+        for (pos, node) in order.iter().enumerate() {
+            position[node.index()] = pos;
+        }
+        // Range-check rule stages before remapping: `position` is indexed
+        // by the raw builder stage id, so an unknown stage must surface as
+        // a typed error, not an out-of-bounds panic.
+        let stages = order.len();
+        for rule in &self.rules {
+            let (x, y) = match *rule {
+                DraftRule::AntiAffinity(a, b)
+                | DraftRule::Affinity(a, b)
+                | DraftRule::Colocate(a, b) => (a, b),
+                DraftRule::PinToPod(s, _) => (s, s),
+            };
+            for s in [x, y] {
+                if s.0 >= stages {
+                    return Err(ChainSpecError::UnknownStage { stage: s.0, stages });
+                }
+            }
+        }
+        let at = |s: StageId| position[s.0];
+        let sorted = |a: StageId, b: StageId| {
+            let (pa, pb) = (at(a), at(b));
+            (pa.min(pb), pa.max(pb))
+        };
+        let rules: Vec<PlacementRule> = self
+            .rules
+            .iter()
+            .map(|r| match *r {
+                DraftRule::AntiAffinity(a, b) => {
+                    let (a, b) = sorted(a, b);
+                    PlacementRule::AntiAffinity { a, b }
+                }
+                DraftRule::Affinity(a, b) => {
+                    let (a, b) = sorted(a, b);
+                    PlacementRule::Affinity { a, b }
+                }
+                DraftRule::Colocate(a, b) => {
+                    let (a, b) = sorted(a, b);
+                    PlacementRule::Colocate { a, b }
+                }
+                DraftRule::PinToPod(s, pod) => PlacementRule::PinToPod { stage: at(s), pod },
+            })
+            .collect();
+        let vnfs: Vec<VnfSpec> = order
+            .iter()
+            .map(|&n| *self.graph.graph.node_weight(n).expect("node exists"))
+            .collect();
+        let spec = ChainSpec {
+            name: self.name,
+            vnfs,
+            ingress,
+            egress,
+            bandwidth_gbps: self.bandwidth_gbps,
+            max_latency_us: self.max_latency_us,
+            rules,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl From<usize> for StageId {
+    /// Positions of a [`ChainSpecBuilder::linear`] list double as stage
+    /// handles: stage `i` of the list is `StageId(i)`.
+    fn from(i: usize) -> Self {
+        StageId(i)
     }
 }
 
@@ -116,8 +706,9 @@ impl Nfc {
 
 /// A branching forwarding graph over VNFs ("complex" processing order).
 ///
-/// Deployment requires an order, obtained by topological sort; cyclic
-/// graphs are rejected.
+/// Deployment requires an order, obtained by a stable topological sort
+/// (ties broken by smallest [`NodeId`], so the order is a pure function of
+/// the graph's structure); cyclic graphs are rejected.
 ///
 /// # Example
 ///
@@ -169,10 +760,16 @@ impl ForwardingGraph {
         self.graph.is_empty()
     }
 
+    /// The stable linear order as node ids, or `None` if cyclic.
+    pub fn linearized_ids(&self) -> Option<Vec<NodeId>> {
+        self.graph.stable_topological_order()
+    }
+
     /// Produces a linear processing order respecting every dependency, or
-    /// `None` if the graph is cyclic.
+    /// `None` if the graph is cyclic. Ties between independent branches are
+    /// broken deterministically by insertion order.
     pub fn linearize(&self) -> Option<Vec<VnfSpec>> {
-        let order = self.graph.topological_order()?;
+        let order = self.linearized_ids()?;
         Some(
             order
                 .into_iter()
@@ -191,13 +788,15 @@ impl ForwardingGraph {
         egress: VmId,
         bandwidth_gbps: f64,
     ) -> Option<ChainSpec> {
-        Some(ChainSpec::new(
-            name,
-            self.linearize()?,
+        Some(ChainSpec {
+            name: name.into(),
+            vnfs: self.linearize()?,
             ingress,
             egress,
             bandwidth_gbps,
-        ))
+            max_latency_us: None,
+            rules: Vec::new(),
+        })
     }
 }
 
@@ -210,9 +809,19 @@ pub mod fig5 {
     use super::*;
     use crate::vnf::VnfType;
 
+    fn chain(name: &str, vnfs: Vec<VnfSpec>, ingress: VmId, egress: VmId) -> ChainSpec {
+        ChainSpec::builder(name)
+            .linear(vnfs)
+            .ingress(ingress)
+            .egress(egress)
+            .bandwidth_gbps(2.0)
+            .build()
+            .expect("fig5 chains are valid")
+    }
+
     /// The "blue" chain: security gateway → firewall → DPI.
     pub fn blue(ingress: VmId, egress: VmId) -> ChainSpec {
-        ChainSpec::new(
+        chain(
             "fig5-blue",
             vec![
                 VnfSpec::of(VnfType::SecurityGateway),
@@ -221,13 +830,12 @@ pub mod fig5 {
             ],
             ingress,
             egress,
-            2.0,
         )
     }
 
     /// The "black" chain: firewall → load balancer.
     pub fn black(ingress: VmId, egress: VmId) -> ChainSpec {
-        ChainSpec::new(
+        chain(
             "fig5-black",
             vec![
                 VnfSpec::of(VnfType::Firewall),
@@ -235,13 +843,12 @@ pub mod fig5 {
             ],
             ingress,
             egress,
-            2.0,
         )
     }
 
     /// The "green" chain: NAT → security gateway → IDS → load balancer.
     pub fn green(ingress: VmId, egress: VmId) -> ChainSpec {
-        ChainSpec::new(
+        chain(
             "fig5-green",
             vec![
                 VnfSpec::of(VnfType::Nat),
@@ -251,7 +858,6 @@ pub mod fig5 {
             ],
             ingress,
             egress,
-            2.0,
         )
     }
 }
@@ -267,8 +873,236 @@ mod tests {
         assert_eq!(spec.len(), 3);
         assert!(!spec.is_empty());
         assert_eq!(spec.vnfs[0].vnf_type, VnfType::SecurityGateway);
-        let empty = ChainSpec::new("fwd", vec![], VmId(0), VmId(1), 1.0);
+        let empty = ChainSpec::builder("fwd")
+            .passthrough()
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn deprecated_constructor_still_compiles_and_matches_builder() {
+        #[allow(deprecated)]
+        let legacy = ChainSpec::new(
+            "edge",
+            vec![VnfSpec::of(VnfType::Firewall), VnfSpec::of(VnfType::Dpi)],
+            VmId(0),
+            VmId(1),
+            2.0,
+        );
+        #[allow(deprecated)]
+        let legacy = legacy.with_max_latency_us(80.0);
+        let built = ChainSpec::builder("edge")
+            .linear([VnfSpec::of(VnfType::Firewall), VnfSpec::of(VnfType::Dpi)])
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .bandwidth_gbps(2.0)
+            .max_latency_us(80.0)
+            .build()
+            .unwrap();
+        assert_eq!(legacy, built);
+    }
+
+    #[test]
+    fn builder_rejects_malformed_specs() {
+        let base = || {
+            ChainSpec::builder("c")
+                .linear([VnfSpec::of(VnfType::Firewall)])
+                .ingress(VmId(0))
+                .egress(VmId(1))
+        };
+        assert_eq!(
+            ChainSpec::builder("")
+                .linear([VnfSpec::of(VnfType::Firewall)])
+                .ingress(VmId(0))
+                .egress(VmId(1))
+                .build()
+                .unwrap_err(),
+            ChainSpecError::EmptyName
+        );
+        assert_eq!(
+            ChainSpec::builder("c").egress(VmId(1)).build().unwrap_err(),
+            ChainSpecError::MissingIngress
+        );
+        assert_eq!(
+            ChainSpec::builder("c")
+                .ingress(VmId(0))
+                .build()
+                .unwrap_err(),
+            ChainSpecError::MissingEgress
+        );
+        assert_eq!(
+            ChainSpec::builder("c")
+                .ingress(VmId(0))
+                .egress(VmId(1))
+                .build()
+                .unwrap_err(),
+            ChainSpecError::EmptyChain
+        );
+        assert_eq!(
+            ChainSpec::builder("c")
+                .passthrough()
+                .ingress(VmId(3))
+                .egress(VmId(3))
+                .build()
+                .unwrap_err(),
+            ChainSpecError::LoopWithoutStage
+        );
+        assert_eq!(
+            base().bandwidth_gbps(f64::NAN).build().unwrap_err().code(),
+            "invalid_bandwidth"
+        );
+        assert_eq!(
+            base().bandwidth_gbps(0.0).build().unwrap_err().code(),
+            "invalid_bandwidth"
+        );
+        assert_eq!(
+            base()
+                .max_latency_us(f64::INFINITY)
+                .build()
+                .unwrap_err()
+                .code(),
+            "invalid_latency_budget"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_rules() {
+        let two = || {
+            ChainSpec::builder("c")
+                .linear([VnfSpec::of(VnfType::Firewall), VnfSpec::of(VnfType::Dpi)])
+                .ingress(VmId(0))
+                .egress(VmId(1))
+        };
+        assert_eq!(
+            two().anti_affine(0, 5).build().unwrap_err(),
+            ChainSpecError::UnknownStage {
+                stage: 5,
+                stages: 2
+            }
+        );
+        assert_eq!(
+            two().colocate(1, 1).build().unwrap_err(),
+            ChainSpecError::SelfReferentialRule { stage: 1 }
+        );
+        assert_eq!(
+            two().anti_affine(0, 1).colocate(1, 0).build().unwrap_err(),
+            ChainSpecError::ConflictingRules { a: 0, b: 1 }
+        );
+        // Anti-affinity plus same-pod affinity is satisfiable.
+        assert!(two().anti_affine(0, 1).affine(0, 1).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_cyclic_dag() {
+        let mut b = ChainSpec::builder("cyc");
+        let a = b.stage(VnfSpec::of(VnfType::Firewall));
+        let c = b.stage(VnfSpec::of(VnfType::Nat));
+        b.dependency(a, c);
+        b.dependency(c, a);
+        assert_eq!(
+            b.ingress(VmId(0)).egress(VmId(1)).build().unwrap_err(),
+            ChainSpecError::CyclicDag
+        );
+    }
+
+    #[test]
+    fn dag_builder_remaps_rules_to_linear_positions() {
+        // Diamond fw -> {dpi, nat} -> lb with a rule on the two branches.
+        let mut b = ChainSpec::builder("diamond");
+        let fw = b.stage(VnfSpec::of(VnfType::Firewall));
+        let dpi = b.stage(VnfSpec::of(VnfType::Dpi));
+        let nat = b.stage(VnfSpec::of(VnfType::Nat));
+        let lb = b.stage(VnfSpec::of(VnfType::LoadBalancer));
+        b.dependency(fw, dpi);
+        b.dependency(fw, nat);
+        b.dependency(dpi, lb);
+        b.dependency(nat, lb);
+        let spec = b
+            .anti_affine(dpi, nat)
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .bandwidth_gbps(2.0)
+            .build()
+            .unwrap();
+        // Stable order: fw, dpi, nat, lb (insertion-order tie-break).
+        let types: Vec<_> = spec.vnfs.iter().map(|v| v.vnf_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                VnfType::Firewall,
+                VnfType::Dpi,
+                VnfType::Nat,
+                VnfType::LoadBalancer
+            ]
+        );
+        assert_eq!(spec.rules, vec![PlacementRule::AntiAffinity { a: 1, b: 2 }]);
+    }
+
+    #[test]
+    fn same_structure_linearizes_identically_regardless_of_edge_order() {
+        // Same DAG, dependency declarations in different orders: the
+        // linearization (and thus the deployed chain) must be identical.
+        let build = |edge_order_flipped: bool| {
+            let mut b = ChainSpec::builder("det");
+            let a = b.stage(VnfSpec::of(VnfType::Firewall));
+            let x = b.stage(VnfSpec::of(VnfType::Dpi));
+            let y = b.stage(VnfSpec::of(VnfType::Nat));
+            let z = b.stage(VnfSpec::of(VnfType::LoadBalancer));
+            if edge_order_flipped {
+                b.dependency(a, y);
+                b.dependency(a, x);
+            } else {
+                b.dependency(a, x);
+                b.dependency(a, y);
+            }
+            b.dependency(x, z);
+            b.dependency(y, z);
+            b.ingress(VmId(0)).egress(VmId(1)).build().unwrap()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn builder_absorbs_forwarding_graph() {
+        let mut g = ForwardingGraph::new();
+        let fw = g.add_vnf(VnfSpec::of(VnfType::Firewall));
+        let lb = g.add_vnf(VnfSpec::of(VnfType::LoadBalancer));
+        g.add_dependency(fw, lb);
+        let spec = ChainSpec::builder("absorbed")
+            .graph(&g)
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap();
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec.vnfs[0].vnf_type, VnfType::Firewall);
+    }
+
+    #[test]
+    fn validate_checks_legacy_specs() {
+        #[allow(deprecated)]
+        let mut spec = ChainSpec::new(
+            "x",
+            vec![VnfSpec::of(VnfType::Firewall)],
+            VmId(0),
+            VmId(1),
+            1.0,
+        );
+        assert!(spec.validate().is_ok());
+        spec.rules.push(PlacementRule::PinToPod {
+            stage: 9,
+            pod: PodId(0),
+        });
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            ChainSpecError::UnknownStage {
+                stage: 9,
+                stages: 1
+            }
+        );
     }
 
     #[test]
@@ -297,6 +1131,41 @@ mod tests {
         assert!(pos(VnfType::Firewall) < pos(VnfType::Nat));
         assert!(pos(VnfType::Dpi) < pos(VnfType::LoadBalancer));
         assert!(pos(VnfType::Nat) < pos(VnfType::LoadBalancer));
+    }
+
+    #[test]
+    fn linearization_is_stable_under_edge_insertion_order() {
+        // Regression: the old linearization used an unstable Kahn queue, so
+        // tie ordering depended on edge insertion order.
+        let build = |flip: bool| {
+            let mut g = ForwardingGraph::new();
+            let a = g.add_vnf(VnfSpec::of(VnfType::Firewall));
+            let b = g.add_vnf(VnfSpec::of(VnfType::Dpi));
+            let c = g.add_vnf(VnfSpec::of(VnfType::Nat));
+            let d = g.add_vnf(VnfSpec::of(VnfType::LoadBalancer));
+            if flip {
+                g.add_dependency(a, c);
+                g.add_dependency(a, b);
+            } else {
+                g.add_dependency(a, b);
+                g.add_dependency(a, c);
+            }
+            g.add_dependency(b, d);
+            g.add_dependency(c, d);
+            g.linearize().unwrap()
+        };
+        let order = build(false);
+        assert_eq!(order, build(true));
+        let types: Vec<_> = order.iter().map(|s| s.vnf_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                VnfType::Firewall,
+                VnfType::Dpi,
+                VnfType::Nat,
+                VnfType::LoadBalancer
+            ]
+        );
     }
 
     #[test]

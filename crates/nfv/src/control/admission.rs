@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 use std::error::Error as StdError;
 use std::fmt;
 
-use crate::chain::NfcId;
+use crate::chain::{ChainSpecError, NfcId};
 use crate::lifecycle::VnfInstanceId;
 
 /// Per-tenant limits. `None` means unlimited.
@@ -183,6 +183,12 @@ pub enum AdmissionError {
     /// A plan-carrying intent (re-clustering) arrived with no moves; a
     /// no-op plan is rejected so the log never records phantom work.
     EmptyPlan,
+    /// The chain specification failed structural validation (bad placement
+    /// rules, a stage-less loop, an invalid latency budget, …).
+    InvalidSpec {
+        /// What exactly is wrong with the spec.
+        reason: ChainSpecError,
+    },
 }
 
 impl AdmissionError {
@@ -200,6 +206,7 @@ impl AdmissionError {
             AdmissionError::InvalidBandwidth { .. } => "invalid_bandwidth",
             AdmissionError::BandwidthUnservable { .. } => "bandwidth_unservable",
             AdmissionError::EmptyPlan => "empty_plan",
+            AdmissionError::InvalidSpec { .. } => "invalid_spec",
         }
     }
 }
@@ -249,6 +256,9 @@ impl fmt::Display for AdmissionError {
             ),
             AdmissionError::EmptyPlan => {
                 write!(f, "a re-clustering plan with no moves is a no-op")
+            }
+            AdmissionError::InvalidSpec { reason } => {
+                write!(f, "chain spec is invalid: {reason}")
             }
         }
     }

@@ -351,7 +351,12 @@ mod tests {
             (
                 Intent::DeployChain {
                     vms: vec![],
-                    spec: ChainSpec::new("c", vec![], VmId(0), VmId(1), 1.0),
+                    spec: ChainSpec::builder("c")
+                        .passthrough()
+                        .ingress(VmId(0))
+                        .egress(VmId(1))
+                        .build()
+                        .unwrap(),
                 },
                 "deploy_chain",
                 false,
@@ -364,7 +369,12 @@ mod tests {
             (
                 Intent::ModifyChain {
                     chain: NfcId(0),
-                    spec: ChainSpec::new("c", vec![], VmId(0), VmId(1), 1.0),
+                    spec: ChainSpec::builder("c")
+                        .passthrough()
+                        .ingress(VmId(0))
+                        .egress(VmId(1))
+                        .build()
+                        .unwrap(),
                 },
                 "modify_chain",
                 false,

@@ -740,6 +740,12 @@ impl ControlPlane {
                 max_link_gbps: self.max_link_kbps as f64 / 1e6,
             });
         }
+        // Structural validation (placement-rule sanity, stage-less loops,
+        // latency budgets); like every other check here, a zero-side-effect
+        // rejection. Bandwidth was already vetted above, so any error maps
+        // to the spec itself.
+        spec.validate()
+            .map_err(|reason| AdmissionError::InvalidSpec { reason })?;
         if let Some(limit) = self.policy.quota_for(tenant).max_live_chains {
             // Chains admitted earlier in this batch count even though they
             // have not executed yet (optimistic, deterministic). O(1):
@@ -807,6 +813,8 @@ impl ControlPlane {
                     max_link_gbps: self.max_link_kbps as f64 / 1e6,
                 });
             }
+            spec.validate()
+                .map_err(|reason| AdmissionError::InvalidSpec { reason })?;
         }
         Ok(())
     }

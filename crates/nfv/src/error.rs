@@ -15,7 +15,7 @@ use alvc_core::ConstructionError;
 use alvc_graph::NodeId;
 use alvc_optical::RoutingError;
 
-use crate::chain::NfcId;
+use crate::chain::{ChainSpecError, NfcId, PlacementRule};
 use crate::control::AdmissionError;
 use crate::lifecycle::VnfState;
 
@@ -31,6 +31,14 @@ pub enum PlacementError {
     },
     /// The slice contains no electronic hosts although one was required.
     NoElectronicHost,
+    /// Every host with capacity for the VNF at `chain_position` would
+    /// violate `rule` given the stages already placed.
+    RuleUnsatisfiable {
+        /// Index of the VNF within its chain.
+        chain_position: usize,
+        /// The placement rule that could not be satisfied.
+        rule: PlacementRule,
+    },
 }
 
 impl fmt::Display for PlacementError {
@@ -44,6 +52,15 @@ impl fmt::Display for PlacementError {
             }
             PlacementError::NoElectronicHost => {
                 write!(f, "the slice offers no electronic host for a heavy VNF")
+            }
+            PlacementError::RuleUnsatisfiable {
+                chain_position,
+                rule,
+            } => {
+                write!(
+                    f,
+                    "no host for the VNF at chain position {chain_position} satisfies {rule}"
+                )
             }
         }
     }
@@ -116,6 +133,15 @@ pub enum DeployError {
     /// The chain's ingress or egress VM sits on a failed server, so the
     /// chain cannot be served at all until the server is restored.
     EndpointFailed,
+    /// The chain specification itself is malformed (caught for specs that
+    /// bypassed [`crate::ChainSpecBuilder`] validation).
+    InvalidSpec(ChainSpecError),
+    /// The proposed placement violates one of the chain's
+    /// [`PlacementRule`]s; nothing was committed.
+    RuleViolated {
+        /// The violated rule.
+        rule: PlacementRule,
+    },
 }
 
 impl DeployError {
@@ -133,6 +159,8 @@ impl DeployError {
             DeployError::LatencyBudgetExceeded { .. } => "latency_budget_exceeded",
             DeployError::MissingEdge { .. } => "missing_edge",
             DeployError::EndpointFailed => "endpoint_failed",
+            DeployError::InvalidSpec(_) => "invalid_spec",
+            DeployError::RuleViolated { .. } => "rule_violated",
         }
     }
 }
@@ -168,6 +196,10 @@ impl fmt::Display for DeployError {
             DeployError::EndpointFailed => {
                 write!(f, "chain endpoint vm sits on a failed server")
             }
+            DeployError::InvalidSpec(e) => write!(f, "chain spec is invalid: {e}"),
+            DeployError::RuleViolated { rule } => {
+                write!(f, "placement violates rule {rule}")
+            }
         }
     }
 }
@@ -178,6 +210,7 @@ impl StdError for DeployError {
             DeployError::Cluster(e) => Some(e),
             DeployError::Placement(e) => Some(e),
             DeployError::Routing(e) => Some(e),
+            DeployError::InvalidSpec(e) => Some(e),
             _ => None,
         }
     }
@@ -256,6 +289,10 @@ pub enum ErrorKind {
     MissingEdge,
     /// A chain endpoint VM sits on a failed server.
     EndpointFailed,
+    /// The chain specification is malformed.
+    InvalidSpec,
+    /// The placement violates one of the chain's placement rules.
+    RuleViolated,
     /// An illegal VNF lifecycle transition.
     Lifecycle,
     /// The control plane's admission checks rejected the request.
@@ -277,6 +314,8 @@ impl ErrorKind {
             ErrorKind::LatencyBudgetExceeded => "latency_budget_exceeded",
             ErrorKind::MissingEdge => "missing_edge",
             ErrorKind::EndpointFailed => "endpoint_failed",
+            ErrorKind::InvalidSpec => "invalid_spec",
+            ErrorKind::RuleViolated => "rule_violated",
             ErrorKind::Lifecycle => "lifecycle",
             ErrorKind::Admission => "admission",
         }
@@ -309,6 +348,8 @@ impl Error {
                 DeployError::LatencyBudgetExceeded { .. } => ErrorKind::LatencyBudgetExceeded,
                 DeployError::MissingEdge { .. } => ErrorKind::MissingEdge,
                 DeployError::EndpointFailed => ErrorKind::EndpointFailed,
+                DeployError::InvalidSpec(_) => ErrorKind::InvalidSpec,
+                DeployError::RuleViolated { .. } => ErrorKind::RuleViolated,
             },
             Error::Lifecycle(_) => ErrorKind::Lifecycle,
             Error::Routing(_) => ErrorKind::Routing,
@@ -388,6 +429,12 @@ impl From<ConstructionError> for Error {
 impl From<PlacementError> for Error {
     fn from(e: PlacementError) -> Self {
         Error::Deploy(DeployError::Placement(e))
+    }
+}
+
+impl From<ChainSpecError> for Error {
+    fn from(e: ChainSpecError) -> Self {
+        Error::Deploy(DeployError::InvalidSpec(e))
     }
 }
 

@@ -53,7 +53,10 @@ pub mod sdn;
 pub mod slicing;
 pub mod vnf;
 
-pub use chain::{ChainSpec, ForwardingGraph, Nfc, NfcId};
+pub use chain::{
+    ChainSpec, ChainSpecBuilder, ChainSpecError, ForwardingGraph, Nfc, NfcId, PlacementRule,
+    StageId,
+};
 pub use control::{
     AdmissionError, AdmissionPolicy, ChainView, ClusterSliceView, ControlPlane,
     ControlPlaneBuilder, InstanceView, Intent, IntentEffect, IntentId, IntentKind, IntentLog,

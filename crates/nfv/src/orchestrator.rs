@@ -383,6 +383,16 @@ impl Orchestrator {
             trace_span.fail(DeployError::EndpointOutsideCluster.code());
             return Err(DeployError::EndpointOutsideCluster.into());
         }
+        // Structural validation before any state is touched: specs that
+        // bypassed ChainSpecBuilder (deprecated constructor, manual
+        // mutation) are rejected with the same typed error the control
+        // plane's admission uses.
+        if let Err(reason) = spec.validate() {
+            let e = DeployError::InvalidSpec(reason);
+            alvc_telemetry::counter!("alvc_nfv.orchestrator.deploys_failed").incr();
+            trace_span.fail(e.code());
+            return Err(e.into());
+        }
 
         // 1. One NFC ↔ one VC: build the cluster / slice.
         let cluster = {
@@ -468,6 +478,7 @@ impl Orchestrator {
                     if !vms.contains(&spec.ingress) || !vms.contains(&spec.egress) {
                         return Err(DeployError::EndpointOutsideCluster.into());
                     }
+                    spec.validate().map_err(DeployError::InvalidSpec)?;
                     let adopted = layer
                         .ok()
                         .and_then(|al| self.manager.try_adopt_cluster(dc, tenant, vms.clone(), al));
@@ -556,6 +567,14 @@ impl Orchestrator {
             }
         };
         debug_assert_eq!(hosts.len(), spec.vnfs.len());
+
+        // Defense in depth: whatever the placer did, a placement that
+        // violates the spec's rules is rejected here — before routing,
+        // admission, or any ledger commit — so rule enforcement does not
+        // depend on which `VnfPlacer` the caller supplied.
+        if let Some(rule) = spec.violated_rule(dc, &hosts) {
+            return Err(DeployError::RuleViolated { rule });
+        }
 
         // 3. Route ingress → VNFs → egress inside the slice, over healthy
         //    elements only.
@@ -771,6 +790,7 @@ impl Orchestrator {
         if !vms.contains(&new_spec.ingress) || !vms.contains(&new_spec.egress) {
             return Err(DeployError::EndpointOutsideCluster.into());
         }
+        new_spec.validate().map_err(DeployError::InvalidSpec)?;
         if !self.health.server_up(dc.server_of_vm(new_spec.ingress))
             || !self.health.server_up(dc.server_of_vm(new_spec.egress))
         {
@@ -815,6 +835,10 @@ impl Orchestrator {
             };
             placer.place(&ctx, &new_spec)?
         };
+        // Same admission-time rule enforcement as the deploy path.
+        if let Some(rule) = new_spec.violated_rule(dc, &hosts) {
+            return Err(DeployError::RuleViolated { rule }.into());
+        }
         let mut allowed: HashSet<NodeId> = al
             .switch_nodes(dc)
             .into_iter()
@@ -1325,7 +1349,12 @@ mod tests {
         let dc = dc();
         let mut orch = Orchestrator::new();
         let vms = dc.vms_of_service(ServiceType::Backup);
-        let spec = ChainSpec::new("fwd", vec![], vms[0], *vms.last().unwrap(), 1.0);
+        let spec = ChainSpec::builder("fwd")
+            .passthrough()
+            .ingress(vms[0])
+            .egress(*vms.last().unwrap())
+            .build()
+            .unwrap();
         let id = orch
             .deploy_chain(
                 &dc,
@@ -1603,13 +1632,12 @@ mod modify_tests {
         let mut orch = Orchestrator::new();
         let vms: Vec<_> = dc.vm_ids().collect();
         let four_fw = |name: &str| {
-            ChainSpec::new(
-                name,
-                vec![VnfSpec::of(VnfType::Firewall); 4],
-                vms[0],
-                *vms.last().unwrap(),
-                1.0,
-            )
+            ChainSpec::builder(name)
+                .linear(vec![VnfSpec::of(VnfType::Firewall); 4])
+                .ingress(vms[0])
+                .egress(*vms.last().unwrap())
+                .build()
+                .unwrap()
         };
         let id = orch
             .deploy_chain(
@@ -1927,7 +1955,10 @@ mod latency_tests {
         let dc = dc();
         let mut orch = Orchestrator::new();
         let vms: Vec<_> = dc.vm_ids().collect();
-        let spec = fig5::black(vms[0], *vms.last().unwrap()).with_max_latency_us(10_000.0);
+        let spec = ChainSpec {
+            max_latency_us: Some(10_000.0),
+            ..fig5::black(vms[0], *vms.last().unwrap())
+        };
         assert!(orch
             .deploy_chain(
                 &dc,
@@ -1946,7 +1977,10 @@ mod latency_tests {
         let mut orch = Orchestrator::new();
         let vms: Vec<_> = dc.vm_ids().collect();
         // Sub-microsecond budget: no multi-hop path can meet it.
-        let spec = fig5::black(vms[0], *vms.last().unwrap()).with_max_latency_us(0.5);
+        let spec = ChainSpec {
+            max_latency_us: Some(0.5),
+            ..fig5::black(vms[0], *vms.last().unwrap())
+        };
         let err = orch.deploy_chain(
             &dc,
             "t",
@@ -1995,7 +2029,10 @@ mod latency_tests {
             return; // nothing to assert on this topology
         }
         // Budget covering raw latency but not conversions.
-        let spec = probe.with_max_latency_us(raw + 1.0);
+        let spec = ChainSpec {
+            max_latency_us: Some(raw + 1.0),
+            ..probe
+        };
         let err = orch.deploy_chain(
             &dc,
             "t",
@@ -2026,7 +2063,10 @@ mod latency_tests {
                 &ElectronicOnlyPlacer::new(),
             )
             .unwrap();
-        let tight = fig5::green(vms[0], *vms.last().unwrap()).with_max_latency_us(0.5);
+        let tight = ChainSpec {
+            max_latency_us: Some(0.5),
+            ..fig5::green(vms[0], *vms.last().unwrap())
+        };
         let err = orch.modify_chain(&dc, id, tight, &ElectronicOnlyPlacer::new());
         assert!(matches!(
             err,
@@ -2116,7 +2156,12 @@ mod tcam_tests {
         // Enough slots for a short chain but not a long one.
         let mut orch = Orchestrator::builder().sdn_table_limit(2).build();
         let vms: Vec<_> = dc.vm_ids().collect();
-        let short = crate::chain::ChainSpec::new("fwd", vec![], vms[0], vms[1], 1.0);
+        let short = ChainSpec::builder("fwd")
+            .passthrough()
+            .ingress(vms[0])
+            .egress(vms[1])
+            .build()
+            .unwrap();
         let Ok(id) = orch.deploy_chain(
             &dc,
             "t",

@@ -203,13 +203,12 @@ mod tests {
             servers: &servers,
         };
         // Four identical firewalls over two servers: 2 + 2.
-        let chain = ChainSpec::new(
-            "fw4",
-            vec![VnfSpec::of(VnfType::Firewall); 4],
-            VmId(0),
-            VmId(1),
-            1.0,
-        );
+        let chain = ChainSpec::builder("fw4")
+            .linear(vec![VnfSpec::of(VnfType::Firewall); 4])
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap();
         let hosts = ElectronicOnlyPlacer::new().place(&ctx, &chain).unwrap();
         let on_first = hosts
             .iter()
@@ -234,7 +233,12 @@ mod tests {
             Err(PlacementError::NoElectronicHost)
         );
         // But an empty chain needs no hosts at all.
-        let empty = ChainSpec::new("fwd", vec![], VmId(0), VmId(1), 1.0);
+        let empty = ChainSpec::builder("fwd")
+            .passthrough()
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap();
         assert_eq!(
             ElectronicOnlyPlacer::new().place(&ctx, &empty).unwrap(),
             vec![]

@@ -34,13 +34,12 @@ fn spec_for(kind: u8, ingress: VmId, egress: VmId) -> ChainSpec {
         0 => fig5::blue(ingress, egress),
         1 => fig5::black(ingress, egress),
         2 => fig5::green(ingress, egress),
-        _ => ChainSpec::new(
-            "fw-only",
-            vec![VnfSpec::of(VnfType::Firewall)],
-            ingress,
-            egress,
-            1.0,
-        ),
+        _ => ChainSpec::builder("fw-only")
+            .linear([VnfSpec::of(VnfType::Firewall)])
+            .ingress(ingress)
+            .egress(egress)
+            .build()
+            .unwrap(),
     }
 }
 

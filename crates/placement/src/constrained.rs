@@ -1,0 +1,411 @@
+//! The constraint-aware placer: greedy marginal-cost placement that
+//! enforces [`PlacementRule`]s *during* host selection.
+//!
+//! The existing strategies pick hosts purely on capacity and load; rules
+//! attached to a [`ChainSpec`] would only surface afterwards, when the
+//! orchestrator rejects the finished assignment. [`ConstraintAwarePlacer`]
+//! instead prunes the candidate set of every stage against the rules that
+//! bind it to already-placed stages, so a satisfiable rule set always
+//! yields a rule-clean assignment and an unsatisfiable one fails with the
+//! *first rule that emptied a candidate set* —
+//! [`PlacementError::RuleUnsatisfiable`] — instead of a generic capacity
+//! error.
+//!
+//! Candidate ranking follows the same economics as
+//! [`crate::policy::score_assignment`]: entering the electronic domain
+//! costs a prospective O/E/O conversion, wasting optical capacity on a
+//! light VNF costs spill, and server load is balanced. Ties break
+//! deterministically (optical before electronic, then lowest id), so equal
+//! inputs always produce identical assignments — the property the replay
+//! log depends on.
+
+use std::collections::HashMap;
+
+use alvc_nfv::{
+    ChainSpec, HostLocation, PlacementContext, PlacementError, PlacementRule, ResourceDemand,
+    VnfPlacer, VnfSpec,
+};
+use alvc_topology::{DataCenter, Domain, OpsId, PodId, ServerId};
+
+use crate::policy::{W_BALANCE, W_BANDWIDTH, W_OEO, W_SPILL};
+
+/// Pod of either host kind (mirrors the orchestrator-side helper, which is
+/// private to `alvc-nfv`).
+fn pod_of(dc: &DataCenter, host: HostLocation) -> PodId {
+    match host {
+        HostLocation::Server(s) => dc.pod_of_server(s),
+        HostLocation::OptoRouter(o) => dc.pod_of_ops(o),
+    }
+}
+
+/// Returns `true` if placing `host` at stage `position` is consistent with
+/// `rule`, given the stages already assigned in `placed` (a prefix of the
+/// chain). Rules whose other endpoint is not yet placed cannot be violated
+/// yet and pass.
+fn rule_admits(
+    rule: &PlacementRule,
+    dc: &DataCenter,
+    placed: &[HostLocation],
+    position: usize,
+    host: HostLocation,
+) -> bool {
+    let partner = |stage: usize| placed.get(stage).copied();
+    match *rule {
+        PlacementRule::AntiAffinity { a, b } => {
+            let other = if a == position { b } else { a };
+            (a == position || b == position)
+                .then(|| partner(other))
+                .flatten()
+                .is_none_or(|p| p != host)
+        }
+        PlacementRule::Affinity { a, b } => {
+            let other = if a == position { b } else { a };
+            (a == position || b == position)
+                .then(|| partner(other))
+                .flatten()
+                .is_none_or(|p| pod_of(dc, p) == pod_of(dc, host))
+        }
+        PlacementRule::Colocate { a, b } => {
+            let other = if a == position { b } else { a };
+            (a == position || b == position)
+                .then(|| partner(other))
+                .flatten()
+                .is_none_or(|p| p == host)
+        }
+        PlacementRule::PinToPod { stage, pod } => stage != position || pod_of(dc, host) == pod,
+        // Future rule kinds (the enum is non-exhaustive) are not pruned
+        // here; the orchestrator's post-placement check still enforces
+        // them.
+        _ => true,
+    }
+}
+
+/// Greedy per-stage placement that enforces the chain's placement rules
+/// while minimising marginal cost (O/E/O conversions first, then AL spill,
+/// then server load).
+///
+/// Deterministic: identical contexts and chains always produce identical
+/// assignments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstraintAwarePlacer {
+    _priv: (),
+}
+
+impl ConstraintAwarePlacer {
+    /// Creates the placer.
+    pub fn new() -> Self {
+        ConstraintAwarePlacer::default()
+    }
+
+    /// Marginal cost of putting `vnf` on `host` as the next stage, given
+    /// the already-placed prefix and local load ledgers.
+    fn marginal_cost(
+        vnf: &VnfSpec,
+        host: HostLocation,
+        placed: &[HostLocation],
+        fits_some_opto: bool,
+        server_load: &HashMap<ServerId, f64>,
+        bandwidth_gbps: f64,
+    ) -> f64 {
+        match host {
+            HostLocation::OptoRouter(_) => 0.0,
+            HostLocation::Server(s) => {
+                // Entering the electronic domain starts a new conversion
+                // run unless the previous stage is already electronic.
+                let starts_run = placed.last().is_none_or(|p| p.domain() == Domain::Optical);
+                let oeo = if starts_run {
+                    W_OEO + 2.0 * bandwidth_gbps * W_BANDWIDTH
+                } else {
+                    0.0
+                };
+                let spill = if fits_some_opto { W_SPILL } else { 0.0 };
+                let load = server_load.get(&s).copied().unwrap_or(0.0) + vnf.demand.cpu;
+                oeo + spill + W_BALANCE * load
+            }
+        }
+    }
+}
+
+impl VnfPlacer for ConstraintAwarePlacer {
+    fn name(&self) -> &'static str {
+        "constraint-aware"
+    }
+
+    fn place(
+        &self,
+        ctx: &PlacementContext<'_>,
+        chain: &ChainSpec,
+    ) -> Result<Vec<HostLocation>, PlacementError> {
+        if chain.vnfs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let opto = ctx.opto_candidates();
+        let mut opto_load: HashMap<OpsId, ResourceDemand> =
+            opto.iter().map(|&o| (o, ctx.used_on_opto(o))).collect();
+        let mut server_load: HashMap<ServerId, f64> = ctx
+            .servers
+            .iter()
+            .map(|&s| (s, ctx.used_on_server(s).cpu))
+            .collect();
+        let mut placed: Vec<HostLocation> = Vec::with_capacity(chain.vnfs.len());
+        for (i, vnf) in chain.vnfs.iter().enumerate() {
+            // Capacity-feasible candidates, optical first, id order.
+            let mut candidates: Vec<HostLocation> = opto
+                .iter()
+                .filter(|&&o| {
+                    let cap = ctx.dc.opto_capacity(o).expect("opto candidate");
+                    vnf.demand.fits_in(&cap, &opto_load[&o])
+                })
+                .map(|&o| HostLocation::OptoRouter(o))
+                .collect();
+            candidates.extend(ctx.servers.iter().map(|&s| HostLocation::Server(s)));
+            if candidates.is_empty() {
+                return Err(if ctx.servers.is_empty() {
+                    PlacementError::NoElectronicHost
+                } else {
+                    PlacementError::NoCapacity { chain_position: i }
+                });
+            }
+            let fits_some_opto = opto.iter().any(|&o| {
+                let cap = ctx.dc.opto_capacity(o).expect("opto candidate");
+                vnf.fits_optoelectronic(&cap)
+            });
+            // Prune against every rule binding stage `i` to placed stages;
+            // remember the first rule that empties the set.
+            let mut eliminated_by: Option<PlacementRule> = None;
+            for rule in &chain.rules {
+                let next: Vec<HostLocation> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&h| rule_admits(rule, ctx.dc, &placed, i, h))
+                    .collect();
+                if next.is_empty() && !candidates.is_empty() {
+                    eliminated_by = Some(*rule);
+                    candidates = next;
+                    break;
+                }
+                candidates = next;
+            }
+            if candidates.is_empty() {
+                let rule = eliminated_by.expect("rules emptied a nonempty set");
+                return Err(PlacementError::RuleUnsatisfiable {
+                    chain_position: i,
+                    rule,
+                });
+            }
+            let best = candidates
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ca = Self::marginal_cost(
+                        vnf,
+                        a,
+                        &placed,
+                        fits_some_opto,
+                        &server_load,
+                        chain.bandwidth_gbps,
+                    );
+                    let cb = Self::marginal_cost(
+                        vnf,
+                        b,
+                        &placed,
+                        fits_some_opto,
+                        &server_load,
+                        chain.bandwidth_gbps,
+                    );
+                    ca.total_cmp(&cb)
+                        .then_with(|| host_order(a).cmp(&host_order(b)))
+                })
+                .expect("candidates non-empty");
+            match best {
+                HostLocation::OptoRouter(o) => {
+                    let e = opto_load.get_mut(&o).expect("tracked");
+                    *e = e.plus(&vnf.demand);
+                }
+                HostLocation::Server(s) => {
+                    *server_load.entry(s).or_insert(0.0) += vnf.demand.cpu;
+                }
+            }
+            placed.push(best);
+        }
+        debug_assert!(chain.violated_rule(ctx.dc, &placed).is_none());
+        Ok(placed)
+    }
+}
+
+/// Total order on hosts for deterministic tie-breaking: optical routers
+/// before servers, then ascending id.
+fn host_order(h: HostLocation) -> (u8, usize) {
+    match h {
+        HostLocation::OptoRouter(o) => (0, o.index()),
+        HostLocation::Server(s) => (1, s.index()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alvc_core::construction::{AlConstruct, PaperGreedy};
+    use alvc_core::OpsAvailability;
+    use alvc_nfv::{VnfSpec, VnfType};
+    use alvc_topology::{AlvcTopologyBuilder, VmId};
+
+    fn setup() -> (DataCenter, alvc_core::AbstractionLayer) {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(4)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(8)
+            .opto_fraction(0.5)
+            .seed(5)
+            .build();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let al = PaperGreedy::new()
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        (dc, al)
+    }
+
+    fn ctx<'a>(
+        dc: &'a DataCenter,
+        al: &'a alvc_core::AbstractionLayer,
+        servers: &'a [ServerId],
+        opto_used: &'a HashMap<OpsId, ResourceDemand>,
+        server_used: &'a HashMap<ServerId, ResourceDemand>,
+    ) -> PlacementContext<'a> {
+        PlacementContext {
+            dc,
+            al,
+            opto_used,
+            server_used,
+            servers,
+        }
+    }
+
+    #[test]
+    fn rule_free_chain_prefers_optical() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = ctx(&dc, &al, &servers, &ou, &su);
+        let chain = ChainSpec::builder("light")
+            .linear(vec![VnfSpec::of(VnfType::Firewall); 3])
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap();
+        let hosts = ConstraintAwarePlacer::new().place(&ctx, &chain).unwrap();
+        assert!(hosts
+            .iter()
+            .all(|h| matches!(h, HostLocation::OptoRouter(_))));
+    }
+
+    #[test]
+    fn anti_affinity_separates_hosts() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = ctx(&dc, &al, &servers, &ou, &su);
+        let mut b = ChainSpec::builder("aa");
+        let x = b.stage(VnfSpec::of(VnfType::Firewall));
+        let y = b.stage(VnfSpec::of(VnfType::Firewall));
+        b.dependency(x, y);
+        let chain = b
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .anti_affine(x, y)
+            .build()
+            .unwrap();
+        let hosts = ConstraintAwarePlacer::new().place(&ctx, &chain).unwrap();
+        assert_ne!(hosts[0], hosts[1]);
+        assert!(chain.violated_rule(&dc, &hosts).is_none());
+    }
+
+    #[test]
+    fn colocate_shares_host_and_conflict_is_unsatisfiable() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = ctx(&dc, &al, &servers, &ou, &su);
+        let mut b = ChainSpec::builder("co");
+        let x = b.stage(VnfSpec::of(VnfType::Firewall));
+        let y = b.stage(VnfSpec::of(VnfType::Nat));
+        b.dependency(x, y);
+        let chain = b
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .colocate(x, y)
+            .build()
+            .unwrap();
+        let hosts = ConstraintAwarePlacer::new().place(&ctx, &chain).unwrap();
+        assert_eq!(hosts[0], hosts[1]);
+    }
+
+    #[test]
+    fn pin_to_missing_pod_reports_the_rule() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = ctx(&dc, &al, &servers, &ou, &su);
+        let bogus = PodId::from(dc.pod_count() + 7);
+        let mut b = ChainSpec::builder("pin");
+        let x = b.stage(VnfSpec::of(VnfType::Firewall));
+        let chain = b
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .pin_to_pod(x, bogus)
+            .build()
+            .unwrap();
+        let err = ConstraintAwarePlacer::new()
+            .place(&ctx, &chain)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PlacementError::RuleUnsatisfiable {
+                chain_position: 0,
+                rule: PlacementRule::PinToPod { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn heavy_vnfs_fall_back_to_servers() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = ctx(&dc, &al, &servers, &ou, &su);
+        let chain = ChainSpec::builder("heavy")
+            .linear([VnfSpec::of(VnfType::VideoTranscoder)])
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap();
+        let hosts = ConstraintAwarePlacer::new().place(&ctx, &chain).unwrap();
+        assert!(matches!(hosts[0], HostLocation::Server(_)));
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = ctx(&dc, &al, &servers, &ou, &su);
+        let chain = fig5_mixed();
+        let a = ConstraintAwarePlacer::new().place(&ctx, &chain).unwrap();
+        let b = ConstraintAwarePlacer::new().place(&ctx, &chain).unwrap();
+        assert_eq!(a, b);
+    }
+
+    fn fig5_mixed() -> ChainSpec {
+        ChainSpec::builder("mixed")
+            .linear([
+                VnfSpec::of(VnfType::Firewall),
+                VnfSpec::of(VnfType::VideoTranscoder),
+                VnfSpec::of(VnfType::Nat),
+            ])
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap()
+    }
+}

@@ -15,7 +15,18 @@
 //!   the VNFs whose move actually removes an O/E/O conversion (breaking up
 //!   electronic runs is worthless unless a whole run is eliminated);
 //! * [`alvc_nfv::ElectronicOnlyPlacer`] — the "before" baseline (all VNFs
-//!   electronic), defined next to the trait.
+//!   electronic), defined next to the trait;
+//! * [`ConstraintAwarePlacer`] — enforces the chain's typed
+//!   [`alvc_nfv::PlacementRule`]s (anti-affinity, affinity, colocation,
+//!   pod pinning) during host selection, failing with
+//!   [`alvc_nfv::PlacementError::RuleUnsatisfiable`] when a rule empties a
+//!   candidate set.
+//!
+//! The [`PlacementPolicy`] trait layers a multi-resource
+//! [`PlacementScore`] (O/E/O conversions, AL spill, server makespan,
+//! converted bandwidth) over every strategy, and [`refine::refine`] runs a
+//! bounded local search that descends on that score and reports the
+//! greedy-vs-refined optimality gap.
 //!
 //! [`estimate::estimated_oeo`] predicts a host assignment's conversion
 //! count without routing, which the experiments use for quick sweeps and
@@ -27,9 +38,15 @@
 // process's stdout/stderr (enforced under cargo clippy).
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod constrained;
 pub mod cost_driven;
 pub mod estimate;
 pub mod optical_first;
+pub mod policy;
+pub mod refine;
 
+pub use constrained::ConstraintAwarePlacer;
 pub use cost_driven::CostDrivenPlacer;
 pub use optical_first::OpticalFirstPlacer;
+pub use policy::{score_assignment, PlacementPolicy, PlacementScore};
+pub use refine::{refine, RefineConfig, RefineOutcome};

@@ -1,0 +1,276 @@
+//! Bounded local-search refinement over a finished placement.
+//!
+//! Greedy placers commit one stage at a time and never revisit a choice, so
+//! they can strand a chain in a local optimum (e.g. a heavy middle VNF
+//! splitting an otherwise all-optical chain into two conversion runs).
+//! [`refine`] performs steepest-descent single-VNF moves over the full
+//! candidate space — bounded by [`RefineConfig`] so worst-case work stays
+//! `O(rounds × vnfs × hosts)` — and reports the greedy-vs-refined
+//! *optimality gap* ([`RefineOutcome::gap`]).
+//!
+//! Guarantees:
+//!
+//! - **Never worsens.** Only strictly improving moves are applied; the
+//!   refined cost is `≤` the initial cost by construction.
+//! - **Stays feasible.** Every candidate move is checked against
+//!   optoelectronic capacities *and* the chain's [`PlacementRule`]s before
+//!   it is scored, so a rule-clean input stays rule-clean.
+//! - **Deterministic.** Candidate enumeration is in id order and ties keep
+//!   the earlier candidate, so equal inputs yield equal outputs.
+//!
+//! [`PlacementRule`]: alvc_nfv::PlacementRule
+
+use alvc_nfv::{ChainSpec, HostLocation, PlacementContext};
+
+use crate::policy::{assignment_fits_opto, score_assignment, PlacementScore};
+
+/// Bounds on the local search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineConfig {
+    /// Maximum full passes over the chain (a pass tries every VNF).
+    pub max_rounds: usize,
+    /// Maximum improving moves applied in total.
+    pub max_moves: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            max_rounds: 4,
+            max_moves: 32,
+        }
+    }
+}
+
+/// What the refinement pass did and how much it helped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineOutcome {
+    /// The (possibly improved) assignment, one host per VNF.
+    pub hosts: Vec<HostLocation>,
+    /// Score of the assignment as handed in.
+    pub initial: PlacementScore,
+    /// Score after refinement (cost never exceeds the initial cost).
+    pub refined: PlacementScore,
+    /// Improving moves applied.
+    pub moves: usize,
+    /// Candidate assignments scored (search effort).
+    pub evaluated: usize,
+}
+
+impl RefineOutcome {
+    /// Relative greedy-vs-refined optimality gap in `[0, 1]`:
+    /// `(initial − refined) / initial` cost, or `0` for a zero-cost input.
+    pub fn gap(&self) -> f64 {
+        let initial = self.initial.cost();
+        if initial <= 0.0 {
+            return 0.0;
+        }
+        (initial - self.refined.cost()) / initial
+    }
+}
+
+/// Refines `hosts` (a finished, feasible assignment for `chain`) by bounded
+/// steepest-descent single-VNF moves. See the module docs for guarantees.
+pub fn refine(
+    ctx: &PlacementContext<'_>,
+    chain: &ChainSpec,
+    hosts: Vec<HostLocation>,
+    cfg: RefineConfig,
+) -> RefineOutcome {
+    let initial = score_assignment(ctx, chain, &hosts);
+    let opto = ctx.opto_candidates();
+    let mut current = hosts;
+    let mut cost = initial.cost();
+    let mut moves = 0;
+    let mut evaluated = 0;
+    'rounds: for _ in 0..cfg.max_rounds {
+        let mut improved_this_round = false;
+        for i in 0..current.len() {
+            if moves >= cfg.max_moves {
+                break 'rounds;
+            }
+            // Steepest descent: best feasible alternative host for VNF i.
+            let mut best: Option<(f64, HostLocation)> = None;
+            let candidates = opto
+                .iter()
+                .map(|&o| HostLocation::OptoRouter(o))
+                .chain(ctx.servers.iter().map(|&s| HostLocation::Server(s)));
+            for cand in candidates {
+                if cand == current[i] {
+                    continue;
+                }
+                let mut trial = current.clone();
+                trial[i] = cand;
+                if !assignment_fits_opto(ctx, chain, &trial)
+                    || chain.violated_rule(ctx.dc, &trial).is_some()
+                {
+                    continue;
+                }
+                evaluated += 1;
+                let c = score_assignment(ctx, chain, &trial).cost();
+                if c < cost && best.is_none_or(|(bc, _)| c < bc) {
+                    best = Some((c, cand));
+                }
+            }
+            if let Some((c, cand)) = best {
+                current[i] = cand;
+                cost = c;
+                moves += 1;
+                improved_this_round = true;
+            }
+        }
+        if !improved_this_round {
+            break;
+        }
+    }
+    let refined = score_assignment(ctx, chain, &current);
+    RefineOutcome {
+        hosts: current,
+        initial,
+        refined,
+        moves,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alvc_core::construction::{AlConstruct, PaperGreedy};
+    use alvc_core::OpsAvailability;
+    use alvc_nfv::{ElectronicOnlyPlacer, VnfPlacer, VnfSpec, VnfType};
+    use alvc_topology::{AlvcTopologyBuilder, DataCenter, VmId};
+    use std::collections::HashMap;
+
+    fn setup() -> (DataCenter, alvc_core::AbstractionLayer) {
+        let dc = AlvcTopologyBuilder::new()
+            .racks(4)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(8)
+            .opto_fraction(0.5)
+            .seed(5)
+            .build();
+        let vms: Vec<_> = dc.vm_ids().collect();
+        let al = PaperGreedy::new()
+            .construct(&dc, &vms, &OpsAvailability::all())
+            .unwrap();
+        (dc, al)
+    }
+
+    #[test]
+    fn refine_improves_electronic_only_baseline() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = PlacementContext {
+            dc: &dc,
+            al: &al,
+            opto_used: &ou,
+            server_used: &su,
+            servers: &servers,
+        };
+        let chain = ChainSpec::builder("light")
+            .linear(vec![VnfSpec::of(VnfType::Firewall); 3])
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap();
+        // The all-electronic baseline leaves plenty on the table for a
+        // light chain: refinement should pull VNFs into the optical domain.
+        let hosts = ElectronicOnlyPlacer::new().place(&ctx, &chain).unwrap();
+        let out = refine(&ctx, &chain, hosts, RefineConfig::default());
+        assert!(out.refined.cost() < out.initial.cost());
+        assert!(out.gap() > 0.0);
+        assert!(out.moves >= 1);
+        assert!(chain.violated_rule(&dc, &out.hosts).is_none());
+    }
+
+    #[test]
+    fn refine_never_worsens_and_is_deterministic() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = PlacementContext {
+            dc: &dc,
+            al: &al,
+            opto_used: &ou,
+            server_used: &su,
+            servers: &servers,
+        };
+        let chain = ChainSpec::builder("mixed")
+            .linear([
+                VnfSpec::of(VnfType::Firewall),
+                VnfSpec::of(VnfType::VideoTranscoder),
+                VnfSpec::of(VnfType::Nat),
+            ])
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap();
+        let hosts = ElectronicOnlyPlacer::new().place(&ctx, &chain).unwrap();
+        let a = refine(&ctx, &chain, hosts.clone(), RefineConfig::default());
+        let b = refine(&ctx, &chain, hosts, RefineConfig::default());
+        assert!(a.refined.cost() <= a.initial.cost());
+        assert_eq!(a.hosts, b.hosts);
+        assert!(a.gap() >= 0.0);
+    }
+
+    #[test]
+    fn refine_respects_rules() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = PlacementContext {
+            dc: &dc,
+            al: &al,
+            opto_used: &ou,
+            server_used: &su,
+            servers: &servers,
+        };
+        let mut b = ChainSpec::builder("ruled");
+        let x = b.stage(VnfSpec::of(VnfType::Firewall));
+        let y = b.stage(VnfSpec::of(VnfType::Nat));
+        b.dependency(x, y);
+        let chain = b
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .anti_affine(x, y)
+            .build()
+            .unwrap();
+        let hosts = ElectronicOnlyPlacer::new().place(&ctx, &chain).unwrap();
+        assert!(chain.violated_rule(&dc, &hosts).is_none());
+        let out = refine(&ctx, &chain, hosts, RefineConfig::default());
+        assert!(chain.violated_rule(&dc, &out.hosts).is_none());
+        assert!(out.refined.cost() <= out.initial.cost());
+    }
+
+    #[test]
+    fn zero_budget_is_a_no_op() {
+        let (dc, al) = setup();
+        let servers: Vec<_> = dc.server_ids().collect();
+        let (ou, su) = (HashMap::new(), HashMap::new());
+        let ctx = PlacementContext {
+            dc: &dc,
+            al: &al,
+            opto_used: &ou,
+            server_used: &su,
+            servers: &servers,
+        };
+        let chain = ChainSpec::builder("light")
+            .linear(vec![VnfSpec::of(VnfType::Firewall); 2])
+            .ingress(VmId(0))
+            .egress(VmId(1))
+            .build()
+            .unwrap();
+        let hosts = ElectronicOnlyPlacer::new().place(&ctx, &chain).unwrap();
+        let cfg = RefineConfig {
+            max_rounds: 0,
+            max_moves: 0,
+        };
+        let out = refine(&ctx, &chain, hosts.clone(), cfg);
+        assert_eq!(out.hosts, hosts);
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.gap(), 0.0);
+    }
+}

@@ -68,17 +68,17 @@ fn heavy_vnfs_never_placed_optically() {
     let empty_o = HashMap::new();
     let empty_s = HashMap::new();
     let c = ctx(&dc, &al, &servers, &empty_o, &empty_s);
-    let chain = ChainSpec::new(
-        "heavy",
-        vec![
+    let chain = ChainSpec::builder("heavy")
+        .linear([
             VnfSpec::of(VnfType::Dpi),
             VnfSpec::of(VnfType::VideoTranscoder),
             VnfSpec::of(VnfType::WanOptimizer),
-        ],
-        VmId(0),
-        VmId(1),
-        10.0,
-    );
+        ])
+        .ingress(VmId(0))
+        .egress(VmId(1))
+        .bandwidth_gbps(10.0)
+        .build()
+        .unwrap();
     for placer in [
         &OpticalFirstPlacer::new() as &dyn VnfPlacer,
         &CostDrivenPlacer::new(),
@@ -116,13 +116,12 @@ fn capacity_accumulates_across_chains() {
     // cap 4) chain by chain.
     let mut opto_used: HashMap<alvc_topology::OpsId, alvc_nfv::ResourceDemand> = HashMap::new();
     let server_used = HashMap::new();
-    let chain = ChainSpec::new(
-        "fw",
-        vec![VnfSpec::of(VnfType::Firewall)],
-        VmId(0),
-        VmId(1),
-        1.0,
-    );
+    let chain = ChainSpec::builder("fw")
+        .linear([VnfSpec::of(VnfType::Firewall)])
+        .ingress(VmId(0))
+        .egress(VmId(1))
+        .build()
+        .unwrap();
     let opto_count = {
         let c = ctx(&dc, &al, &servers, &opto_used, &server_used);
         c.opto_candidates().len()
@@ -175,13 +174,12 @@ fn cost_driven_never_worse_than_optical_first_under_scarcity() {
     let empty_o = HashMap::new();
     let empty_s = HashMap::new();
     let c = ctx(&dc, &al, &servers, &empty_o, &empty_s);
-    let chain = ChainSpec::new(
-        "light5",
-        vec![VnfSpec::of(VnfType::Firewall); 5],
-        vm0,
-        vm1,
-        1.0,
-    );
+    let chain = ChainSpec::builder("light5")
+        .linear(vec![VnfSpec::of(VnfType::Firewall); 5])
+        .ingress(vm0)
+        .egress(vm1)
+        .build()
+        .unwrap();
     let of = OpticalFirstPlacer::new().place(&c, &chain).unwrap();
     let cd = CostDrivenPlacer::new().place(&c, &chain).unwrap();
     let (_, of_optical) = domain_split(&of);
@@ -219,7 +217,12 @@ fn empty_chain_places_nothing() {
     let empty_o = HashMap::new();
     let empty_s = HashMap::new();
     let c = ctx(&dc, &al, &servers, &empty_o, &empty_s);
-    let chain = ChainSpec::new("fwd", vec![], VmId(0), VmId(1), 1.0);
+    let chain = ChainSpec::builder("fwd")
+        .passthrough()
+        .ingress(VmId(0))
+        .egress(VmId(1))
+        .build()
+        .unwrap();
     assert!(CostDrivenPlacer::new()
         .place(&c, &chain)
         .unwrap()

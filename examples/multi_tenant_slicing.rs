@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Every third tenant asks for a tight latency budget.
         let mut spec = fig5::black(tenant.vms[0], *tenant.vms.last().unwrap());
         if i % 3 == 2 {
-            spec = spec.with_max_latency_us(8.0); // very tight
+            spec.max_latency_us = Some(8.0); // very tight
         }
         match orch.deploy_chain(
             &dc,

@@ -41,13 +41,17 @@ pub mod prelude {
     pub use alvc_nfv::chain::fig5;
     pub use alvc_nfv::ledger::ShardedLedger;
     pub use alvc_nfv::{
-        AdmissionError, ChainSpec, ControlPlane, ControlPlaneBuilder, DeployError, DeployedChain,
-        ElectronicOnlyPlacer, Error, ErrorKind, Intent, IntentEffect, IntentId, IntentLog,
-        IntentOutcome, NfcId, Orchestrator, OrchestratorBuilder, StateView, TenantQuota,
-        VnfInstanceId, VnfPlacer,
+        AdmissionError, ChainSpec, ChainSpecBuilder, ChainSpecError, ControlPlane,
+        ControlPlaneBuilder, DeployError, DeployedChain, ElectronicOnlyPlacer, Error, ErrorKind,
+        Intent, IntentEffect, IntentId, IntentLog, IntentOutcome, NfcId, Orchestrator,
+        OrchestratorBuilder, PlacementRule, StageId, StateView, TenantQuota, VnfInstanceId,
+        VnfPlacer, VnfSpec, VnfType,
     };
     pub use alvc_optical::OeoCostModel;
-    pub use alvc_placement::OpticalFirstPlacer;
+    pub use alvc_placement::{
+        refine, ConstraintAwarePlacer, OpticalFirstPlacer, PlacementPolicy, PlacementScore,
+        RefineConfig, RefineOutcome,
+    };
     pub use alvc_topology::{
         AlvcTopologyBuilder, DataCenter, Element, OpsInterconnect, ServiceMix, ServiceType, VmId,
     };

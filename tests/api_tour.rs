@@ -33,6 +33,31 @@ fn readme_public_api_tour() -> Result<(), Error> {
     )?;
     assert!(orch.chain(chain).is_some());
 
+    // Redesigned chain surface: specs are built (and validated) through
+    // the builder — linear stage lists or partial-order DAGs — and carry
+    // typed placement rules enforced at admission.
+    let mut b = ChainSpec::builder("inspect");
+    let fw = b.stage(VnfSpec::of(VnfType::Firewall));
+    let dpi = b.stage(VnfSpec::of(VnfType::Dpi));
+    let nat = b.stage(VnfSpec::of(VnfType::Nat));
+    b.dependency(fw, dpi).dependency(fw, nat); // DAG: fw → {dpi, nat}
+    let ruled = b
+        .ingress(vms[0])
+        .egress(vms[7])
+        .bandwidth_gbps(1.5)
+        .anti_affine(dpi, nat)
+        .build()?; // typed ChainSpecError on a malformed spec
+    let ruled_chain = orch.deploy_chain(
+        &dc,
+        "tenant-a",
+        vms.clone(),
+        ruled.clone(),
+        &PaperGreedy::new(),
+        &ConstraintAwarePlacer::new(), // enforces the rules during placement
+    )?;
+    let hosts = orch.chain(ruled_chain).unwrap().hosts();
+    assert!(ruled.violated_rule(&dc, hosts).is_none());
+
     // Multi-tenant style: the intent-based control plane.
     let cp = ControlPlane::builder()
         .default_quota(TenantQuota::new(4, 8))

@@ -53,7 +53,12 @@ fn three_hundred_random_chains_deploy_cleanly() {
                 VnfSpec::of(ty)
             })
             .collect();
-        let spec = ChainSpec::new(format!("chain-{i}"), vnfs, bp.ingress, bp.egress, 1.0);
+        let spec = ChainSpec::builder(format!("chain-{i}"))
+            .linear(vnfs)
+            .ingress(bp.ingress)
+            .egress(bp.egress)
+            .build()
+            .expect("blueprint specs are valid");
         let placer_choice = i % 2 == 0;
         let result = if placer_choice {
             orch.deploy_chain(
