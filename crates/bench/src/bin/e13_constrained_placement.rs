@@ -12,7 +12,7 @@
 //!    must be zero), the rule-oblivious optical-first baseline (its
 //!    violation count shows what admission would have rejected), and the
 //!    constraint-aware result refined by the bounded local search
-//!    ([`refine`]), which reports the greedy-vs-refined optimality gap and
+//!    ([`fn@refine`]), which reports the greedy-vs-refined optimality gap and
 //!    per-width solve times.
 //! 2. **Deployment** — the same specs go through
 //!    [`Orchestrator::deploy_chains`] and through control-plane intents

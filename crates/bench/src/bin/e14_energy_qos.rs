@@ -1,0 +1,689 @@
+//! E14 (energy & QoS): the energy-aware reoptimization loop under a
+//! deterministic diurnal day, with every chain protected by a latency SLO.
+//!
+//! Two control planes see the same two-day [`DiurnalLoad`] curve (trough →
+//! ramp → peak → ramp, plus a flash crowd landing in the second trough):
+//!
+//! * **always-on** — the baseline fabric: every element stays powered
+//!   whatever the load;
+//! * **consolidated** — an [`alvc_energy::ConsolidationPlanner`] watches
+//!   the decayed collector stats each epoch; on ebb it powers vacated
+//!   elements down through operator `SetPowerState` intents, and the
+//!   safety valve re-powers everything the moment load (or the flash
+//!   crowd) returns. Every plan is SLO-gated: consolidation never rides
+//!   over a violated QoS class.
+//!
+//! Both variants integrate watt-seconds with an [`alvc_energy::PowerLedger`]
+//! and record p99 predicted chain latency per epoch, yielding the
+//! energy-vs-p99 Pareto sweep in `results/BENCH_energy_qos.json`.
+//! Acceptance (DESIGN.md §17): ≥ 3 distinct diurnal load levels, zero SLO
+//! violations anywhere, consolidation cutting draw ≥ 20% at the trough,
+//! and the consolidated plane's intent log replaying bit-identically.
+//! The second phase times one consolidation planning pass against the
+//! sharded dc-100k tier under the scale-smoke budget.
+//!
+//! Knobs: `E14_PHASES` (comma list of `diurnal,scale`; smoke runs drop
+//! `scale`), `E14_EPOCHS` (epochs per diurnal phase),
+//! `E14_SCALE_BUDGET_MS` (dc-100k planning budget).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use alvc_affinity::{CollectorConfig, TrafficCollector};
+use alvc_bench::{f2, pct, print_table, telemetry_json, write_results, Json, Scale};
+use alvc_core::construction::PaperGreedy;
+use alvc_energy::{
+    ConsolidationConfig, ConsolidationMode, ConsolidationPlanner, PowerLedger, PowerModel,
+};
+use alvc_nfv::chain::fig5;
+use alvc_nfv::{
+    ChainSpec, ControlPlane, ElectronicOnlyPlacer, Intent, IntentOutcome, Orchestrator, QosClass,
+    TenantQuota,
+};
+use alvc_sim::DiurnalLoad;
+use alvc_topology::{DataCenter, PowerState, ServiceType, VmId};
+
+const SEED: u64 = 14;
+/// Epoch length: 10 s of simulated wall clock.
+const EPOCH_S: f64 = 10.0;
+const EPOCH_NS: u64 = 10_000_000_000;
+/// Diurnal days simulated; day one teaches the planner its peak, day two
+/// is the measured day.
+const DAYS: u64 = 2;
+/// Per-pair traffic weight at peak load (scaled by the diurnal level).
+const PEAK_PAIR_WEIGHT: f64 = 1_000_000.0;
+/// Epochs per diurnal phase (override with `E14_EPOCHS`).
+const DEFAULT_EPOCHS: u64 = 4;
+/// The trough's required draw reduction under consolidation.
+const MIN_TROUGH_SAVING: f64 = 0.20;
+/// dc-100k planning budget in ms (override with `E14_SCALE_BUDGET_MS`).
+const DEFAULT_SCALE_BUDGET_MS: f64 = 1000.0;
+const SERVICES: usize = 3;
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A fig. 5 chain over one service's VMs with the QoS class attached.
+fn qos_spec(service_index: usize, vms: &[VmId], slo_us: f64) -> ChainSpec {
+    let (ingress, egress) = (vms[0], *vms.last().expect("service has VMs"));
+    let mut spec = match service_index % 3 {
+        0 => fig5::black(ingress, egress),
+        1 => fig5::blue(ingress, egress),
+        _ => fig5::green(ingress, egress),
+    };
+    spec.qos = Some(QosClass::new(slo_us));
+    spec
+}
+
+/// Deploys one QoS-classed chain per service through `cp`.
+fn deploy_all(cp: &ControlPlane, dc: &DataCenter, slo_us: f64) {
+    for (i, &service) in ServiceType::BUILTIN[..SERVICES].iter().enumerate() {
+        let vms = dc.vms_of_service(service);
+        let spec = qos_spec(i, &vms, slo_us);
+        let id = cp.submit(&format!("t{i}"), Intent::DeployChain { vms, spec });
+        cp.process_all();
+        assert!(
+            matches!(cp.outcome(id), Some(IntentOutcome::Completed(_))),
+            "chain for {service:?} must deploy within its SLO"
+        );
+    }
+}
+
+/// The worst chain latency a scratch deployment produces on this topology;
+/// the experiment's SLO is set to twice this, so admission always passes
+/// and the gate still binds to something real.
+fn calibrate_slo_us(dc: &DataCenter) -> f64 {
+    let mut orch = Orchestrator::new();
+    let mut worst: f64 = 0.0;
+    for (i, &service) in ServiceType::BUILTIN[..SERVICES].iter().enumerate() {
+        let vms = dc.vms_of_service(service);
+        let spec = qos_spec(i, &vms, 1e12);
+        let id = orch
+            .deploy_chain(
+                dc,
+                format!("probe-{i}"),
+                vms,
+                spec,
+                &PaperGreedy::new(),
+                &ElectronicOnlyPlacer::new(),
+            )
+            .expect("calibration deploy");
+        worst = worst.max(orch.chain_latency_us(id).expect("deployed chain"));
+    }
+    (worst * 2.0).ceil()
+}
+
+/// Predicted p99 latency (µs) and SLO violation count over live chains.
+fn latency_stats(cp: &ControlPlane) -> (f64, usize) {
+    cp.inspect(|orch| {
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut violations = 0usize;
+        for chain in orch.chains() {
+            let Some(latency) = orch.chain_latency_us(chain.nfc().id()) else {
+                continue;
+            };
+            latencies.push(latency);
+            if let Some(qos) = chain.nfc().spec().qos {
+                if latency > qos.latency_slo_us {
+                    violations += 1;
+                }
+            }
+        }
+        if latencies.is_empty() {
+            return (0.0, violations);
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let idx = ((latencies.len() as f64 * 0.99).ceil() as usize).clamp(1, latencies.len()) - 1;
+        (latencies[idx], violations)
+    })
+}
+
+/// One service-ring epoch of traffic: every VM talks to its ring neighbor
+/// inside its service group at `level × PEAK_PAIR_WEIGHT`.
+fn epoch_pairs(dc: &DataCenter, level: f64) -> Vec<(VmId, VmId, u64)> {
+    let weight = (level * PEAK_PAIR_WEIGHT) as u64;
+    let mut pairs = Vec::new();
+    for &service in &ServiceType::BUILTIN[..SERVICES] {
+        let vms = dc.vms_of_service(service);
+        for i in 0..vms.len() {
+            pairs.push((vms[i], vms[(i + 1) % vms.len()], weight));
+        }
+    }
+    pairs
+}
+
+struct EpochRow {
+    epoch: u64,
+    phase: &'static str,
+    level: f64,
+    flash: bool,
+    always_w: f64,
+    consolidated_w: f64,
+    p99_always_us: f64,
+    p99_consolidated_us: f64,
+    violations: usize,
+    mode: ConsolidationMode,
+    power_downs: usize,
+    power_ups: usize,
+}
+
+struct DiurnalResult {
+    rows: Vec<EpochRow>,
+    slo_us: f64,
+    always_energy_j: f64,
+    consolidated_energy_j: f64,
+    plans: usize,
+    engaged_epochs: usize,
+    power_downs_applied: usize,
+    power_ups_applied: usize,
+    power_down_rejected: usize,
+    moves_applied: usize,
+    replay_identical: bool,
+    vms: usize,
+    ops: usize,
+}
+
+fn run_diurnal(epochs_per_phase: u64) -> DiurnalResult {
+    let scale = Scale {
+        name: "e14",
+        racks: 8,
+        servers_per_rack: 2,
+        vms_per_server: 2,
+        ops: 32,
+        degree: 8,
+        pods: 1,
+    };
+    let dc = Arc::new(scale.build_with_services(SEED, SERVICES));
+    let slo_us = calibrate_slo_us(&dc);
+
+    let build_cp = || {
+        ControlPlane::builder()
+            .default_quota(TenantQuota::unlimited())
+            .build(dc.clone())
+    };
+    let always = build_cp();
+    let consolidated = build_cp();
+    deploy_all(&always, &dc, slo_us);
+    deploy_all(&consolidated, &dc, slo_us);
+
+    // The flash crowd lands on the last epoch of day two's trough: the
+    // safety valve must re-power a consolidated fabric mid-trough.
+    let cycle = 4 * epochs_per_phase;
+    let flash_epoch = cycle + epochs_per_phase - 1;
+    let day = DiurnalLoad::standard_day(epochs_per_phase).with_flash_crowd(flash_epoch, 1, 1.0);
+    let epochs = DAYS * cycle;
+
+    let mut collector = TrafficCollector::new(CollectorConfig {
+        capacity: 4 * dc.vm_count(),
+        half_life_s: EPOCH_S / 2.0,
+    });
+    let mut planner = ConsolidationPlanner::new(ConsolidationConfig::default());
+    let mut always_ledger = PowerLedger::new(PowerModel::default());
+    let mut consolidated_ledger = PowerLedger::new(PowerModel::default());
+    always.inspect(|orch| always_ledger.sample(&dc, orch, 0.0));
+    consolidated.inspect(|orch| consolidated_ledger.sample(&dc, orch, 0.0));
+
+    let mut rows = Vec::new();
+    let mut plans = 0usize;
+    let mut engaged_epochs = 0usize;
+    let mut power_downs_applied = 0usize;
+    let mut power_ups_applied = 0usize;
+    let mut power_down_rejected = 0usize;
+    let mut moves_applied = 0usize;
+    for epoch in 0..epochs {
+        let level = day.level(epoch);
+        collector.observe_pairs(epoch_pairs(&dc, level), (epoch + 1) * EPOCH_NS);
+        let stats = collector.snapshot();
+
+        let plan = consolidated.inspect(|orch| planner.plan(&dc, orch, &stats));
+        plans += 1;
+        let mut epoch_downs = 0usize;
+        let mut epoch_ups = 0usize;
+        for intent in plan.intents() {
+            let is_down = matches!(
+                intent,
+                Intent::SetPowerState {
+                    state: PowerState::PoweredOff,
+                    ..
+                }
+            );
+            let id = consolidated.submit("operator", intent);
+            consolidated.process_all();
+            match consolidated.outcome(id) {
+                Some(IntentOutcome::Completed(effect)) => {
+                    use alvc_nfv::IntentEffect;
+                    match effect {
+                        IntentEffect::PowerStateSet { .. } if is_down => epoch_downs += 1,
+                        IntentEffect::PowerStateSet { .. } => epoch_ups += 1,
+                        IntentEffect::Reclustered { applied, .. } => moves_applied += applied,
+                        _ => {}
+                    }
+                }
+                // The executor re-validates against live state; a plan
+                // step it rejects is counted, never applied.
+                Some(IntentOutcome::Failed(_)) if is_down => power_down_rejected += 1,
+                other => panic!("plan intent must resolve, got {other:?}"),
+            }
+        }
+        power_downs_applied += epoch_downs;
+        power_ups_applied += epoch_ups;
+        if planner.mode() == ConsolidationMode::Consolidated {
+            engaged_epochs += 1;
+        }
+
+        let ts = (epoch + 1) as f64 * EPOCH_S;
+        let always_w = always
+            .inspect(|orch| always_ledger.sample(&dc, orch, ts))
+            .power
+            .total_w();
+        let consolidated_w = consolidated
+            .inspect(|orch| consolidated_ledger.sample(&dc, orch, ts))
+            .power
+            .total_w();
+        let (p99_always_us, violations_always) = latency_stats(&always);
+        let (p99_consolidated_us, violations_consolidated) = latency_stats(&consolidated);
+        rows.push(EpochRow {
+            epoch,
+            phase: day.phase(epoch).name,
+            level,
+            flash: level != day.phase(epoch).level,
+            always_w,
+            consolidated_w,
+            p99_always_us,
+            p99_consolidated_us,
+            violations: violations_always + violations_consolidated,
+            mode: planner.mode(),
+            power_downs: epoch_downs,
+            power_ups: epoch_ups,
+        });
+    }
+
+    // Determinism: the consolidated plane's entire history — deploys,
+    // reclusters, and power-state flips — replays to a bit-identical view.
+    let live = consolidated.view();
+    let fresh = build_cp();
+    let replayed = fresh.replay(&consolidated.intent_log());
+    let replay_identical = *live == *replayed && consolidated.intent_log() == fresh.intent_log();
+
+    DiurnalResult {
+        rows,
+        slo_us,
+        always_energy_j: always_ledger.energy_j(),
+        consolidated_energy_j: consolidated_ledger.energy_j(),
+        plans,
+        engaged_epochs,
+        power_downs_applied,
+        power_ups_applied,
+        power_down_rejected,
+        moves_applied,
+        replay_identical,
+        vms: dc.vm_count(),
+        ops: dc.ops_count(),
+    }
+}
+
+struct ParetoPoint {
+    level: f64,
+    epochs: usize,
+    always_w: f64,
+    consolidated_w: f64,
+    p99_always_us: f64,
+    p99_consolidated_us: f64,
+    saving: f64,
+}
+
+/// Day-two epochs aggregated per offered load level: the energy-vs-p99
+/// Pareto front (always-on pays flat watts at every level; consolidation
+/// trades nothing on p99 because powered-off elements never carry flows).
+fn pareto(rows: &[EpochRow], epochs_per_phase: u64) -> Vec<ParetoPoint> {
+    let day2 = 4 * epochs_per_phase;
+    let mut levels: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.epoch >= day2)
+        .map(|r| r.level)
+        .collect();
+    levels.sort_by(|a, b| a.partial_cmp(b).expect("finite levels"));
+    levels.dedup();
+    levels
+        .into_iter()
+        .map(|level| {
+            let bucket: Vec<&EpochRow> = rows
+                .iter()
+                .filter(|r| r.epoch >= day2 && r.level == level)
+                .collect();
+            let mean = |f: &dyn Fn(&EpochRow) -> f64| {
+                bucket.iter().map(|r| f(r)).sum::<f64>() / bucket.len() as f64
+            };
+            let always_w = mean(&|r: &EpochRow| r.always_w);
+            let consolidated_w = mean(&|r: &EpochRow| r.consolidated_w);
+            ParetoPoint {
+                level,
+                epochs: bucket.len(),
+                always_w,
+                consolidated_w,
+                p99_always_us: mean(&|r: &EpochRow| r.p99_always_us),
+                p99_consolidated_us: mean(&|r: &EpochRow| r.p99_consolidated_us),
+                saving: 1.0 - consolidated_w / always_w,
+            }
+        })
+        .collect()
+}
+
+struct ScaleResult {
+    tier: &'static str,
+    vms: usize,
+    ops: usize,
+    build_ms: f64,
+    plan_ms: f64,
+    budget_ms: f64,
+    power_downs: usize,
+    plans_identical: bool,
+}
+
+/// Phase 2: one consolidation planning pass against the sharded dc-100k
+/// tier, timed against the scale-smoke budget and planned twice for
+/// bit-identical determinism.
+fn run_scale(budget_ms: f64) -> ScaleResult {
+    let scale = &Scale::DC_LADDER[0];
+    let built = Instant::now();
+    let dc = scale.build_with_services(SEED, 4);
+    let build_ms = built.elapsed().as_secs_f64() * 1e3;
+
+    let mut orch = Orchestrator::new();
+    for (i, &service) in ServiceType::BUILTIN[..4].iter().enumerate() {
+        let vms: Vec<VmId> = dc.vms_of_service(service).into_iter().take(64).collect();
+        let spec = qos_spec(i, &vms, 1e9);
+        orch.deploy_chain(
+            &dc,
+            format!("t{i}"),
+            vms,
+            spec,
+            &PaperGreedy::new(),
+            &ElectronicOnlyPlacer::new(),
+        )
+        .expect("dc-100k chain deploys");
+    }
+
+    let mut collector = TrafficCollector::new(CollectorConfig {
+        capacity: 1024,
+        half_life_s: EPOCH_S / 2.0,
+    });
+    let vms: Vec<VmId> = dc.vm_ids().take(2).collect();
+    collector.observe_pairs([(vms[0], vms[1], 1_000_000)], EPOCH_NS);
+    let peak = collector.snapshot();
+    collector.observe_pairs([(vms[0], vms[1], 0)], 20 * EPOCH_NS);
+    let ebb = collector.snapshot();
+
+    let plan_once = || {
+        let mut planner = ConsolidationPlanner::new(ConsolidationConfig::default());
+        planner.plan(&dc, &orch, &peak);
+        let t = Instant::now();
+        let plan = planner.plan(&dc, &orch, &ebb);
+        (plan, t.elapsed().as_secs_f64() * 1e3)
+    };
+    let (plan, plan_ms) = plan_once();
+    let (replanned, _) = plan_once();
+    assert!(
+        !plan.power_downs.is_empty(),
+        "an idle dc-100k must offer power-down candidates"
+    );
+
+    ScaleResult {
+        tier: scale.name,
+        vms: dc.vm_count(),
+        ops: dc.ops_count(),
+        build_ms,
+        plan_ms,
+        budget_ms,
+        power_downs: plan.power_downs.len(),
+        plans_identical: plan == replanned,
+    }
+}
+
+fn main() {
+    let phases: Vec<String> = env_or("E14_PHASES", "diurnal,scale".to_string())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let epochs_per_phase: u64 = env_or("E14_EPOCHS", DEFAULT_EPOCHS);
+    let budget_ms: f64 = env_or("E14_SCALE_BUDGET_MS", DEFAULT_SCALE_BUDGET_MS);
+    let smoke = epochs_per_phase < DEFAULT_EPOCHS || !phases.iter().any(|p| p == "scale");
+    println!(
+        "E14: energy- and QoS-aware consolidation — {DAYS} diurnal days × {} epochs/phase, \
+         phases {phases:?}\n",
+        epochs_per_phase
+    );
+
+    let mut doc = Json::object()
+        .field("bench", "energy_qos")
+        .field("smoke", smoke)
+        .field(
+            "phases_run",
+            Json::Array(phases.iter().map(|p| Json::from(p.as_str())).collect()),
+        );
+
+    assert!(
+        phases.iter().any(|p| p == "diurnal"),
+        "the diurnal phase is the experiment; E14_PHASES must include it"
+    );
+    let d = run_diurnal(epochs_per_phase);
+
+    let mut table = Vec::new();
+    for r in &d.rows {
+        table.push(vec![
+            r.epoch.to_string(),
+            format!("{}{}", r.phase, if r.flash { "+flash" } else { "" }),
+            format!("{:.2}", r.level),
+            f2(r.always_w),
+            f2(r.consolidated_w),
+            f2(r.p99_consolidated_us),
+            r.violations.to_string(),
+            r.mode.label().to_string(),
+            format!("-{}/+{}", r.power_downs, r.power_ups),
+        ]);
+    }
+    print_table(
+        &[
+            "epoch", "phase", "level", "always W", "consol W", "p99 µs", "SLO viol", "mode",
+            "Δpower",
+        ],
+        &table,
+    );
+
+    let points = pareto(&d.rows, epochs_per_phase);
+    let trough_points: Vec<&ParetoPoint> = points
+        .iter()
+        .filter(|p| p.level == points[0].level)
+        .collect();
+    let trough_saving = trough_points[0].saving;
+    let total_saving = 1.0 - d.consolidated_energy_j / d.always_energy_j;
+    let total_violations: usize = d.rows.iter().map(|r| r.violations).sum();
+
+    println!("\nPareto (day two, per load level):");
+    let mut ptable = Vec::new();
+    for p in &points {
+        ptable.push(vec![
+            format!("{:.2}", p.level),
+            p.epochs.to_string(),
+            f2(p.always_w),
+            f2(p.consolidated_w),
+            f2(p.p99_always_us),
+            f2(p.p99_consolidated_us),
+            pct(p.saving),
+        ]);
+    }
+    print_table(
+        &[
+            "level",
+            "epochs",
+            "always W",
+            "consol W",
+            "p99 always",
+            "p99 consol",
+            "saving",
+        ],
+        &ptable,
+    );
+    println!(
+        "\nenergy: always-on {:.0} J, consolidated {:.0} J ({} total, {} at trough); \
+         SLO {} µs, {} violations; plans {}, engaged {} epochs, -{} / +{} power flips \
+         ({} rejected), {} moves; replay identical: {}",
+        d.always_energy_j,
+        d.consolidated_energy_j,
+        pct(total_saving),
+        pct(trough_saving),
+        d.slo_us,
+        total_violations,
+        d.plans,
+        d.engaged_epochs,
+        d.power_downs_applied,
+        d.power_ups_applied,
+        d.power_down_rejected,
+        d.moves_applied,
+        d.replay_identical,
+    );
+
+    assert_eq!(total_violations, 0, "the SLO gate is a hard zero");
+    assert!(
+        trough_saving >= MIN_TROUGH_SAVING,
+        "consolidation must cut trough draw ≥ {MIN_TROUGH_SAVING}, got {trough_saving}"
+    );
+    assert!(d.replay_identical, "replay must reproduce the live view");
+    assert!(points.len() >= 3, "the day must sweep ≥ 3 load levels");
+
+    let epoch_json = |r: &EpochRow| {
+        Json::object()
+            .field("epoch", r.epoch as f64)
+            .field("phase", r.phase)
+            .field("level", r.level)
+            .field("flash", r.flash)
+            .field("always_on_w", r.always_w)
+            .field("consolidated_w", r.consolidated_w)
+            .field("p99_always_us", r.p99_always_us)
+            .field("p99_consolidated_us", r.p99_consolidated_us)
+            .field("slo_violations", r.violations)
+            .field("mode", r.mode.label())
+            .field("power_downs", r.power_downs)
+            .field("power_ups", r.power_ups)
+    };
+    let point_json = |p: &ParetoPoint| {
+        Json::object()
+            .field("level", p.level)
+            .field("epochs", p.epochs)
+            .field("always_on_w", p.always_w)
+            .field("consolidated_w", p.consolidated_w)
+            .field("p99_always_us", p.p99_always_us)
+            .field("p99_consolidated_us", p.p99_consolidated_us)
+            .field("saving_fraction", p.saving)
+    };
+    doc = doc
+        .field(
+            "topology",
+            Json::object()
+                .field("vms", d.vms)
+                .field("ops", d.ops)
+                .field("chains", SERVICES),
+        )
+        .field(
+            "config",
+            Json::object()
+                .field("days", DAYS as f64)
+                .field("epochs_per_phase", epochs_per_phase as f64)
+                .field("epoch_s", EPOCH_S)
+                .field("slo_us", d.slo_us)
+                .field("peak_pair_weight", PEAK_PAIR_WEIGHT)
+                .field("engage_below", ConsolidationConfig::default().engage_below)
+                .field(
+                    "release_above",
+                    ConsolidationConfig::default().release_above,
+                )
+                .field(
+                    "keep_free_ops",
+                    ConsolidationConfig::default().keep_free_ops,
+                ),
+        )
+        .field(
+            "epochs",
+            Json::Array(d.rows.iter().map(epoch_json).collect()),
+        )
+        .field(
+            "pareto",
+            Json::Array(points.iter().map(point_json).collect()),
+        )
+        .field(
+            "energy",
+            Json::object()
+                .field("always_on_j", d.always_energy_j)
+                .field("consolidated_j", d.consolidated_energy_j)
+                .field("saving_fraction", total_saving)
+                .field("trough_saving_fraction", trough_saving),
+        )
+        .field(
+            "slo",
+            Json::object()
+                .field("slo_us", d.slo_us)
+                .field("violations", total_violations),
+        )
+        .field(
+            "consolidation",
+            Json::object()
+                .field("plans", d.plans)
+                .field("engaged_epochs", d.engaged_epochs)
+                .field("power_downs_applied", d.power_downs_applied)
+                .field("power_ups_applied", d.power_ups_applied)
+                .field("power_down_rejected", d.power_down_rejected)
+                .field("moves_applied", d.moves_applied),
+        )
+        .field("replay_identical", d.replay_identical);
+
+    if phases.iter().any(|p| p == "scale") {
+        let s = run_scale(budget_ms);
+        println!(
+            "\nscale ({}): {} VMs / {} OPSs built in {:.0} ms; consolidation planned in \
+             {:.2} ms (budget {:.0} ms), {} power-downs, plans identical: {}",
+            s.tier,
+            s.vms,
+            s.ops,
+            s.build_ms,
+            s.plan_ms,
+            s.budget_ms,
+            s.power_downs,
+            s.plans_identical,
+        );
+        assert!(
+            s.plan_ms < s.budget_ms,
+            "dc-100k planning took {:.2} ms, budget {:.0} ms",
+            s.plan_ms,
+            s.budget_ms
+        );
+        assert!(s.plans_identical, "planning must be deterministic at scale");
+        doc = doc.field(
+            "scale",
+            Json::object()
+                .field("tier", s.tier)
+                .field("vms", s.vms)
+                .field("ops", s.ops)
+                .field("build_ms", s.build_ms)
+                .field("plan_ms", s.plan_ms)
+                .field("budget_ms", s.budget_ms)
+                .field("within_budget", s.plan_ms < s.budget_ms)
+                .field("power_downs", s.power_downs)
+                .field("plans_identical", s.plans_identical),
+        );
+    }
+
+    doc = doc.field("telemetry", telemetry_json());
+    let path = write_results("BENCH_energy_qos.json", &doc.pretty());
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nThe consolidated plane pays the same p99 as always-on at every load level —\n\
+         powered-off elements never carry flows and the SLO gate vetoes any plan that\n\
+         would — while the trough draw drops by the powered-down idle wattage. Energy\n\
+         is integrated watt-seconds over the simulated day, bit-identical on replay."
+    );
+}

@@ -1,0 +1,183 @@
+//! Validates `results/BENCH_energy_qos.json` (the e14 energy/QoS result)
+//! against `schemas/energy_qos.schema.json`, then enforces the DESIGN.md
+//! §17 acceptance invariants on the values:
+//!
+//! * **zero SLO violations** — the hard gate: the aggregate count and
+//!   every per-epoch count must be exactly zero, on both variants;
+//! * the Pareto sweep covers at least **three distinct load levels** and
+//!   consolidation never draws *more* than always-on at any of them;
+//! * consolidation cuts the trough draw by at least **20%** and total
+//!   integrated energy by a strictly positive amount;
+//! * the consolidated plane's intent log **replayed bit-identically**;
+//! * when the scale phase ran, dc-100k planning finished **within the
+//!   scale-smoke budget** and planned bit-identically twice; full runs
+//!   (smoke = false) must include the scale phase.
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_energy_qos <results-file> [schema-file]
+//! ```
+//!
+//! Exits nonzero with a diagnostic on the first violation; CI's
+//! telemetry-smoke job runs this after the e14 smoke.
+
+use std::process::ExitCode;
+
+use alvc_bench::schema::validate;
+use alvc_bench::Json;
+
+/// The required trough draw reduction under consolidation.
+const MIN_TROUGH_SAVING: f64 = 0.20;
+/// Distinct diurnal load levels the Pareto must sweep.
+const MIN_LEVELS: usize = 3;
+/// Watt slack for "never draws more than always-on" comparisons.
+const W_EPS: f64 = 1e-6;
+
+fn number(doc: &Json, path: &[&str]) -> Result<f64, String> {
+    let mut v = doc;
+    for key in path {
+        v = v
+            .get(key)
+            .ok_or_else(|| format!("missing field {}", path.join(".")))?;
+    }
+    v.as_f64()
+        .ok_or_else(|| format!("{} is not a number", path.join(".")))
+}
+
+fn boolean(doc: &Json, path: &[&str]) -> Result<bool, String> {
+    let mut v = doc;
+    for key in path {
+        v = v
+            .get(key)
+            .ok_or_else(|| format!("missing field {}", path.join(".")))?;
+    }
+    v.as_bool()
+        .ok_or_else(|| format!("{} is not a boolean", path.join(".")))
+}
+
+fn check_invariants(doc: &Json) -> Result<(), String> {
+    // The hard gate: zero SLO violations, in the aggregate and per epoch.
+    let violations = number(doc, &["slo", "violations"])?;
+    if violations != 0.0 {
+        return Err(format!(
+            "slo.violations is {violations}, expected 0 — consolidation rode over a violated SLO"
+        ));
+    }
+    let epochs = match doc.get("epochs") {
+        Some(Json::Array(rows)) if !rows.is_empty() => rows,
+        _ => return Err("epochs is missing or empty".to_string()),
+    };
+    for row in epochs {
+        let epoch = number(row, &["epoch"])?;
+        if number(row, &["slo_violations"])? != 0.0 {
+            return Err(format!("epoch {epoch}: nonzero SLO violations"));
+        }
+    }
+
+    // The Pareto: ≥ MIN_LEVELS distinct levels, consolidation never worse.
+    let pareto = match doc.get("pareto") {
+        Some(Json::Array(points)) if !points.is_empty() => points,
+        _ => return Err("pareto is missing or empty".to_string()),
+    };
+    let mut levels: Vec<f64> = Vec::new();
+    for point in pareto {
+        let level = number(point, &["level"])?;
+        if !levels.contains(&level) {
+            levels.push(level);
+        }
+        let always = number(point, &["always_on_w"])?;
+        let consolidated = number(point, &["consolidated_w"])?;
+        if consolidated > always + W_EPS {
+            return Err(format!(
+                "level {level}: consolidated draw {consolidated} W exceeds always-on {always} W"
+            ));
+        }
+    }
+    if levels.len() < MIN_LEVELS {
+        return Err(format!(
+            "only {} distinct load level(s) in the Pareto; need at least {MIN_LEVELS}",
+            levels.len()
+        ));
+    }
+
+    // Energy: ≥ 20% off at the trough, strictly positive overall.
+    let trough_saving = number(doc, &["energy", "trough_saving_fraction"])?;
+    if trough_saving < MIN_TROUGH_SAVING {
+        return Err(format!(
+            "trough saving {trough_saving} below the required {MIN_TROUGH_SAVING}"
+        ));
+    }
+    let always_j = number(doc, &["energy", "always_on_j"])?;
+    let consolidated_j = number(doc, &["energy", "consolidated_j"])?;
+    if consolidated_j >= always_j {
+        return Err(format!(
+            "consolidated energy {consolidated_j} J did not undercut always-on {always_j} J"
+        ));
+    }
+
+    if !boolean(doc, &["replay_identical"])? {
+        return Err("consolidated intent-log replay diverged".to_string());
+    }
+
+    // Scale phase: mandatory on full runs, budget- and determinism-gated
+    // whenever present.
+    let smoke = boolean(doc, &["smoke"])?;
+    match doc.get("scale") {
+        Some(scale) => {
+            if !boolean(scale, &["within_budget"])? {
+                let (plan, budget) = (number(scale, &["plan_ms"])?, number(scale, &["budget_ms"])?);
+                return Err(format!(
+                    "dc-100k planning took {plan} ms, over the {budget} ms budget"
+                ));
+            }
+            if !boolean(scale, &["plans_identical"])? {
+                return Err("dc-100k planning was not deterministic".to_string());
+            }
+        }
+        None if !smoke => {
+            return Err("full-scale run is missing the dc-100k scale phase".to_string())
+        }
+        None => {}
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let results_path = args
+        .next()
+        .ok_or("usage: validate_energy_qos <results-file> [schema-file]")?;
+    let schema_path = args.next().unwrap_or_else(|| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/energy_qos.schema.json"
+        )
+        .to_string()
+    });
+
+    let results_text =
+        std::fs::read_to_string(&results_path).map_err(|e| format!("read {results_path}: {e}"))?;
+    let schema_text =
+        std::fs::read_to_string(&schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let results = Json::parse(&results_text).map_err(|e| format!("{results_path}: {e}"))?;
+    let schema = Json::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+
+    validate(&results, &schema, "$")?;
+    check_invariants(&results)?;
+    println!(
+        "{results_path}: valid; zero SLO violations, ≥{MIN_LEVELS}-level Pareto, trough \
+         saving ≥ {MIN_TROUGH_SAVING}, bit-identical replay"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_energy_qos: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,8 +3,9 @@
 //! comes from a probes-on build — checks that every probe family the
 //! emitting experiment exercises recorded activity. The experiment is
 //! read from the results file's top-level `experiment` field, so e8 runs
-//! are additionally checked for the shard/label probes and e11 runs for
-//! the adaptive-clustering (affinity) probes instead of being silently
+//! are additionally checked for the shard/label probes, e11 runs for the
+//! adaptive-clustering (affinity) probes, and e14 runs for the energy
+//! plane's power/ledger/consolidation probes instead of being silently
 //! passed through the generic three-family check.
 //!
 //! Usage:
@@ -72,6 +73,11 @@ fn required_families(experiment: &str, results: &Json) -> Vec<Family> {
             families.push(active("alvc_affinity.collector."));
             families.push(active("alvc_affinity.clusterer."));
             families.push(active("alvc_affinity.planner."));
+        }
+        "energy_qos" => {
+            families.push(active("alvc_energy.power."));
+            families.push(active("alvc_energy.ledger."));
+            families.push(active("alvc_energy.consolidation."));
         }
         _ => {}
     }

@@ -95,6 +95,7 @@ pub struct ClusterManager {
     availability: OpsAvailability,
     failed: std::collections::HashSet<OpsId>,
     failed_tors: std::collections::HashSet<TorId>,
+    powered_off: std::collections::HashSet<OpsId>,
     next_id: usize,
 }
 
@@ -286,7 +287,7 @@ impl ClusterManager {
         let vc = self.clusters.remove(&id)?;
         alvc_telemetry::counter!("alvc_core.manager.clusters_removed").incr();
         for &o in vc.al.ops() {
-            if !self.failed.contains(&o) {
+            if !self.ops_blocked(o) {
                 self.availability.release(o);
             }
         }
@@ -314,7 +315,7 @@ impl ClusterManager {
         // Release (never failed OPSs), rebuild, and either commit or roll
         // back.
         for &o in old_al.ops() {
-            if !self.failed.contains(&o) {
+            if !self.ops_blocked(o) {
                 self.availability.release(o);
             }
         }
@@ -370,7 +371,7 @@ impl ClusterManager {
         let mut speculative_avail = self.availability.clone();
         for (id, _) in &live {
             for &o in self.clusters[id].al.ops() {
-                if !self.failed.contains(&o) {
+                if !self.ops_blocked(o) {
                     speculative_avail.release(o);
                 }
             }
@@ -389,7 +390,7 @@ impl ClusterManager {
         for ((id, vms), speculative) in live.into_iter().zip(layers) {
             let old_al = self.clusters[&id].al.clone();
             for &o in old_al.ops() {
-                if !self.failed.contains(&o) {
+                if !self.ops_blocked(o) {
                     self.availability.release(o);
                 }
             }
@@ -468,15 +469,58 @@ impl ClusterManager {
     }
 
     /// Brings a failed OPS back: it becomes available again unless some AL
-    /// still lists it (a degraded AL left over from a failed rebuild).
+    /// still lists it (a degraded AL left over from a failed rebuild) or it
+    /// is powered off.
     pub fn restore_ops(&mut self, ops: OpsId) {
         if self.failed.remove(&ops) {
             alvc_telemetry::counter!("alvc_core.manager.ops_restores").incr();
             alvc_telemetry::event!("alvc_core.manager.ops_restored", "ops" = ops.index());
-            if self.ops_owner(ops).is_none() {
+            if self.ops_owner(ops).is_none() && !self.powered_off.contains(&ops) {
                 self.availability.release(ops);
             }
         }
+    }
+
+    /// Whether `ops` must stay blocked in the availability view even when
+    /// no AL owns it: it is failed or deliberately powered off.
+    fn ops_blocked(&self, ops: OpsId) -> bool {
+        self.failed.contains(&ops) || self.powered_off.contains(&ops)
+    }
+
+    /// Blocks a healthy, unowned OPS from AL construction (a planned
+    /// power-down, as opposed to [`ClusterManager::fail_ops`]'s outage).
+    /// Returns `false` — and changes nothing — if the switch is failed,
+    /// owned by a cluster, or already powered off.
+    pub fn power_off_ops(&mut self, ops: OpsId) -> bool {
+        if self.failed.contains(&ops) || self.ops_owner(ops).is_some() {
+            return false;
+        }
+        if !self.powered_off.insert(ops) {
+            return false;
+        }
+        alvc_telemetry::counter!("alvc_core.manager.ops_power_downs").incr();
+        self.availability.block(ops);
+        true
+    }
+
+    /// Returns a powered-off OPS to service: constructors may pick it
+    /// again. Returns `false` if it was not powered off.
+    pub fn power_on_ops(&mut self, ops: OpsId) -> bool {
+        if !self.powered_off.remove(&ops) {
+            return false;
+        }
+        alvc_telemetry::counter!("alvc_core.manager.ops_power_ups").incr();
+        if !self.failed.contains(&ops) && self.ops_owner(ops).is_none() {
+            self.availability.release(ops);
+        }
+        true
+    }
+
+    /// Currently powered-off OPSs, sorted.
+    pub fn powered_off_ops(&self) -> Vec<OpsId> {
+        let mut v: Vec<_> = self.powered_off.iter().copied().collect();
+        v.sort();
+        v
     }
 
     /// Currently failed OPSs, sorted.

@@ -1,0 +1,325 @@
+//! Watt-second integration over live orchestrator state.
+//!
+//! [`PowerLedger::sample`] computes the data center's instantaneous draw
+//! — every element priced by its power state and whether it carries
+//! anything, plus per-flow switching/conversion power — and integrates it
+//! into cumulative watt-seconds between samples (left-Riemann: the draw
+//! measured at a sample is charged until the next one). Sampling is a
+//! pure function of orchestrator state and the sample timestamps, so a
+//! replayed run integrates to bit-identical joules.
+
+use std::collections::BTreeSet;
+
+use alvc_graph::NodeId;
+use alvc_nfv::{HostLocation, Orchestrator};
+use alvc_topology::{DataCenter, Element, PhysNode, PowerState};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ElementFamily, PowerModel};
+
+/// Instantaneous draw split by family, in watts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Draw of all optical packet switches.
+    pub ops_w: f64,
+    /// Draw of all ToR switches.
+    pub tor_w: f64,
+    /// Draw of all servers.
+    pub server_w: f64,
+    /// Per-flow switching and O/E/O conversion draw.
+    pub flow_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total draw in watts.
+    pub fn total_w(&self) -> f64 {
+        self.ops_w + self.tor_w + self.server_w + self.flow_w
+    }
+
+    fn family_mut(&mut self, family: ElementFamily) -> &mut f64 {
+        match family {
+            ElementFamily::Ops => &mut self.ops_w,
+            ElementFamily::Tor => &mut self.tor_w,
+            ElementFamily::Server => &mut self.server_w,
+        }
+    }
+}
+
+/// One ledger sample: the instantaneous state at `ts_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Sample timestamp on the caller's clock, in seconds.
+    pub ts_s: f64,
+    /// Instantaneous draw at the sample.
+    pub power: PowerBreakdown,
+    /// Elements commanded off.
+    pub powered_off: usize,
+    /// Powered elements carrying no flow or host (drawing idle watts).
+    pub idle: usize,
+    /// Powered elements carrying at least one flow or host.
+    pub carrying: usize,
+    /// Cumulative energy integrated so far, in joules (watt-seconds).
+    pub energy_j: f64,
+}
+
+/// Integrates watt-seconds from live orchestrator state.
+#[derive(Debug, Clone)]
+pub struct PowerLedger {
+    model: PowerModel,
+    last: Option<(f64, f64)>,
+    energy_j: f64,
+    samples: u64,
+}
+
+/// The substrate element a path node corresponds to.
+fn element_of_node(dc: &DataCenter, n: NodeId) -> Option<Element> {
+    match dc.graph().node_weight(n)? {
+        PhysNode::Server(s) => Some(Element::Server(*s)),
+        PhysNode::Tor(t) => Some(Element::Tor(*t)),
+        PhysNode::Ops { id, .. } => Some(Element::Ops(*id)),
+    }
+}
+
+fn element_of_host(host: HostLocation) -> Element {
+    match host {
+        HostLocation::Server(s) => Element::Server(s),
+        HostLocation::OptoRouter(o) => Element::Ops(o),
+    }
+}
+
+/// Every element touched by a live chain: path nodes, VNF hosts, and
+/// scale-out replica hosts — the set that must draw active watts (and that
+/// consolidation must never power off). One sweep over the chains, so
+/// pricing a 100k-VM snapshot does not pay per-element scans.
+pub fn carrying_elements(dc: &DataCenter, orch: &Orchestrator) -> BTreeSet<Element> {
+    let mut used = BTreeSet::new();
+    for chain in orch.chains() {
+        for &n in chain.path().nodes() {
+            if let Some(e) = element_of_node(dc, n) {
+                used.insert(e);
+            }
+        }
+        for &h in chain.hosts() {
+            used.insert(element_of_host(h));
+        }
+        for &iid in chain.instances() {
+            if let Some(i) = orch.instance(iid) {
+                used.insert(element_of_host(i.host()));
+            }
+        }
+        for iid in orch.replicas_of(chain.nfc().id()) {
+            if let Some(i) = orch.instance(iid) {
+                used.insert(element_of_host(i.host()));
+            }
+        }
+    }
+    used
+}
+
+impl PowerLedger {
+    /// A ledger pricing with `model`, starting at zero joules.
+    pub fn new(model: PowerModel) -> Self {
+        PowerLedger {
+            model,
+            last: None,
+            energy_j: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// The pricing model.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Cumulative integrated energy, in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Instantaneous draw of the data center under `orch`'s current
+    /// element states and flows. Pure — does not advance the ledger.
+    pub fn measure(&self, dc: &DataCenter, orch: &Orchestrator) -> PowerBreakdown {
+        let carrying = carrying_elements(dc, orch);
+        let mut power = PowerBreakdown::default();
+        for e in all_elements(dc) {
+            let state = orch.power().state(e);
+            let w = self.model.element_power_w(e, state, carrying.contains(&e));
+            *power.family_mut(ElementFamily::of(e)) += w;
+        }
+        for chain in orch.chains() {
+            power.flow_w += self
+                .model
+                .flow_power_w(chain.path(), chain.nfc().spec().bandwidth_gbps);
+        }
+        power
+    }
+
+    /// Takes a sample at `ts_s` (caller's monotone clock): measures the
+    /// instantaneous draw, charges the *previous* draw for the elapsed
+    /// interval, and publishes the `alvc_energy.power.*` gauges.
+    ///
+    /// Out-of-order timestamps charge nothing (the interval is clamped to
+    /// zero) rather than rewinding the ledger.
+    pub fn sample(&mut self, dc: &DataCenter, orch: &Orchestrator, ts_s: f64) -> PowerSample {
+        let power = self.measure(dc, orch);
+        if let Some((t0, w0)) = self.last {
+            let dt = (ts_s - t0).max(0.0);
+            self.energy_j += w0 * dt;
+        }
+        self.last = Some((ts_s, power.total_w()));
+        self.samples += 1;
+
+        let carrying_set = carrying_elements(dc, orch);
+        let (mut off, mut idle, mut carrying) = (0usize, 0usize, 0usize);
+        for e in all_elements(dc) {
+            match orch.power().state(e) {
+                PowerState::PoweredOff => off += 1,
+                _ if carrying_set.contains(&e) => carrying += 1,
+                _ => idle += 1,
+            }
+        }
+
+        alvc_telemetry::gauge!("alvc_energy.power.total_w").set(power.total_w());
+        alvc_telemetry::gauge_with("alvc_energy.power.family_w", "ops").set(power.ops_w);
+        alvc_telemetry::gauge_with("alvc_energy.power.family_w", "tor").set(power.tor_w);
+        alvc_telemetry::gauge_with("alvc_energy.power.family_w", "server").set(power.server_w);
+        alvc_telemetry::gauge_with("alvc_energy.power.family_w", "flow").set(power.flow_w);
+        alvc_telemetry::gauge!("alvc_energy.ledger.energy_j").set(self.energy_j);
+        alvc_telemetry::gauge!("alvc_energy.elements.powered_off").set(off as f64);
+        alvc_telemetry::gauge!("alvc_energy.elements.idle").set(idle as f64);
+        alvc_telemetry::gauge!("alvc_energy.elements.carrying").set(carrying as f64);
+        alvc_telemetry::counter!("alvc_energy.ledger.samples").incr();
+
+        PowerSample {
+            ts_s,
+            power,
+            powered_off: off,
+            idle,
+            carrying,
+            energy_j: self.energy_j,
+        }
+    }
+}
+
+/// All substrate elements of `dc`, in deterministic (family, id) order.
+pub fn all_elements(dc: &DataCenter) -> impl Iterator<Item = Element> + '_ {
+    dc.ops_ids()
+        .map(Element::Ops)
+        .chain(dc.tor_ids().map(Element::Tor))
+        .chain(dc.server_ids().map(Element::Server))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alvc_core::construction::PaperGreedy;
+    use alvc_nfv::chain::fig5;
+    use alvc_nfv::ElectronicOnlyPlacer;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceType};
+
+    fn dc() -> DataCenter {
+        AlvcTopologyBuilder::new()
+            .racks(8)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(24)
+            .tor_ops_degree(4)
+            .opto_fraction(0.5)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(31)
+            .build()
+    }
+
+    fn deploy(dc: &DataCenter, orch: &mut Orchestrator) -> alvc_nfv::NfcId {
+        let vms = dc.vms_of_service(ServiceType::WebService);
+        let spec = fig5::black(vms[0], *vms.last().unwrap());
+        orch.deploy_chain(
+            dc,
+            "web",
+            vms,
+            spec,
+            &PaperGreedy::new(),
+            &ElectronicOnlyPlacer::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn idle_fabric_draws_only_idle_watts() {
+        let dc = dc();
+        let orch = Orchestrator::new();
+        let ledger = PowerLedger::new(PowerModel::default());
+        let power = ledger.measure(&dc, &orch);
+        let m = ledger.model();
+        let expect = dc.ops_count() as f64 * m.ops_idle_w
+            + dc.tor_count() as f64 * m.tor_idle_w
+            + dc.server_count() as f64 * m.server_idle_w;
+        assert!((power.total_w() - expect).abs() < 1e-9);
+        assert_eq!(power.flow_w, 0.0);
+    }
+
+    #[test]
+    fn deploying_a_chain_raises_draw() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let ledger = PowerLedger::new(PowerModel::default());
+        let before = ledger.measure(&dc, &orch);
+        deploy(&dc, &mut orch);
+        let after = ledger.measure(&dc, &orch);
+        assert!(after.total_w() > before.total_w());
+        assert!(after.flow_w > 0.0, "flows draw switching power");
+        assert!(!carrying_elements(&dc, &orch).is_empty());
+    }
+
+    #[test]
+    fn powering_off_reduces_draw_to_zero_for_the_element() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let ledger = PowerLedger::new(PowerModel::default());
+        let before = ledger.measure(&dc, &orch);
+        let ops = dc.ops_ids().next().unwrap();
+        orch.set_power_state(&dc, Element::Ops(ops), PowerState::PoweredOff)
+            .unwrap();
+        let after = ledger.measure(&dc, &orch);
+        assert!(
+            (before.total_w() - after.total_w() - ledger.model().ops_idle_w).abs() < 1e-9,
+            "one idle OPS's draw disappears"
+        );
+    }
+
+    #[test]
+    fn sampling_integrates_watt_seconds() {
+        let dc = dc();
+        let orch = Orchestrator::new();
+        let mut ledger = PowerLedger::new(PowerModel::default());
+        let s0 = ledger.sample(&dc, &orch, 0.0);
+        assert_eq!(s0.energy_j, 0.0, "nothing charged before an interval");
+        let s1 = ledger.sample(&dc, &orch, 10.0);
+        assert!((s1.energy_j - s0.power.total_w() * 10.0).abs() < 1e-6);
+        // Out-of-order samples charge nothing.
+        let s2 = ledger.sample(&dc, &orch, 5.0);
+        assert_eq!(s2.energy_j, s1.energy_j);
+        assert_eq!(ledger.samples(), 3);
+    }
+
+    #[test]
+    fn identical_runs_integrate_identically() {
+        let dc = dc();
+        let run = || {
+            let mut orch = Orchestrator::new();
+            let mut ledger = PowerLedger::new(PowerModel::default());
+            ledger.sample(&dc, &orch, 0.0);
+            deploy(&dc, &mut orch);
+            ledger.sample(&dc, &orch, 7.5);
+            ledger.sample(&dc, &orch, 31.25);
+            ledger.energy_j().to_bits()
+        };
+        assert_eq!(run(), run(), "bit-identical joules per identical history");
+    }
+}

@@ -1,0 +1,40 @@
+//! Energy- and QoS-aware reoptimization plane for AL-VC.
+//!
+//! The paper's economy argument (§III.B) is that abstraction layers keep
+//! flows optical and cut O/E/O conversions; this crate makes the claim
+//! measurable in joules and actionable at run time:
+//!
+//! * [`model`] — [`PowerModel`]: idle/active wattage per element family
+//!   (OPS, ToR, server) plus per-flow switching and conversion power
+//!   proportional to path length (via `alvc_optical::EnergyModel`);
+//! * [`ledger`] — [`PowerLedger`]: integrates watt-seconds from the
+//!   orchestrator's live element and flow state, tracking
+//!   `Active ⇄ Idle ⇄ PoweredOff` per element and exporting
+//!   `alvc_energy.*` telemetry gauges per family;
+//! * [`consolidate`] — [`ConsolidationPlanner`]: when traffic ebbs
+//!   (streaming load signal from `alvc_affinity`, hysteresis-gated), packs
+//!   abstraction layers onto fewer powered switches and powers vacated
+//!   elements down through `Intent::SetPowerState`, never proposing a plan
+//!   whose predicted p99 violates any chain's latency SLO, and re-powers
+//!   everything the moment load returns.
+//!
+//! Chains opt into QoS protection by attaching
+//! [`QosClass`](alvc_nfv::QosClass) to their spec; the orchestrator
+//! enforces the SLO at admission and on every reroute, and the planner
+//! treats it as an inviolable ceiling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Library crates report progress through alvc-telemetry events, never the
+// process's stdout/stderr (enforced under cargo clippy).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+pub mod consolidate;
+pub mod ledger;
+pub mod model;
+
+pub use consolidate::{
+    ConsolidationConfig, ConsolidationMode, ConsolidationPlan, ConsolidationPlanner,
+};
+pub use ledger::{PowerBreakdown, PowerLedger, PowerSample};
+pub use model::{ElementFamily, PowerModel};

@@ -205,6 +205,16 @@ pub enum ChainSpecError {
         /// Second stage position.
         b: usize,
     },
+    /// The QoS latency SLO is not a finite positive number.
+    InvalidSlo {
+        /// The offending value.
+        slo_us: f64,
+    },
+    /// The QoS weight is not a finite positive number.
+    InvalidQosWeight {
+        /// The offending value.
+        weight: f64,
+    },
 }
 
 impl ChainSpecError {
@@ -222,6 +232,8 @@ impl ChainSpecError {
             ChainSpecError::UnknownStage { .. } => "unknown_stage",
             ChainSpecError::SelfReferentialRule { .. } => "self_referential_rule",
             ChainSpecError::ConflictingRules { .. } => "conflicting_rules",
+            ChainSpecError::InvalidSlo { .. } => "invalid_slo",
+            ChainSpecError::InvalidQosWeight { .. } => "invalid_qos_weight",
         }
     }
 }
@@ -266,11 +278,72 @@ impl std::fmt::Display for ChainSpecError {
             ChainSpecError::ConflictingRules { a, b } => {
                 write!(f, "stages {a} and {b} are both anti-affine and colocated")
             }
+            ChainSpecError::InvalidSlo { slo_us } => {
+                write!(f, "latency SLO {slo_us} us is not finite and positive")
+            }
+            ChainSpecError::InvalidQosWeight { weight } => {
+                write!(f, "QoS weight {weight} is not finite and positive")
+            }
         }
     }
 }
 
 impl std::error::Error for ChainSpecError {}
+
+/// A chain's quality-of-service class: the latency objective the energy
+/// plane must preserve, and its relative importance.
+///
+/// Where [`ChainSpec::max_latency_us`] is a *deploy-time* budget (exceed it
+/// and admission fails), the QoS class is a *standing* objective: the
+/// orchestrator also refuses any reroute or re-placement whose predicted
+/// path latency exceeds `latency_slo_us`, and the `alvc-energy`
+/// consolidation planner never proposes a power-down whose predicted p99
+/// would violate it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosClass {
+    /// One-way p99 latency objective for the chain's path, in
+    /// microseconds.
+    pub latency_slo_us: f64,
+    /// Relative weight of this chain when objectives conflict (e.g. which
+    /// chains the consolidation planner protects first). Default 1.0.
+    pub weight: f64,
+}
+
+impl QosClass {
+    /// A class with the given latency SLO and weight 1.0.
+    pub fn new(latency_slo_us: f64) -> Self {
+        QosClass {
+            latency_slo_us,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the relative weight (builder style).
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Checks the class's numeric invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainSpecError::InvalidSlo`] or
+    /// [`ChainSpecError::InvalidQosWeight`].
+    pub fn validate(&self) -> Result<(), ChainSpecError> {
+        if !self.latency_slo_us.is_finite() || self.latency_slo_us <= 0.0 {
+            return Err(ChainSpecError::InvalidSlo {
+                slo_us: self.latency_slo_us,
+            });
+        }
+        if !self.weight.is_finite() || self.weight <= 0.0 {
+            return Err(ChainSpecError::InvalidQosWeight {
+                weight: self.weight,
+            });
+        }
+        Ok(())
+    }
+}
 
 /// A chain to deploy: what the tenant hands the orchestrator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -292,6 +365,10 @@ pub struct ChainSpec {
     /// Placement constraints over stage positions, enforced at admission.
     #[serde(default)]
     pub rules: Vec<PlacementRule>,
+    /// Optional QoS class: a standing latency SLO (enforced at admission
+    /// and on every reroute) plus a relative weight.
+    #[serde(default)]
+    pub qos: Option<QosClass>,
 }
 
 impl ChainSpec {
@@ -341,6 +418,7 @@ impl ChainSpec {
             bandwidth_gbps,
             max_latency_us: None,
             rules: Vec::new(),
+            qos: None,
         }
     }
 
@@ -392,8 +470,21 @@ impl ChainSpec {
         if self.ingress == self.egress && self.vnfs.is_empty() {
             return Err(ChainSpecError::LoopWithoutStage);
         }
+        if let Some(qos) = &self.qos {
+            qos.validate()?;
+        }
         validate_rules(&self.rules, self.vnfs.len())?;
         Ok(())
+    }
+
+    /// The effective one-way latency budget: the tighter of the deploy-time
+    /// budget and the QoS latency SLO, if either is set. Admission and
+    /// every subsequent reroute check the routed path against this.
+    pub fn effective_latency_budget_us(&self) -> Option<f64> {
+        match (self.max_latency_us, self.qos.map(|q| q.latency_slo_us)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// The first rule `hosts` violates, if any (one host per stage).
@@ -475,6 +566,7 @@ pub struct ChainSpecBuilder {
     bandwidth_gbps: f64,
     max_latency_us: Option<f64>,
     rules: Vec<DraftRule>,
+    qos: Option<QosClass>,
     passthrough: bool,
 }
 
@@ -548,6 +640,13 @@ impl ChainSpecBuilder {
     /// Sets the one-way latency budget in microseconds.
     pub fn max_latency_us(mut self, budget: f64) -> Self {
         self.max_latency_us = Some(budget);
+        self
+    }
+
+    /// Attaches a QoS class: a standing latency SLO (checked at admission
+    /// and on every reroute) and a relative weight.
+    pub fn qos(mut self, qos: QosClass) -> Self {
+        self.qos = Some(qos);
         self
     }
 
@@ -661,6 +760,7 @@ impl ChainSpecBuilder {
             bandwidth_gbps: self.bandwidth_gbps,
             max_latency_us: self.max_latency_us,
             rules,
+            qos: self.qos,
         };
         spec.validate()?;
         Ok(spec)
@@ -796,6 +896,7 @@ impl ForwardingGraph {
             bandwidth_gbps,
             max_latency_us: None,
             rules: Vec::new(),
+            qos: None,
         })
     }
 }

@@ -7,7 +7,7 @@
 //! [`IntentLog`].
 
 use alvc_affinity::VmMove;
-use alvc_topology::{Element, VmId};
+use alvc_topology::{Element, PowerState, VmId};
 
 use crate::chain::{ChainSpec, NfcId};
 use crate::control::AdmissionError;
@@ -96,6 +96,18 @@ pub enum Intent {
         /// `alvc_affinity::ReclusterPlan`.
         moves: Vec<VmMove>,
     },
+    /// Operator-only: move a substrate element between power states
+    /// (`Active ⇄ Idle ⇄ PoweredOff`). Leaving `Active` requires the
+    /// element to carry no live flows or hosts; powering an OPS off
+    /// additionally requires that no abstraction layer owns it. Rejection
+    /// is side-effect-free, so the energy plane's consolidation loop can
+    /// submit speculative power-downs safely.
+    SetPowerState {
+        /// The element to transition.
+        element: Element,
+        /// The requested power state.
+        state: PowerState,
+    },
 }
 
 /// Coarse classification of an [`Intent`], used for telemetry labels and
@@ -121,6 +133,8 @@ pub enum IntentKind {
     Reoptimize,
     /// [`Intent::Recluster`].
     Recluster,
+    /// [`Intent::SetPowerState`].
+    SetPowerState,
 }
 
 impl IntentKind {
@@ -136,6 +150,7 @@ impl IntentKind {
             IntentKind::RestoreElement => "restore_element",
             IntentKind::Reoptimize => "reoptimize",
             IntentKind::Recluster => "recluster",
+            IntentKind::SetPowerState => "set_power_state",
         }
     }
 
@@ -147,6 +162,7 @@ impl IntentKind {
                 | IntentKind::RestoreElement
                 | IntentKind::Reoptimize
                 | IntentKind::Recluster
+                | IntentKind::SetPowerState
         )
     }
 }
@@ -164,6 +180,7 @@ impl Intent {
             Intent::RestoreElement { .. } => IntentKind::RestoreElement,
             Intent::Reoptimize => IntentKind::Reoptimize,
             Intent::Recluster { .. } => IntentKind::Recluster,
+            Intent::SetPowerState { .. } => IntentKind::SetPowerState,
         }
     }
 
@@ -240,6 +257,12 @@ pub enum IntentEffect {
         als_rebuilt: usize,
         /// Chains rerouted because their cluster's AL changed.
         chains_rerouted: usize,
+    },
+    /// An element's power state was set.
+    PowerStateSet {
+        /// The state the element was in before the transition (equal to
+        /// the requested state when the intent was an idempotent no-op).
+        previous: PowerState,
     },
 }
 
@@ -410,6 +433,14 @@ mod tests {
             ),
             (Intent::Reoptimize, "reoptimize", true),
             (Intent::Recluster { moves: vec![] }, "recluster", true),
+            (
+                Intent::SetPowerState {
+                    element: Element::Ops(alvc_topology::OpsId(0)),
+                    state: PowerState::PoweredOff,
+                },
+                "set_power_state",
+                true,
+            ),
         ];
         for (intent, label, operator_only) in intents {
             assert_eq!(intent.kind().label(), label);

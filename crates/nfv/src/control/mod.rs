@@ -979,6 +979,14 @@ impl ControlPlane {
                     chains_rerouted: report.chains_rerouted,
                 })
             }
+            Intent::SetPowerState { element, state } => {
+                match inner.orch.set_power_state(&self.dc, *element, *state) {
+                    Ok(previous) => {
+                        IntentOutcome::Completed(IntentEffect::PowerStateSet { previous })
+                    }
+                    Err(e) => IntentOutcome::Failed(e.into()),
+                }
+            }
         }
     }
 }

@@ -14,6 +14,7 @@ use std::fmt;
 use alvc_core::ConstructionError;
 use alvc_graph::NodeId;
 use alvc_optical::RoutingError;
+use alvc_topology::{Element, OpsId};
 
 use crate::chain::{ChainSpecError, NfcId, PlacementRule};
 use crate::control::AdmissionError;
@@ -234,6 +235,69 @@ impl From<RoutingError> for DeployError {
     }
 }
 
+/// Why a power-state transition was rejected. Nothing is committed on any
+/// of these: rejection is side-effect-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// The element carries live state — a chain path, VNF host, bandwidth
+    /// commitment, or flow rule — so it must stay active.
+    InUse {
+        /// The busy element.
+        element: Element,
+    },
+    /// The element is failed; restore it before managing its power state.
+    Failed {
+        /// The failed element.
+        element: Element,
+    },
+    /// The OPS still belongs to a virtual cluster's abstraction layer;
+    /// recluster it away before powering it down.
+    OpsOwned {
+        /// The owned switch.
+        ops: OpsId,
+    },
+}
+
+impl PowerError {
+    /// A stable machine-readable reason code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PowerError::InUse { .. } => "element_in_use",
+            PowerError::Failed { .. } => "element_failed",
+            PowerError::OpsOwned { .. } => "ops_owned",
+        }
+    }
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InUse { element } => {
+                write!(
+                    f,
+                    "{element} carries live flows or hosts and must stay active"
+                )
+            }
+            PowerError::Failed { element } => {
+                write!(
+                    f,
+                    "{element} is failed; restore it before a power transition"
+                )
+            }
+            PowerError::OpsOwned { ops } => {
+                write!(
+                    f,
+                    "ops-{} still belongs to an abstraction layer",
+                    ops.index()
+                )
+            }
+        }
+    }
+}
+
+impl StdError for PowerError {}
+
 /// The unified NFV error: every fallible [`crate::Orchestrator`] and
 /// [`crate::ControlPlane`] entry point returns this one type.
 ///
@@ -262,6 +326,8 @@ pub enum Error {
     Routing(RoutingError),
     /// The control plane rejected the request before touching any state.
     Admission(AdmissionError),
+    /// A power-state transition was rejected.
+    Power(PowerError),
 }
 
 /// Coarse, stable classification of an [`enum@Error`]; use it to dispatch
@@ -297,6 +363,8 @@ pub enum ErrorKind {
     Lifecycle,
     /// The control plane's admission checks rejected the request.
     Admission,
+    /// A power-state transition was rejected.
+    Power,
 }
 
 impl ErrorKind {
@@ -318,6 +386,7 @@ impl ErrorKind {
             ErrorKind::RuleViolated => "rule_violated",
             ErrorKind::Lifecycle => "lifecycle",
             ErrorKind::Admission => "admission",
+            ErrorKind::Power => "power",
         }
     }
 }
@@ -330,6 +399,7 @@ impl Error {
         match self {
             Error::Admission(e) => e.code(),
             Error::Deploy(e) => e.code(),
+            Error::Power(e) => e.code(),
             other => other.kind().code(),
         }
     }
@@ -354,6 +424,7 @@ impl Error {
             Error::Lifecycle(_) => ErrorKind::Lifecycle,
             Error::Routing(_) => ErrorKind::Routing,
             Error::Admission(_) => ErrorKind::Admission,
+            Error::Power(_) => ErrorKind::Power,
         }
     }
 
@@ -381,6 +452,7 @@ impl fmt::Display for Error {
             Error::Lifecycle(e) => e.fmt(f),
             Error::Routing(e) => write!(f, "routing failed: {e}"),
             Error::Admission(e) => write!(f, "admission rejected: {e}"),
+            Error::Power(e) => write!(f, "power transition rejected: {e}"),
         }
     }
 }
@@ -392,6 +464,7 @@ impl StdError for Error {
             Error::Lifecycle(e) => Some(e),
             Error::Routing(e) => Some(e),
             Error::Admission(e) => Some(e),
+            Error::Power(e) => Some(e),
         }
     }
 }
@@ -417,6 +490,12 @@ impl From<RoutingError> for Error {
 impl From<AdmissionError> for Error {
     fn from(e: AdmissionError) -> Self {
         Error::Admission(e)
+    }
+}
+
+impl From<PowerError> for Error {
+    fn from(e: PowerError) -> Self {
+        Error::Power(e)
     }
 }
 

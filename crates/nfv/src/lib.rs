@@ -47,6 +47,7 @@ pub mod ledger;
 pub mod lifecycle;
 pub mod orchestrator;
 pub mod placement;
+pub mod power;
 pub mod recluster;
 pub mod recovery;
 pub mod sdn;
@@ -55,14 +56,14 @@ pub mod vnf;
 
 pub use chain::{
     ChainSpec, ChainSpecBuilder, ChainSpecError, ForwardingGraph, Nfc, NfcId, PlacementRule,
-    StageId,
+    QosClass, StageId,
 };
 pub use control::{
     AdmissionError, AdmissionPolicy, ChainView, ClusterSliceView, ControlPlane,
     ControlPlaneBuilder, InstanceView, Intent, IntentEffect, IntentId, IntentKind, IntentLog,
     IntentOutcome, IntentRecord, SchedulerMode, StateView, TenantQuota, TenantView,
 };
-pub use error::{DeployError, Error, ErrorKind, LifecycleError, PlacementError};
+pub use error::{DeployError, Error, ErrorKind, LifecycleError, PlacementError, PowerError};
 pub use ledger::ShardedLedger;
 pub use lifecycle::{HostLocation, VnfInstance, VnfInstanceId, VnfState};
 pub use orchestrator::{DeployedChain, Orchestrator, OrchestratorBuilder};

@@ -19,7 +19,9 @@ use alvc_core::{ClusterId, ClusterManager, LabelId};
 use alvc_graph::NodeId;
 use alvc_optical::routing::try_path_edges;
 use alvc_optical::{route_flow_within, HybridPath, OeoCostModel, RoutingError};
-use alvc_topology::{DataCenter, ElementHealth, OpsId, ServerId, VmId};
+use alvc_topology::{
+    DataCenter, Element, ElementHealth, OpsId, PhysNode, PowerOverlay, ServerId, TorId, VmId,
+};
 
 use crate::chain::{ChainSpec, Nfc, NfcId};
 use crate::changes::ChangeSet;
@@ -117,6 +119,7 @@ pub struct Orchestrator {
     pub(crate) link_committed: ShardedLedger,
     pub(crate) replicas: BTreeMap<VnfInstanceId, (NfcId, usize)>,
     pub(crate) health: ElementHealth,
+    pub(crate) power: PowerOverlay,
     pub(crate) degraded: BTreeSet<NfcId>,
     /// Entities mutated since the control plane last published a snapshot;
     /// drives incremental `StateView` publication (see [`crate::changes`]).
@@ -253,6 +256,36 @@ impl Orchestrator {
         self.chains.get(&id)
     }
 
+    /// Whether a server is both healthy and powered: usable for new
+    /// placements and routes.
+    pub(crate) fn server_usable(&self, s: ServerId) -> bool {
+        self.health.server_up(s) && self.power.is_on(Element::Server(s))
+    }
+
+    /// Whether a ToR is both healthy and powered.
+    pub(crate) fn tor_usable(&self, t: TorId) -> bool {
+        self.health.tor_up(t) && self.power.is_on(Element::Tor(t))
+    }
+
+    /// Whether an OPS is both healthy and powered.
+    pub(crate) fn ops_usable(&self, o: OpsId) -> bool {
+        self.health.ops_up(o) && self.power.is_on(Element::Ops(o))
+    }
+
+    /// Whether the element behind a graph node is healthy and powered.
+    /// VM nodes inherit their server's state.
+    pub(crate) fn node_usable(&self, dc: &DataCenter, n: NodeId) -> bool {
+        if !self.health.node_up(dc, n) {
+            return false;
+        }
+        match dc.graph().node_weight(n) {
+            Some(PhysNode::Server(s)) => self.power.is_on(Element::Server(*s)),
+            Some(PhysNode::Tor(t)) => self.power.is_on(Element::Tor(*t)),
+            Some(PhysNode::Ops { id, .. }) => self.power.is_on(Element::Ops(*id)),
+            None => false,
+        }
+    }
+
     /// Iterates over deployed chains in id order.
     pub fn chains(&self) -> impl Iterator<Item = &DeployedChain> {
         self.chains.values()
@@ -307,13 +340,23 @@ impl Orchestrator {
         path.latency_us() + self.oeo.path_conversion_latency_us(path)
     }
 
-    /// Latency-budget admission.
+    /// A deployed chain's predicted one-way latency (propagation +
+    /// switching + O/E/O conversion), in microseconds — the same figure
+    /// admission checks against the chain's latency budget. The energy
+    /// plane's SLO gate reads this for every chain before approving a
+    /// consolidation plan.
+    pub fn chain_latency_us(&self, id: NfcId) -> Option<f64> {
+        self.chain(id).map(|c| self.path_latency_us(c.path()))
+    }
+
+    /// Latency-budget admission against the spec's effective budget (the
+    /// tighter of `max_latency_us` and the QoS latency SLO).
     pub(crate) fn check_latency(
         &self,
         spec: &ChainSpec,
         path: &HybridPath,
     ) -> Result<(), DeployError> {
-        if let Some(budget) = spec.max_latency_us {
+        if let Some(budget) = spec.effective_latency_budget_us() {
             let path_us = self.path_latency_us(path);
             if path_us > budget {
                 return Err(DeployError::LatencyBudgetExceeded {
@@ -538,8 +581,8 @@ impl Orchestrator {
 
         // A chain whose ingress/egress VM sits on a dead server cannot be
         // served no matter where its VNFs land.
-        if !self.health.server_up(dc.server_of_vm(spec.ingress))
-            || !self.health.server_up(dc.server_of_vm(spec.egress))
+        if !self.server_usable(dc.server_of_vm(spec.ingress))
+            || !self.server_usable(dc.server_of_vm(spec.egress))
         {
             return Err(DeployError::EndpointFailed);
         }
@@ -548,7 +591,7 @@ impl Orchestrator {
         let mut servers: Vec<ServerId> = vms.iter().map(|&v| dc.server_of_vm(v)).collect();
         servers.sort();
         servers.dedup();
-        servers.retain(|&s| self.health.server_up(s));
+        servers.retain(|&s| self.server_usable(s));
         let hosts = {
             let mut place_span = alvc_telemetry::trace::child_span("nfv.place");
             let ctx = PlacementContext {
@@ -581,7 +624,7 @@ impl Orchestrator {
         let mut allowed: HashSet<NodeId> = al
             .switch_nodes(dc)
             .into_iter()
-            .filter(|&n| self.health.node_up(dc, n))
+            .filter(|&n| self.node_usable(dc, n))
             .collect();
         for &s in &servers {
             allowed.insert(dc.node_of_server(s));
@@ -791,8 +834,8 @@ impl Orchestrator {
             return Err(DeployError::EndpointOutsideCluster.into());
         }
         new_spec.validate().map_err(DeployError::InvalidSpec)?;
-        if !self.health.server_up(dc.server_of_vm(new_spec.ingress))
-            || !self.health.server_up(dc.server_of_vm(new_spec.egress))
+        if !self.server_usable(dc.server_of_vm(new_spec.ingress))
+            || !self.server_usable(dc.server_of_vm(new_spec.egress))
         {
             return Err(DeployError::EndpointFailed.into());
         }
@@ -824,7 +867,7 @@ impl Orchestrator {
         let mut servers: Vec<ServerId> = vms.iter().map(|&v| dc.server_of_vm(v)).collect();
         servers.sort();
         servers.dedup();
-        servers.retain(|&s| self.health.server_up(s));
+        servers.retain(|&s| self.server_usable(s));
         let hosts = {
             let ctx = PlacementContext {
                 dc,
@@ -842,7 +885,7 @@ impl Orchestrator {
         let mut allowed: HashSet<NodeId> = al
             .switch_nodes(dc)
             .into_iter()
-            .filter(|&n| self.health.node_up(dc, n))
+            .filter(|&n| self.node_usable(dc, n))
             .collect();
         for &s in &servers {
             allowed.insert(dc.node_of_server(s));
@@ -1044,7 +1087,7 @@ impl Orchestrator {
         // fall back to a different healthy least-loaded server.
         let mut replica_host = None;
         for &o in al.ops() {
-            if HostLocation::OptoRouter(o) == original_host || !self.health.ops_up(o) {
+            if HostLocation::OptoRouter(o) == original_host || !self.ops_usable(o) {
                 continue;
             }
             let Some(cap) = dc.opto_capacity(o) else {
@@ -1062,7 +1105,7 @@ impl Orchestrator {
             servers.dedup();
             replica_host = servers
                 .iter()
-                .filter(|&&s| HostLocation::Server(s) != original_host && self.health.server_up(s))
+                .filter(|&&s| HostLocation::Server(s) != original_host && self.server_usable(s))
                 .min_by(|a, b| {
                     let la = self.server_used.get(a).map_or(0.0, |d| d.cpu);
                     let lb = self.server_used.get(b).map_or(0.0, |d| d.cpu);

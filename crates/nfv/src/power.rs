@@ -1,0 +1,267 @@
+//! Orchestrator-level power management: the execution half of the energy
+//! plane (the planning half lives in `alvc-energy`).
+//!
+//! [`Orchestrator::set_power_state`] is the single entry point. Power
+//! transitions are *planned*, not failures: an element may only leave
+//! [`PowerState::Active`] once nothing references it — no chain path, VNF
+//! host, flow rule, or bandwidth commitment — and a powered-off element is
+//! invisible to placement, routing, and AL construction until powered back
+//! on. Rejection is side-effect-free, so the control plane can expose the
+//! transition as a replayable operator intent
+//! ([`Intent::SetPowerState`](crate::control::Intent::SetPowerState)).
+
+use alvc_topology::{DataCenter, Element, PowerOverlay, PowerState};
+
+use crate::error::PowerError;
+use crate::orchestrator::Orchestrator;
+use crate::recovery::{element_node, host_on};
+
+impl Orchestrator {
+    /// The orchestrator's power-state overlay.
+    pub fn power(&self) -> &PowerOverlay {
+        &self.power
+    }
+
+    /// Whether `element` carries any live orchestrator state: a flow rule
+    /// on its switch node, a chain path crossing it, a VNF instance hosted
+    /// on it, or a bandwidth commitment on one of its links. Elements in
+    /// use must stay [`PowerState::Active`]; the consolidation planner in
+    /// `alvc-energy` uses this as its safety predicate.
+    pub fn element_in_use(&self, dc: &DataCenter, element: Element) -> bool {
+        let node = element_node(dc, element);
+        if self.sdn.rules_on_switch(node) > 0 {
+            return true;
+        }
+        for chain in self.chains.values() {
+            if chain.path.nodes().contains(&node) {
+                return true;
+            }
+            if chain.hosts.iter().any(|&h| host_on(h, element)) {
+                return true;
+            }
+        }
+        for e in self.link_committed.edges() {
+            if let Some((a, b)) = dc.graph().edge_endpoints(e) {
+                if a == node || b == node {
+                    return true;
+                }
+            }
+        }
+        if self.instances.values().any(|i| host_on(i.host(), element)) {
+            return true;
+        }
+        false
+    }
+
+    /// Moves `element` to `state`, returning the previous state.
+    ///
+    /// Allowed transitions form `Active ⇄ Idle ⇄ PoweredOff` (plus the
+    /// direct `Active ⇄ PoweredOff` edges). Leaving `Active` requires the
+    /// element to be idle in fact — [`Orchestrator::element_in_use`] must
+    /// be false — and powering an OPS off additionally requires that no
+    /// abstraction layer owns it (recluster it away first). Re-powering is
+    /// always allowed. The call is idempotent: setting the current state
+    /// again is a no-op returning `Ok(state)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError`] if the transition is rejected; nothing is committed.
+    pub fn set_power_state(
+        &mut self,
+        dc: &DataCenter,
+        element: Element,
+        state: PowerState,
+    ) -> Result<PowerState, PowerError> {
+        let previous = self.power.state(element);
+        if previous == state {
+            return Ok(previous);
+        }
+        if !self.health.is_up(element) {
+            return Err(PowerError::Failed { element });
+        }
+        if state != PowerState::Active && self.element_in_use(dc, element) {
+            return Err(PowerError::InUse { element });
+        }
+        if state == PowerState::PoweredOff {
+            if let Element::Ops(ops) = element {
+                // Blocks the switch in the manager's availability view so
+                // no future AL construction or rebuild picks it.
+                if !self.manager.power_off_ops(ops) {
+                    return Err(PowerError::OpsOwned { ops });
+                }
+            }
+        }
+        if previous == PowerState::PoweredOff {
+            if let Element::Ops(ops) = element {
+                self.manager.power_on_ops(ops);
+            }
+        }
+        self.power.set(element, state);
+        // Powered-off elements change the usable substrate for every
+        // tenant, so the next published StateView must be a full capture.
+        if state == PowerState::PoweredOff || previous == PowerState::PoweredOff {
+            self.changes.mark_full();
+        }
+        alvc_telemetry::counter_with("alvc_nfv.power.transitions", state.label()).incr();
+        alvc_telemetry::gauge!("alvc_nfv.power.powered_off_elements")
+            .set(self.power.powered_off_count() as f64);
+        if !self.quiet {
+            alvc_telemetry::event!(
+                "alvc_nfv.power.transition",
+                "element" = element.to_string().as_str(),
+                "state" = state.label(),
+            );
+        }
+        Ok(previous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::fig5;
+    use crate::placement::ElectronicOnlyPlacer;
+    use alvc_core::construction::PaperGreedy;
+    use alvc_topology::{AlvcTopologyBuilder, OpsInterconnect, ServiceType};
+
+    fn dc() -> DataCenter {
+        AlvcTopologyBuilder::new()
+            .racks(8)
+            .servers_per_rack(2)
+            .vms_per_server(2)
+            .ops_count(24)
+            .tor_ops_degree(4)
+            .opto_fraction(0.5)
+            .interconnect(OpsInterconnect::FullMesh)
+            .seed(31)
+            .build()
+    }
+
+    #[test]
+    fn idle_unused_elements_power_off_and_back_on() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let ops = dc.ops_ids().next().unwrap();
+        let e = Element::Ops(ops);
+        assert!(!orch.element_in_use(&dc, e));
+        assert_eq!(
+            orch.set_power_state(&dc, e, PowerState::Idle),
+            Ok(PowerState::Active)
+        );
+        assert_eq!(
+            orch.set_power_state(&dc, e, PowerState::PoweredOff),
+            Ok(PowerState::Idle)
+        );
+        assert!(!orch.manager().availability().is_available(ops));
+        assert_eq!(
+            orch.set_power_state(&dc, e, PowerState::Active),
+            Ok(PowerState::PoweredOff)
+        );
+        assert!(orch.manager().availability().is_available(ops));
+        assert!(orch.power().all_active());
+    }
+
+    #[test]
+    fn elements_in_use_refuse_to_leave_active() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let vms = dc.vms_of_service(ServiceType::WebService);
+        let ingress_server = dc.server_of_vm(vms[0]);
+        let spec = fig5::black(vms[0], *vms.last().unwrap());
+        let id = orch
+            .deploy_chain(
+                &dc,
+                "web",
+                vms,
+                spec,
+                &PaperGreedy::new(),
+                &ElectronicOnlyPlacer::new(),
+            )
+            .unwrap();
+        let al_ops = orch
+            .manager()
+            .cluster(orch.chain(id).unwrap().cluster())
+            .unwrap()
+            .al()
+            .ops()
+            .to_vec();
+        // The ingress server carries the chain's path.
+        let e = Element::Server(ingress_server);
+        assert!(orch.element_in_use(&dc, e));
+        assert_eq!(
+            orch.set_power_state(&dc, e, PowerState::PoweredOff),
+            Err(PowerError::InUse { element: e })
+        );
+        // An AL-owned OPS off the path is refused as owned (if unused) or
+        // busy (if routed through) — never powered off.
+        for &o in &al_ops {
+            let r = orch.set_power_state(&dc, Element::Ops(o), PowerState::PoweredOff);
+            assert!(
+                matches!(
+                    r,
+                    Err(PowerError::OpsOwned { .. }) | Err(PowerError::InUse { .. })
+                ),
+                "AL member must not power off: {r:?}"
+            );
+        }
+        assert!(orch.power().all_active());
+    }
+
+    #[test]
+    fn powered_off_ops_is_invisible_to_new_deployments() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let deploy = |orch: &mut Orchestrator| {
+            let vms = dc.vms_of_service(ServiceType::WebService);
+            let spec = fig5::black(vms[0], *vms.last().unwrap());
+            orch.deploy_chain(
+                &dc,
+                "web",
+                vms,
+                spec,
+                &PaperGreedy::new(),
+                &ElectronicOnlyPlacer::new(),
+            )
+            .unwrap()
+        };
+        // Learn which switches one web chain needs, then power down every
+        // switch that can be vacated (not AL-owned, not on the path).
+        let first = deploy(&mut orch);
+        let mut off = std::collections::HashSet::new();
+        for o in dc.ops_ids() {
+            if orch
+                .set_power_state(&dc, Element::Ops(o), PowerState::PoweredOff)
+                .is_ok()
+            {
+                off.insert(o);
+            }
+        }
+        assert!(!off.is_empty(), "some switch is vacatable");
+        orch.teardown_chain(first).unwrap();
+        // A fresh deployment must build its AL and route entirely on the
+        // switches that remain powered.
+        let id = deploy(&mut orch);
+        let vc = orch
+            .manager()
+            .cluster(orch.chain(id).unwrap().cluster())
+            .unwrap();
+        assert!(vc.al().ops().iter().all(|o| !off.contains(o)));
+        for &n in orch.chain(id).unwrap().path().nodes() {
+            assert!(orch.node_usable(&dc, n));
+        }
+    }
+
+    #[test]
+    fn failed_elements_cannot_transition() {
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let ops = dc.ops_ids().next().unwrap();
+        orch.fail_ops(&dc, ops, &PaperGreedy::new(), &ElectronicOnlyPlacer::new());
+        assert_eq!(
+            orch.set_power_state(&dc, Element::Ops(ops), PowerState::PoweredOff),
+            Err(PowerError::Failed {
+                element: Element::Ops(ops)
+            })
+        );
+    }
+}

@@ -455,8 +455,8 @@ impl Orchestrator {
             chain.edges.clear();
         }
 
-        if !self.health.server_up(dc.server_of_vm(ingress))
-            || !self.health.server_up(dc.server_of_vm(egress))
+        if !self.server_usable(dc.server_of_vm(ingress))
+            || !self.server_usable(dc.server_of_vm(egress))
         {
             self.discard_chain(id);
             return RecoveryOutcome::Unrecoverable(DeployError::EndpointFailed);
@@ -497,8 +497,8 @@ impl Orchestrator {
 
     fn host_up(&self, host: HostLocation) -> bool {
         match host {
-            HostLocation::Server(s) => self.health.server_up(s),
-            HostLocation::OptoRouter(o) => self.health.ops_up(o),
+            HostLocation::Server(s) => self.server_usable(s),
+            HostLocation::OptoRouter(o) => self.ops_usable(o),
         }
     }
 
@@ -517,11 +517,11 @@ impl Orchestrator {
                     .al()
                     .switch_nodes(dc)
                     .into_iter()
-                    .filter(|&n| self.health.node_up(dc, n))
+                    .filter(|&n| self.node_usable(dc, n))
                     .collect();
                 for &v in vc.vms() {
                     let s = dc.server_of_vm(v);
-                    if self.health.server_up(s) {
+                    if self.server_usable(s) {
                         allowed.insert(dc.node_of_server(s));
                     }
                 }
@@ -529,13 +529,13 @@ impl Orchestrator {
             }
             RecoveryScope::FullFabric => {
                 let mut allowed = HashSet::new();
-                for s in dc.server_ids().filter(|&s| self.health.server_up(s)) {
+                for s in dc.server_ids().filter(|&s| self.server_usable(s)) {
                     allowed.insert(dc.node_of_server(s));
                 }
-                for t in dc.tor_ids().filter(|&t| self.health.tor_up(t)) {
+                for t in dc.tor_ids().filter(|&t| self.tor_usable(t)) {
                     allowed.insert(dc.node_of_tor(t));
                 }
-                for o in dc.ops_ids().filter(|&o| self.health.ops_up(o)) {
+                for o in dc.ops_ids().filter(|&o| self.ops_usable(o)) {
                     allowed.insert(dc.node_of_ops(o));
                 }
                 allowed
@@ -607,19 +607,19 @@ impl Orchestrator {
                 .tors()
                 .iter()
                 .copied()
-                .filter(|&t| self.health.tor_up(t))
+                .filter(|&t| self.tor_usable(t))
                 .collect(),
             vc.al()
                 .ops()
                 .iter()
                 .copied()
-                .filter(|&o| self.health.ops_up(o))
+                .filter(|&o| self.ops_usable(o))
                 .collect(),
         );
         let mut servers: Vec<ServerId> = vms.iter().map(|&v| dc.server_of_vm(v)).collect();
         servers.sort();
         servers.dedup();
-        servers.retain(|&s| self.health.server_up(s));
+        servers.retain(|&s| self.server_usable(s));
 
         // Plan against ledgers without this chain's current host usage.
         let mut opto_used = self.opto_used.clone();
@@ -648,6 +648,12 @@ impl Orchestrator {
             };
             placer.place(&ctx, &spec)?
         };
+        // Re-placement must honor the spec's placement rules just like the
+        // original deployment did; a rule-oblivious placer can otherwise
+        // silently undo anti-affinity during recovery.
+        if let Some(rule) = spec.violated_rule(dc, &hosts) {
+            return Err(DeployError::RuleViolated { rule });
+        }
 
         let mut allowed = self.allowed_nodes(dc, cluster, scope);
         let mut waypoints = Vec::with_capacity(hosts.len() + 2);
@@ -743,7 +749,7 @@ impl Orchestrator {
     }
 }
 
-fn element_node(dc: &DataCenter, element: Element) -> NodeId {
+pub(crate) fn element_node(dc: &DataCenter, element: Element) -> NodeId {
     match element {
         Element::Server(s) => dc.node_of_server(s),
         Element::Tor(t) => dc.node_of_tor(t),
@@ -751,7 +757,7 @@ fn element_node(dc: &DataCenter, element: Element) -> NodeId {
     }
 }
 
-fn host_on(host: HostLocation, element: Element) -> bool {
+pub(crate) fn host_on(host: HostLocation, element: Element) -> bool {
     match (host, element) {
         (HostLocation::Server(s), Element::Server(fs)) => s == fs,
         (HostLocation::OptoRouter(o), Element::Ops(fo)) => o == fo,
@@ -1099,5 +1105,93 @@ mod tests {
             assert!(orch.chain(id).is_none());
         }
         assert!(orch.restore_tor(dead));
+    }
+
+    /// Regression: re-placement during recovery (and hence
+    /// `reoptimize_degraded`) must re-check the spec's placement rules. A
+    /// rule-oblivious placer that colocates anti-affine stages must never
+    /// "recover" a chain into a rule-violating layout.
+    #[test]
+    fn replace_rechecks_placement_rules() {
+        use crate::chain::{ChainSpec, PlacementRule};
+        use crate::error::PlacementError;
+
+        /// Pathological placer: every VNF on the first candidate server.
+        struct ColocatingPlacer;
+        impl VnfPlacer for ColocatingPlacer {
+            fn name(&self) -> &'static str {
+                "colocating"
+            }
+            fn place(
+                &self,
+                ctx: &PlacementContext<'_>,
+                chain: &ChainSpec,
+            ) -> Result<Vec<HostLocation>, PlacementError> {
+                let s = *ctx
+                    .servers
+                    .first()
+                    .ok_or(PlacementError::NoElectronicHost)?;
+                Ok(vec![HostLocation::Server(s); chain.vnfs.len()])
+            }
+        }
+
+        let dc = dc();
+        let mut orch = Orchestrator::new();
+        let vms = dc.vms_of_service(ServiceType::WebService);
+        let ingress_server = dc.server_of_vm(vms[0]);
+        let egress_server = dc.server_of_vm(*vms.last().unwrap());
+        let mut spec = fig5::black(vms[0], *vms.last().unwrap());
+        spec.rules.push(PlacementRule::AntiAffinity { a: 0, b: 1 });
+        let id = orch
+            .deploy_chain(
+                &dc,
+                "web",
+                vms,
+                spec.clone(),
+                &PaperGreedy::new(),
+                &ElectronicOnlyPlacer::new(),
+            )
+            .unwrap();
+        assert!(
+            spec.violated_rule(&dc, orch.chain(id).unwrap().hosts())
+                .is_none(),
+            "deployment honors the rule"
+        );
+        // Kill a VNF host that is not an endpoint, forcing the replace rung.
+        let Some(dead) = orch
+            .chain(id)
+            .unwrap()
+            .hosts()
+            .iter()
+            .find_map(|h| match h {
+                HostLocation::Server(s) if *s != ingress_server && *s != egress_server => Some(*s),
+                _ => None,
+            })
+        else {
+            return; // every VNF landed on an endpoint server
+        };
+        let report = orch.fail_server(&dc, dead, &ColocatingPlacer);
+        let outcome = report.outcomes().get(&id).expect("chain was affected");
+        // The colocating placer cannot satisfy anti-affinity, so the chain
+        // either survives with its rules intact (it cannot) or is torn
+        // down with the violated rule as the reason — but it must never
+        // serve from a violating layout.
+        match orch.chain(id) {
+            Some(chain) => {
+                assert!(
+                    spec.violated_rule(&dc, chain.hosts()).is_none(),
+                    "surviving chain must satisfy its placement rules"
+                );
+            }
+            None => {
+                assert_eq!(
+                    outcome,
+                    &RecoveryOutcome::Unrecoverable(DeployError::RuleViolated {
+                        rule: PlacementRule::AntiAffinity { a: 0, b: 1 }
+                    })
+                );
+            }
+        }
+        assert!(orch.verify_no_failed_references(&dc));
     }
 }

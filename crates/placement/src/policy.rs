@@ -7,7 +7,7 @@
 //! leaked into the electronic domain), electronic CPU makespan, and the
 //! bandwidth dragged through O/E/O dips. One scalar [`PlacementScore::cost`]
 //! makes assignments comparable across strategies, and is what the bounded
-//! local search in [`crate::refine`] descends on.
+//! local search in [`crate::refine()`](fn@crate::refine) descends on.
 
 use std::collections::HashMap;
 

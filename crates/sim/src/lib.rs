@@ -23,7 +23,9 @@
 //! * [`linkload`] — per-link byte accounting and hotspot reports;
 //! * [`metrics`] — counters and sample summaries (mean/percentiles);
 //! * [`intents`] — weighted multi-tenant intent streams for the
-//!   control-plane experiment (E10).
+//!   control-plane experiment (E10);
+//! * [`diurnal`] — deterministic diurnal + flash-crowd load shaping for
+//!   the energy experiment (E14) and the DC-day harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@
 // process's stdout/stderr (enforced under cargo clippy).
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod diurnal;
 pub mod event;
 pub mod failure;
 pub mod fairshare;
@@ -41,6 +44,7 @@ pub mod metrics;
 pub mod traffic;
 pub mod workload;
 
+pub use diurnal::{DiurnalLoad, DiurnalPhase};
 pub use event::EventQueue;
 pub use failure::{chain_outages, FailureSchedule, OutageEvent};
 pub use fairshare::{simulate_fair_share, FairFlow, FairShareReport};

@@ -45,6 +45,7 @@ pub mod element;
 pub mod generators;
 pub mod health;
 pub mod ids;
+pub mod power;
 pub mod service;
 pub mod stats;
 pub mod topology;
@@ -56,6 +57,7 @@ pub use generators::{
 };
 pub use health::{Element, ElementHealth};
 pub use ids::{OpsId, PodId, RackId, ServerId, TorId, VmId};
+pub use power::{PowerOverlay, PowerState};
 pub use service::{ServiceMix, ServiceType};
 pub use stats::TopologyStats;
 pub use topology::DataCenter;

@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the AL-VC workspace.
 pub use alvc_affinity as affinity;
 pub use alvc_core as core;
+pub use alvc_energy as energy;
 pub use alvc_graph as graph;
 pub use alvc_nfv as nfv;
 pub use alvc_optical as optical;
@@ -38,14 +39,18 @@ pub mod prelude {
         construct_layers_sharded, AbstractionLayer, ClusterId, ClusterManager, LabelId,
         ShardReport, ShardedState,
     };
+    pub use alvc_energy::{
+        ConsolidationConfig, ConsolidationMode, ConsolidationPlan, ConsolidationPlanner,
+        PowerLedger, PowerModel,
+    };
     pub use alvc_nfv::chain::fig5;
     pub use alvc_nfv::ledger::ShardedLedger;
     pub use alvc_nfv::{
         AdmissionError, ChainSpec, ChainSpecBuilder, ChainSpecError, ControlPlane,
         ControlPlaneBuilder, DeployError, DeployedChain, ElectronicOnlyPlacer, Error, ErrorKind,
         Intent, IntentEffect, IntentId, IntentLog, IntentOutcome, NfcId, Orchestrator,
-        OrchestratorBuilder, PlacementRule, StageId, StateView, TenantQuota, VnfInstanceId,
-        VnfPlacer, VnfSpec, VnfType,
+        OrchestratorBuilder, PlacementRule, QosClass, StageId, StateView, TenantQuota,
+        VnfInstanceId, VnfPlacer, VnfSpec, VnfType,
     };
     pub use alvc_optical::OeoCostModel;
     pub use alvc_placement::{
@@ -53,6 +58,7 @@ pub mod prelude {
         RefineConfig, RefineOutcome,
     };
     pub use alvc_topology::{
-        AlvcTopologyBuilder, DataCenter, Element, OpsInterconnect, ServiceMix, ServiceType, VmId,
+        AlvcTopologyBuilder, DataCenter, Element, OpsInterconnect, PowerState, ServiceMix,
+        ServiceType, VmId,
     };
 }
